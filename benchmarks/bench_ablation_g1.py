@@ -1,0 +1,96 @@
+"""Ablation (§5.4/§7): Desiccant over serial GC vs G1GC.
+
+The paper studies serial GC because Lambda uses it, and argues (§7) that
+G1 satisfies Desiccant's two requirements (throughput estimation + free-
+region knowledge).  This bench runs the same workload on both collectors
+and checks that the frozen-garbage problem and Desiccant's fix carry over.
+"""
+
+from conftest import RESULTS_DIR
+
+from repro.analysis.report import render_table, write_csv
+from repro.core.profiles import ProfileStore
+from repro.core.reclaimer import reclaim_instance
+from repro.faas.libraries import SharedLibraryPool
+from repro.mem.layout import KIB, MIB
+from repro.mem.physical import PhysicalMemory
+from repro.runtime.g1 import G1Runtime
+from repro.runtime.hotspot import HotSpotRuntime
+
+ITERATIONS = 60
+
+
+def _exercise(runtime_cls, shared_files, physical):
+    rt = runtime_cls("rt", physical=physical, shared_files=shared_files)
+    rt.boot()
+    for i in range(ITERATIONS):
+        rt.begin_invocation()
+        if i == 0:
+            # Initialization data lives through the first invocation and
+            # inflates the heap (the paper's Java observation).
+            for _ in range(160):
+                rt.alloc(64 * KIB, scope="frame")
+            rt.alloc(2 * MIB, scope="persistent")
+        for _ in range(160):
+            rt.alloc(64 * KIB, scope="ephemeral")
+        rt.alloc(512 * KIB, scope="frame")
+        rt.end_invocation()
+    return rt
+
+
+def _collect():
+    results = {}
+    for label, cls in (("serial", HotSpotRuntime), ("g1", G1Runtime)):
+        physical = PhysicalMemory()
+        pool = SharedLibraryPool(physical, runtime_classes=(cls,))
+        rt = _exercise(cls, pool.files, physical)
+        uss_before = rt.uss()
+        ideal = rt.ideal_uss()
+        outcome = rt.reclaim()
+        results[label] = {
+            "uss_before": uss_before,
+            "uss_after": outcome.uss_after,
+            "ideal": ideal,
+            "released": outcome.released_bytes,
+            "cpu_seconds": outcome.cpu_seconds,
+        }
+        rt.destroy()
+    return results
+
+
+def test_ablation_g1_vs_serial(benchmark, results_dir):
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = []
+    for label, r in results.items():
+        rows.append(
+            [
+                label,
+                f"{r['uss_before'] / MIB:.1f}",
+                f"{r['uss_after'] / MIB:.1f}",
+                f"{r['ideal'] / MIB:.1f}",
+                f"{r['released'] / MIB:.1f}",
+                f"{r['cpu_seconds'] * 1000:.2f}",
+            ]
+        )
+    print("\nAblation: Desiccant over serial GC vs G1 (same workload):\n")
+    print(
+        render_table(
+            ["collector", "uss_before", "uss_after", "ideal", "released",
+             "cpu ms"],
+            rows,
+        )
+    )
+    write_csv(
+        results_dir / "ablation_g1.csv",
+        ["collector", "uss_before_mib", "uss_after_mib", "ideal_mib",
+         "released_mib", "cpu_ms"],
+        rows,
+    )
+
+    for label, r in results.items():
+        # Frozen garbage exists on both collectors...
+        assert r["uss_before"] > 1.5 * r["ideal"], label
+        # ...and Desiccant reclaims both close to the ideal.
+        assert r["uss_after"] <= 1.25 * r["ideal"], label
+        assert r["released"] > 4 * MIB, label

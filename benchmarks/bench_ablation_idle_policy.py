@@ -1,0 +1,104 @@
+"""Ablation (§5.2's alternative solutions): freeze vs destroy vs keep-warm.
+
+The paper dismisses two alternatives to freeze-plus-Desiccant: destroying
+idle instances (every request pays a cold boot) and not freezing at all
+(memory looks like vanilla because execution keeps interrupting background
+GC, and the idle threads burn CPU -- the §2.1 motivation for freezing).
+"""
+
+from conftest import RESULTS_DIR
+
+from repro.analysis.report import render_table, write_csv
+from repro.core import Desiccant, VanillaManager
+from repro.faas.platform import PlatformConfig
+from repro.mem.layout import GIB, MIB
+from repro.trace.generator import TraceGenerator
+from repro.trace.replay import ReplayConfig, replay
+
+VARIANTS = {
+    "destroy": ("destroy", VanillaManager),
+    "keep-warm": ("keep-warm", VanillaManager),
+    "freeze (vanilla)": ("freeze", VanillaManager),
+    "freeze + desiccant": ("freeze", Desiccant),
+}
+
+
+def _run(idle_policy, manager_factory):
+    config = ReplayConfig(
+        scale_factor=12.0,
+        warmup_seconds=20.0,
+        duration_seconds=45.0,
+        platform=PlatformConfig(
+            capacity_bytes=1 * GIB, idle_policy=idle_policy
+        ),
+    )
+    result = replay(manager_factory, config, TraceGenerator(seed=42))
+    platform = result.platform
+    summary = {
+        "stats": result.stats,
+        "frozen_mib": platform.frozen_bytes() / MIB,
+        "cached_mib": platform.used_bytes() / MIB,
+        "idle_cpu": platform.cpu.busy.get("idle_background", 0.0),
+    }
+    for instance in platform.all_instances():
+        instance.destroy()
+    return summary
+
+
+def _collect():
+    return {
+        label: _run(policy, factory)
+        for label, (policy, factory) in VARIANTS.items()
+    }
+
+
+def test_ablation_idle_policy(benchmark, results_dir):
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = []
+    for label, r in results.items():
+        s = r["stats"]
+        rows.append(
+            [
+                label,
+                f"{s.cold_boot_rate:.3f}",
+                f"{s.p99_latency:.2f}s",
+                f"{s.cpu_utilization:.3f}",
+                f"{r['cached_mib']:.0f}",
+                f"{r['idle_cpu']:.1f}s",
+            ]
+        )
+    print("\nAblation: idle-instance policies (SF 12, 1 GiB):\n")
+    print(
+        render_table(
+            ["policy", "cold/req", "p99", "cpu util", "cached MiB",
+             "idle-thread cpu"],
+            rows,
+        )
+    )
+    write_csv(
+        results_dir / "ablation_idle_policy.csv",
+        ["policy", "cold_boot_rate", "p99_s", "cpu_utilization",
+         "cached_mib", "idle_thread_cpu_s"],
+        rows,
+    )
+
+    destroy = results["destroy"]["stats"]
+    keep_warm = results["keep-warm"]
+    vanilla = results["freeze (vanilla)"]
+    desiccant = results["freeze + desiccant"]["stats"]
+
+    # Destroy: every request (stage) cold-boots -> worst latency.
+    assert destroy.cold_boot_rate > 0.9
+    assert destroy.p99_latency > desiccant.p99_latency
+    # Keep-warm: memory like vanilla-freeze (§5.2), plus idle-thread CPU
+    # the freeze semantics exist to save (§2.1).
+    assert keep_warm["cached_mib"] > 0.6 * vanilla["cached_mib"]
+    assert keep_warm["idle_cpu"] > 0.0
+    assert results["freeze (vanilla)"]["idle_cpu"] == 0.0
+    # Freeze + Desiccant dominates on cold boots.
+    assert desiccant.cold_boot_rate <= min(
+        destroy.cold_boot_rate,
+        keep_warm["stats"].cold_boot_rate,
+        vanilla["stats"].cold_boot_rate,
+    )

@@ -1,0 +1,88 @@
+"""Ablation (§4.6): the shared-library unmap optimization on and off.
+
+On a Lambda-style instance (private library mappings) the unmap releases
+the libraries' private-clean pages; on an OpenWhisk-style node with shared
+libraries it must be a no-op (the pages belong to everyone).
+"""
+
+from conftest import RESULTS_DIR
+
+from repro.analysis.report import render_table, write_csv
+from repro.core.profiles import ProfileStore
+from repro.core.reclaimer import reclaim_instance
+from repro.faas.instance import FunctionInstance
+from repro.faas.libraries import SharedLibraryPool
+from repro.mem.layout import MIB
+from repro.mem.physical import PhysicalMemory
+from repro.runtime.v8 import V8Runtime
+from repro.workloads.registry import get_definition
+
+
+def _frozen_instance(shared: bool) -> FunctionInstance:
+    physical = PhysicalMemory()
+    shared_files = None
+    if shared:
+        shared_files = SharedLibraryPool(
+            physical, runtime_classes=(V8Runtime,)
+        ).files
+    spec = get_definition("fft").stages[0]
+    instance = FunctionInstance(spec, physical=physical, shared_files=shared_files)
+    instance.boot()
+    for _ in range(30):
+        instance.invoke()
+        instance.freeze()
+        instance.thaw()
+    instance.freeze()
+    return instance
+
+
+def _collect():
+    results = {}
+    for platform, shared in (("lambda", False), ("openwhisk", True)):
+        for unmap in (False, True):
+            instance = _frozen_instance(shared)
+            report = reclaim_instance(
+                instance, ProfileStore(), unmap_libraries=unmap
+            )
+            results[(platform, unmap)] = {
+                "uss_after": report.uss_after,
+                "library_bytes": report.library_bytes,
+            }
+            instance.destroy()
+    return results
+
+
+def test_ablation_library_unmap(benchmark, results_dir):
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = []
+    for (platform, unmap), r in results.items():
+        rows.append(
+            [
+                platform,
+                "on" if unmap else "off",
+                f"{r['uss_after'] / MIB:.1f}",
+                f"{r['library_bytes'] / MIB:.1f}",
+            ]
+        )
+    print("\nAblation: §4.6 library unmap (fft, 30 executions):\n")
+    print(
+        render_table(
+            ["platform", "unmap", "uss_after MiB", "libraries released MiB"],
+            rows,
+        )
+    )
+    write_csv(
+        results_dir / "ablation_libunmap.csv",
+        ["platform", "unmap", "uss_after_mib", "library_released_mib"],
+        rows,
+    )
+
+    # Lambda: the optimization releases the private libraries (>10 MiB).
+    lam_off = results[("lambda", False)]
+    lam_on = results[("lambda", True)]
+    assert lam_on["library_bytes"] > 10 * MIB
+    assert lam_on["uss_after"] < lam_off["uss_after"] - 10 * MIB
+    # OpenWhisk: shared pages -> nothing private to release.
+    ow_on = results[("openwhisk", True)]
+    assert ow_on["library_bytes"] == 0

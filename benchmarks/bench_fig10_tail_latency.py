@@ -1,0 +1,67 @@
+"""Figure 10: tail latency at two scale factors.
+
+p50/p90/p95/p99 for vanilla, eager, and Desiccant at a medium (15) and a
+high (25) scale factor.  Paper shape: Desiccant's lower cold-boot rate cuts
+tail latency across the board at the medium factor (p99 -37.5% vs
+vanilla); at the high factor the p90/p95 gaps persist.
+"""
+
+from conftest import replay_stats
+
+from repro.analysis.report import render_table, write_csv
+
+SCALE_FACTORS = (15, 25)
+POLICIES = ("vanilla", "eager", "desiccant")
+
+
+def _collect():
+    return {
+        (sf, policy): replay_stats(policy, sf)
+        for sf in SCALE_FACTORS
+        for policy in POLICIES
+    }
+
+
+def test_fig10_tail_latency(benchmark, results_dir):
+    data = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = []
+    for sf in SCALE_FACTORS:
+        for policy in POLICIES:
+            s = data[(sf, policy)]
+            rows.append(
+                [
+                    sf,
+                    policy,
+                    f"{s.p50_latency:.3f}",
+                    f"{s.p90_latency:.3f}",
+                    f"{s.p95_latency:.3f}",
+                    f"{s.p99_latency:.3f}",
+                ]
+            )
+    print("\nFigure 10. Latency percentiles (seconds):\n")
+    print(render_table(["sf", "policy", "p50", "p90", "p95", "p99"], rows))
+    write_csv(
+        results_dir / "fig10.csv",
+        ["scale_factor", "policy", "p50_s", "p90_s", "p95_s", "p99_s"],
+        rows,
+    )
+
+    for sf in SCALE_FACTORS:
+        vanilla = data[(sf, "vanilla")]
+        eager = data[(sf, "eager")]
+        desiccant = data[(sf, "desiccant")]
+        # Desiccant improves every reported percentile vs vanilla.
+        assert desiccant.p90_latency < vanilla.p90_latency
+        assert desiccant.p95_latency < vanilla.p95_latency
+        assert desiccant.p99_latency <= vanilla.p99_latency
+        # ... and does not lose to eager at the tail.
+        assert desiccant.p99_latency <= eager.p99_latency * 1.02
+
+    # The medium scale factor shows a substantial p99 win (paper: -37.5%).
+    sf15_vanilla = data[(15, "vanilla")]
+    sf15_desiccant = data[(15, "desiccant")]
+    improvement = 1 - sf15_desiccant.p99_latency / sf15_vanilla.p99_latency
+    print(f"\np99 improvement vs vanilla at SF15: {improvement:.1%} "
+          f"(paper: 37.5%)")
+    assert improvement > 0.2

@@ -1,0 +1,99 @@
+"""Figure 12: memory consumption under different memory budgets.
+
+(a) mean Java consumption, (b) mean JavaScript consumption, and the two
+representative singles: (c) clock stays flat at any budget, (d) fft's
+vanilla/eager consumption balloons with the budget (young generation cap
+scales), pushing Desiccant's improvement to its maximum (paper: 6.72x vs
+vanilla at 1 GiB).
+"""
+
+from statistics import mean
+
+from conftest import characterize
+
+from repro.analysis.report import render_table, write_csv
+from repro.mem.layout import MIB
+from repro.workloads import all_definitions
+
+BUDGETS = (256, 512, 1024)
+POLICIES = ("vanilla", "eager", "desiccant")
+
+
+def _collect():
+    return {
+        (d.name, policy, budget): characterize(d.name, policy, budget_mib=budget)
+        for d in all_definitions()
+        for policy in POLICIES
+        for budget in BUDGETS
+    }
+
+
+def test_fig12_memory_vs_budget(benchmark, results_dir):
+    data = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = []
+    for label, names in (
+        ("java (mean)", [d.name for d in all_definitions() if d.language == "java"]),
+        (
+            "javascript (mean)",
+            [d.name for d in all_definitions() if d.language == "javascript"],
+        ),
+        ("clock", ["clock"]),
+        ("fft", ["fft"]),
+    ):
+        for budget in BUDGETS:
+            vanilla = mean(data[(n, "vanilla", budget)].final_uss for n in names)
+            eager = mean(data[(n, "eager", budget)].final_uss for n in names)
+            desiccant = mean(data[(n, "desiccant", budget)].final_uss for n in names)
+            rows.append(
+                [
+                    label,
+                    f"{budget}MiB",
+                    f"{vanilla / MIB:.1f}",
+                    f"{eager / MIB:.1f}",
+                    f"{desiccant / MIB:.1f}",
+                    f"{vanilla / desiccant:.2f}x",
+                ]
+            )
+    print("\nFigure 12. USS (MiB) vs memory budget:\n")
+    print(
+        render_table(
+            ["series", "budget", "vanilla", "eager", "desiccant", "gain"], rows
+        )
+    )
+    write_csv(
+        results_dir / "fig12.csv",
+        ["series", "budget_mib", "vanilla_mib", "eager_mib", "desiccant_mib",
+         "desiccant_vs_vanilla"],
+        rows,
+    )
+
+    # clock (12c): consumption stable regardless of the budget.
+    clock_small = data[("clock", "vanilla", 256)].final_uss
+    clock_large = data[("clock", "vanilla", 1024)].final_uss
+    assert clock_large < clock_small * 1.3
+
+    # fft (12d): vanilla and eager balloon; Desiccant stays flat, so the
+    # gain is maximal at 1 GiB (paper: 6.72x vanilla / 5.50x eager).
+    fft_vanilla = {b: data[("fft", "vanilla", b)].final_uss for b in BUDGETS}
+    fft_eager = {b: data[("fft", "eager", b)].final_uss for b in BUDGETS}
+    fft_desiccant = {b: data[("fft", "desiccant", b)].final_uss for b in BUDGETS}
+    assert fft_vanilla[1024] > fft_vanilla[256] * 1.5
+    assert fft_desiccant[1024] < fft_desiccant[256] * 1.3
+    gain_vanilla = fft_vanilla[1024] / fft_desiccant[1024]
+    gain_eager = fft_eager[1024] / fft_desiccant[1024]
+    print(f"\nfft @1GiB: desiccant vs vanilla {gain_vanilla:.2f}x (paper 6.72), "
+          f"vs eager {gain_eager:.2f}x (paper 5.50)")
+    assert gain_vanilla > 4.0
+    assert gain_eager > 2.0
+    assert gain_vanilla > fft_vanilla[256] / fft_desiccant[256]  # grows with budget
+
+    # Java (12a): reduction roughly stable across budgets (paper 2.75->2.94).
+    java_names = [d.name for d in all_definitions() if d.language == "java"]
+    for budget in BUDGETS:
+        java_gain = mean(
+            data[(n, "vanilla", budget)].final_uss
+            / data[(n, "desiccant", budget)].final_uss
+            for n in java_names
+        )
+        assert 1.8 < java_gain < 5.0

@@ -1,0 +1,76 @@
+"""Figure 13: execution overhead after reclamation (§5.6).
+
+Run each function 130 times, reclaim, run 10 more; compare the average
+latency across the reclamation boundary.  Paper shape: Desiccant's
+overhead averages ~8.3%; reclaiming the same memory via swapping leaves
+the sort function ~2.37x slower than Desiccant does; dropping the §4.7
+non-aggressive mode slows the JIT-heavy unionfind and data-analysis by
+1.74x / 2.14x.
+"""
+
+from statistics import mean
+
+from conftest import RESULTS_DIR
+
+from repro.analysis.characterize import run_overhead_experiment
+from repro.analysis.report import render_table, write_csv
+from repro.workloads import all_definitions
+
+WARM = 130
+PROBE = 10
+
+
+def _collect():
+    data = {}
+    for definition in all_definitions():
+        data[(definition.name, "desiccant")] = run_overhead_experiment(
+            definition.name, "desiccant", warm_iterations=WARM, probe_iterations=PROBE
+        )
+    for name, reclaimer in (
+        ("sort", "swap"),
+        ("unionfind", "aggressive"),
+        ("data-analysis", "aggressive"),
+    ):
+        data[(name, reclaimer)] = run_overhead_experiment(
+            name, reclaimer, warm_iterations=WARM, probe_iterations=PROBE
+        )
+    return data
+
+
+def test_fig13_post_reclaim_overhead(benchmark, results_dir):
+    data = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = []
+    overheads = []
+    for definition in all_definitions():
+        before, after = data[(definition.name, "desiccant")]
+        overhead = after / before - 1
+        overheads.append(overhead)
+        rows.append(
+            [definition.name, definition.language, f"{overhead:+.1%}"]
+        )
+    print("\nFigure 13. Desiccant's post-reclaim execution overhead:\n")
+    print(render_table(["function", "language", "overhead"], rows))
+    write_csv(
+        results_dir / "fig13.csv", ["function", "language", "overhead"], rows
+    )
+
+    avg = mean(overheads)
+    print(f"\naverage overhead: {avg:.1%} (paper: 8.3%)")
+    assert avg < 0.20
+    assert all(o < 0.40 for o in overheads)
+
+    # Swapping the same amount of memory: much slower re-execution.
+    _, sort_desiccant = data[("sort", "desiccant")]
+    _, sort_swap = data[("sort", "swap")]
+    swap_ratio = sort_swap / sort_desiccant
+    print(f"sort after swap vs after Desiccant: {swap_ratio:.2f}x (paper 2.37)")
+    assert swap_ratio > 1.6
+
+    # Aggressive collections deoptimize the JIT-heavy functions.
+    for name, paper in (("unionfind", 1.74), ("data-analysis", 2.14)):
+        _, after_desiccant = data[(name, "desiccant")]
+        _, after_aggressive = data[(name, "aggressive")]
+        ratio = after_aggressive / after_desiccant
+        print(f"{name} aggressive vs non-aggressive: {ratio:.2f}x (paper {paper})")
+        assert ratio > 1.25

@@ -1,0 +1,51 @@
+"""Figure 1: frozen-garbage ratios per function.
+
+For every Table 1 function, the ratio between real USS and the ideal
+consumption at each of 100 exit points -- ``avg_ratio`` and ``max_ratio``.
+Paper shape: every ratio > 1; the Java mean of max ratios is ~2.7x (63%
+frozen garbage), JavaScript ~2.2x (54%); hotel-searching's max exceeds 5.
+"""
+
+from statistics import mean
+
+from conftest import characterize
+
+from repro.analysis.report import render_table, write_csv
+from repro.workloads import all_definitions
+
+
+def _collect():
+    return [characterize(d.name, "vanilla") for d in all_definitions()]
+
+
+def test_fig1_frozen_garbage_ratios(benchmark, results_dir):
+    summaries = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = [
+        [s.function, s.language, f"{s.avg_ratio:.2f}", f"{s.max_ratio:.2f}"]
+        for s in summaries
+    ]
+    print("\nFigure 1. Frozen-garbage ratios (USS / ideal):\n")
+    print(render_table(["function", "language", "avg_ratio", "max_ratio"], rows))
+    write_csv(
+        results_dir / "fig1.csv",
+        ["function", "language", "avg_ratio", "max_ratio"],
+        rows,
+    )
+
+    java = [s for s in summaries if s.language == "java"]
+    javascript = [s for s in summaries if s.language == "javascript"]
+    java_mean = mean(s.max_ratio for s in java)
+    js_mean = mean(s.max_ratio for s in javascript)
+    print(f"\nmean max_ratio: java={java_mean:.2f} (paper 2.72), "
+          f"javascript={js_mean:.2f} (paper 2.15)")
+
+    # Shape assertions.
+    assert all(s.max_ratio > 1.0 for s in summaries), "every function wastes"
+    assert 1.8 <= java_mean <= 4.5
+    assert 1.5 <= js_mean <= 4.0
+    hotel = next(s for s in summaries if s.function == "hotel-searching")
+    assert hotel.max_ratio > 4.0  # the paper's worst Java offender (>5)
+    fft = next(s for s in summaries if s.function == "fft")
+    clock = next(s for s in summaries if s.function == "clock")
+    assert fft.avg_ratio > clock.avg_ratio  # fft is the worst JS offender

@@ -1,0 +1,62 @@
+"""Figure 4: frozen-garbage ratios under different memory budgets.
+
+Average of avg/max ratios per language at 256 MiB / 512 MiB / 1 GiB.
+Paper shape: Java only inches up (HotSpot controls the heap regardless of
+budget); JavaScript grows markedly with the budget because V8's young
+generation cap scales with the heap (fft: 3.27x -> 7.11x avg ratio).
+"""
+
+from statistics import mean
+
+from conftest import characterize
+
+from repro.analysis.report import render_table, write_csv
+from repro.workloads import all_definitions
+
+BUDGETS = (256, 512, 1024)
+
+
+def _collect():
+    table = {}
+    for budget in BUDGETS:
+        for definition in all_definitions():
+            table[(definition.name, budget)] = characterize(
+                definition.name, "vanilla", budget_mib=budget
+            )
+    return table
+
+
+def test_fig4_ratios_vs_heap_budget(benchmark, results_dir):
+    table = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = []
+    means = {}
+    for language in ("java", "javascript"):
+        names = [d.name for d in all_definitions() if d.language == language]
+        for budget in BUDGETS:
+            avg = mean(table[(n, budget)].avg_ratio for n in names)
+            mx = mean(table[(n, budget)].max_ratio for n in names)
+            means[(language, budget)] = (avg, mx)
+            rows.append([language, f"{budget}MiB", f"{avg:.2f}", f"{mx:.2f}"])
+
+    print("\nFigure 4. Mean ratios vs memory budget:\n")
+    print(render_table(["language", "budget", "avg_ratio", "max_ratio"], rows))
+    write_csv(
+        results_dir / "fig4.csv",
+        ["language", "budget_mib", "avg_ratio", "max_ratio"],
+        rows,
+    )
+    fft = {b: table[("fft", b)].avg_ratio for b in BUDGETS}
+    print(f"\nfft avg_ratio: {fft[256]:.2f} @256MiB -> {fft[1024]:.2f} @1GiB "
+          f"(paper: 3.27 -> 7.11)")
+
+    # Java: only a slight increase across budgets.
+    java_small = means[("java", 256)][0]
+    java_large = means[("java", 1024)][0]
+    assert java_large < java_small * 1.35
+    # JavaScript: clear growth with the budget.
+    js_small = means[("javascript", 256)][0]
+    js_large = means[("javascript", 1024)][0]
+    assert js_large > js_small * 1.15
+    # fft is the poster child: big growth.
+    assert fft[1024] > fft[256] * 1.5

@@ -1,0 +1,87 @@
+"""Figure 7: single-instance memory after 100 executions, per policy.
+
+For every function: vanilla vs eager vs Desiccant vs ideal.  Paper shape:
+Desiccant beats eager on *every* function; average reduction vs vanilla is
+~2.8x (Java) / ~1.9x (JavaScript); Desiccant lands close to ideal; and for
+mapreduce the eager baseline is *worse* than vanilla because eager GC
+cannot collect (and in fact promotes) the mapper->reducer handoff.
+"""
+
+from statistics import mean
+
+from conftest import characterize
+
+from repro.analysis.report import render_table, write_csv
+from repro.mem.layout import MIB
+from repro.workloads import all_definitions
+
+POLICIES = ("vanilla", "eager", "desiccant")
+
+
+def _collect():
+    return {
+        (d.name, policy): characterize(d.name, policy)
+        for d in all_definitions()
+        for policy in POLICIES
+    }
+
+
+def test_fig7_memory_after_100_executions(benchmark, results_dir):
+    data = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = []
+    for definition in all_definitions():
+        name = definition.name
+        vanilla = data[(name, "vanilla")]
+        eager = data[(name, "eager")]
+        desiccant = data[(name, "desiccant")]
+        rows.append(
+            [
+                name,
+                definition.language,
+                f"{vanilla.final_uss / MIB:.1f}",
+                f"{eager.final_uss / MIB:.1f}",
+                f"{desiccant.final_uss / MIB:.1f}",
+                f"{vanilla.final_ideal / MIB:.1f}",
+                f"{vanilla.final_uss / desiccant.final_uss:.2f}x",
+            ]
+        )
+    print("\nFigure 7. Instance USS (MiB) after 100 executions:\n")
+    print(
+        render_table(
+            ["function", "lang", "vanilla", "eager", "desiccant", "ideal", "gain"],
+            rows,
+        )
+    )
+    write_csv(
+        results_dir / "fig7.csv",
+        ["function", "language", "vanilla_mib", "eager_mib", "desiccant_mib",
+         "ideal_mib", "desiccant_vs_vanilla"],
+        rows,
+    )
+
+    reductions = {"java": [], "javascript": []}
+    for definition in all_definitions():
+        name = definition.name
+        vanilla = data[(name, "vanilla")]
+        eager = data[(name, "eager")]
+        desiccant = data[(name, "desiccant")]
+        # Desiccant beats eager on every function (the paper's key claim).
+        assert desiccant.final_uss < eager.final_uss, name
+        # Desiccant lands close to the ideal.
+        assert desiccant.final_uss <= 1.15 * desiccant.final_ideal, name
+        reductions[definition.language].append(
+            vanilla.final_uss / desiccant.final_uss
+        )
+
+    java_gain = mean(reductions["java"])
+    js_gain = mean(reductions["javascript"])
+    print(f"\nmean desiccant-vs-vanilla: java={java_gain:.2f}x (paper 2.78), "
+          f"javascript={js_gain:.2f}x (paper 1.93)")
+    assert 1.8 <= java_gain <= 4.5
+    assert 1.4 <= js_gain <= 4.0
+
+    # The mapreduce regression: eager >= vanilla (chain-handoff blindness).
+    mr_vanilla = data[("mapreduce", "vanilla")]
+    mr_eager = data[("mapreduce", "eager")]
+    assert mr_eager.final_uss >= 0.97 * mr_vanilla.final_uss

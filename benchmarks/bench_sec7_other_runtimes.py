@@ -1,0 +1,111 @@
+"""§7 generalization: Desiccant over CPython arenas and the Go runtime.
+
+CPython frees an arena only when it is completely empty; Go's sweeper
+recycles arenas without returning pages and only the (frozen-paused)
+background scavenger ever releases them.  Both strand free pages across a
+freeze, and the §7 recipe (GC + allocator structures + mmap release)
+reclaims them.
+"""
+
+from conftest import RESULTS_DIR
+
+from repro.analysis.report import render_table, write_csv
+from repro.core.profiles import ProfileStore
+from repro.core.reclaimer import reclaim_instance
+from repro.core.selection import estimated_throughput
+from repro.faas.instance import FunctionInstance
+from repro.faas.libraries import SharedLibraryPool
+from repro.mem.layout import KIB, MIB
+from repro.mem.physical import PhysicalMemory
+from repro.runtime.cpython import CPythonRuntime
+from repro.runtime.golang import GoRuntime
+from repro.workloads.model import FunctionSpec
+
+
+def _handler_spec(language: str) -> FunctionSpec:
+    return FunctionSpec(
+        name=f"{language}-handler",
+        language=language,
+        description="request handler with cached state and temp churn",
+        base_exec_seconds=0.05,
+        ephemeral_bytes=4 * MIB,
+        frame_bytes=512 * KIB,
+        persistent_bytes=1 * MIB,
+        init_ephemeral_bytes=3 * MIB,
+        object_size=20 * KIB,
+        jitter=0.0,
+    )
+
+
+def _run_language(language: str):
+    physical = PhysicalMemory()
+    pool = SharedLibraryPool(
+        physical, runtime_classes=(CPythonRuntime, GoRuntime)
+    )
+    instance = FunctionInstance(
+        _handler_spec(language), physical=physical, shared_files=pool.files
+    )
+    instance.boot()
+    for _ in range(100):
+        instance.invoke()
+        instance.freeze()
+        instance.thaw()
+    instance.freeze()
+
+    uss_before = instance.uss()
+    heap_before = instance.heap_resident_bytes()
+    live = instance.runtime.live_bytes()
+    report = reclaim_instance(instance, ProfileStore())
+    result = {
+        "uss_before": uss_before,
+        "uss_after": instance.uss(),
+        "heap_before": heap_before,
+        "live": live,
+        "released": report.released_bytes,
+        "cpu_seconds": report.cpu_seconds,
+        "throughput": estimated_throughput(heap_before, live, report.cpu_seconds),
+    }
+    instance.destroy()
+    return result
+
+
+def _collect():
+    return {language: _run_language(language) for language in ("python", "go")}
+
+
+def test_sec7_other_runtimes(benchmark, results_dir):
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = []
+    for language, result in results.items():
+        rows.append(
+            [
+                language,
+                f"{result['uss_before'] / MIB:.2f}",
+                f"{result['uss_after'] / MIB:.2f}",
+                f"{result['released'] / MIB:.2f}",
+                f"{result['cpu_seconds'] * 1000:.2f}",
+                f"{result['throughput'] / MIB:.0f}",
+            ]
+        )
+    print("\nSection 7. Generalization to CPython and Go:\n")
+    print(
+        render_table(
+            ["runtime", "uss_before MiB", "uss_after MiB", "released MiB",
+             "cpu ms", "throughput MiB/s"],
+            rows,
+        )
+    )
+    write_csv(
+        results_dir / "sec7_other_runtimes.csv",
+        ["runtime", "uss_before_mib", "uss_after_mib", "released_mib",
+         "cpu_ms", "throughput_mib_s"],
+        rows,
+    )
+
+    for language, result in results.items():
+        assert result["uss_after"] < result["uss_before"], language
+        assert result["released"] > 0, language
+        assert result["throughput"] > 0, language
+        # The reclaimed instance keeps its live state.
+        assert result["live"] >= 1 * MIB, language

@@ -1,0 +1,33 @@
+"""Table 1: the evaluated FaaS function suite.
+
+Regenerates the table's rows (language, name with chain size, description)
+and sanity-checks the suite composition against the paper.
+"""
+
+from conftest import RESULTS_DIR
+
+from repro.analysis.report import render_table, write_csv
+from repro.workloads import table1_rows
+
+
+def test_table1_function_suite(benchmark, results_dir):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+
+    print("\nTable 1. Evaluated FaaS functions:\n")
+    print(render_table(["language", "function", "description"], rows))
+    write_csv(results_dir / "table1.csv", ["language", "function", "description"], rows)
+
+    assert len(rows) == 20
+    java = [r for r in rows if r[0] == "java"]
+    javascript = [r for r in rows if r[0] == "javascript"]
+    assert len(java) == 8 and len(javascript) == 12
+    names = {r[1] for r in rows}
+    for chained in (
+        "image-pipeline (4)",
+        "hotel-searching (3)",
+        "mapreduce (2)",
+        "specjbb2015 (3)",
+        "data-analysis (6)",
+        "alexa (8)",
+    ):
+        assert chained in names

@@ -1,0 +1,121 @@
+"""Shared infrastructure for the per-figure benchmarks.
+
+Several figures reuse the same characterization runs (e.g. Figure 1's
+vanilla series feed Figure 7's baseline and Figure 12's 256 MiB column), so
+runs are memoized by ``(function, policy, budget)`` as compact summaries --
+instances are destroyed immediately to keep the session's footprint flat.
+
+Each bench prints the table it regenerates and writes a CSV under
+``benchmarks/results/`` (mirroring the artifact's ``parse.sh`` output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.analysis.characterize import run_single
+from repro.mem.layout import MIB
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The paper's iteration count for single-instance experiments (§3.1).
+ITERATIONS = 100
+
+_cache: Dict[Tuple[str, str, int, bool], "CharSummary"] = {}
+
+
+@dataclass
+class CharSummary:
+    """Everything the figure benches need from one characterization run."""
+
+    function: str
+    language: str
+    policy: str
+    budget_mib: int
+    final_uss: int
+    final_ideal: int
+    avg_ratio: float
+    max_ratio: float
+    uss_series: List[int] = field(default_factory=list)
+    ideal_series: List[int] = field(default_factory=list)
+
+    @property
+    def final_uss_mib(self) -> float:
+        return self.final_uss / MIB
+
+
+def characterize(
+    function: str,
+    policy: str,
+    budget_mib: int = 256,
+    shared_libraries: bool = True,
+) -> CharSummary:
+    """Memoized §3.1/§5.2 run: 100 iterations of one function, one policy."""
+    key = (function, policy, budget_mib, shared_libraries)
+    if key not in _cache:
+        run = run_single(
+            function,
+            policy=policy,
+            iterations=ITERATIONS,
+            memory_budget=budget_mib * MIB,
+            shared_libraries=shared_libraries,
+        )
+        _cache[key] = CharSummary(
+            function=function,
+            language=run.definition.language,
+            policy=policy,
+            budget_mib=budget_mib,
+            final_uss=run.final_uss,
+            final_ideal=run.final_ideal,
+            avg_ratio=run.avg_ratio,
+            max_ratio=run.max_ratio,
+            uss_series=list(run.uss_series),
+            ideal_series=list(run.ideal_series),
+        )
+        run.destroy()
+    return _cache[key]
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+# ---------------------------------------------------------------- replays
+
+_replay_cache: Dict[Tuple[str, float], object] = {}
+
+
+def replay_stats(policy: str, scale_factor: float):
+    """Memoized §5.3 replay (shared between the Figure 9 and 10 benches)."""
+    from repro.core import Desiccant, EagerGcManager, VanillaManager
+    from repro.faas.platform import PlatformConfig
+    from repro.mem.layout import GIB
+    from repro.trace.generator import TraceGenerator
+    from repro.trace.replay import ReplayConfig, replay
+
+    key = (policy, scale_factor)
+    if key not in _replay_cache:
+        factories = {
+            "vanilla": VanillaManager,
+            "eager": EagerGcManager,
+            "desiccant": Desiccant,
+        }
+        config = ReplayConfig(
+            scale_factor=scale_factor,
+            warmup_seconds=20.0,
+            warmup_scale_factor=15.0,
+            duration_seconds=45.0,
+            platform=PlatformConfig(capacity_bytes=1 * GIB),
+        )
+        result = replay(factories[policy], config, TraceGenerator(seed=42))
+        _replay_cache[key] = result.stats
+        # Free the platform's memory; only the stats are kept.
+        for instance in result.platform.all_instances():
+            instance.destroy()
+    return _replay_cache[key]

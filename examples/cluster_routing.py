@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Route a trace across a 4-node cluster and watch policies compose.
+
+Each invoker node runs its own instance cache (and, optionally, its own
+Desiccant). Routing decides where a function's warm instances accumulate:
+round-robin spreads them thin, warm-affinity concentrates them. Desiccant
+shrinks them wherever they land — the two compose.
+
+Run:  python examples/cluster_routing.py
+"""
+
+from repro.analysis.report import render_table
+from repro.core import Desiccant, VanillaManager
+from repro.faas.cluster import Cluster, ClusterConfig
+from repro.faas.platform import PlatformConfig
+from repro.mem.layout import MIB
+from repro.trace.generator import TraceGenerator
+
+
+def run(scheduler: str, with_desiccant: bool):
+    cluster = Cluster(
+        ClusterConfig(
+            nodes=4,
+            scheduler=scheduler,
+            node_config=PlatformConfig(capacity_bytes=512 * MIB),
+        ),
+        manager_factory=Desiccant if with_desiccant else VanillaManager,
+    )
+    arrivals = TraceGenerator(seed=42).arrivals(45.0, scale_factor=12.0)
+    cluster.submit(arrivals)
+    stats = cluster.run()
+    cluster.destroy()
+    return stats
+
+
+def main() -> None:
+    print("4-node cluster, 512 MiB cache per node, SF 12 trace...\n")
+    rows = []
+    for scheduler in ("round-robin", "least-assigned", "warm-affinity"):
+        for desiccant in (False, True):
+            stats = run(scheduler, desiccant)
+            rows.append(
+                [
+                    scheduler,
+                    "desiccant" if desiccant else "vanilla",
+                    f"{stats.cold_boot_rate:.3f}",
+                    f"{stats.p99_latency:.2f}s",
+                    f"{stats.imbalance:.2f}",
+                    "/".join(str(n) for n in stats.per_node_requests),
+                ]
+            )
+    print(
+        render_table(
+            ["scheduler", "manager", "cold/req", "p99", "imbalance",
+             "requests per node"],
+            rows,
+        )
+    )
+    print(
+        "\nWarm-affinity concentrates each function's warm instances on its"
+        "\nhome node (fewer cold boots, worse balance); Desiccant then packs"
+        "\nevery node's cache denser. Best of both: affinity + Desiccant."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Replay an Azure-style production trace under each memory policy (§5.3).
+
+Generates a synthetic trace with the paper's arrival shapes (heavy-tailed
+popularity; periodic, Poisson, and bursty triggers), warms the platform up,
+then measures cold-boot rate, throughput, CPU utilization, and tail latency
+for vanilla, eager GC, and Desiccant under a fixed instance-cache budget.
+
+Run:  python examples/trace_replay.py [scale_factor]
+"""
+
+import sys
+
+from repro import Desiccant, EagerGcManager, PlatformConfig, VanillaManager
+from repro.analysis.report import render_table
+from repro.mem.layout import GIB
+from repro.trace import ReplayConfig, TraceGenerator, replay
+
+
+def main() -> None:
+    scale_factor = float(sys.argv[1]) if len(sys.argv) > 1 else 15.0
+    config = ReplayConfig(
+        scale_factor=scale_factor,
+        warmup_seconds=30.0,
+        duration_seconds=60.0,
+        platform=PlatformConfig(capacity_bytes=1 * GIB),
+    )
+    generator = TraceGenerator(seed=42)
+    print(
+        f"Replaying a synthetic Azure trace at scale factor {scale_factor:g} "
+        f"({config.duration_seconds:.0f}s window, 1 GiB instance cache)...\n"
+    )
+
+    rows = []
+    for factory in (VanillaManager, EagerGcManager, Desiccant):
+        stats = replay(factory, config, generator).stats
+        rows.append(
+            [
+                stats.policy,
+                f"{stats.cold_boot_rate:.3f}",
+                f"{stats.throughput_rps:.1f}",
+                f"{stats.cpu_utilization:.0%}",
+                f"{stats.p90_latency:.2f}s",
+                f"{stats.p99_latency:.2f}s",
+                stats.evictions,
+                f"{stats.reclaim_cpu_fraction:.1%}",
+            ]
+        )
+    print(
+        render_table(
+            [
+                "policy",
+                "cold/req",
+                "rps",
+                "cpu",
+                "p90",
+                "p99",
+                "evictions",
+                "reclaim cpu",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nDesiccant packs reclaimed instances more densely into the cache, "
+        "so fewer requests pay a cold boot and tail latency drops (Fig. 9/10)."
+    )
+
+
+if __name__ == "__main__":
+    main()

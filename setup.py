@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so pip's
+PEP 660 editable path (which shells out to ``bdist_wheel``) cannot run.  With
+this shim, ``pip install -e . --no-build-isolation`` falls back to
+``setup.py develop``, which needs only setuptools.  All real metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""repro: a from-scratch reproduction of *Characterization and Reclamation
+of Frozen Garbage in Managed FaaS Workloads* (EuroSys '24) -- the Desiccant
+freeze-aware memory manager -- over simulated substrates.
+
+Layers (bottom up):
+
+* :mod:`repro.mem`      -- page-granular virtual memory with USS/RSS/PSS.
+* :mod:`repro.runtime`  -- HotSpot, V8, and CPython runtime simulators.
+* :mod:`repro.workloads`-- the Table 1 function suite.
+* :mod:`repro.faas`     -- the OpenWhisk/Lambda-like platforms.
+* :mod:`repro.trace`    -- Azure-style trace generation and replay.
+* :mod:`repro.core`     -- Desiccant itself plus the evaluation baselines.
+* :mod:`repro.analysis` -- characterization harnesses and reporting.
+
+Quickstart::
+
+    from repro import run_single
+    run = run_single("fft", policy="desiccant")
+    print(run.final_uss, run.final_ideal)
+"""
+
+from repro.analysis import run_concurrent_instances, run_overhead_experiment, run_single
+from repro.core import (
+    ActivationController,
+    Desiccant,
+    DesiccantConfig,
+    EagerGcManager,
+    ProfileStore,
+    SwapManager,
+    VanillaManager,
+    estimated_throughput,
+    reclaim_instance,
+)
+from repro.faas import (
+    FaasPlatform,
+    FunctionInstance,
+    LambdaPlatform,
+    PlatformConfig,
+    SharedLibraryPool,
+)
+from repro.faas.platform import Request
+from repro.runtime import CPythonRuntime, HotSpotRuntime, ManagedRuntime, V8Runtime
+from repro.trace import ReplayConfig, TraceGenerator, replay
+from repro.workloads import all_definitions, definitions_by_language, get_definition
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run_concurrent_instances",
+    "run_overhead_experiment",
+    "run_single",
+    "ActivationController",
+    "Desiccant",
+    "DesiccantConfig",
+    "EagerGcManager",
+    "ProfileStore",
+    "SwapManager",
+    "VanillaManager",
+    "estimated_throughput",
+    "reclaim_instance",
+    "FaasPlatform",
+    "FunctionInstance",
+    "LambdaPlatform",
+    "PlatformConfig",
+    "SharedLibraryPool",
+    "Request",
+    "CPythonRuntime",
+    "HotSpotRuntime",
+    "ManagedRuntime",
+    "V8Runtime",
+    "ReplayConfig",
+    "TraceGenerator",
+    "replay",
+    "all_definitions",
+    "definitions_by_language",
+    "get_definition",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Characterization harnesses and report rendering for the experiments."""
+
+from repro.analysis.characterize import (
+    POLICIES,
+    SingleInstanceRun,
+    run_concurrent_instances,
+    run_overhead_experiment,
+    run_single,
+)
+from repro.analysis.report import render_table, write_csv
+
+__all__ = [
+    "POLICIES",
+    "SingleInstanceRun",
+    "run_concurrent_instances",
+    "run_overhead_experiment",
+    "run_single",
+    "render_table",
+    "write_csv",
+]

@@ -1,0 +1,178 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Subcommands mirror the evaluation protocols::
+
+    python -m repro list
+    python -m repro characterize fft --policy desiccant --iterations 100
+    python -m repro replay --scale-factor 15 --capacity-mib 1024
+    python -m repro overhead sort --reclaimer swap
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.characterize import (
+    POLICIES,
+    run_overhead_experiment,
+    run_single,
+)
+from repro.analysis.report import render_table
+from repro.mem.layout import MIB, fmt_bytes
+from repro.workloads import all_definitions, get_definition, table1_rows
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print(render_table(["language", "function", "description"], table1_rows()))
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    names = [args.function] if args.function != "all" else [
+        d.name for d in all_definitions()
+    ]
+    rows = []
+    for name in names:
+        run = run_single(
+            name,
+            policy=args.policy,
+            iterations=args.iterations,
+            memory_budget=args.budget_mib * MIB,
+        )
+        rows.append(
+            [
+                run.definition.display_name(),
+                run.policy,
+                fmt_bytes(run.final_uss),
+                fmt_bytes(run.final_ideal),
+                f"{run.avg_ratio:.2f}x",
+                f"{run.max_ratio:.2f}x",
+            ]
+        )
+        run.destroy()
+    print(
+        render_table(
+            ["function", "policy", "USS", "ideal", "avg_ratio", "max_ratio"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.core import Desiccant, EagerGcManager, VanillaManager
+    from repro.faas.platform import PlatformConfig
+    from repro.trace.generator import TraceGenerator
+    from repro.trace.replay import ReplayConfig, replay
+
+    factories = {
+        "vanilla": VanillaManager,
+        "eager": EagerGcManager,
+        "desiccant": Desiccant,
+    }
+    chosen = list(factories) if args.policy == "all" else [args.policy]
+    generator = TraceGenerator(seed=args.seed)
+    rows = []
+    for policy in chosen:
+        config = ReplayConfig(
+            scale_factor=args.scale_factor,
+            warmup_seconds=args.warmup,
+            duration_seconds=args.duration,
+            platform=PlatformConfig(capacity_bytes=args.capacity_mib * MIB),
+        )
+        stats = replay(factories[policy], config, generator).stats
+        rows.append(
+            [
+                policy,
+                f"{stats.cold_boot_rate:.3f}",
+                f"{stats.throughput_rps:.1f}",
+                f"{stats.cpu_utilization:.0%}",
+                f"{stats.p99_latency:.2f}s",
+                stats.evictions,
+            ]
+        )
+    print(
+        render_table(
+            ["policy", "cold/req", "rps", "cpu", "p99", "evictions"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    before, after = run_overhead_experiment(
+        args.function,
+        reclaimer=args.reclaimer,
+        warm_iterations=args.warm,
+        probe_iterations=args.probe,
+    )
+    print(f"{args.function} ({args.reclaimer}): "
+          f"{before * 1000:.2f} ms -> {after * 1000:.2f} ms "
+          f"({after / before - 1:+.1%})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Frozen-garbage characterization and Desiccant reclamation "
+        "(EuroSys '24 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the Table 1 function suite").set_defaults(
+        func=_cmd_list
+    )
+
+    p = sub.add_parser(
+        "characterize", help="run the §3.1/§5.2 single-instance protocol"
+    )
+    p.add_argument("function", help="Table 1 function name, or 'all'")
+    p.add_argument("--policy", choices=POLICIES, default="vanilla")
+    p.add_argument("--iterations", type=int, default=100)
+    p.add_argument("--budget-mib", type=int, default=256)
+    p.set_defaults(func=_cmd_characterize)
+
+    p = sub.add_parser("replay", help="replay the Azure-style trace (§5.3)")
+    p.add_argument(
+        "--policy",
+        choices=("vanilla", "eager", "desiccant", "all"),
+        default="all",
+    )
+    p.add_argument("--scale-factor", type=float, default=15.0)
+    p.add_argument("--capacity-mib", type=int, default=1024)
+    p.add_argument("--warmup", type=float, default=30.0)
+    p.add_argument("--duration", type=float, default=60.0)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser("overhead", help="post-reclaim overhead (§5.6)")
+    p.add_argument("function")
+    p.add_argument(
+        "--reclaimer",
+        choices=("desiccant", "aggressive", "swap"),
+        default="desiccant",
+    )
+    p.add_argument("--warm", type=int, default=130)
+    p.add_argument("--probe", type=int, default=10)
+    p.set_defaults(func=_cmd_overhead)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

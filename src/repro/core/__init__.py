@@ -1,0 +1,43 @@
+"""Desiccant: the freeze-aware memory manager (§4).
+
+* ``profiles``   -- per-instance / per-function reclamation profiles.
+* ``activation`` -- the dynamic memory-pressure threshold (§4.5.1).
+* ``selection``  -- estimated-reclamation-throughput ranking (§4.5.2).
+* ``libunmap``   -- the shared-library unmapping optimization (§4.6).
+* ``reclaimer``  -- one reclamation: runtime ``reclaim`` + libunmap +
+  profile collection with share-weighted CPU accounting.
+* ``desiccant``  -- the manager tying it all together as the platform's
+  background sweeper (Figure 5).
+* ``baselines``  -- the evaluation's comparison points: vanilla, eager GC,
+  and OS swapping.
+"""
+
+from repro.core.activation import ActivationController
+from repro.core.baselines import (
+    EagerGcManager,
+    MemoryManager,
+    SwapManager,
+    VanillaManager,
+)
+from repro.core.desiccant import Desiccant, DesiccantConfig
+from repro.core.libunmap import unmap_solo_libraries
+from repro.core.profiles import ProfileStore, ReclaimProfile
+from repro.core.reclaimer import ReclaimReport, reclaim_instance
+from repro.core.selection import estimated_throughput, rank_candidates
+
+__all__ = [
+    "ActivationController",
+    "EagerGcManager",
+    "MemoryManager",
+    "SwapManager",
+    "VanillaManager",
+    "Desiccant",
+    "DesiccantConfig",
+    "unmap_solo_libraries",
+    "ProfileStore",
+    "ReclaimProfile",
+    "ReclaimReport",
+    "reclaim_instance",
+    "estimated_throughput",
+    "rank_candidates",
+]

@@ -1,0 +1,59 @@
+"""Desiccant's dynamic activation threshold (§4.2, §4.5.1).
+
+Desiccant sleeps until the memory used by frozen instances crosses a
+threshold fraction of the instance-cache capacity.  The threshold adapts:
+an eviction means the platform is under real pressure, so it snaps down to
+the predefined floor (60% by default) to release more memory; quiet periods
+let it creep back up so Desiccant stops burning CPU when memory is ample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ActivationController:
+    """Hysteresis controller over the frozen-memory fraction."""
+
+    #: Threshold Desiccant drops to when evictions happen (paper default).
+    floor: float = 0.60
+    #: Upper bound the threshold relaxes toward when memory is ample.
+    ceiling: float = 0.90
+    #: Threshold increase per second of eviction-free operation.
+    relax_per_second: float = 0.002
+    #: Reclaim until usage falls this far below the threshold (hysteresis).
+    hysteresis: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0 < self.floor <= self.ceiling <= 1:
+            raise ValueError("need 0 < floor <= ceiling <= 1")
+        self.threshold = self.floor
+        self._last_update = 0.0
+        self.activations = 0
+        self.evictions_seen = 0
+
+    def on_eviction(self, now: float) -> None:
+        """The platform evicted an instance: drop to the floor immediately."""
+        self.threshold = self.floor
+        self.evictions_seen += 1
+        self._last_update = now
+
+    def advance(self, now: float) -> None:
+        """Relax the threshold for eviction-free time that has passed."""
+        elapsed = max(0.0, now - self._last_update)
+        self.threshold = min(self.ceiling, self.threshold + elapsed * self.relax_per_second)
+        self._last_update = now
+
+    def should_activate(self, frozen_bytes: int, capacity_bytes: int) -> bool:
+        """True when frozen instances' memory crosses the threshold."""
+        if capacity_bytes <= 0:
+            return False
+        active = frozen_bytes / capacity_bytes > self.threshold
+        if active:
+            self.activations += 1
+        return active
+
+    def target_bytes(self, capacity_bytes: int) -> int:
+        """Reclaim down to this much frozen memory before going idle."""
+        return int(capacity_bytes * max(0.0, self.threshold - self.hysteresis))

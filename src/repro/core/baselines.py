@@ -1,0 +1,158 @@
+"""The evaluation's memory-management policies.
+
+The platform drives whichever policy it is configured with through three
+hooks; everything the paper compares is one of these:
+
+* :class:`VanillaManager` -- freeze semantics only; GC runs when the
+  runtime decides (allocation pressure).
+* :class:`EagerGcManager` -- force a full (aggressive, §4.7) collection at
+  every function exit.  Cheap to describe, §3.2 shows why it is not enough,
+  and it *promotes* chain handoff data it cannot collect (the mapreduce
+  regression in §5.2).
+* :class:`SwapManager`    -- the §5.6 alternative: under the same
+  activation pressure, push frozen instances' private pages to swap.  It
+  frees as much memory as Desiccant but without runtime semantics, so live
+  pages come back through major faults.
+* Desiccant itself lives in :mod:`repro.core.desiccant`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, runtime_checkable
+
+from repro.core.activation import ActivationController
+from repro.faas.instance import FunctionInstance, InstanceState
+
+
+@runtime_checkable
+class PlatformView(Protocol):
+    """What a memory manager may observe about the platform."""
+
+    def frozen_instances(self) -> List[FunctionInstance]: ...
+
+    def frozen_bytes(self) -> int: ...
+
+    @property
+    def capacity_bytes(self) -> int: ...
+
+    def idle_cpu_share(self) -> float: ...
+
+
+@runtime_checkable
+class MemoryManager(Protocol):
+    """Policy hooks the platform invokes.  Hooks return CPU seconds spent."""
+
+    name: str
+
+    def on_invocation_end(self, instance: FunctionInstance, now: float) -> float: ...
+
+    def on_freeze(self, instance: FunctionInstance, now: float) -> float: ...
+
+    def on_eviction(self, instance: FunctionInstance, now: float) -> None: ...
+
+    def step(self, now: float, platform: PlatformView) -> float: ...
+
+
+class VanillaManager:
+    """No memory management beyond the freeze semantics."""
+
+    name = "vanilla"
+
+    def on_invocation_end(self, instance: FunctionInstance, now: float) -> float:
+        return 0.0
+
+    def on_freeze(self, instance: FunctionInstance, now: float) -> float:
+        return 0.0
+
+    def on_eviction(self, instance: FunctionInstance, now: float) -> None:
+        return None
+
+    def step(self, now: float, platform: PlatformView) -> float:
+        return 0.0
+
+
+class EagerGcManager:
+    """Trigger a full collection after every function exit (§3.2)."""
+
+    name = "eager"
+
+    def __init__(self, aggressive: bool = True) -> None:
+        self.aggressive = aggressive
+        self.gc_count = 0
+
+    def on_invocation_end(self, instance: FunctionInstance, now: float) -> float:
+        seconds = instance.runtime.full_gc(aggressive=self.aggressive)
+        self.gc_count += 1
+        return seconds
+
+    def on_freeze(self, instance: FunctionInstance, now: float) -> float:
+        return 0.0
+
+    def on_eviction(self, instance: FunctionInstance, now: float) -> None:
+        return None
+
+    def step(self, now: float, platform: PlatformView) -> float:
+        return 0.0
+
+
+class SwapManager:
+    """Swap out frozen instances' private pages under memory pressure."""
+
+    name = "swap"
+
+    def __init__(
+        self,
+        activation: ActivationController | None = None,
+        freeze_timeout: float = 2.0,
+    ) -> None:
+        self.activation = activation or ActivationController()
+        self.freeze_timeout = freeze_timeout
+        self.swapped_instances = 0
+        self.swapped_bytes = 0
+
+    def on_invocation_end(self, instance: FunctionInstance, now: float) -> float:
+        return 0.0
+
+    def on_freeze(self, instance: FunctionInstance, now: float) -> float:
+        return 0.0
+
+    def on_eviction(self, instance: FunctionInstance, now: float) -> None:
+        self.activation.on_eviction(now)
+
+    def step(self, now: float, platform: PlatformView) -> float:
+        self.activation.advance(now)
+        getter = getattr(platform, "frozen_capacity_bytes", None)
+        capacity = getter() if getter is not None else platform.capacity_bytes
+        if not self.activation.should_activate(platform.frozen_bytes(), capacity):
+            return 0.0
+        target = self.activation.target_bytes(capacity)
+        cpu = 0.0
+        # Oldest-frozen first: no semantics available to do better.
+        candidates = sorted(
+            (
+                i
+                for i in platform.frozen_instances()
+                if i.frozen_for(now) >= self.freeze_timeout
+                and not getattr(i, "swapped_this_freeze", False)
+            ),
+            key=lambda i: i.frozen_since or 0.0,
+        )
+        for instance in candidates:
+            if platform.frozen_bytes() <= target:
+                break
+            cpu += self.swap_out(instance)
+        return cpu
+
+    def swap_out(self, instance: FunctionInstance) -> float:
+        """Push every private resident page of the instance to swap."""
+        if instance.state is not InstanceState.FROZEN:
+            raise RuntimeError("swap targets frozen instances only")
+        space = instance.runtime.space
+        moved = 0
+        for mapping in list(space.mappings()):
+            moved += space.swap_out_range(mapping.start, mapping.length)
+        instance.swapped_this_freeze = True
+        self.swapped_instances += 1
+        self.swapped_bytes += moved * 4096
+        # Swap-out I/O is cheap CPU-wise; charge a nominal cost per page.
+        return moved * 1e-6

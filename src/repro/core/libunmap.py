@@ -1,0 +1,21 @@
+"""The shared-library unmapping optimization (§4.6).
+
+When a language runtime's libraries are mapped by only one frozen instance
+(always on Lambda, sometimes on a quiet OpenWhisk node), their pages are
+private and count toward USS.  Desiccant scans smaps for ranges that are
+private, unmodified, and file-backed, then drops their pages; the file can
+always be re-read, so the next touch simply refaults.
+"""
+
+from __future__ import annotations
+
+from repro.mem.smaps import find_unmappable_library_ranges
+from repro.mem.vmm import VirtualAddressSpace
+
+
+def unmap_solo_libraries(space: VirtualAddressSpace) -> int:
+    """Release private, clean, file-backed pages; returns bytes released."""
+    released_pages = 0
+    for entry in find_unmappable_library_ranges(space):
+        released_pages += space.discard(entry.start, entry.size)
+    return released_pages * 4096

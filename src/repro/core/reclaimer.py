@@ -1,0 +1,71 @@
+"""One reclamation, end to end (Figure 6).
+
+The platform tells the instance to ``reclaim``; the runtime runs its GC,
+resize, and release phases and reports its memory profile (live bytes);
+the platform computes the share-weighted CPU time (§4.5.2) and hands the
+combined profile back to Desiccant's store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.libunmap import unmap_solo_libraries
+from repro.core.profiles import ProfileStore, ReclaimProfile
+from repro.faas.cgroup import weighted_cpu_seconds
+from repro.faas.instance import FunctionInstance
+
+
+@dataclass
+class ReclaimReport:
+    """Everything one reclamation produced, for callers and benches."""
+
+    instance_id: int
+    function: str
+    released_bytes: int
+    library_bytes: int
+    live_bytes: int
+    cpu_seconds: float
+    wall_seconds: float
+    uss_before: int
+    uss_after: int
+
+
+def reclaim_instance(
+    instance: FunctionInstance,
+    profiles: ProfileStore,
+    cpu_share: float = 1.0,
+    aggressive: bool = False,
+    unmap_libraries: bool = True,
+) -> ReclaimReport:
+    """Reclaim one frozen instance and record its profile.
+
+    ``cpu_share`` is the (idle) CPU fraction the platform grants the
+    reclamation; wall time stretches accordingly while the accumulated CPU
+    time stays the same.
+    """
+    if cpu_share <= 0:
+        raise ValueError("cpu_share must be positive")
+    uss_before = instance.uss()
+    outcome = instance.reclaim(aggressive=aggressive)
+    library_bytes = 0
+    if unmap_libraries:
+        library_bytes = unmap_solo_libraries(instance.runtime.space)
+    instance.reclaimed_this_freeze = True
+
+    wall_seconds = outcome.cpu_seconds / cpu_share
+    cpu_seconds = weighted_cpu_seconds([(wall_seconds, cpu_share)])
+    profile = ReclaimProfile(live_bytes=outcome.live_bytes, cpu_seconds=cpu_seconds)
+    profiles.record(instance.id, instance.spec.name, profile)
+
+    return ReclaimReport(
+        instance_id=instance.id,
+        function=instance.spec.name,
+        released_bytes=outcome.released_bytes + library_bytes,
+        library_bytes=library_bytes,
+        live_bytes=outcome.live_bytes,
+        cpu_seconds=cpu_seconds,
+        wall_seconds=wall_seconds,
+        uss_before=uss_before,
+        uss_after=instance.uss(),
+    )

@@ -1,0 +1,59 @@
+"""CPU-time accounting.
+
+Two pieces:
+
+* :func:`weighted_cpu_seconds` -- the §4.5.2 accumulation: a reclamation
+  that runs 10 ms wall-clock with 0.5 CPUs for 3 ms and 0.25 CPUs for the
+  remaining 7 ms consumed 0.5*3 + 0.25*7 = 3.25 ms of CPU.
+* :class:`CpuAccountant` -- per-category busy-time counters the platform
+  uses to reproduce Figure 9c (overall utilization, cold-boot share,
+  eager-GC share, and Desiccant's own reclamation overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+
+def weighted_cpu_seconds(segments: Sequence[Tuple[float, float]]) -> float:
+    """Accumulate CPU time over ``(wall_seconds, cpu_share)`` segments."""
+    total = 0.0
+    for wall, share in segments:
+        if wall < 0 or share < 0:
+            raise ValueError(f"negative segment ({wall}, {share})")
+        total += wall * share
+    return total
+
+
+@dataclass
+class CpuAccountant:
+    """Busy CPU seconds bucketed by activity."""
+
+    cpus: float = 8.0
+    busy: Dict[str, float] = field(default_factory=dict)
+
+    CATEGORIES = ("invocation", "cold_boot", "eager_gc", "reclaim", "swap")
+
+    def charge(self, category: str, cpu_seconds: float) -> None:
+        """Add busy time to a category (categories are free-form but the
+        platform sticks to :attr:`CATEGORIES`)."""
+        if cpu_seconds < 0:
+            raise ValueError(f"negative charge {cpu_seconds}")
+        self.busy[category] = self.busy.get(category, 0.0) + cpu_seconds
+
+    def total_busy(self) -> float:
+        return sum(self.busy.values())
+
+    def utilization(self, wall_seconds: float) -> float:
+        """Average utilization over a window, in [0, 1] (clamped)."""
+        if wall_seconds <= 0:
+            raise ValueError("window must be positive")
+        return min(1.0, self.total_busy() / (wall_seconds * self.cpus))
+
+    def category_fraction(self, category: str) -> float:
+        """Share of busy time spent in ``category``."""
+        total = self.total_busy()
+        if total == 0:
+            return 0.0
+        return self.busy.get(category, 0.0) / total

@@ -1,0 +1,139 @@
+"""Multi-node FaaS cluster: a front-end router over invoker nodes.
+
+The paper's single-server experiments extend naturally to a cluster: each
+invoker node runs its own instance cache (and its own Desiccant), and a
+front-end assigns requests to nodes.  Warm starts only happen on a node
+that already caches the function, so the routing policy interacts directly
+with the frozen-garbage economics:
+
+* ``round-robin``    -- spreads every function across all nodes: maximum
+  balance, minimum warm locality;
+* ``least-assigned`` -- balances by assigned request count;
+* ``warm-affinity``  -- hashes each function to a home node (consistent
+  assignment), concentrating its warm instances.
+
+Nodes do not interact, so the simulation runs each node's event queue
+independently and aggregates -- identical to a time-interleaved execution.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.faas.platform import FaasPlatform, PlatformConfig, Request, RequestOutcome
+from repro.workloads.model import FunctionDefinition
+
+SCHEDULERS = ("round-robin", "least-assigned", "warm-affinity")
+
+
+@dataclass
+class ClusterConfig:
+    """Cluster shape and routing."""
+
+    nodes: int = 4
+    scheduler: str = "warm-affinity"
+    node_config: PlatformConfig = field(default_factory=PlatformConfig)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("need at least one node")
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; pick from {SCHEDULERS}"
+            )
+
+
+@dataclass
+class ClusterStats:
+    """Aggregated outcome of one cluster run."""
+
+    completed: int
+    cold_boots: int
+    cold_boot_rate: float
+    evictions: int
+    p50_latency: float
+    p99_latency: float
+    per_node_requests: List[int]
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean assigned requests (1.0 == perfectly balanced)."""
+        if not self.per_node_requests or sum(self.per_node_requests) == 0:
+            return 1.0
+        mean = sum(self.per_node_requests) / len(self.per_node_requests)
+        return max(self.per_node_requests) / mean if mean else 1.0
+
+
+class Cluster:
+    """A set of invoker nodes behind a routing front-end."""
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        manager_factory: Optional[Callable[[], object]] = None,
+    ) -> None:
+        from repro.core.baselines import VanillaManager  # avoids module cycle
+
+        self.config = config or ClusterConfig()
+        factory = manager_factory or VanillaManager
+        self.nodes: List[FaasPlatform] = []
+        for index in range(self.config.nodes):
+            node_config = PlatformConfig(**vars(self.config.node_config))
+            node_config.seed = self.config.node_config.seed + index
+            self.nodes.append(FaasPlatform(config=node_config, manager=factory()))
+        self._assigned: List[int] = [0] * self.config.nodes
+        self._rr_next = 0
+
+    # -------------------------------------------------------------- routing
+
+    def route(self, definition: FunctionDefinition) -> int:
+        """Pick the node index for one request."""
+        scheduler = self.config.scheduler
+        if scheduler == "round-robin":
+            node = self._rr_next
+            self._rr_next = (self._rr_next + 1) % len(self.nodes)
+        elif scheduler == "least-assigned":
+            node = min(range(len(self.nodes)), key=lambda i: self._assigned[i])
+        else:  # warm-affinity
+            node = zlib.crc32(definition.name.encode()) % len(self.nodes)
+        self._assigned[node] += 1
+        return node
+
+    # -------------------------------------------------------------- running
+
+    def submit(self, arrivals: Sequence[Tuple[float, FunctionDefinition]]) -> None:
+        """Route and queue a batch of (time, definition) arrivals."""
+        batches: Dict[int, List[Request]] = {}
+        for time, definition in arrivals:
+            node = self.route(definition)
+            batches.setdefault(node, []).append(
+                Request(arrival=time, definition=definition)
+            )
+        for node, requests in batches.items():
+            self.nodes[node].submit(requests)
+
+    def run(self) -> ClusterStats:
+        """Drain every node and aggregate."""
+        from repro.trace.stats import percentile  # avoids module cycle
+
+        outcomes: List[RequestOutcome] = []
+        for node in self.nodes:
+            outcomes.extend(node.run())
+        latencies = [o.latency for o in outcomes] or [0.0]
+        cold = sum(o.cold_boots for o in outcomes)
+        return ClusterStats(
+            completed=len(outcomes),
+            cold_boots=cold,
+            cold_boot_rate=cold / len(outcomes) if outcomes else 0.0,
+            evictions=sum(node.evictions for node in self.nodes),
+            p50_latency=percentile(latencies, 50),
+            p99_latency=percentile(latencies, 99),
+            per_node_requests=list(self._assigned),
+        )
+
+    def destroy(self) -> None:
+        for node in self.nodes:
+            for instance in node.all_instances():
+                instance.destroy()

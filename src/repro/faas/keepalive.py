@@ -1,0 +1,149 @@
+"""Keep-alive and eviction policies (§6.1's related systems).
+
+The paper positions Desiccant as *orthogonal* to instance-keeping policies:
+
+* plain **LRU** eviction (OpenWhisk's default behaviour here),
+* **greedy-dual-size-frequency** (FaasCache): victims minimize
+  ``clock + frequency * cold_cost / size`` -- cheap-to-rebuild, rarely-used,
+  memory-hungry instances go first,
+* a **hybrid-histogram keep-alive** (Shahrad et al.): per-function
+  inter-arrival histograms size an idle window; instances idle past their
+  function's window are evicted proactively, and a pre-warm can be
+  scheduled just before the predicted next arrival.
+
+Each policy implements :class:`EvictionPolicy`; the platform consults it
+for victims and (for the histogram policy) for proactive timeouts.
+Desiccant keeps working underneath any of them -- reclaimed instances are
+simply smaller, whichever order they leave the cache in.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, runtime_checkable
+
+from repro.faas.instance import FunctionInstance
+
+
+@runtime_checkable
+class EvictionPolicy(Protocol):
+    """Chooses which frozen instance leaves the cache."""
+
+    name: str
+
+    def on_request(self, function: str, now: float) -> None:
+        """Observe a request for bookkeeping (frequencies, histograms)."""
+
+    def choose_victim(
+        self, frozen: List[FunctionInstance], now: float
+    ) -> Optional[FunctionInstance]:
+        """Pick the instance to evict (None when nothing is evictable)."""
+
+    def proactive_victims(
+        self, frozen: List[FunctionInstance], now: float
+    ) -> List[FunctionInstance]:
+        """Instances to evict even without memory pressure."""
+
+
+class LruEviction:
+    """OpenWhisk-style least-recently-used eviction."""
+
+    name = "lru"
+
+    def on_request(self, function: str, now: float) -> None:
+        return None
+
+    def choose_victim(self, frozen, now):
+        if not frozen:
+            return None
+        return min(frozen, key=lambda i: i.last_used_at)
+
+    def proactive_victims(self, frozen, now):
+        return []
+
+
+@dataclass
+class GreedyDualSizeFrequency:
+    """FaasCache's priority: ``clock + freq * cost / size``.
+
+    ``cost`` is the cold-boot latency the eviction would re-impose;
+    ``size`` is the instance's actual memory footprint -- so Desiccant's
+    reclamation *raises* a reclaimed instance's priority (smaller size,
+    same rebuild cost), keeping cheaply-cached instances around longer.
+    """
+
+    name: str = "greedy-dual"
+    clock: float = 0.0
+    _frequency: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def on_request(self, function: str, now: float) -> None:
+        self._frequency[function] += 1
+
+    def priority(self, instance: FunctionInstance) -> float:
+        size = max(instance.uss(), 1)
+        cost = instance.runtime.config.boot_seconds
+        freq = max(self._frequency.get(instance.spec.name, 1), 1)
+        return self.clock + freq * cost / size
+
+    def choose_victim(self, frozen, now):
+        if not frozen:
+            return None
+        victim = min(frozen, key=self.priority)
+        # The greedy-dual aging step: the clock rises to the evicted
+        # priority, so long-cached entries eventually become evictable.
+        self.clock = self.priority(victim)
+        return victim
+
+    def proactive_victims(self, frozen, now):
+        return []
+
+
+@dataclass
+class HybridHistogramKeepAlive:
+    """Shahrad et al.'s histogram policy, reduced to its keep-alive core.
+
+    Tracks per-function inter-arrival times; a function's idle window is
+    the ``percentile``-th inter-arrival observed (bounded).  Frozen
+    instances idle past their window are evicted proactively -- they are
+    unlikely to be reused soon, so their memory serves the cache better
+    elsewhere.  Under memory pressure it falls back to evicting the
+    instance with the *most* expired window (LRU-like but window-aware).
+    """
+
+    name: str = "hybrid-histogram"
+    percentile: float = 0.95
+    min_window: float = 10.0
+    max_window: float = 600.0
+    _last_arrival: Dict[str, float] = field(default_factory=dict)
+    _intervals: Dict[str, List[float]] = field(default_factory=dict)
+
+    def on_request(self, function: str, now: float) -> None:
+        last = self._last_arrival.get(function)
+        if last is not None and now > last:
+            bisect.insort(self._intervals.setdefault(function, []), now - last)
+            if len(self._intervals[function]) > 512:
+                self._intervals[function] = self._intervals[function][-512:]
+        self._last_arrival[function] = now
+
+    def window(self, function: str) -> float:
+        """The keep-alive window for a function."""
+        intervals = self._intervals.get(function)
+        if not intervals:
+            return self.max_window  # out-of-histogram: keep conservatively
+        rank = min(len(intervals) - 1, int(len(intervals) * self.percentile))
+        return min(self.max_window, max(self.min_window, intervals[rank]))
+
+    def _expiry(self, instance: FunctionInstance, now: float) -> float:
+        """Seconds past the window (negative while still inside it)."""
+        base = instance.spec.name.split(".")[0]
+        return instance.frozen_for(now) - self.window(base)
+
+    def choose_victim(self, frozen, now):
+        if not frozen:
+            return None
+        return max(frozen, key=lambda i: self._expiry(i, now))
+
+    def proactive_victims(self, frozen, now):
+        return [i for i in frozen if self._expiry(i, now) > 0]

@@ -1,0 +1,25 @@
+"""The AWS-Lambda-like platform variant (§5.4, Figure 11).
+
+Differences from the OpenWhisk model that matter to the paper:
+
+* **No page sharing between function deployments.**  Every function ships
+  its own container image, so runtime libraries are private mappings and
+  count toward USS -- which is why the §4.6 unmap optimization is *more*
+  effective on Lambda.
+* The platform itself cannot be modified; Desiccant runs via a special
+  reclaim invocation sent to the (modified-runtime) image, which the bench
+  reproduces by calling ``reclaim`` on the instance directly.
+"""
+
+from __future__ import annotations
+
+from repro.faas.platform import FaasPlatform, PlatformConfig
+
+
+class LambdaPlatform(FaasPlatform):
+    """OpenWhisk event loop with Lambda's no-sharing memory layout."""
+
+    def __init__(self, config: PlatformConfig | None = None, **kwargs) -> None:
+        config = config or PlatformConfig()
+        config.shared_libraries = False
+        super().__init__(config, **kwargs)

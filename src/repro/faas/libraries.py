@@ -1,0 +1,65 @@
+"""Machine-wide shared library pool.
+
+OpenWhisk runs every function of a language on the same runtime image, so
+``libjvm.so`` / the node binary are file-backed mappings whose pages all
+containers share (§3.1 measures USS precisely to exclude them).  The pool
+holds the :class:`MappedFile` objects and a host address space (the overlay
+page cache) that keeps the library pages warm, so a lone instance's library
+pages still count as shared -- matching a node that constantly runs other
+functions of the same language.
+
+AWS Lambda (Figure 11) does not share images between function deployments;
+passing ``shared_files=None`` to a runtime gives it private copies instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Type
+
+from repro.mem.layout import PROT_RX
+from repro.mem.physical import MappedFile, PhysicalMemory
+from repro.mem.vmm import VirtualAddressSpace
+from repro.runtime.base import LibrarySpec, ManagedRuntime
+
+
+class SharedLibraryPool:
+    """Registry of shared library files plus a host space keeping them warm."""
+
+    def __init__(
+        self,
+        physical: Optional[PhysicalMemory] = None,
+        runtime_classes: Iterable[Type[ManagedRuntime]] = (),
+        warm_host: bool = True,
+    ) -> None:
+        """``warm_host=False`` registers the files for sharing without
+        keeping a warm cache -- sharing then only happens between live
+        instances (the Figure 8 setup, where a single fft container's
+        library pages are genuinely private)."""
+        self.physical = physical if physical is not None else PhysicalMemory()
+        self.files: Dict[str, MappedFile] = {}
+        self.warm_host = warm_host
+        self._host = VirtualAddressSpace("[library-host]", self.physical)
+        for cls in runtime_classes:
+            for spec in cls.default_libraries:
+                self.register(spec)
+
+    def register(self, spec: LibrarySpec) -> MappedFile:
+        """Add a library to the pool and (optionally) page its hot region in."""
+        if spec.path in self.files:
+            return self.files[spec.path]
+        file = MappedFile(spec.path, spec.size)
+        self.files[spec.path] = file
+        if self.warm_host:
+            mapping = self._host.mmap(
+                spec.size, prot=PROT_RX, file=file, name=spec.path
+            )
+            self._host.touch(
+                mapping.start, int(spec.size * spec.touched_fraction), write=False
+            )
+        return file
+
+    def host_cache_bytes(self) -> int:
+        """Bytes the warm cache itself holds (shared across all users)."""
+        from repro.mem.accounting import measure
+
+        return measure(self._host).rss

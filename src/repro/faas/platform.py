@@ -1,0 +1,475 @@
+"""The OpenWhisk-like FaaS platform (§2.1, Figure 5).
+
+A discrete-event simulator: requests arrive, the platform routes each to a
+warm frozen instance (thaw) or cold-boots a new container, executes the
+function (chains run stage by stage, each stage in its own instance), and
+freezes the instance again.  Memory is managed against an instance-cache
+capacity: launching needs the instance's full budget free, and the platform
+evicts least-recently-used frozen instances to make room -- each eviction
+is a future cold boot, which is the end-to-end cost Figures 9/10 quantify.
+
+A pluggable :class:`~repro.core.baselines.MemoryManager` (vanilla / eager /
+swap / Desiccant) observes invocation ends, freezes, and evictions, and
+gets a background ``step`` after every event.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from typing import TYPE_CHECKING
+
+from repro.mem.layout import GIB, MIB
+from repro.mem.physical import PhysicalMemory
+from repro.faas.cgroup import CpuAccountant
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a module cycle
+    from repro.core.baselines import MemoryManager
+from repro.faas.instance import FunctionInstance, InstanceState
+from repro.faas.libraries import SharedLibraryPool
+from repro.runtime.cpython import CPythonRuntime
+from repro.runtime.hotspot import HotSpotRuntime
+from repro.runtime.v8 import V8Runtime
+from repro.workloads.model import FunctionDefinition, FunctionSpec
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class PlatformConfig:
+    """Capacity and scheduling knobs (defaults follow the paper's setup)."""
+
+    #: Instance-cache capacity (the §5.3 experiments use 2 GiB).
+    capacity_bytes: int = 2 * GIB
+    #: Per-instance memory budget (OpenWhisk default).
+    instance_memory: int = 256 * MIB
+    #: CPUs available to function execution.
+    cpus: float = 8.0
+    #: CPU share per running instance (commercial configuration, §5.2).
+    cpu_share: float = 0.14
+    #: Share library pages between instances (OpenWhisk yes, Lambda no).
+    shared_libraries: bool = True
+    #: Seed offsetting every instance's workload jitter.
+    seed: int = 0
+    #: Keep-alive/eviction policy; None selects LRU (OpenWhisk's default).
+    #: See :mod:`repro.faas.keepalive` for FaasCache- and histogram-style
+    #: alternatives.
+    eviction_policy: object | None = None
+    #: What happens to an instance after its invocation completes (§2.1 /
+    #: §5.2's alternative solutions):
+    #:   "freeze"    -- docker pause (the platforms the paper studies);
+    #:   "destroy"   -- no caching at all, every request cold-boots;
+    #:   "keep-warm" -- never pause: background threads keep burning CPU
+    #:                  and an idle-time GC may run after a quiet period;
+    #:   "snapshot"  -- checkpoint to disk (SnapStart-style): near-zero
+    #:                  cached memory, but every reuse pays the restore
+    #:                  latency plus page-in faults.
+    idle_policy: str = "freeze"
+    #: keep-warm only: CPU share each idle instance's background threads
+    #: consume (heartbeats, JIT threads -- the §2.1 motivation to freeze).
+    idle_background_cpu: float = 0.01
+    #: keep-warm only: idle seconds before a background full GC runs.
+    idle_gc_delay: float = 10.0
+    #: Instances to pre-boot per function at startup (AWS provisioned
+    #: concurrency, §2.1); they are booted frozen, ready to thaw.
+    provisioned: dict | None = None
+
+
+@dataclass
+class Request:
+    """One user invocation of a (possibly chained) function."""
+
+    arrival: float
+    definition: FunctionDefinition
+    id: int = field(default_factory=lambda: next(_request_ids))
+
+
+@dataclass
+class RequestOutcome:
+    """Completed request: timing plus cold-boot exposure."""
+
+    request: Request
+    started: float
+    finished: float
+    cold_boots: int
+    queue_seconds: float
+
+    @property
+    def latency(self) -> float:
+        return self.finished - self.request.arrival
+
+
+@dataclass
+class _InFlight:
+    request: Request
+    stage_idx: int = 0
+    started: Optional[float] = None
+    queue_seconds: float = 0.0
+    cold_boots: int = 0
+    ready_since: float = 0.0
+    #: (instance, handoff oid) from the previous stage, if any.
+    handoff: Optional[Tuple[FunctionInstance, int]] = None
+    current_instance: Optional[FunctionInstance] = None
+
+
+class FaasPlatform:
+    """Event-driven FaaS platform with a pluggable memory manager."""
+
+    def __init__(
+        self,
+        config: PlatformConfig | None = None,
+        manager: "MemoryManager | None" = None,
+        physical: Optional[PhysicalMemory] = None,
+    ) -> None:
+        from repro.core.baselines import VanillaManager
+        from repro.faas.keepalive import LruEviction
+
+        self.config = config or PlatformConfig()
+        self.manager = manager or VanillaManager()
+        self.eviction_policy = self.config.eviction_policy or LruEviction()
+        self.physical = physical if physical is not None else PhysicalMemory()
+        self._library_pool: Optional[SharedLibraryPool] = None
+        if self.config.shared_libraries:
+            self._library_pool = SharedLibraryPool(
+                self.physical,
+                runtime_classes=(HotSpotRuntime, V8Runtime, CPythonRuntime),
+            )
+        self._instances: Dict[str, List[FunctionInstance]] = {}
+        self._events: List[Tuple[float, int, str, object]] = []
+        self._event_seq = itertools.count()
+        self._wait_queue: List[_InFlight] = []
+        self._running = 0
+        self.now = 0.0
+        self.cpu = CpuAccountant(cpus=self.config.cpus)
+        self.outcomes: List[RequestOutcome] = []
+        self.cold_boots = 0
+        self.warm_starts = 0
+        self.evictions = 0
+        self.overcommits = 0
+        self._last_event_time = 0.0
+        #: Callables invoked as ``observer(now)`` after every event --
+        #: telemetry recorders hook in here.
+        self.observers: List = []
+        self._provision()
+        if self.config.idle_policy not in (
+            "freeze", "destroy", "keep-warm", "snapshot"
+        ):
+            raise ValueError(f"unknown idle policy {self.config.idle_policy!r}")
+
+    # ----------------------------------------------------------- accounting
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.config.capacity_bytes
+
+    def all_instances(self) -> List[FunctionInstance]:
+        return [i for pool in self._instances.values() for i in pool]
+
+    def frozen_instances(self) -> List[FunctionInstance]:
+        return [
+            i for i in self.all_instances() if i.state is InstanceState.FROZEN
+        ]
+
+    def frozen_bytes(self) -> int:
+        """Accumulated USS of frozen instances (what Desiccant watches)."""
+        return sum(i.uss() for i in self.frozen_instances())
+
+    def evictable_instances(self) -> List[FunctionInstance]:
+        """Instances the cache may destroy: frozen ones always; under the
+        keep-warm policy, idle (unpaused but not running) ones too."""
+        evictable = self.frozen_instances()
+        if self.config.idle_policy == "keep-warm":
+            evictable += [
+                i
+                for i in self.all_instances()
+                if i.state is InstanceState.IDLE and i.invocation_count > 0
+            ]
+        return evictable
+
+    def active_instances(self) -> List[FunctionInstance]:
+        return [
+            i
+            for i in self.all_instances()
+            if i.state in (InstanceState.RUNNING, InstanceState.IDLE)
+        ]
+
+    def used_bytes(self) -> int:
+        """Actual consumption of every cached instance, active or frozen.
+
+        The paper's modified OpenWhisk accounts instances by their real
+        memory consumption -- that is what lets reclaimed instances pack
+        more densely into the cache.
+        """
+        return sum(i.uss() for i in self.all_instances())
+
+    def available_for_launch(self) -> int:
+        return self.capacity_bytes - self.used_bytes()
+
+    def frozen_capacity_bytes(self) -> int:
+        """Memory the cache can devote to *frozen* instances: the total,
+        minus what running instances use, minus one launch budget of
+        headroom.  Desiccant's activation fraction is measured against
+        this, so it engages before eviction pressure does."""
+        active = sum(i.uss() for i in self.active_instances())
+        return max(1, self.capacity_bytes - self.config.instance_memory - active)
+
+    def idle_cpu_share(self) -> float:
+        """Fraction of machine CPU not claimed by running instances."""
+        claimed = self._running * self.config.cpu_share
+        return max(0.0, (self.config.cpus - claimed) / self.config.cpus)
+
+    @property
+    def max_concurrency(self) -> int:
+        return max(1, int(self.config.cpus / self.config.cpu_share))
+
+    def _provision(self) -> None:
+        """Pre-boot the configured provisioned concurrency (§2.1)."""
+        from repro.workloads.registry import get_definition
+
+        for name, count in (self.config.provisioned or {}).items():
+            definition = get_definition(name)
+            for stage in definition.stages:
+                pool = self._instances.setdefault(stage.name, [])
+                for k in range(count):
+                    instance = FunctionInstance(
+                        stage,
+                        memory_budget=self.config.instance_memory,
+                        physical=self.physical,
+                        shared_files=(
+                            self._library_pool.files if self._library_pool else None
+                        ),
+                        seed=self.config.seed + k,
+                    )
+                    self.cpu.charge("cold_boot", instance.boot(0.0))
+                    instance.freeze(0.0)
+                    pool.append(instance)
+
+    # ------------------------------------------------------------- running
+
+    def submit(self, requests: List[Request]) -> None:
+        """Queue arrival events for a batch of requests."""
+        for request in requests:
+            self._push(request.arrival, "arrival", _InFlight(request=request))
+
+    def run(self, until: Optional[float] = None) -> List[RequestOutcome]:
+        """Process events until the queue drains (or ``until`` passes)."""
+        while self._events:
+            time, _seq, kind, payload = heapq.heappop(self._events)
+            if until is not None and time > until:
+                break
+            self._account_idle_background(time)
+            self.now = time
+            if kind == "arrival":
+                self._on_arrival(payload)
+            elif kind == "complete":
+                self._on_complete(payload)
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown event {kind}")
+            self.cpu.charge("reclaim", self.manager.step(self.now, self))
+            for observer in self.observers:
+                observer(self.now)
+        return self.outcomes
+
+    def _push(self, time: float, kind: str, payload: object) -> None:
+        heapq.heappush(self._events, (time, next(self._event_seq), kind, payload))
+
+    # --------------------------------------------------------------- events
+
+    def _on_arrival(self, flight: _InFlight) -> None:
+        flight.ready_since = self.now
+        self.eviction_policy.on_request(flight.request.definition.name, self.now)
+        self._evict_proactively()
+        self._try_dispatch(flight)
+
+    def _evict_proactively(self) -> None:
+        for victim in self.eviction_policy.proactive_victims(
+            self.frozen_instances(), self.now
+        ):
+            self.evict(victim)
+
+    def _try_dispatch(self, flight: Optional[_InFlight] = None) -> None:
+        if flight is not None:
+            self._wait_queue.append(flight)
+        while self._wait_queue and self._running < self.max_concurrency:
+            next_flight = self._wait_queue.pop(0)
+            next_flight.queue_seconds += self.now - next_flight.ready_since
+            self._start_stage(next_flight)
+
+    def _start_stage(self, flight: _InFlight) -> None:
+        spec = flight.request.definition.stages[flight.stage_idx]
+        if flight.started is None:
+            flight.started = self.now
+        instance, cold, setup_wall = self._acquire(spec)
+        if cold:
+            flight.cold_boots += 1
+        if flight.handoff is not None:
+            self._consume_handoff(flight)
+        instance.state = InstanceState.RUNNING
+        self._running += 1
+        result = instance.invoke(self.now)
+        instance.state = InstanceState.RUNNING  # stays busy until completion
+        self.cpu.charge("invocation", result.cpu_seconds)
+        mgr_cpu = self.manager.on_invocation_end(instance, self.now)
+        self.cpu.charge("eager_gc", mgr_cpu)
+        flight.current_instance = instance
+        if result.handoff_oid is not None:
+            flight.handoff = (instance, result.handoff_oid)
+        wall = setup_wall + result.cpu_seconds + mgr_cpu
+        self._push(self.now + wall, "complete", flight)
+
+    def _on_complete(self, flight: _InFlight) -> None:
+        instance = flight.current_instance
+        self._running -= 1
+        if instance is not None and instance.state is InstanceState.RUNNING:
+            instance.state = InstanceState.IDLE
+            instance.last_used_at = self.now
+            if self.config.idle_policy == "freeze":
+                instance.freeze(self.now)
+                self.cpu.charge(
+                    "invocation", self.manager.on_freeze(instance, self.now)
+                )
+            elif self.config.idle_policy == "destroy":
+                instance.destroy(self.now)
+                self._instances[instance.spec.name].remove(instance)
+            elif self.config.idle_policy == "snapshot":
+                instance.snapshot(self.now)
+            # keep-warm: the instance simply stays IDLE (threads running).
+        flight.current_instance = None
+        if flight.stage_idx + 1 < len(flight.request.definition.stages):
+            flight.stage_idx += 1
+            flight.ready_since = self.now
+            self._try_dispatch(flight)
+        else:
+            self.outcomes.append(
+                RequestOutcome(
+                    request=flight.request,
+                    started=flight.started if flight.started is not None else self.now,
+                    finished=self.now,
+                    cold_boots=flight.cold_boots,
+                    queue_seconds=flight.queue_seconds,
+                )
+            )
+            self._try_dispatch()
+
+    def _consume_handoff(self, flight: _InFlight) -> None:
+        """The next stage has picked the intermediate data up: the producer
+        may let go of it (it becomes ordinary garbage)."""
+        producer, oid = flight.handoff
+        flight.handoff = None
+        if producer.state is not InstanceState.DEAD:
+            producer.runtime.free_persistent(oid)
+
+    # ------------------------------------------------------------ instances
+
+    def _acquire(self, spec: FunctionSpec) -> Tuple[FunctionInstance, bool, float]:
+        """Find or create an instance for ``spec``.
+
+        Returns ``(instance, was_cold, setup_wall_seconds)``.
+        """
+        pool = self._instances.setdefault(spec.name, [])
+        frozen = [i for i in pool if i.state is InstanceState.FROZEN]
+        if frozen:
+            instance = max(frozen, key=lambda i: i.last_used_at)
+            wall = instance.thaw(self.now)
+            self.warm_starts += 1
+            return instance, False, wall
+        if self.config.idle_policy == "keep-warm":
+            # Warm instances are reusable directly (no unpause needed).
+            idle = [i for i in pool if i.state is InstanceState.IDLE]
+            if idle:
+                instance = max(idle, key=lambda i: i.last_used_at)
+                self.warm_starts += 1
+                return instance, False, 0.0
+        self._make_room()
+        instance = FunctionInstance(
+            spec,
+            memory_budget=self.config.instance_memory,
+            physical=self.physical,
+            shared_files=self._library_pool.files if self._library_pool else None,
+            seed=self.config.seed,
+        )
+        boot_cpu = instance.boot(self.now)
+        self.cpu.charge("cold_boot", boot_cpu)
+        pool.append(instance)
+        self.cold_boots += 1
+        return instance, True, boot_cpu
+
+    def _account_idle_background(self, until: float) -> None:
+        """keep-warm: idle instances' background threads consume CPU
+        between events, and a quiet instance runs an idle-time GC."""
+        if self.config.idle_policy != "keep-warm":
+            self._last_event_time = until
+            return
+        dt = max(0.0, until - self._last_event_time)
+        self._last_event_time = until
+        if dt == 0.0:
+            return
+        idle = [
+            i
+            for i in self.all_instances()
+            if i.state is InstanceState.IDLE and i.invocation_count > 0
+        ]
+        if idle:
+            self.cpu.charge(
+                "idle_background", dt * self.config.idle_background_cpu * len(idle)
+            )
+        for instance in idle:
+            if until - instance.last_used_at >= self.config.idle_gc_delay:
+                if getattr(instance, "_idle_gc_done_at", None) != instance.last_used_at:
+                    self.cpu.charge(
+                        "idle_background", instance.runtime.full_gc(aggressive=False)
+                    )
+                    instance._idle_gc_done_at = instance.last_used_at
+
+    def _make_room(self) -> None:
+        """Evict LRU frozen instances until one budget fits."""
+        while self.available_for_launch() < self.config.instance_memory:
+            victim = self._eviction_victim()
+            if victim is None:
+                # Nothing evictable: proceed overcommitted (the machine has
+                # headroom beyond the cache budget; count it for analysis).
+                self.overcommits += 1
+                return
+            self.evict(victim)
+
+    def _eviction_victim(self) -> Optional[FunctionInstance]:
+        return self.eviction_policy.choose_victim(
+            self.evictable_instances(), self.now
+        )
+
+    def evict(self, instance: FunctionInstance) -> None:
+        """Destroy a frozen instance (the §4.2 race with reclamation is
+        harmless: instances are stateless)."""
+        self.manager.on_eviction(instance, self.now)
+        instance.destroy(self.now)
+        self._instances[instance.spec.name].remove(instance)
+        self.evictions += 1
+
+    # -------------------------------------------------------------- helpers
+
+    def reset_metrics(self) -> None:
+        """Zero the counters after warmup, keeping instance state warm."""
+        self.cpu = CpuAccountant(cpus=self.config.cpus)
+        self.outcomes = []
+        self.cold_boots = 0
+        self.warm_starts = 0
+        self.evictions = 0
+        self.overcommits = 0
+        self._last_event_time = 0.0
+        #: Callables invoked as ``observer(now)`` after every event --
+        #: telemetry recorders hook in here.
+        self.observers: List = []
+        self._provision()
+        if self.config.idle_policy not in (
+            "freeze", "destroy", "keep-warm", "snapshot"
+        ):
+            raise ValueError(f"unknown idle policy {self.config.idle_policy!r}")
+
+    def cold_boot_rate(self) -> float:
+        """Cold boots per completed request (across all stages)."""
+        if not self.outcomes:
+            return 0.0
+        return sum(o.cold_boots for o in self.outcomes) / len(self.outcomes)

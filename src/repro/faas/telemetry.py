@@ -1,0 +1,130 @@
+"""Platform telemetry: time series of the quantities Desiccant acts on.
+
+A :class:`TelemetryRecorder` hooks into the platform's observer list and
+samples cache state at a fixed interval -- frozen memory, total cached
+memory, instance counts, cumulative cold boots/evictions, and (when the
+manager is Desiccant) the live activation threshold.  Series export to CSV
+and render as ASCII sparklines for quick inspection in examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.report import write_csv
+from repro.faas.platform import FaasPlatform
+
+_SPARK_GLYPHS = " .:-=+*#%@"
+
+
+@dataclass
+class TelemetrySample:
+    """One snapshot of platform state."""
+
+    time: float
+    frozen_bytes: int
+    used_bytes: int
+    instances: int
+    frozen_instances: int
+    cold_boots: int
+    evictions: int
+    activation_threshold: Optional[float] = None
+
+
+@dataclass
+class TelemetryRecorder:
+    """Samples a platform at a fixed interval via its observer hook."""
+
+    platform: FaasPlatform
+    interval: float = 1.0
+    samples: List[TelemetrySample] = field(default_factory=list)
+    _next_sample_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        self.platform.observers.append(self)
+
+    def __call__(self, now: float) -> None:
+        if now < self._next_sample_at:
+            return
+        self._next_sample_at = now + self.interval
+        manager = self.platform.manager
+        threshold = None
+        activation = getattr(manager, "activation", None)
+        if activation is not None:
+            threshold = getattr(activation, "threshold", None)
+        self.samples.append(
+            TelemetrySample(
+                time=now,
+                frozen_bytes=self.platform.frozen_bytes(),
+                used_bytes=self.platform.used_bytes(),
+                instances=len(self.platform.all_instances()),
+                frozen_instances=len(self.platform.frozen_instances()),
+                cold_boots=self.platform.cold_boots,
+                evictions=self.platform.evictions,
+                activation_threshold=threshold,
+            )
+        )
+
+    def detach(self) -> None:
+        """Stop sampling."""
+        if self in self.platform.observers:
+            self.platform.observers.remove(self)
+
+    # --------------------------------------------------------------- series
+
+    def series(self, attribute: str) -> List[float]:
+        """One column of the recording, e.g. ``series('frozen_bytes')``."""
+        return [getattr(sample, attribute) or 0 for sample in self.samples]
+
+    def to_csv(self, path: str | Path) -> Path:
+        headers = [
+            "time",
+            "frozen_bytes",
+            "used_bytes",
+            "instances",
+            "frozen_instances",
+            "cold_boots",
+            "evictions",
+            "activation_threshold",
+        ]
+        rows = [
+            [
+                f"{s.time:.3f}",
+                s.frozen_bytes,
+                s.used_bytes,
+                s.instances,
+                s.frozen_instances,
+                s.cold_boots,
+                s.evictions,
+                "" if s.activation_threshold is None else f"{s.activation_threshold:.3f}",
+            ]
+            for s in self.samples
+        ]
+        return write_csv(path, headers, rows)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a series as a one-line ASCII sparkline."""
+    if not values:
+        return ""
+    if len(values) > width:
+        # Downsample by bucket means.
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            / max(1, len(values[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span == 0:
+        return _SPARK_GLYPHS[1] * len(values)
+    out = []
+    for value in values:
+        rank = int((value - lo) / span * (len(_SPARK_GLYPHS) - 1))
+        out.append(_SPARK_GLYPHS[rank])
+    return "".join(out)

@@ -1,0 +1,45 @@
+"""OS memory substrate: page-granular virtual memory with demand paging.
+
+This package emulates the slice of Linux memory management that the paper's
+measurements depend on:
+
+* ``layout``     -- page constants and address arithmetic.
+* ``physical``   -- physical frame bookkeeping, the file page cache that lets
+  library mappings share frames across instances, and a swap device.
+* ``vmm``        -- :class:`VirtualAddressSpace` with ``mmap``/``munmap``/
+  ``mprotect``/``madvise(DONTNEED)`` semantics and demand paging.
+* ``accounting`` -- USS / RSS / PSS / private_dirty style metrics.
+* ``smaps``      -- per-mapping reports mirroring ``/proc/<pid>/smaps``,
+  which drive Desiccant's shared-library unmapping optimization.
+"""
+
+from repro.mem.layout import (
+    PAGE_SIZE,
+    Protection,
+    page_ceil,
+    page_floor,
+    page_span,
+)
+from repro.mem.physical import MappedFile, PhysicalMemory, SwapDevice
+from repro.mem.vmm import Mapping, MemoryError_, VirtualAddressSpace
+from repro.mem.accounting import MemoryReport, measure, measure_many
+from repro.mem.smaps import MappingReport, smaps_report
+
+__all__ = [
+    "PAGE_SIZE",
+    "Protection",
+    "page_ceil",
+    "page_floor",
+    "page_span",
+    "MappedFile",
+    "PhysicalMemory",
+    "SwapDevice",
+    "Mapping",
+    "MemoryError_",
+    "VirtualAddressSpace",
+    "MemoryReport",
+    "measure",
+    "measure_many",
+    "MappingReport",
+    "smaps_report",
+]

@@ -1,0 +1,72 @@
+"""Page constants and address arithmetic shared by the memory substrate."""
+
+from __future__ import annotations
+
+import enum
+
+#: Size of one page in bytes (matches x86-64 Linux base pages).
+PAGE_SIZE: int = 4096
+
+#: log2(PAGE_SIZE), used for fast index math.
+PAGE_SHIFT: int = 12
+
+#: Size of one V8 heap chunk in bytes (the paper's 256 KiB chunks).
+CHUNK_SIZE: int = 256 * 1024
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+
+class Protection(enum.IntFlag):
+    """Page protection bits, mirroring ``PROT_*`` from ``mmap(2)``."""
+
+    NONE = 0
+    READ = 1
+    WRITE = 2
+    EXEC = 4
+
+
+#: Shorthand for the common read/write protection.
+PROT_RW = Protection.READ | Protection.WRITE
+
+#: Shorthand for read/execute (library text segments).
+PROT_RX = Protection.READ | Protection.EXEC
+
+
+def page_floor(addr: int) -> int:
+    """Round ``addr`` down to the nearest page boundary."""
+    return addr & ~(PAGE_SIZE - 1)
+
+
+def page_ceil(addr: int) -> int:
+    """Round ``addr`` up to the nearest page boundary."""
+    return (addr + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+
+
+def page_span(addr: int, length: int) -> range:
+    """Return the range of page indices covered by ``[addr, addr+length)``.
+
+    The indices are absolute (address >> PAGE_SHIFT), suitable for keys in
+    residency sets.
+    """
+    if length <= 0:
+        return range(0)
+    first = page_floor(addr) >> PAGE_SHIFT
+    last = page_ceil(addr + length) >> PAGE_SHIFT
+    return range(first, last)
+
+
+def pages_in(length: int) -> int:
+    """Return how many whole pages are needed to hold ``length`` bytes."""
+    return (length + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count using binary units, e.g. ``'7.88MiB'``."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            return f"{value:.2f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024.0
+    raise AssertionError("unreachable")

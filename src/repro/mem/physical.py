@@ -1,0 +1,227 @@
+"""Physical frame bookkeeping, the file page cache, and a swap device.
+
+The simulator does not materialize page contents; what matters to the paper's
+measurements is *which* pages are resident, whether they are private or
+shared, and how many processes share each file-backed page.  Frames are
+therefore tracked as counters plus, for file-backed pages, a per-page set of
+touching mappings (the equivalent of the kernel's ``mapcount``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.mem.layout import PAGE_SIZE, pages_in
+
+
+class OutOfPhysicalMemory(Exception):
+    """Raised when an allocation would exceed the configured frame capacity."""
+
+
+@dataclass
+class SwapDevice:
+    """A trivially-modelled swap device: a counter of swapped-out pages.
+
+    The swap baseline in §5.6 of the paper pushes frozen instances' pages out
+    without runtime guidance; what matters for the reproduction is the count
+    of swapped pages (freed physical memory) and the major faults paid when
+    they come back.
+    """
+
+    pages: int = 0
+    total_swap_outs: int = 0
+    total_swap_ins: int = 0
+
+    def swap_out(self, n: int = 1) -> None:
+        """Record ``n`` pages moving from DRAM to swap."""
+        self.pages += n
+        self.total_swap_outs += n
+
+    def swap_in(self, n: int = 1) -> None:
+        """Record ``n`` pages moving back from swap to DRAM."""
+        if n > self.pages:
+            raise ValueError(f"swap-in of {n} pages but only {self.pages} swapped")
+        self.pages -= n
+        self.total_swap_ins += n
+
+    @property
+    def bytes(self) -> int:
+        """Bytes currently held on the swap device."""
+        return self.pages * PAGE_SIZE
+
+
+class MappedFile:
+    """A file that can back memory mappings (e.g. ``libjvm.so``).
+
+    Pages live in a shared page cache: a file page is resident while at least
+    one mapping has touched it, and its *sharer count* is the number of
+    distinct mappings currently touching it.  That count is what turns a page
+    from ``private_clean`` (one toucher) into ``shared_clean`` (several), the
+    distinction USS/PSS accounting is built on.
+    """
+
+    def __init__(self, path: str, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"file size must be positive, got {size}")
+        self.path = path
+        self.size = size
+        self._touchers: Dict[int, Set[int]] = {}
+        #: Per-mapping count of pages it holds *alone* (private_clean).
+        self._solo: Dict[int, int] = {}
+        #: Per-mapping proportional share, in pages (sum of 1/sharers over
+        #: its touched pages).  Maintained incrementally so accounting is
+        #: O(1) per mapping; float drift is bounded well below a byte.
+        self._pss: Dict[int, float] = {}
+
+    @property
+    def num_pages(self) -> int:
+        """Number of pages the file spans."""
+        return pages_in(self.size)
+
+    def touch(self, file_page: int, mapping_id: int) -> bool:
+        """Register ``mapping_id`` as touching ``file_page``.
+
+        Returns ``True`` if this touch brought the page into the cache (i.e.
+        a frame was allocated for it).
+        """
+        self._check_page(file_page)
+        holders = self._touchers.setdefault(file_page, set())
+        if mapping_id in holders:
+            return False
+        n = len(holders)
+        fresh = n == 0
+        # Every pre-existing holder's share of this page drops 1/n -> 1/(n+1).
+        if n:
+            delta = 1.0 / (n + 1) - 1.0 / n
+            for holder in holders:
+                self._pss[holder] = self._pss.get(holder, 0.0) + delta
+            if n == 1:
+                (other,) = holders
+                self._solo[other] = self._solo.get(other, 0) - 1
+        holders.add(mapping_id)
+        self._pss[mapping_id] = self._pss.get(mapping_id, 0.0) + 1.0 / (n + 1)
+        if n == 0:
+            self._solo[mapping_id] = self._solo.get(mapping_id, 0) + 1
+        return fresh
+
+    def untouch(self, file_page: int, mapping_id: int) -> bool:
+        """Drop ``mapping_id``'s reference to ``file_page``.
+
+        Returns ``True`` if the page left the cache (its frame is freed).
+        """
+        holders = self._touchers.get(file_page)
+        if not holders or mapping_id not in holders:
+            return False
+        n = len(holders)
+        holders.discard(mapping_id)
+        self._pss[mapping_id] = self._pss.get(mapping_id, 0.0) - 1.0 / n
+        if n == 1:
+            self._solo[mapping_id] = self._solo.get(mapping_id, 0) - 1
+        else:
+            delta = 1.0 / (n - 1) - 1.0 / n
+            for holder in holders:
+                self._pss[holder] = self._pss.get(holder, 0.0) + delta
+            if n == 2:
+                (other,) = holders
+                self._solo[other] = self._solo.get(other, 0) + 1
+        if holders:
+            return False
+        del self._touchers[file_page]
+        return True
+
+    def solo_pages(self, mapping_id: int) -> int:
+        """Pages held only by this mapping (its private_clean count)."""
+        return max(0, self._solo.get(mapping_id, 0))
+
+    def pss_pages(self, mapping_id: int) -> float:
+        """The mapping's proportional share of the file cache, in pages."""
+        return max(0.0, self._pss.get(mapping_id, 0.0))
+
+    def sharers(self, file_page: int) -> int:
+        """Number of mappings currently touching ``file_page``."""
+        return len(self._touchers.get(file_page, ()))
+
+    def resident_pages(self) -> int:
+        """Number of file pages currently in the cache."""
+        return len(self._touchers)
+
+    def _check_page(self, file_page: int) -> None:
+        if not 0 <= file_page < self.num_pages:
+            raise ValueError(
+                f"page {file_page} out of range for {self.path} "
+                f"({self.num_pages} pages)"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MappedFile({self.path!r}, {self.size} bytes)"
+
+
+@dataclass
+class PhysicalMemory:
+    """Machine-level frame accounting shared by all address spaces.
+
+    ``capacity_bytes=None`` means unlimited (characterization experiments);
+    the FaaS platform passes its instance-cache budget so eviction pressure
+    is observable.
+    """
+
+    capacity_bytes: int | None = None
+    swap: SwapDevice = field(default_factory=SwapDevice)
+    _anon_frames: int = 0
+    _file_frames: int = 0
+    total_frame_allocs: int = 0
+
+    @property
+    def anon_bytes(self) -> int:
+        """Bytes of private anonymous frames currently allocated."""
+        return self._anon_frames * PAGE_SIZE
+
+    @property
+    def file_cache_bytes(self) -> int:
+        """Bytes of file-cache frames currently allocated."""
+        return self._file_frames * PAGE_SIZE
+
+    @property
+    def used_bytes(self) -> int:
+        """All DRAM in use (anonymous + file cache)."""
+        return self.anon_bytes + self.file_cache_bytes
+
+    def available_bytes(self) -> int | None:
+        """Free DRAM, or ``None`` when the machine is unlimited."""
+        if self.capacity_bytes is None:
+            return None
+        return self.capacity_bytes - self.used_bytes
+
+    def alloc_anon(self, n: int = 1) -> None:
+        """Allocate ``n`` anonymous frames (a zero-fill fault each)."""
+        self._reserve(n)
+        self._anon_frames += n
+        self.total_frame_allocs += n
+
+    def free_anon(self, n: int = 1) -> None:
+        """Release ``n`` anonymous frames."""
+        if n > self._anon_frames:
+            raise ValueError(f"freeing {n} anon frames but only {self._anon_frames} live")
+        self._anon_frames -= n
+
+    def alloc_file(self, n: int = 1) -> None:
+        """Allocate ``n`` page-cache frames."""
+        self._reserve(n)
+        self._file_frames += n
+        self.total_frame_allocs += n
+
+    def free_file(self, n: int = 1) -> None:
+        """Release ``n`` page-cache frames."""
+        if n > self._file_frames:
+            raise ValueError(f"freeing {n} file frames but only {self._file_frames} live")
+        self._file_frames -= n
+
+    def _reserve(self, n: int) -> None:
+        if self.capacity_bytes is None:
+            return
+        if self.used_bytes + n * PAGE_SIZE > self.capacity_bytes:
+            raise OutOfPhysicalMemory(
+                f"need {n * PAGE_SIZE} bytes, "
+                f"only {self.capacity_bytes - self.used_bytes} free"
+            )

@@ -1,0 +1,487 @@
+"""Virtual address spaces with mmap/munmap/mprotect/madvise and demand paging.
+
+One :class:`VirtualAddressSpace` stands in for one process (one FaaS instance
+container).  Pages start non-present and fault in on first touch, exactly like
+anonymous memory under Linux; the accounting layer then derives USS/RSS/PSS
+from per-page states.  The operations the paper's mechanisms need are all
+here:
+
+* HotSpot commits/uncommits heap ranges (``commit``/``uncommit`` -- the
+  ``mmap``-based expand/shrink of §3.2.1),
+* Desiccant releases free pages with ``discard`` (the
+  ``mmap(space.top(), ...)`` of Algorithm 1, equivalent to
+  ``madvise(MADV_DONTNEED)``),
+* the swap baseline moves private pages out with ``swap_out_range``,
+* the library optimization unmaps private file ranges found via smaps.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from bisect import bisect_right, insort
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.mem.layout import (
+    PAGE_SIZE,
+    PAGE_SHIFT,
+    PROT_RW,
+    Protection,
+    page_ceil,
+    page_floor,
+)
+from repro.mem.physical import MappedFile, PhysicalMemory
+
+#: Where anonymous/bump allocations start; mirrors the x86-64 mmap area.
+DEFAULT_MMAP_BASE = 0x7F00_0000_0000
+
+_mapping_ids = itertools.count(1)
+
+
+class MemoryError_(Exception):
+    """Base class for address-space errors (named to avoid the builtin)."""
+
+
+class SegmentationFault(MemoryError_):
+    """Access to an unmapped or protection-violating address."""
+
+
+class MappingConflict(MemoryError_):
+    """A fixed-address mmap overlaps an existing mapping."""
+
+
+class PageState(enum.Enum):
+    """Per-page residency state within a mapping."""
+
+    NOT_PRESENT = 0
+    ANON_DIRTY = 1  # private anonymous frame (includes COW'd file pages)
+    FILE_CLEAN = 2  # backed by the shared file page cache
+    SWAPPED = 3  # private page pushed to the swap device
+
+
+@dataclass
+class FaultCounts:
+    """Faults incurred by one touch operation."""
+
+    minor: int = 0
+    major: int = 0
+
+    def __iadd__(self, other: "FaultCounts") -> "FaultCounts":
+        self.minor += other.minor
+        self.major += other.major
+        return self
+
+    @property
+    def total(self) -> int:
+        return self.minor + self.major
+
+
+class Mapping:
+    """A contiguous virtual memory area (one ``/proc/pid/maps`` line)."""
+
+    def __init__(
+        self,
+        start: int,
+        length: int,
+        prot: Protection,
+        name: str,
+        file: Optional[MappedFile] = None,
+        file_offset: int = 0,
+        shared: bool = False,
+    ) -> None:
+        if start % PAGE_SIZE or length % PAGE_SIZE:
+            raise ValueError("mappings must be page aligned")
+        if length <= 0:
+            raise ValueError("mapping length must be positive")
+        if shared and file is None:
+            raise ValueError("shared mappings must be file-backed")
+        if file is not None and file_offset % PAGE_SIZE:
+            raise ValueError("file offset must be page aligned")
+        self.id = next(_mapping_ids)
+        self.start = start
+        self.length = length
+        self.prot = prot
+        self.name = name
+        self.file = file
+        self.file_offset = file_offset
+        self.shared = shared
+        #: page index within the mapping -> state (absent == NOT_PRESENT)
+        self.pages: Dict[int, PageState] = {}
+        #: Residency counters kept in lockstep with ``pages`` so accounting
+        #: is O(1) per mapping.
+        self.n_anon = 0
+        self.n_file = 0
+        self.n_swapped = 0
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    @property
+    def num_pages(self) -> int:
+        return self.length >> PAGE_SHIFT
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def file_page_of(self, rel_page: int) -> int:
+        """Map a page index within this mapping to a page index in the file."""
+        return (self.file_offset >> PAGE_SHIFT) + rel_page
+
+    def page_states(self) -> Iterator[Tuple[int, PageState]]:
+        """Iterate over (relative page index, state) of present pages."""
+        return iter(self.pages.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = self.file.path if self.file else "anon"
+        return (
+            f"Mapping({self.start:#x}-{self.end:#x} {self.prot!r} "
+            f"{self.name} [{kind}])"
+        )
+
+
+class VirtualAddressSpace:
+    """One process's address space: mappings plus demand-paged residency."""
+
+    def __init__(
+        self,
+        name: str,
+        physical: Optional[PhysicalMemory] = None,
+        mmap_base: int = DEFAULT_MMAP_BASE,
+    ) -> None:
+        self.name = name
+        self.physical = physical if physical is not None else PhysicalMemory()
+        self._mappings: Dict[int, Mapping] = {}
+        self._starts: List[int] = []  # sorted starts for lookup
+        self._bump = mmap_base
+        self.faults = FaultCounts()
+        self.closed = False
+        #: Bumped on any residency/mapping change; accounting caches on it.
+        self.version = 0
+        #: Bumped only when resident pages are *released* (discard, swap,
+        #: uncommit, munmap); runtimes use it to skip re-touching data that
+        #: cannot have gone away.
+        self.release_epoch = 0
+
+    # ------------------------------------------------------------------ maps
+
+    def mappings(self) -> List[Mapping]:
+        """All mappings, ordered by start address."""
+        return [self._mappings[s] for s in self._starts]
+
+    def find_mapping(self, addr: int) -> Optional[Mapping]:
+        """Return the mapping containing ``addr``, or ``None``."""
+        idx = bisect_right(self._starts, addr) - 1
+        if idx < 0:
+            return None
+        mapping = self._mappings[self._starts[idx]]
+        return mapping if mapping.contains(addr) else None
+
+    def mmap(
+        self,
+        length: int,
+        prot: Protection = PROT_RW,
+        file: Optional[MappedFile] = None,
+        file_offset: int = 0,
+        shared: bool = False,
+        name: str = "[anon]",
+        addr: Optional[int] = None,
+    ) -> Mapping:
+        """Create a new mapping and return it.
+
+        With ``addr=None`` the space picks the next free address (bump
+        allocation); a fixed ``addr`` raises :class:`MappingConflict` when it
+        overlaps an existing mapping (unlike ``MAP_FIXED``, we never silently
+        clobber -- callers wanting replace-semantics use :meth:`discard`).
+        """
+        self._check_open()
+        length = page_ceil(length)
+        if addr is None:
+            addr = self._bump
+            self._bump += length + PAGE_SIZE  # guard page gap
+        else:
+            if addr % PAGE_SIZE:
+                raise ValueError("fixed mmap address must be page aligned")
+            if self._overlaps(addr, length):
+                raise MappingConflict(f"mapping at {addr:#x}+{length:#x} overlaps")
+            self._bump = max(self._bump, addr + length + PAGE_SIZE)
+        mapping = Mapping(addr, length, prot, name, file, file_offset, shared)
+        self._insert(mapping)
+        self.version += 1
+        return mapping
+
+    def munmap(self, addr: int, length: int) -> None:
+        """Remove mappings in ``[addr, addr+length)``, splitting at edges."""
+        self._check_open()
+        start, end = page_floor(addr), page_ceil(addr + length)
+        for mapping in self._overlapping(start, end):
+            self._split_for(mapping, start, end)
+        for mapping in self._overlapping(start, end):
+            # After splitting, every overlapping mapping is fully contained.
+            self._release_pages(mapping, range(mapping.num_pages))
+            self._remove(mapping)
+        self.version += 1
+
+    def mprotect(self, addr: int, length: int, prot: Protection) -> None:
+        """Change protection over a range (does *not* free frames)."""
+        self._check_open()
+        start, end = page_floor(addr), page_ceil(addr + length)
+        self._require_fully_mapped(start, end)
+        for mapping in self._overlapping(start, end):
+            self._split_for(mapping, start, end)
+        for mapping in self._overlapping(start, end):
+            mapping.prot = prot
+        self.version += 1
+
+    def commit(self, addr: int, length: int) -> None:
+        """Make a reserved range usable (``mprotect`` to read/write)."""
+        self.mprotect(addr, length, PROT_RW)
+
+    def uncommit(self, addr: int, length: int) -> None:
+        """Return a range to reserved state and drop its frames.
+
+        Equivalent to HotSpot's shrink: ``mmap`` fixed ``PROT_NONE`` over the
+        range, which both blocks access and releases physical memory.
+        """
+        self.discard(addr, length)
+        self.mprotect(addr, length, Protection.NONE)
+
+    # --------------------------------------------------------------- touches
+
+    def touch(self, addr: int, length: int, write: bool = True) -> FaultCounts:
+        """Access ``[addr, addr+length)``, faulting pages in as needed.
+
+        Returns the faults incurred; raises :class:`SegmentationFault` for
+        unmapped or protection-violating accesses.
+        """
+        self._check_open()
+        counts = FaultCounts()
+        start, end = page_floor(addr), page_ceil(addr + length)
+        pos = start
+        while pos < end:
+            mapping = self.find_mapping(pos)
+            if mapping is None:
+                raise SegmentationFault(f"{self.name}: access at {pos:#x} unmapped")
+            needed = Protection.WRITE if write else Protection.READ
+            if not mapping.prot & needed:
+                raise SegmentationFault(
+                    f"{self.name}: {needed!r} access at {pos:#x} "
+                    f"on {mapping.prot!r} mapping"
+                )
+            span_end = min(end, mapping.end)
+            first = (pos - mapping.start) >> PAGE_SHIFT
+            last = (span_end - mapping.start + PAGE_SIZE - 1) >> PAGE_SHIFT
+            for rel in range(first, last):
+                counts += self._touch_page(mapping, rel, write)
+            pos = span_end
+        self.faults += counts
+        return counts
+
+    def _touch_page(self, mapping: Mapping, rel: int, write: bool) -> FaultCounts:
+        state = mapping.pages.get(rel, PageState.NOT_PRESENT)
+        counts = FaultCounts()
+        if state is not PageState.ANON_DIRTY and not (
+            state is PageState.FILE_CLEAN and not (write and not mapping.shared)
+        ):
+            self.version += 1
+        if state is PageState.NOT_PRESENT:
+            counts.minor += 1
+            if mapping.file is not None and not (write and not mapping.shared):
+                # Read of a file page, or write to a MAP_SHARED file page:
+                # serve from / install into the page cache.
+                fresh = mapping.file.touch(mapping.file_page_of(rel), mapping.id)
+                if fresh:
+                    self.physical.alloc_file()
+                mapping.pages[rel] = PageState.FILE_CLEAN
+                mapping.n_file += 1
+            else:
+                # Anonymous page, or COW write to a private file page.
+                self.physical.alloc_anon()
+                mapping.pages[rel] = PageState.ANON_DIRTY
+                mapping.n_anon += 1
+        elif state is PageState.FILE_CLEAN and write and not mapping.shared:
+            # Copy-on-write: the private file page becomes an anon frame.
+            counts.minor += 1
+            if mapping.file.untouch(mapping.file_page_of(rel), mapping.id):
+                self.physical.free_file()
+            self.physical.alloc_anon()
+            mapping.pages[rel] = PageState.ANON_DIRTY
+            mapping.n_file -= 1
+            mapping.n_anon += 1
+        elif state is PageState.SWAPPED:
+            counts.major += 1
+            self.physical.swap.swap_in()
+            self.physical.alloc_anon()
+            mapping.pages[rel] = PageState.ANON_DIRTY
+            mapping.n_swapped -= 1
+            mapping.n_anon += 1
+        return counts
+
+    # ------------------------------------------------------------- reclaim
+
+    def discard(self, addr: int, length: int) -> int:
+        """``madvise(MADV_DONTNEED)``: drop frames, keep the mapping.
+
+        Returns the number of pages whose physical memory was released.
+        Subsequent touches zero-fill-fault the pages back in.
+        """
+        self._check_open()
+        start, end = page_floor(addr), page_ceil(addr + length)
+        released = 0
+        for mapping in self._overlapping(start, end):
+            first = max(0, (start - mapping.start) >> PAGE_SHIFT)
+            last = min(
+                mapping.num_pages,
+                (min(end, mapping.end) - mapping.start + PAGE_SIZE - 1) >> PAGE_SHIFT,
+            )
+            released += self._release_pages(mapping, range(first, last))
+        return released
+
+    def swap_out_range(self, addr: int, length: int) -> int:
+        """Push private resident pages in the range to swap (the §5.6 baseline).
+
+        Returns the number of pages swapped out.  File-clean pages are simply
+        dropped (the kernel would too -- they can be re-read).
+        """
+        self._check_open()
+        start, end = page_floor(addr), page_ceil(addr + length)
+        moved = 0
+        for mapping in self._overlapping(start, end):
+            first = max(0, (start - mapping.start) >> PAGE_SHIFT)
+            last = min(
+                mapping.num_pages,
+                (min(end, mapping.end) - mapping.start + PAGE_SIZE - 1) >> PAGE_SHIFT,
+            )
+            for rel in range(first, last):
+                state = mapping.pages.get(rel)
+                if state is PageState.ANON_DIRTY:
+                    self.physical.free_anon()
+                    self.physical.swap.swap_out()
+                    mapping.pages[rel] = PageState.SWAPPED
+                    mapping.n_anon -= 1
+                    mapping.n_swapped += 1
+                    moved += 1
+                elif state is PageState.FILE_CLEAN:
+                    if mapping.file.untouch(mapping.file_page_of(rel), mapping.id):
+                        self.physical.free_file()
+                    del mapping.pages[rel]
+                    mapping.n_file -= 1
+                    moved += 1
+        if moved:
+            self.version += 1
+            self.release_epoch += 1
+        return moved
+
+    def close(self) -> None:
+        """Tear the whole address space down (instance destruction)."""
+        if self.closed:
+            return
+        for mapping in list(self.mappings()):
+            self._release_pages(mapping, range(mapping.num_pages))
+            self._remove(mapping)
+        self.closed = True
+
+    # ------------------------------------------------------------ internals
+
+    def _release_pages(self, mapping: Mapping, rels: Iterable[int]) -> int:
+        released = 0
+        for rel in rels:
+            state = mapping.pages.pop(rel, None)
+            if state is None:
+                continue
+            if state is PageState.ANON_DIRTY:
+                self.physical.free_anon()
+                mapping.n_anon -= 1
+                released += 1
+            elif state is PageState.FILE_CLEAN:
+                if mapping.file.untouch(mapping.file_page_of(rel), mapping.id):
+                    self.physical.free_file()
+                mapping.n_file -= 1
+                released += 1
+            elif state is PageState.SWAPPED:
+                self.physical.swap.swap_in()  # discard from swap
+                mapping.n_swapped -= 1
+                released += 1
+        if released:
+            self.version += 1
+            self.release_epoch += 1
+        return released
+
+    def _insert(self, mapping: Mapping) -> None:
+        self._mappings[mapping.start] = mapping
+        insort(self._starts, mapping.start)
+
+    def _remove(self, mapping: Mapping) -> None:
+        del self._mappings[mapping.start]
+        self._starts.remove(mapping.start)
+
+    def _overlaps(self, start: int, length: int) -> bool:
+        return bool(self._overlapping(start, start + length))
+
+    def _overlapping(self, start: int, end: int) -> List[Mapping]:
+        result = []
+        idx = max(0, bisect_right(self._starts, start) - 1)
+        for s in self._starts[idx:]:
+            mapping = self._mappings[s]
+            if mapping.start >= end:
+                break
+            if mapping.end > start:
+                result.append(mapping)
+        return result
+
+    def _require_fully_mapped(self, start: int, end: int) -> None:
+        covered = start
+        for mapping in self._overlapping(start, end):
+            if mapping.start > covered:
+                raise SegmentationFault(
+                    f"{self.name}: hole at {covered:#x} in mprotect range"
+                )
+            covered = max(covered, mapping.end)
+        if covered < end:
+            raise SegmentationFault(f"{self.name}: hole at {covered:#x} in mprotect range")
+
+    def _split_for(self, mapping: Mapping, start: int, end: int) -> None:
+        """Split ``mapping`` so the overlap with [start, end) is standalone."""
+        if mapping.start < start < mapping.end:
+            self._split_at(mapping, start)
+            mapping = self.find_mapping(start)
+            assert mapping is not None
+        if mapping.start < end < mapping.end:
+            self._split_at(mapping, end)
+
+    def _split_at(self, mapping: Mapping, addr: int) -> None:
+        assert mapping.start < addr < mapping.end and addr % PAGE_SIZE == 0
+        head_len = addr - mapping.start
+        tail = Mapping(
+            addr,
+            mapping.end - addr,
+            mapping.prot,
+            mapping.name,
+            mapping.file,
+            mapping.file_offset + head_len if mapping.file else 0,
+            mapping.shared,
+        )
+        split_page = head_len >> PAGE_SHIFT
+        for rel in [r for r in mapping.pages if r >= split_page]:
+            state = mapping.pages.pop(rel)
+            tail.pages[rel - split_page] = state
+            if state is PageState.ANON_DIRTY:
+                mapping.n_anon -= 1
+                tail.n_anon += 1
+            elif state is PageState.SWAPPED:
+                mapping.n_swapped -= 1
+                tail.n_swapped += 1
+            elif state is PageState.FILE_CLEAN:
+                mapping.n_file -= 1
+                tail.n_file += 1
+                # Re-home the page-cache reference under the tail's mapping id.
+                file_page = mapping.file_page_of(rel)
+                mapping.file.untouch(file_page, mapping.id)
+                mapping.file.touch(file_page, tail.id)
+        mapping.length = head_len
+        self._insert(tail)
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise MemoryError_(f"address space {self.name} is closed")

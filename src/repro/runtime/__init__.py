@@ -1,0 +1,43 @@
+"""Managed-runtime simulators (HotSpot serial GC, V8, CPython arenas).
+
+Each runtime allocates objects from a :class:`repro.mem.VirtualAddressSpace`
+through its own heap organization and collection algorithm, reproducing the
+memory-management policies §3.2 of the paper dissects:
+
+* ``hotspot`` -- generational serial GC with contiguous spaces, free-ratio
+  resizing, and the commit-but-never-release behaviour that strands free
+  pages inside the heap.
+* ``v8``      -- semispace scavenger + mark-sweep over 256 KiB chunks, with
+  the allocation-rate doubling policy that never shrinks under intermittent
+  execution, weak-ref'd JIT code, and per-chunk metadata pages.
+* ``cpython`` -- the §7 generalization: 256 KiB arenas freed only when empty.
+"""
+
+from repro.runtime.base import (
+    HeapStats,
+    ManagedRuntime,
+    OutOfMemory,
+    ReclaimOutcome,
+    RuntimeConfig,
+)
+from repro.runtime.object_model import HeapObject, ObjectGraph
+from repro.runtime.hotspot import HotSpotRuntime
+from repro.runtime.v8 import V8Runtime
+from repro.runtime.cpython import CPythonRuntime
+from repro.runtime.golang import GoRuntime
+from repro.runtime.g1 import G1Runtime
+
+__all__ = [
+    "HeapStats",
+    "ManagedRuntime",
+    "OutOfMemory",
+    "ReclaimOutcome",
+    "RuntimeConfig",
+    "HeapObject",
+    "ObjectGraph",
+    "HotSpotRuntime",
+    "V8Runtime",
+    "CPythonRuntime",
+    "GoRuntime",
+    "G1Runtime",
+]

@@ -1,0 +1,56 @@
+"""Cost-model constants shared by all runtime simulators.
+
+Times are seconds of CPU.  The absolute values are calibrated to commodity
+server hardware (the paper's Xeon Gold 6138) so end-to-end shapes -- GC
+pauses in the low milliseconds, reclaim CPU in the paper's "10 ms" ballpark
+(§4.5.2), post-reclaim fault overhead averaging single-digit percent
+(Figure 13) -- come out in the right regime.
+"""
+
+from repro.mem.layout import MIB
+
+#: Tracing cost per MiB of live data (mark phase of any tracing collector).
+TRACE_SECONDS_PER_MIB = 0.0011
+
+#: Copy/evacuation cost per MiB of surviving data (young GC, compaction).
+COPY_SECONDS_PER_MIB = 0.0032
+
+#: Sweep cost per MiB of heap swept without copying (V8 mark-sweep).
+SWEEP_SECONDS_PER_MIB = 0.0004
+
+#: Fixed per-collection overhead (safepoint, root scanning).
+GC_BASE_SECONDS = 0.0006
+
+#: A zero-fill (minor) page fault.
+MINOR_FAULT_SECONDS = 2.0e-6
+
+#: A swap-in (major) page fault -- SSD-backed swap under load.
+MAJOR_FAULT_SECONDS = 2.5e-4
+
+#: madvise/munmap cost per MiB released back to the OS.
+RELEASE_SECONDS_PER_MIB = 0.00012
+
+
+def trace_cost(live_bytes: int) -> float:
+    """CPU seconds to trace ``live_bytes`` of reachable data."""
+    return GC_BASE_SECONDS + TRACE_SECONDS_PER_MIB * (live_bytes / MIB)
+
+
+def copy_cost(copied_bytes: int) -> float:
+    """CPU seconds to evacuate ``copied_bytes`` of survivors."""
+    return COPY_SECONDS_PER_MIB * (copied_bytes / MIB)
+
+
+def sweep_cost(swept_bytes: int) -> float:
+    """CPU seconds to sweep ``swept_bytes`` of heap."""
+    return SWEEP_SECONDS_PER_MIB * (swept_bytes / MIB)
+
+
+def fault_cost(minor: int, major: int = 0) -> float:
+    """CPU seconds to service the given fault counts."""
+    return minor * MINOR_FAULT_SECONDS + major * MAJOR_FAULT_SECONDS
+
+
+def release_cost(released_bytes: int) -> float:
+    """CPU seconds to return ``released_bytes`` to the OS."""
+    return RELEASE_SECONDS_PER_MIB * (released_bytes / MIB)

@@ -1,0 +1,5 @@
+"""CPython arena-allocator simulator (the §7 generalization)."""
+
+from repro.runtime.cpython.runtime import CPythonConfig, CPythonRuntime
+
+__all__ = ["CPythonConfig", "CPythonRuntime"]

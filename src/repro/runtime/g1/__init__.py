@@ -1,0 +1,11 @@
+"""G1GC simulator (the paper's §7 / §5.4 discussion).
+
+The paper studies the serial collector because Lambda uses it, but §7
+argues Desiccant applies to G1 unchanged: it is still HotSpot, it can
+estimate reclamation throughput, and it knows which regions are free.
+"""
+
+from repro.runtime.g1.runtime import G1Config, G1Runtime
+from repro.runtime.g1.regions import Region, RegionManager
+
+__all__ = ["G1Config", "G1Runtime", "Region", "RegionManager"]

@@ -1,0 +1,5 @@
+"""Go runtime simulator (the second §7 generalization)."""
+
+from repro.runtime.golang.runtime import GoConfig, GoRuntime
+
+__all__ = ["GoConfig", "GoRuntime"]

@@ -1,0 +1,7 @@
+"""HotSpot serial-GC simulator (the §3.2.1 runtime)."""
+
+from repro.runtime.hotspot.runtime import HotSpotConfig, HotSpotRuntime
+from repro.runtime.hotspot.spaces import ContiguousSpace
+from repro.runtime.hotspot.policy import ResizePolicy
+
+__all__ = ["HotSpotConfig", "HotSpotRuntime", "ContiguousSpace", "ResizePolicy"]

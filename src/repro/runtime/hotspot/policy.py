@@ -1,0 +1,65 @@
+"""HotSpot's free-ratio heap resize policy (§3.2.1).
+
+After an old (full) collection the JVM resizes both generations:
+
+* the **old generation** keeps its free ratio -- free bytes over committed
+  bytes -- inside ``[MinHeapFreeRatio, MaxHeapFreeRatio]`` (40% / 70% for the
+  serial collector),
+* the **young generation** is sized from the old generation's committed
+  size (``NewRatio``), split eden : from : to = 8 : 1 : 1
+  (``SurvivorRatio=8``).
+
+The policy only computes target committed sizes; the runtime applies them
+via commit/uncommit.  Crucially -- the paper's observation -- *shrinking*
+releases pages above the committed boundary, but free pages *below* it are
+untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.layout import MIB, page_ceil
+
+
+@dataclass(frozen=True)
+class ResizePolicy:
+    """Tunables mirroring the serial collector's defaults."""
+
+    min_heap_free_ratio: float = 0.40
+    max_heap_free_ratio: float = 0.70
+    new_ratio: int = 2  # old : young committed ratio
+    survivor_ratio: int = 8  # eden : survivor
+    min_old_committed: int = 4 * MIB
+    min_young_committed: int = 2 * MIB
+
+    def target_old_committed(self, old_used: int, current: int, reserved: int) -> int:
+        """New committed size for the old generation after a full GC."""
+        if current <= 0:
+            return min(self.min_old_committed, reserved)
+        free_ratio = (current - old_used) / current
+        target = current
+        if free_ratio < self.min_heap_free_ratio:
+            # Expand so the free ratio recovers to the minimum.
+            target = int(old_used / (1.0 - self.min_heap_free_ratio))
+        elif free_ratio > self.max_heap_free_ratio:
+            # Shrink so the free ratio drops to the maximum.
+            target = int(old_used / (1.0 - self.max_heap_free_ratio))
+        target = max(target, old_used, self.min_old_committed)
+        target = min(target, reserved)
+        return page_ceil(target)
+
+    def target_young_committed(self, old_committed: int, reserved: int) -> int:
+        """Young generation committed size derived from the old one."""
+        target = max(old_committed // self.new_ratio, self.min_young_committed)
+        return page_ceil(min(target, reserved))
+
+    def split_young(self, young_committed: int) -> tuple[int, int]:
+        """Split a young budget into ``(eden, survivor)`` sizes.
+
+        ``eden = young * ratio / (ratio + 2)`` and each survivor gets one
+        share, mirroring ``SurvivorRatio``.
+        """
+        survivor = page_ceil(young_committed // (self.survivor_ratio + 2))
+        eden = young_committed - 2 * survivor
+        return eden, survivor

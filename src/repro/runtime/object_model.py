@@ -1,0 +1,162 @@
+"""The object graph shared by every runtime simulator.
+
+Objects are nodes with a byte size and strong reference edges.  Roots come in
+three flavours:
+
+* **frame roots** -- live for one function invocation (temporaries); the
+  runtime pops them at invocation exit, at which point the temporaries are
+  garbage -- *frozen garbage* once the instance is paused.
+* **persistent roots** -- the function's cached state (loaded libraries,
+  connection pools); live across invocations.
+* **weak roots** -- reachable only through a weak edge (V8's JIT code cache
+  is modelled this way).  Normal collections retain them; *aggressive*
+  collections (§4.7) clear them, triggering deoptimization on the next run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+
+@dataclass
+class HeapObject:
+    """One allocated object: identity, size, and outgoing strong edges."""
+
+    oid: int
+    size: int
+    refs: List[int] = field(default_factory=list)
+    age: int = 0  # young collections survived (promotion decisions)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"object size must be positive, got {self.size}")
+
+
+class ObjectGraph:
+    """Object table plus root sets, with reachability tracing.
+
+    Placement (which space / address an object lives at) is the runtime's
+    job; the graph only knows identity, sizes, and edges.
+    """
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self.objects: Dict[int, HeapObject] = {}
+        self.persistent_roots: Set[int] = set()
+        self.weak_roots: Set[int] = set()
+        self._frames: List[Set[int]] = []
+
+    # ------------------------------------------------------------- mutation
+
+    def new_object(self, size: int, refs: Iterable[int] = ()) -> int:
+        """Create an object and return its id (caller decides rooting)."""
+        oid = next(self._ids)
+        ref_list = list(refs)
+        for child in ref_list:
+            self._require(child)
+        self.objects[oid] = HeapObject(oid, size, ref_list)
+        return oid
+
+    def add_ref(self, parent: int, child: int) -> None:
+        """Add a strong edge parent -> child."""
+        self._require(parent)
+        self._require(child)
+        self.objects[parent].refs.append(child)
+
+    def push_frame(self) -> None:
+        """Open a new invocation frame (its roots die with the frame)."""
+        self._frames.append(set())
+
+    def pop_frame(self) -> Set[int]:
+        """Close the current frame, returning the roots it held."""
+        if not self._frames:
+            raise RuntimeError("no invocation frame to pop")
+        return self._frames.pop()
+
+    @property
+    def frame_depth(self) -> int:
+        """Number of open invocation frames."""
+        return len(self._frames)
+
+    def root_in_frame(self, oid: int) -> None:
+        """Root ``oid`` in the current invocation frame."""
+        self._require(oid)
+        if not self._frames:
+            raise RuntimeError("no open invocation frame")
+        self._frames[-1].add(oid)
+
+    def root_persistent(self, oid: int) -> None:
+        """Root ``oid`` across invocations."""
+        self._require(oid)
+        self.persistent_roots.add(oid)
+
+    def unroot_persistent(self, oid: int) -> None:
+        """Drop a persistent root (idempotent)."""
+        self.persistent_roots.discard(oid)
+
+    def root_weak(self, oid: int) -> None:
+        """Hold ``oid`` via a weak root (cleared by aggressive GC)."""
+        self._require(oid)
+        self.weak_roots.add(oid)
+
+    def unroot_weak(self, oid: int) -> None:
+        """Drop a weak root (idempotent)."""
+        self.weak_roots.discard(oid)
+
+    # ------------------------------------------------------------- tracing
+
+    def all_roots(self, include_weak: bool) -> Set[int]:
+        """The current root set."""
+        roots: Set[int] = set(self.persistent_roots)
+        for frame in self._frames:
+            roots |= frame
+        if include_weak:
+            roots |= self.weak_roots
+        # Roots may point at already-removed objects only through bugs;
+        # filter defensively so tracing never KeyErrors.
+        return {oid for oid in roots if oid in self.objects}
+
+    def reachable(self, include_weak: bool = True) -> Set[int]:
+        """Transitive closure of the roots over strong edges."""
+        live: Set[int] = set()
+        stack = list(self.all_roots(include_weak))
+        while stack:
+            oid = stack.pop()
+            if oid in live:
+                continue
+            live.add(oid)
+            for child in self.objects[oid].refs:
+                if child not in live and child in self.objects:
+                    stack.append(child)
+        return live
+
+    def live_bytes(self, include_weak: bool = True) -> int:
+        """Total size of currently reachable objects."""
+        return sum(self.objects[oid].size for oid in self.reachable(include_weak))
+
+    def sweep(self, live: Set[int]) -> Tuple[int, int]:
+        """Drop every object not in ``live``.
+
+        Returns ``(collected_count, collected_bytes)``.  Also clears weak
+        roots pointing at collected objects.
+        """
+        dead = [oid for oid in self.objects if oid not in live]
+        collected_bytes = 0
+        for oid in dead:
+            collected_bytes += self.objects[oid].size
+            del self.objects[oid]
+        self.weak_roots &= live
+        self.persistent_roots &= live
+        for frame in self._frames:
+            frame &= live
+        return len(dead), collected_bytes
+
+    def total_bytes(self) -> int:
+        """Sum of all object sizes, live or not."""
+        return sum(obj.size for obj in self.objects.values())
+
+    def _require(self, oid: int) -> None:
+        if oid not in self.objects:
+            raise KeyError(f"unknown object id {oid}")

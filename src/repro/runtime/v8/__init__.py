@@ -1,0 +1,7 @@
+"""V8 simulator (the §3.2.2 runtime): scavenger + mark-sweep over chunks."""
+
+from repro.runtime.v8.runtime import V8Config, V8Runtime
+from repro.runtime.v8.chunks import Chunk, ChunkedSpace
+from repro.runtime.v8.policy import V8YoungPolicy
+
+__all__ = ["V8Config", "V8Runtime", "Chunk", "ChunkedSpace", "V8YoungPolicy"]

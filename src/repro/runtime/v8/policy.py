@@ -1,0 +1,52 @@
+"""V8's young-generation resize policy (§3.2.2).
+
+The two halves the paper dissects:
+
+* **Expanding happens before GC.**  When the live bytes found by scavenges
+  since the last expansion accumulate past the current young size, the
+  generation doubles.  Under FaaS's bursty execution this fires repeatedly
+  -- fft's young generation reaches the 32 MiB cap on a 256 MiB heap and
+  128 MiB on 1 GiB (Figure 12d).
+* **Shrinking happens after (full) GC, but only when the allocation rate is
+  low.**  A freshly-exited function has just allocated heavily, so eager
+  ``global.gc`` never shrinks -- the young generation stays inflated into
+  the freeze, which is exactly why eager GC fails for fft (Figure 2b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.layout import KIB, MIB, page_ceil
+
+
+@dataclass(frozen=True)
+class V8YoungPolicy:
+    """Tunables for the semispace sizing decisions."""
+
+    #: Smallest semispace (V8's kMinSemiSpaceSize ballpark).
+    semi_min: int = 512 * KIB
+    #: Allocation-rate threshold below which shrinking is allowed, expressed
+    #: as young-space bytes allocated since the last full collection.
+    shrink_rate_threshold: int = 1 * MIB
+
+    def semi_max(self, max_heap: int) -> int:
+        """Semispace cap: young generation may reach ``max_heap / 8``
+        (two semispaces), i.e. 32 MiB of young space on a 256 MiB heap."""
+        return page_ceil(max(self.semi_min, max_heap // 16))
+
+    def should_expand(self, survived_since_expand: int, semi_committed: int) -> bool:
+        """Pre-GC doubling check."""
+        return survived_since_expand > semi_committed
+
+    def expanded(self, semi_committed: int, max_heap: int) -> int:
+        """The doubled (capped) semispace size."""
+        return min(semi_committed * 2, self.semi_max(max_heap))
+
+    def should_shrink(self, allocated_since_full_gc: int) -> bool:
+        """Post-GC shrink gate: only when the mutator has gone quiet."""
+        return allocated_since_full_gc < self.shrink_rate_threshold
+
+    def shrunk(self, live_young: int) -> int:
+        """Shrink target: twice the live byte size (page aligned)."""
+        return page_ceil(max(2 * live_young, self.semi_min))

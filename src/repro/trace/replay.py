@@ -1,0 +1,70 @@
+"""Scale-factor trace replay (§5.3).
+
+Protocol copied from the paper: warm the system up for 60 seconds at a
+fixed scale factor of 15, zero the meters, then replay 180 seconds at the
+scale factor under test and report cold-boot rate, throughput, CPU
+utilization, and tail latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.baselines import MemoryManager
+from repro.faas.platform import FaasPlatform, PlatformConfig, Request
+from repro.trace.generator import TraceGenerator
+from repro.trace.stats import ReplayStats
+
+
+@dataclass
+class ReplayConfig:
+    """Window and load parameters for one replay."""
+
+    scale_factor: float = 15.0
+    warmup_seconds: float = 60.0
+    warmup_scale_factor: float = 15.0
+    duration_seconds: float = 180.0
+    platform: PlatformConfig = field(default_factory=PlatformConfig)
+    trace_seed: int = 42
+
+
+@dataclass
+class ReplayResult:
+    """Stats plus the platform, for deeper inspection by benches."""
+
+    stats: ReplayStats
+    platform: FaasPlatform
+
+
+def replay(
+    manager_factory: Callable[[], MemoryManager],
+    config: Optional[ReplayConfig] = None,
+    generator: Optional[TraceGenerator] = None,
+) -> ReplayResult:
+    """Run warmup + measurement for one policy and scale factor."""
+    config = config or ReplayConfig()
+    generator = generator or TraceGenerator(seed=config.trace_seed)
+    manager = manager_factory()
+    platform = FaasPlatform(config=config.platform, manager=manager)
+
+    warm = generator.arrivals(config.warmup_seconds, config.warmup_scale_factor)
+    platform.submit([Request(arrival=t, definition=d) for t, d in warm])
+    platform.run()
+
+    platform.reset_metrics()
+    measure_start = max(platform.now, config.warmup_seconds)
+    measured = generator.arrivals(config.duration_seconds, config.scale_factor)
+    platform.submit(
+        [Request(arrival=measure_start + t, definition=d) for t, d in measured]
+    )
+    outcomes = platform.run()
+
+    stats = ReplayStats.from_platform(
+        platform,
+        outcomes,
+        duration_seconds=config.duration_seconds,
+        policy=getattr(manager, "name", type(manager).__name__),
+        scale_factor=config.scale_factor,
+    )
+    return ReplayResult(stats=stats, platform=platform)

@@ -1,0 +1,73 @@
+"""Replay metrics: the quantities Figures 9 and 10 plot."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.faas.platform import FaasPlatform, RequestOutcome
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (p in [0, 100])."""
+    if not values:
+        raise ValueError("no values")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile {p} out of range")
+    ordered = sorted(values)
+    if p == 0:
+        return ordered[0]
+    rank = max(1, int(len(ordered) * p / 100.0 + 0.9999999))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class ReplayStats:
+    """Summary of one measured replay window."""
+
+    policy: str
+    scale_factor: float
+    duration_seconds: float
+    completed: int
+    cold_boots: int
+    evictions: int
+    cold_boot_rate: float  # cold boots per request
+    throughput_rps: float
+    cpu_utilization: float  # [0, 1]
+    reclaim_cpu_fraction: float  # share of busy CPU spent reclaiming
+    eager_gc_cpu_fraction: float
+    p50_latency: float
+    p90_latency: float
+    p95_latency: float
+    p99_latency: float
+
+    @classmethod
+    def from_platform(
+        cls,
+        platform: FaasPlatform,
+        outcomes: List[RequestOutcome],
+        duration_seconds: float,
+        policy: str,
+        scale_factor: float,
+    ) -> "ReplayStats":
+        """Summarize one measured window from the platform's meters."""
+        latencies = [o.latency for o in outcomes] or [0.0]
+        completed = len(outcomes)
+        cold = sum(o.cold_boots for o in outcomes)
+        return cls(
+            policy=policy,
+            scale_factor=scale_factor,
+            duration_seconds=duration_seconds,
+            completed=completed,
+            cold_boots=cold,
+            evictions=platform.evictions,
+            cold_boot_rate=cold / completed if completed else 0.0,
+            throughput_rps=completed / duration_seconds,
+            cpu_utilization=platform.cpu.utilization(duration_seconds),
+            reclaim_cpu_fraction=platform.cpu.category_fraction("reclaim"),
+            eager_gc_cpu_fraction=platform.cpu.category_fraction("eager_gc"),
+            p50_latency=percentile(latencies, 50),
+            p90_latency=percentile(latencies, 90),
+            p95_latency=percentile(latencies, 95),
+            p99_latency=percentile(latencies, 99),
+        )

@@ -1,0 +1,40 @@
+"""Table 1 workload models: the 21 FaaS functions the paper evaluates.
+
+Each function is modelled by the three quantities its memory behaviour
+reduces to (per §3 and §5.2):
+
+* **ephemeral bytes** -- garbage that dies inside the invocation (drives
+  allocation rate, scavenge frequency, and V8's young-generation doubling),
+* **frame bytes**     -- data live until the invocation exits (drives
+  survivor copying and promotion; becomes frozen garbage at the freeze
+  point),
+* **persistent bytes** -- cached state established on first use (the stable
+  live set Desiccant's profile estimator relies on),
+
+plus execution time, a JIT profile, and -- for chained functions -- the
+intermediate data handed to the next stage (the mapreduce effect in §5.2).
+"""
+
+from repro.workloads.model import (
+    FunctionDefinition,
+    FunctionModel,
+    FunctionSpec,
+    InvocationResult,
+)
+from repro.workloads.registry import (
+    all_definitions,
+    definitions_by_language,
+    get_definition,
+    table1_rows,
+)
+
+__all__ = [
+    "FunctionDefinition",
+    "FunctionModel",
+    "FunctionSpec",
+    "InvocationResult",
+    "all_definitions",
+    "definitions_by_language",
+    "get_definition",
+    "table1_rows",
+]

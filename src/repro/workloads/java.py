@@ -1,0 +1,214 @@
+"""The eight Java functions of Table 1.
+
+Volumes are calibrated so the characterization reproduces the paper's
+shapes: every function generates frozen garbage; the average of maximum
+vanilla/ideal ratios is ~2.7x (§3.1); hotel-searching's maximum ratio
+exceeds 5; file-hash's eager-GC heap settles below 10 MiB with ~1 MiB
+live (§3.2.1); mapreduce's mapper hands 12 MiB to the reducer, defeating
+eager GC (§5.2).
+"""
+
+from __future__ import annotations
+
+from repro.mem.layout import KIB, MIB
+from repro.workloads.model import FunctionDefinition, FunctionSpec
+
+
+def _spec(name: str, description: str, **kwargs) -> FunctionSpec:
+    return FunctionSpec(name=name, language="java", description=description, **kwargs)
+
+
+TIME = FunctionDefinition(
+    name="time",
+    language="java",
+    description="Returning current time",
+    stages=(
+        _spec(
+            "time",
+            "Returning current time",
+            base_exec_seconds=0.004,
+            ephemeral_bytes=384 * KIB,
+            frame_bytes=96 * KIB,
+            persistent_bytes=512 * KIB,
+            init_ephemeral_bytes=3 * MIB,
+            object_size=16 * KIB,
+            interp_penalty=1.1,
+        ),
+    ),
+)
+
+SORT = FunctionDefinition(
+    name="sort",
+    language="java",
+    description="Sorting an array of integers",
+    stages=(
+        _spec(
+            "sort",
+            "Sorting an array of integers",
+            base_exec_seconds=0.065,
+            ephemeral_bytes=9 * MIB,
+            frame_bytes=384 * KIB,
+            persistent_bytes=1 * MIB,
+            init_ephemeral_bytes=10 * MIB,
+            interp_penalty=1.3,
+        ),
+    ),
+)
+
+FILE_HASH = FunctionDefinition(
+    name="file-hash",
+    language="java",
+    description="Calculating the hash value for a file",
+    stages=(
+        _spec(
+            "file-hash",
+            "Calculating the hash value for a file",
+            base_exec_seconds=0.08,
+            ephemeral_bytes=6 * MIB,
+            frame_bytes=256 * KIB,
+            persistent_bytes=1 * MIB,  # ~1.07 MiB live after GC in the paper
+            init_ephemeral_bytes=9 * MIB,
+            object_size=64 * KIB,
+            interp_penalty=1.2,
+        ),
+    ),
+)
+
+IMAGE_RESIZE = FunctionDefinition(
+    name="image-resize",
+    language="java",
+    description="Resizing an image",
+    stages=(
+        _spec(
+            "image-resize",
+            "Resizing an image",
+            base_exec_seconds=0.2,
+            ephemeral_bytes=22 * MIB,
+            frame_bytes=640 * KIB,
+            persistent_bytes=2 * MIB,
+            init_ephemeral_bytes=16 * MIB,
+            object_size=128 * KIB,
+            interp_penalty=1.35,
+        ),
+    ),
+)
+
+IMAGE_PIPELINE = FunctionDefinition(
+    name="image-pipeline",
+    language="java",
+    description="Processing an image with four consecutive functions",
+    stages=tuple(
+        _spec(
+            f"image-pipeline.{i}",
+            stage_desc,
+            base_exec_seconds=exec_s,
+            ephemeral_bytes=eph * MIB,
+            frame_bytes=frame * KIB,
+            persistent_bytes=1 * MIB,
+            init_ephemeral_bytes=11 * MIB,
+            object_size=96 * KIB,
+            handoff_bytes=3 * MIB if i < 3 else 0,
+            interp_penalty=1.3,
+        )
+        for i, (stage_desc, exec_s, eph, frame) in enumerate(
+            [
+                ("decode the image", 0.09, 12, 448),
+                ("apply a blur filter", 0.14, 16, 512),
+                ("overlay a watermark", 0.08, 10, 384),
+                ("encode and store the result", 0.11, 14, 448),
+            ]
+        )
+    ),
+)
+
+HOTEL_SEARCHING = FunctionDefinition(
+    name="hotel-searching",
+    language="java",
+    description="Searching hotels with preferences",
+    stages=tuple(
+        _spec(
+            f"hotel-searching.{i}",
+            stage_desc,
+            base_exec_seconds=exec_s,
+            ephemeral_bytes=eph * MIB,
+            frame_bytes=frame * KIB,
+            persistent_bytes=2 * MIB,
+            init_ephemeral_bytes=init * MIB,
+            object_size=48 * KIB,
+            interp_penalty=1.4,
+        )
+        for i, (stage_desc, exec_s, eph, frame, init) in enumerate(
+            [
+                ("match hotels against the query", 0.12, 30, 1024, 34),
+                ("rank candidates by geo distance", 0.1, 24, 896, 30),
+                ("fetch rates and availability", 0.09, 20, 768, 26),
+            ]
+        )
+    ),
+)
+
+MAPREDUCE = FunctionDefinition(
+    name="mapreduce",
+    language="java",
+    description="Counting words in a map-reduce fashion",
+    stages=(
+        _spec(
+            "mapreduce.map",
+            "tokenize input and emit word counts",
+            base_exec_seconds=0.11,
+            ephemeral_bytes=5 * MIB,
+            frame_bytes=384 * KIB,
+            persistent_bytes=1 * MIB,
+            init_ephemeral_bytes=4 * MIB,
+            handoff_bytes=12 * MIB,  # intermediate data for the reducer
+            interp_penalty=1.3,
+        ),
+        _spec(
+            "mapreduce.reduce",
+            "merge per-word counts",
+            base_exec_seconds=0.07,
+            ephemeral_bytes=4 * MIB,
+            frame_bytes=256 * KIB,
+            persistent_bytes=1 * MIB,
+            init_ephemeral_bytes=1 * MIB,
+            interp_penalty=1.25,
+        ),
+    ),
+)
+
+SPECJBB2015 = FunctionDefinition(
+    name="specjbb2015",
+    language="java",
+    description="The purchasing transaction in a simulated supermarket",
+    stages=tuple(
+        _spec(
+            f"specjbb2015.{i}",
+            stage_desc,
+            base_exec_seconds=exec_s,
+            ephemeral_bytes=eph * MIB,
+            frame_bytes=frame * KIB,
+            persistent_bytes=4 * MIB,
+            init_ephemeral_bytes=20 * MIB,
+            object_size=24 * KIB,
+            interp_penalty=1.45,
+        )
+        for i, (stage_desc, exec_s, eph, frame) in enumerate(
+            [
+                ("build the customer basket", 0.13, 16, 768),
+                ("price and apply promotions", 0.15, 18, 896),
+                ("commit the purchase transaction", 0.1, 12, 640),
+            ]
+        )
+    ),
+)
+
+JAVA_DEFINITIONS = (
+    TIME,
+    SORT,
+    FILE_HASH,
+    IMAGE_RESIZE,
+    IMAGE_PIPELINE,
+    HOTEL_SEARCHING,
+    MAPREDUCE,
+    SPECJBB2015,
+)

@@ -1,0 +1,228 @@
+"""The thirteen JavaScript functions of Table 1.
+
+Calibration anchors from the paper: fft keeps large arrays live across the
+whole invocation, so its young generation doubles to the 32 MiB cap on a
+256 MiB heap (and ~128 MiB at 1 GiB -- Figure 12d), making it the worst
+frozen-garbage offender (avg ratio 3.27x default, 7.11x at 1 GiB); clock is
+tiny and budget-insensitive (Figure 12c); unionfind and data-analysis are
+JIT-heavy, so aggressive collections slow them 1.74x / 2.14x (§5.6).
+"""
+
+from __future__ import annotations
+
+from repro.mem.layout import KIB, MIB
+from repro.workloads.model import FunctionDefinition, FunctionSpec
+
+
+def _spec(name: str, description: str, **kwargs) -> FunctionSpec:
+    return FunctionSpec(
+        name=name, language="javascript", description=description, **kwargs
+    )
+
+
+def _single(name: str, description: str, **kwargs) -> FunctionDefinition:
+    return FunctionDefinition(
+        name=name,
+        language="javascript",
+        description=description,
+        stages=(_spec(name, description, **kwargs),),
+    )
+
+
+CLOCK = _single(
+    "clock",
+    "Returning the executed time of current process",
+    base_exec_seconds=0.003,
+    ephemeral_bytes=192 * KIB,
+    frame_bytes=64 * KIB,
+    persistent_bytes=256 * KIB,
+    init_ephemeral_bytes=1 * MIB,
+    object_size=16 * KIB,
+    interp_penalty=1.05,
+)
+
+DYNAMIC_HTML = _single(
+    "dynamic-html",
+    "Generating a HTML file randomly",
+    base_exec_seconds=0.016,
+    ephemeral_bytes=2 * MIB,
+    frame_bytes=1 * MIB,
+    persistent_bytes=512 * KIB,
+    init_ephemeral_bytes=2 * MIB,
+    object_size=24 * KIB,
+    interp_penalty=1.2,
+)
+
+FACTOR = _single(
+    "factor",
+    "Calculating the factorization for a large integer",
+    base_exec_seconds=0.08,
+    ephemeral_bytes=4 * MIB,
+    frame_bytes=768 * KIB,
+    persistent_bytes=384 * KIB,
+    init_ephemeral_bytes=1 * MIB,
+    interp_penalty=1.3,
+)
+
+FFT = _single(
+    "fft",
+    "Fast Fourier transform",
+    base_exec_seconds=0.12,
+    ephemeral_bytes=6 * MIB,
+    frame_bytes=10 * MIB,  # working arrays live across the invocation
+    persistent_bytes=1 * MIB,
+    init_ephemeral_bytes=2 * MIB,
+    object_size=64 * KIB,
+    interp_penalty=1.35,
+)
+
+FIBONACCI = _single(
+    "fibonacci",
+    "Calculating the nth value in a Fibonacci sequence",
+    base_exec_seconds=0.04,
+    ephemeral_bytes=1 * MIB,
+    frame_bytes=256 * KIB,
+    persistent_bytes=256 * KIB,
+    init_ephemeral_bytes=1 * MIB,
+    object_size=16 * KIB,
+    interp_penalty=1.15,
+)
+
+FILESYSTEM = _single(
+    "filesystem",
+    "Accessing the file system",
+    base_exec_seconds=0.03,
+    ephemeral_bytes=3 * MIB,
+    frame_bytes=1 * MIB,
+    persistent_bytes=512 * KIB,
+    init_ephemeral_bytes=2 * MIB,
+    interp_penalty=1.2,
+)
+
+MATRIX = _single(
+    "matrix",
+    "Matrix multiplication",
+    base_exec_seconds=0.1,
+    ephemeral_bytes=5 * MIB,
+    frame_bytes=6 * MIB,
+    persistent_bytes=1 * MIB,
+    init_ephemeral_bytes=2 * MIB,
+    object_size=96 * KIB,
+    interp_penalty=1.3,
+)
+
+PI = _single(
+    "pi",
+    "Calculating pi with a given number of iterations",
+    base_exec_seconds=0.06,
+    ephemeral_bytes=2 * MIB,
+    frame_bytes=192 * KIB,
+    persistent_bytes=256 * KIB,
+    init_ephemeral_bytes=1 * MIB,
+    interp_penalty=1.2,
+)
+
+UNIONFIND = _single(
+    "unionfind",
+    "Executing operations over a union-find disjoint set",
+    base_exec_seconds=0.07,
+    ephemeral_bytes=4 * MIB,
+    frame_bytes=3 * MIB,
+    persistent_bytes=768 * KIB,
+    init_ephemeral_bytes=2 * MIB,
+    object_size=24 * KIB,
+    code_size=768 * KIB,
+    warm_units=32,  # deep optimization pipeline: slow to re-warm
+    interp_penalty=1.74,  # the §5.6 deopt-sensitive function
+)
+
+WEB_SERVER = _single(
+    "web-server",
+    "Launching a web server and processing requests",
+    base_exec_seconds=0.025,
+    ephemeral_bytes=2 * MIB,
+    frame_bytes=1 * MIB,
+    persistent_bytes=2 * MIB,
+    init_ephemeral_bytes=3 * MIB,
+    interp_penalty=1.2,
+)
+
+DATA_ANALYSIS = FunctionDefinition(
+    name="data-analysis",
+    language="javascript",
+    description="Analyzing data in a database",
+    stages=tuple(
+        _spec(
+            f"data-analysis.{i}",
+            stage_desc,
+            base_exec_seconds=exec_s,
+            ephemeral_bytes=eph * MIB,
+            frame_bytes=int(frame * MIB),
+            persistent_bytes=1 * MIB,
+            init_ephemeral_bytes=2 * MIB,
+            object_size=32 * KIB,
+            code_size=768 * KIB,
+            warm_units=48,
+            # The §5.6 deopt-sensitive chain (2.14x end-to-end when its
+            # code is collected aggressively); every stage leans on
+            # optimized code and re-optimizes slowly.
+            interp_penalty=2.4,
+        )
+        for i, (stage_desc, exec_s, eph, frame) in enumerate(
+            [
+                ("parse and validate the query", 0.05, 3, 1),
+                ("scan rows from the store", 0.09, 8, 4),
+                ("filter rows by predicate", 0.06, 5, 2),
+                ("aggregate grouped values", 0.07, 6, 2.5),
+                ("sort the aggregates", 0.05, 4, 1.5),
+                ("render the report", 0.04, 3, 1),
+            ]
+        )
+    ),
+)
+
+ALEXA = FunctionDefinition(
+    name="alexa",
+    language="javascript",
+    description="Interacting with smart-home devices",
+    stages=tuple(
+        _spec(
+            f"alexa.{i}",
+            stage_desc,
+            base_exec_seconds=0.02 + 0.004 * (i % 3),
+            ephemeral_bytes=(1 + i % 2) * MIB,
+            frame_bytes=512 * KIB,
+            persistent_bytes=512 * KIB,
+            init_ephemeral_bytes=1 * MIB,
+            object_size=16 * KIB,
+            interp_penalty=1.15,
+        )
+        for i, stage_desc in enumerate(
+            [
+                "parse the utterance",
+                "resolve the intent",
+                "authenticate the account",
+                "look up device state",
+                "dispatch the device command",
+                "await the device acknowledgement",
+                "compose the voice response",
+                "log the interaction",
+            ]
+        )
+    ),
+)
+
+JAVASCRIPT_DEFINITIONS = (
+    CLOCK,
+    DYNAMIC_HTML,
+    FACTOR,
+    FFT,
+    FIBONACCI,
+    FILESYSTEM,
+    MATRIX,
+    PI,
+    UNIONFIND,
+    WEB_SERVER,
+    DATA_ANALYSIS,
+    ALEXA,
+)

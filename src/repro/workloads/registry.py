@@ -1,0 +1,50 @@
+"""Lookup over the Table 1 function suite."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.workloads.java import JAVA_DEFINITIONS
+from repro.workloads.javascript import JAVASCRIPT_DEFINITIONS
+from repro.workloads.model import FunctionDefinition
+
+_ALL: Tuple[FunctionDefinition, ...] = JAVA_DEFINITIONS + JAVASCRIPT_DEFINITIONS
+_BY_NAME: Dict[str, FunctionDefinition] = {d.name: d for d in _ALL}
+
+
+def all_definitions() -> Tuple[FunctionDefinition, ...]:
+    """Every Table 1 function, Java first (paper order)."""
+    return _ALL
+
+
+def definitions_by_language(language: str) -> List[FunctionDefinition]:
+    """Functions for one language ("java" or "javascript")."""
+    matches = [d for d in _ALL if d.language == language]
+    if not matches:
+        raise KeyError(f"no functions for language {language!r}")
+    return matches
+
+
+def get_definition(name: str) -> FunctionDefinition:
+    """Look a function up by its Table 1 name (without the stage count)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown function {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def get_stage(stage_name: str):
+    """Resolve a stage spec by its full name (e.g. ``mapreduce.map``)."""
+    base = stage_name.split(".")[0]
+    definition = get_definition(base)
+    for stage in definition.stages:
+        if stage.name == stage_name:
+            return stage
+    raise KeyError(f"unknown stage {stage_name!r} in {base!r}")
+
+
+def table1_rows() -> List[Tuple[str, str, str]]:
+    """(language, display name, description) rows reproducing Table 1."""
+    return [(d.language, d.display_name(), d.description) for d in _ALL]

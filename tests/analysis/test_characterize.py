@@ -1,0 +1,116 @@
+"""Integration tests for the characterization harness (§3.1 / §5.2 shapes)."""
+
+import pytest
+
+from repro.analysis.characterize import (
+    run_concurrent_instances,
+    run_overhead_experiment,
+    run_single,
+)
+from repro.mem.layout import MIB
+
+ITERS = 30  # enough to reach steady state, cheap enough for CI
+
+
+class TestRunSingle:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            run_single("fft", policy="magic")
+
+    def test_series_lengths(self):
+        run = run_single("clock", "vanilla", iterations=ITERS)
+        assert len(run.uss_series) == ITERS
+        assert len(run.ideal_series) == ITERS
+        assert len(run.latency_series) == ITERS
+        run.destroy()
+
+    def test_desiccant_appends_post_reclaim_sample(self):
+        run = run_single("clock", "desiccant", iterations=ITERS)
+        assert len(run.uss_series) == ITERS + 1
+        assert run.reclaim_reports
+        run.destroy()
+
+    def test_every_function_generates_frozen_garbage(self):
+        """Figure 1's headline: every ratio exceeds 1."""
+        for name in ("time", "clock"):  # cheapest of each language
+            run = run_single(name, "vanilla", iterations=ITERS)
+            assert run.max_ratio > 1.0
+            assert run.avg_ratio > 1.0
+            run.destroy()
+
+    def test_policy_ordering_for_fft(self):
+        """desiccant <= eager <= vanilla -- the Figure 7 ordering."""
+        vanilla = run_single("fft", "vanilla", iterations=ITERS)
+        eager = run_single("fft", "eager", iterations=ITERS)
+        desiccant = run_single("fft", "desiccant", iterations=ITERS)
+        assert desiccant.final_uss < eager.final_uss < vanilla.final_uss
+        for run in (vanilla, eager, desiccant):
+            run.destroy()
+
+    def test_desiccant_close_to_ideal(self):
+        run = run_single("sort", "desiccant", iterations=ITERS)
+        assert run.final_uss <= run.final_ideal * 1.15
+        run.destroy()
+
+    def test_chain_accumulates_all_stages(self):
+        run = run_single("mapreduce", "vanilla", iterations=5)
+        assert len(run.instances) == 2
+        assert run.final_uss > max(i.uss() for i in run.instances)
+        run.destroy()
+
+    def test_larger_budget_grows_js_ratio(self):
+        """The Figure 4/12 effect: fft wastes more with a bigger heap."""
+        small = run_single("fft", "vanilla", iterations=ITERS, memory_budget=256 * MIB)
+        large = run_single("fft", "vanilla", iterations=ITERS, memory_budget=1024 * MIB)
+        assert large.avg_ratio > small.avg_ratio * 1.3
+        small.destroy()
+        large.destroy()
+
+    def test_java_ratio_stable_across_budgets(self):
+        small = run_single("file-hash", "vanilla", iterations=ITERS)
+        large = run_single(
+            "file-hash", "vanilla", iterations=ITERS, memory_budget=1024 * MIB
+        )
+        assert large.avg_ratio == pytest.approx(small.avg_ratio, rel=0.25)
+        small.destroy()
+        large.destroy()
+
+
+class TestOverheadExperiment:
+    def test_desiccant_overhead_is_small(self):
+        before, after = run_overhead_experiment(
+            "sort", "desiccant", warm_iterations=25, probe_iterations=5
+        )
+        assert after < before * 1.25
+
+    def test_swap_much_worse_than_desiccant(self):
+        _, after_desiccant = run_overhead_experiment(
+            "sort", "desiccant", warm_iterations=25, probe_iterations=5
+        )
+        _, after_swap = run_overhead_experiment(
+            "sort", "swap", warm_iterations=25, probe_iterations=5
+        )
+        assert after_swap > 1.5 * after_desiccant
+
+    def test_unknown_reclaimer_rejected(self):
+        with pytest.raises(ValueError):
+            run_overhead_experiment("sort", "voodoo", warm_iterations=2)
+
+
+class TestConcurrentInstances:
+    def test_chain_rejected(self):
+        with pytest.raises(ValueError):
+            run_concurrent_instances("mapreduce", count=1)
+
+    def test_sharing_amortizes_pss(self):
+        solo = run_concurrent_instances("fft", count=1, iterations=8)
+        shared = run_concurrent_instances("fft", count=4, iterations=8)
+        # RSS per instance is flat-ish; PSS drops toward USS with sharing.
+        gap_solo = solo["pss_per_instance"] - solo["uss_per_instance"]
+        gap_shared = shared["pss_per_instance"] - shared["uss_per_instance"]
+        assert gap_shared < gap_solo or gap_solo == 0
+
+    def test_desiccant_reduces_rss(self):
+        vanilla = run_concurrent_instances("fft", count=1, iterations=8, desiccant=False)
+        reclaimed = run_concurrent_instances("fft", count=1, iterations=8, desiccant=True)
+        assert reclaimed["rss_per_instance"] < vanilla["rss_per_instance"] / 2

@@ -1,0 +1,30 @@
+"""Unit tests for table/CSV rendering."""
+
+import csv
+
+from repro.analysis.report import render_table, write_csv
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "value"], [["fft", 1.5], ["clock", 22]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    assert "fft" in lines[2]
+    # columns align: every row has the same width
+    assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+
+def test_render_table_handles_wide_cells():
+    text = render_table(["x"], [["a-very-long-cell"]])
+    assert "a-very-long-cell" in text
+
+
+def test_write_csv_round_trip(tmp_path):
+    path = write_csv(
+        tmp_path / "out" / "fig.csv", ["a", "b"], [[1, 2], ["x", "y"]]
+    )
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows == [["a", "b"], ["1", "2"], ["x", "y"]]

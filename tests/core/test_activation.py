@@ -1,0 +1,64 @@
+"""Unit tests for the dynamic activation threshold (§4.5.1)."""
+
+import pytest
+
+from repro.core.activation import ActivationController
+
+
+def test_starts_at_floor():
+    ctl = ActivationController(floor=0.6)
+    assert ctl.threshold == 0.6
+
+
+def test_invalid_bounds_rejected():
+    with pytest.raises(ValueError):
+        ActivationController(floor=0.9, ceiling=0.5)
+    with pytest.raises(ValueError):
+        ActivationController(floor=0.0)
+
+
+def test_activates_above_threshold_only():
+    ctl = ActivationController(floor=0.6)
+    assert not ctl.should_activate(frozen_bytes=59, capacity_bytes=100)
+    assert ctl.should_activate(frozen_bytes=61, capacity_bytes=100)
+
+
+def test_zero_capacity_never_activates():
+    assert not ActivationController().should_activate(100, 0)
+
+
+def test_threshold_relaxes_with_quiet_time():
+    ctl = ActivationController(floor=0.6, ceiling=0.9, relax_per_second=0.01)
+    ctl.advance(now=10.0)
+    assert ctl.threshold == pytest.approx(0.7)
+    ctl.advance(now=1000.0)
+    assert ctl.threshold == 0.9  # capped at the ceiling
+
+
+def test_eviction_snaps_back_to_floor():
+    """§4.5.1: evictions mean real pressure; release more memory."""
+    ctl = ActivationController(floor=0.6, relax_per_second=0.01)
+    ctl.advance(now=20.0)
+    assert ctl.threshold > 0.6
+    ctl.on_eviction(now=20.0)
+    assert ctl.threshold == 0.6
+    assert ctl.evictions_seen == 1
+
+
+def test_relaxation_measured_from_last_event():
+    ctl = ActivationController(floor=0.6, relax_per_second=0.01)
+    ctl.on_eviction(now=100.0)
+    ctl.advance(now=105.0)
+    assert ctl.threshold == pytest.approx(0.65)
+
+
+def test_target_bytes_applies_hysteresis():
+    ctl = ActivationController(floor=0.6, hysteresis=0.05)
+    assert ctl.target_bytes(1000) == pytest.approx(550, abs=1)
+
+
+def test_activation_counter():
+    ctl = ActivationController(floor=0.5)
+    ctl.should_activate(60, 100)
+    ctl.should_activate(60, 100)
+    assert ctl.activations == 2

@@ -1,0 +1,158 @@
+"""Unit/integration tests for the Desiccant manager and the baselines."""
+
+import pytest
+
+from repro.core import (
+    ActivationController,
+    Desiccant,
+    DesiccantConfig,
+    EagerGcManager,
+    SwapManager,
+    VanillaManager,
+)
+from repro.faas.instance import FunctionInstance, InstanceState
+from repro.mem.layout import GIB, MIB
+from repro.workloads.registry import get_definition
+
+
+class FakePlatform:
+    """Minimal PlatformView for driving managers directly."""
+
+    def __init__(self, instances, capacity_bytes=1 * GIB, idle=1.0):
+        self._instances = instances
+        self.capacity_bytes = capacity_bytes
+        self._idle = idle
+
+    def frozen_instances(self):
+        return [i for i in self._instances if i.state is InstanceState.FROZEN]
+
+    def frozen_bytes(self):
+        return sum(i.uss() for i in self.frozen_instances())
+
+    def idle_cpu_share(self):
+        return self._idle
+
+
+def frozen_instance(name="sort", invocations=3):
+    spec = get_definition(name).stages[0]
+    inst = FunctionInstance(spec)
+    inst.boot()
+    for _ in range(invocations):
+        inst.invoke(0.0)
+    inst.freeze(0.0)
+    return inst
+
+
+class TestDesiccantStep:
+    def test_idle_below_threshold(self):
+        desiccant = Desiccant()
+        inst = frozen_instance()
+        platform = FakePlatform([inst], capacity_bytes=8 * GIB)
+        assert desiccant.step(now=100.0, platform=platform) == 0.0
+        assert desiccant.reports == []
+        inst.destroy()
+
+    def test_reclaims_down_to_target(self):
+        desiccant = Desiccant(
+            activation=ActivationController(floor=0.05, ceiling=0.05, hysteresis=0.0)
+        )
+        instances = [frozen_instance() for _ in range(3)]
+        platform = FakePlatform(instances, capacity_bytes=1 * GIB)
+        before = platform.frozen_bytes()
+        cpu = desiccant.step(now=100.0, platform=platform)
+        assert cpu > 0
+        assert platform.frozen_bytes() < before
+        assert len(desiccant.reports) >= 1
+        for inst in instances:
+            inst.destroy()
+
+    def test_respects_freeze_timeout(self):
+        desiccant = Desiccant(
+            config=DesiccantConfig(freeze_timeout_seconds=50.0),
+            activation=ActivationController(floor=0.01, ceiling=0.01),
+        )
+        inst = frozen_instance()
+        platform = FakePlatform([inst], capacity_bytes=256 * MIB)
+        desiccant.step(now=10.0, platform=platform)  # frozen for only 10 s
+        assert desiccant.reports == []
+        desiccant.step(now=100.0, platform=platform)
+        assert len(desiccant.reports) == 1
+        inst.destroy()
+
+    def test_eviction_lowers_threshold_and_drops_profiles(self):
+        desiccant = Desiccant()
+        desiccant.activation.advance(now=100.0)
+        raised = desiccant.activation.threshold
+        inst = frozen_instance()
+        desiccant.on_eviction(inst, now=100.0)
+        assert desiccant.activation.threshold < raised
+        inst.destroy()
+
+    def test_non_aggressive_by_default(self):
+        assert DesiccantConfig().aggressive is False
+
+    def test_bounded_reclaims_per_step(self):
+        desiccant = Desiccant(
+            config=DesiccantConfig(max_reclaims_per_step=2, freeze_timeout_seconds=0),
+            activation=ActivationController(floor=0.01, ceiling=0.01, hysteresis=0.0),
+        )
+        instances = [frozen_instance("time", 1) for _ in range(5)]
+        platform = FakePlatform(instances, capacity_bytes=64 * MIB)
+        desiccant.step(now=100.0, platform=platform)
+        assert len(desiccant.reports) <= 2
+        for inst in instances:
+            inst.destroy()
+
+
+class TestBaselines:
+    def test_vanilla_is_inert(self):
+        manager = VanillaManager()
+        inst = frozen_instance()
+        platform = FakePlatform([inst])
+        assert manager.on_invocation_end(inst, 0.0) == 0.0
+        assert manager.step(0.0, platform) == 0.0
+        inst.destroy()
+
+    def test_eager_runs_gc_on_exit(self):
+        manager = EagerGcManager()
+        spec = get_definition("sort").stages[0]
+        inst = FunctionInstance(spec)
+        inst.boot()
+        inst.invoke()
+        seconds = manager.on_invocation_end(inst, 0.0)
+        assert seconds > 0
+        assert manager.gc_count == 1
+        assert inst.runtime.full_gc_count >= 1
+        inst.destroy()
+
+    def test_swap_pushes_pages_out_under_pressure(self):
+        manager = SwapManager(
+            activation=ActivationController(floor=0.01, ceiling=0.01, hysteresis=0.0),
+            freeze_timeout=0.0,
+        )
+        inst = frozen_instance()
+        platform = FakePlatform([inst], capacity_bytes=64 * MIB)
+        manager.step(now=100.0, platform=platform)
+        assert manager.swapped_instances == 1
+        assert inst.runtime.space.physical.swap.pages > 0
+        assert inst.uss() < 1 * MIB
+        inst.destroy()
+
+    def test_swap_requires_frozen(self):
+        manager = SwapManager()
+        spec = get_definition("sort").stages[0]
+        inst = FunctionInstance(spec)
+        inst.boot()
+        with pytest.raises(RuntimeError):
+            manager.swap_out(inst)
+        inst.destroy()
+
+    def test_swapped_instance_pays_major_faults_on_resume(self):
+        manager = SwapManager()
+        inst = frozen_instance()
+        manager.swap_out(inst)
+        inst.thaw()
+        result = inst.invoke()
+        assert inst.runtime.space.faults.major > 0
+        assert result.fault_seconds > 0
+        inst.destroy()

@@ -1,0 +1,72 @@
+"""Unit tests for the profile store (§4.5.2)."""
+
+import pytest
+
+from repro.core.profiles import (
+    MAX_SAMPLES,
+    PRIOR_CPU_SECONDS,
+    PRIOR_LIVE_BYTES,
+    ProfileStore,
+    ReclaimProfile,
+)
+
+
+@pytest.fixture
+def store():
+    return ProfileStore()
+
+
+def test_profile_rejects_negative_values():
+    with pytest.raises(ValueError):
+        ReclaimProfile(-1, 0.1)
+    with pytest.raises(ValueError):
+        ReclaimProfile(1, -0.1)
+
+
+def test_estimate_uses_own_history_first(store):
+    store.record(1, "fft", ReclaimProfile(10_000, 0.01))
+    store.record(1, "fft", ReclaimProfile(20_000, 0.03))
+    store.record(2, "fft", ReclaimProfile(999_999, 9.9))
+    live, cpu = store.estimate(1, "fft")
+    assert live == pytest.approx(15_000)
+    assert cpu == pytest.approx(0.02)
+
+
+def test_new_instance_borrows_same_function_average(store):
+    """§4.5.2: instances of the same function share memory behaviour."""
+    store.record(1, "fft", ReclaimProfile(10_000, 0.01))
+    store.record(2, "fft", ReclaimProfile(30_000, 0.03))
+    live, cpu = store.estimate(99, "fft")
+    assert live == pytest.approx(20_000)
+    assert cpu == pytest.approx(0.02)
+
+
+def test_unknown_function_falls_back_to_global_average(store):
+    store.record(1, "fft", ReclaimProfile(10_000, 0.01))
+    store.record(2, "sort", ReclaimProfile(30_000, 0.03))
+    live, _cpu = store.estimate(99, "never-seen")
+    assert live == pytest.approx(20_000)
+
+
+def test_empty_store_returns_priors(store):
+    live, cpu = store.estimate(1, "anything")
+    assert live == PRIOR_LIVE_BYTES
+    assert cpu == PRIOR_CPU_SECONDS
+
+
+def test_drop_instance_forgets_history_keeps_function_prior(store):
+    store.record(1, "fft", ReclaimProfile(10_000, 0.01))
+    store.drop_instance(1)
+    assert not store.has_history(1)
+    live, _ = store.estimate(2, "fft")
+    assert live == pytest.approx(10_000)
+
+
+def test_history_bounded(store):
+    for i in range(MAX_SAMPLES * 3):
+        store.record(1, "fft", ReclaimProfile(i, 0.01))
+    assert len(store._by_instance[1]) == MAX_SAMPLES
+
+
+def test_drop_unknown_instance_is_noop(store):
+    store.drop_instance(12345)

@@ -1,0 +1,101 @@
+"""Unit tests for the reclamation workflow and the §4.6 library unmap."""
+
+import pytest
+
+from repro.core.libunmap import unmap_solo_libraries
+from repro.core.profiles import ProfileStore
+from repro.core.reclaimer import reclaim_instance
+from repro.faas.instance import FunctionInstance
+from repro.faas.libraries import SharedLibraryPool
+from repro.mem.accounting import measure
+from repro.mem.layout import MIB
+from repro.mem.physical import PhysicalMemory
+from repro.runtime.hotspot import HotSpotRuntime
+from repro.workloads.registry import get_definition
+
+
+def build_instance(shared: bool):
+    physical = PhysicalMemory()
+    shared_files = None
+    if shared:
+        pool = SharedLibraryPool(physical, runtime_classes=(HotSpotRuntime,))
+        shared_files = pool.files
+    spec = get_definition("file-hash").stages[0]
+    inst = FunctionInstance(spec, physical=physical, shared_files=shared_files)
+    inst.boot()
+    for _ in range(3):
+        inst.invoke()
+    inst.freeze()
+    return inst
+
+
+class TestLibUnmap:
+    def test_private_libraries_released(self):
+        inst = build_instance(shared=False)
+        before = inst.uss()
+        released = unmap_solo_libraries(inst.runtime.space)
+        assert released > 10 * MIB  # libjvm + base libraries
+        assert inst.uss() == before - released
+        inst.destroy()
+
+    def test_shared_libraries_untouched(self):
+        inst = build_instance(shared=True)
+        assert unmap_solo_libraries(inst.runtime.space) == 0
+        inst.destroy()
+
+    def test_unmapped_library_refaults_on_use(self):
+        inst = build_instance(shared=False)
+        unmap_solo_libraries(inst.runtime.space)
+        inst.thaw()
+        inst.invoke()  # must not crash; library pages come back from disk
+        inst.destroy()
+
+
+class TestReclaimInstance:
+    def test_reclaim_records_profile(self):
+        inst = build_instance(shared=True)
+        store = ProfileStore()
+        report = reclaim_instance(inst, store)
+        assert store.has_history(inst.id)
+        live, cpu = store.estimate(inst.id, inst.spec.name)
+        assert live == report.live_bytes
+        assert cpu == pytest.approx(report.cpu_seconds)
+        inst.destroy()
+
+    def test_reclaim_combines_heap_and_library_release(self):
+        inst = build_instance(shared=False)
+        report = reclaim_instance(inst, ProfileStore(), unmap_libraries=True)
+        assert report.library_bytes > 0
+        assert report.released_bytes > report.library_bytes
+        assert report.uss_after < report.uss_before
+        inst.destroy()
+
+    def test_unmap_can_be_disabled(self):
+        inst = build_instance(shared=False)
+        report = reclaim_instance(inst, ProfileStore(), unmap_libraries=False)
+        assert report.library_bytes == 0
+        inst.destroy()
+
+    def test_cpu_share_stretches_wall_time_not_cpu(self):
+        """The §4.5.2 accounting: less idle CPU -> longer wall clock, same
+        accumulated CPU seconds."""
+        full = build_instance(shared=True)
+        half = build_instance(shared=True)
+        r_full = reclaim_instance(full, ProfileStore(), cpu_share=1.0)
+        r_half = reclaim_instance(half, ProfileStore(), cpu_share=0.5)
+        assert r_half.wall_seconds > r_full.wall_seconds
+        assert r_half.cpu_seconds == pytest.approx(r_half.wall_seconds * 0.5)
+        full.destroy()
+        half.destroy()
+
+    def test_invalid_cpu_share_rejected(self):
+        inst = build_instance(shared=True)
+        with pytest.raises(ValueError):
+            reclaim_instance(inst, ProfileStore(), cpu_share=0.0)
+        inst.destroy()
+
+    def test_sets_reclaimed_flag(self):
+        inst = build_instance(shared=True)
+        reclaim_instance(inst, ProfileStore())
+        assert inst.reclaimed_this_freeze is True
+        inst.destroy()

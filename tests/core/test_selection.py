@@ -1,0 +1,82 @@
+"""Unit tests for throughput-ranked instance selection (§4.5.2)."""
+
+import pytest
+
+from repro.core.profiles import ProfileStore, ReclaimProfile
+from repro.core.selection import MIN_CPU_SECONDS, estimated_throughput, rank_candidates
+from repro.faas.instance import FunctionInstance
+from repro.mem.layout import MIB
+from repro.workloads.registry import get_definition
+
+
+def frozen_instance(name="file-hash", invocations=2, now=0.0):
+    spec = get_definition(name).stages[0]
+    inst = FunctionInstance(spec)
+    inst.boot()
+    for _ in range(invocations):
+        inst.invoke(now)
+    inst.freeze(now)
+    return inst
+
+
+class TestFormula:
+    def test_paper_formula(self):
+        # (heap - live) / cpu
+        assert estimated_throughput(10 * MIB, 2 * MIB, 0.01) == pytest.approx(
+            8 * MIB / 0.01
+        )
+
+    def test_live_above_heap_clamps_to_zero(self):
+        assert estimated_throughput(1 * MIB, 5 * MIB, 0.01) == 0.0
+
+    def test_zero_cpu_estimate_uses_floor(self):
+        result = estimated_throughput(10 * MIB, 0, 0.0)
+        assert result == pytest.approx(10 * MIB / MIN_CPU_SECONDS)
+
+
+class TestRanking:
+    def test_only_frozen_past_timeout_considered(self):
+        store = ProfileStore()
+        young = frozen_instance(now=9.5)
+        old = frozen_instance(now=0.0)
+        ranked = rank_candidates([young, old], store, now=10.0, freeze_timeout=2.0)
+        assert [inst for _, inst in ranked] == [old]
+        young.destroy()
+        old.destroy()
+
+    def test_running_instances_excluded(self):
+        store = ProfileStore()
+        inst = frozen_instance()
+        inst.thaw()
+        assert rank_candidates([inst], store, now=100.0) == []
+        inst.destroy()
+
+    def test_already_reclaimed_skipped(self):
+        store = ProfileStore()
+        inst = frozen_instance()
+        inst.reclaimed_this_freeze = True
+        assert rank_candidates([inst], store, now=100.0) == []
+        inst.destroy()
+
+    def test_highest_estimated_throughput_first(self):
+        store = ProfileStore()
+        small = frozen_instance("time")
+        big = frozen_instance("image-resize")
+        # Equal-cost profiles: the bigger reclaimable heap must rank first.
+        store.record(small.id, small.spec.name, ReclaimProfile(512 * 1024, 0.01))
+        store.record(big.id, big.spec.name, ReclaimProfile(2 * MIB, 0.01))
+        ranked = rank_candidates([small, big], store, now=100.0)
+        assert ranked[0][1] is big
+        assert ranked[0][0] >= ranked[1][0]
+        small.destroy()
+        big.destroy()
+
+    def test_ranking_is_deterministic_permutation(self):
+        store = ProfileStore()
+        instances = [frozen_instance("sort") for _ in range(4)]
+        a = rank_candidates(instances, store, now=100.0)
+        b = rank_candidates(list(reversed(instances)), store, now=100.0)
+        assert [i.id for _, i in a] == [i.id for _, i in b]
+        assert {i.id for _, i in a} == {i.id for i in instances}
+        for inst in instances:
+            inst.destroy()

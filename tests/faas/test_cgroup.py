@@ -1,0 +1,60 @@
+"""Unit tests for CPU accounting."""
+
+import pytest
+
+from repro.faas.cgroup import CpuAccountant, weighted_cpu_seconds
+
+
+class TestWeightedCpuSeconds:
+    def test_paper_example(self):
+        """§4.5.2: 0.5 CPU for 3 ms + 0.25 CPU for 7 ms = 3.25 ms."""
+        assert weighted_cpu_seconds([(0.003, 0.5), (0.007, 0.25)]) == pytest.approx(
+            0.00325
+        )
+
+    def test_empty_is_zero(self):
+        assert weighted_cpu_seconds([]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_cpu_seconds([(-1.0, 0.5)])
+        with pytest.raises(ValueError):
+            weighted_cpu_seconds([(1.0, -0.5)])
+
+
+class TestCpuAccountant:
+    def test_charges_accumulate_per_category(self):
+        acct = CpuAccountant(cpus=4.0)
+        acct.charge("invocation", 1.0)
+        acct.charge("invocation", 0.5)
+        acct.charge("reclaim", 0.25)
+        assert acct.busy["invocation"] == 1.5
+        assert acct.total_busy() == 1.75
+
+    def test_utilization_normalizes_by_cpus(self):
+        acct = CpuAccountant(cpus=2.0)
+        acct.charge("invocation", 1.0)
+        assert acct.utilization(1.0) == 0.5
+
+    def test_utilization_clamped_to_one(self):
+        acct = CpuAccountant(cpus=1.0)
+        acct.charge("invocation", 10.0)
+        assert acct.utilization(1.0) == 1.0
+
+    def test_category_fraction(self):
+        acct = CpuAccountant()
+        acct.charge("invocation", 3.0)
+        acct.charge("reclaim", 1.0)
+        assert acct.category_fraction("reclaim") == 0.25
+        assert acct.category_fraction("missing") == 0.0
+
+    def test_empty_fraction_is_zero(self):
+        assert CpuAccountant().category_fraction("reclaim") == 0.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            CpuAccountant().charge("invocation", -1.0)
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ValueError):
+            CpuAccountant().utilization(0.0)

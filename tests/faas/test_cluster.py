@@ -1,0 +1,95 @@
+"""Unit/integration tests for the multi-node cluster layer."""
+
+import pytest
+
+from repro.core import Desiccant
+from repro.faas.cluster import Cluster, ClusterConfig
+from repro.faas.platform import PlatformConfig
+from repro.mem.layout import GIB, MIB
+from repro.trace.generator import TraceGenerator
+from repro.workloads.registry import all_definitions, get_definition
+
+
+class TestConfig:
+    def test_needs_a_node(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(nodes=0)
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            ClusterConfig(scheduler="chaotic")
+
+
+class TestRouting:
+    def test_round_robin_cycles(self):
+        cluster = Cluster(ClusterConfig(nodes=3, scheduler="round-robin"))
+        d = get_definition("clock")
+        assert [cluster.route(d) for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_least_assigned_balances(self):
+        cluster = Cluster(ClusterConfig(nodes=2, scheduler="least-assigned"))
+        d = get_definition("clock")
+        for _ in range(10):
+            cluster.route(d)
+        assert cluster._assigned == [5, 5]
+
+    def test_warm_affinity_is_sticky(self):
+        cluster = Cluster(ClusterConfig(nodes=4, scheduler="warm-affinity"))
+        for definition in all_definitions():
+            nodes = {cluster.route(definition) for _ in range(5)}
+            assert len(nodes) == 1  # same function -> same node, always
+
+    def test_warm_affinity_spreads_functions(self):
+        cluster = Cluster(ClusterConfig(nodes=4, scheduler="warm-affinity"))
+        homes = {d.name: cluster.route(d) for d in all_definitions()}
+        assert len(set(homes.values())) >= 3  # uses most of the cluster
+
+
+class TestEndToEnd:
+    def _run(self, scheduler, manager_factory=None):
+        cluster = Cluster(
+            ClusterConfig(
+                nodes=4,
+                scheduler=scheduler,
+                node_config=PlatformConfig(capacity_bytes=512 * MIB),
+            ),
+            manager_factory=manager_factory,
+        )
+        arrivals = TraceGenerator(seed=9).arrivals(40.0, scale_factor=10.0)
+        cluster.submit(arrivals)
+        stats = cluster.run()
+        cluster.destroy()
+        return stats
+
+    def test_cluster_completes_all_requests(self):
+        stats = self._run("round-robin")
+        assert stats.completed > 50
+        assert sum(stats.per_node_requests) == stats.completed
+
+    def test_affinity_beats_round_robin_on_cold_boots(self):
+        """Warm locality: concentrating a function's requests on one node
+        keeps its instances warm there."""
+        rr = self._run("round-robin")
+        affinity = self._run("warm-affinity")
+        assert affinity.cold_boot_rate < rr.cold_boot_rate
+
+    def test_round_robin_is_better_balanced(self):
+        rr = self._run("round-robin")
+        affinity = self._run("warm-affinity")
+        assert rr.imbalance <= affinity.imbalance + 1e-9
+
+    def test_desiccant_improves_any_scheduler(self):
+        for scheduler in ("round-robin", "warm-affinity"):
+            vanilla = self._run(scheduler)
+            desiccant = self._run(scheduler, manager_factory=Desiccant)
+            assert desiccant.cold_boot_rate <= vanilla.cold_boot_rate, scheduler
+
+    def test_nodes_have_independent_caches(self):
+        cluster = Cluster(ClusterConfig(nodes=2, scheduler="round-robin"))
+        arrivals = [(0.0, get_definition("clock")), (1.0, get_definition("clock"))]
+        cluster.submit(arrivals)
+        cluster.run()
+        # One request per node, each a cold boot on its own cache.
+        assert cluster.nodes[0].cold_boots == 1
+        assert cluster.nodes[1].cold_boots == 1
+        cluster.destroy()

@@ -1,0 +1,94 @@
+"""Tests for the §2.1/§5.2 idle policies and the heartbeat probe."""
+
+import pytest
+
+from repro.faas.platform import FaasPlatform, PlatformConfig, Request
+from repro.faas.probe import heartbeat_windows, probe_idle_semantics
+from repro.workloads.registry import get_definition
+
+
+def run_two_requests(idle_policy, gap=20.0, name="web-server"):
+    platform = FaasPlatform(config=PlatformConfig(idle_policy=idle_policy))
+    definition = get_definition(name)
+    platform.submit(
+        [
+            Request(arrival=0.0, definition=definition),
+            Request(arrival=gap, definition=definition),
+        ]
+    )
+    platform.run()
+    return platform
+
+
+class TestIdlePolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            FaasPlatform(config=PlatformConfig(idle_policy="hibernate"))
+
+    def test_freeze_reuses_instance(self):
+        platform = run_two_requests("freeze")
+        assert platform.cold_boots == 1
+        assert platform.warm_starts == 1
+
+    def test_destroy_cold_boots_every_request(self):
+        platform = run_two_requests("destroy")
+        assert platform.cold_boots == 2
+        assert platform.warm_starts == 0
+
+    def test_keep_warm_reuses_without_thaw(self):
+        platform = run_two_requests("keep-warm")
+        assert platform.cold_boots == 1
+        assert platform.warm_starts == 1
+        # No freeze ever happened.
+        instance = platform.all_instances()[0]
+        assert all(
+            state.value != "frozen" for _t, state in instance.transitions
+        )
+
+    def test_keep_warm_burns_background_cpu(self):
+        frozen = run_two_requests("freeze", gap=60.0)
+        warm = run_two_requests("keep-warm", gap=60.0)
+        assert warm.cpu.busy.get("idle_background", 0.0) > 0.0
+        assert frozen.cpu.busy.get("idle_background", 0.0) == 0.0
+
+    def test_keep_warm_runs_idle_gc_after_quiet_period(self):
+        platform = run_two_requests("keep-warm", gap=60.0)
+        instance = platform.all_instances()[0]
+        assert instance.runtime.full_gc_count >= 1
+
+    def test_keep_warm_memory_similar_to_vanilla_freeze(self):
+        """§5.2: not freezing yields similar memory results to vanilla --
+        the idle GC does not release committed free pages either."""
+        frozen = run_two_requests("freeze", gap=2.0, name="fft")
+        warm = run_two_requests("keep-warm", gap=2.0, name="fft")
+        uss_frozen = sum(i.uss() for i in frozen.all_instances())
+        uss_warm = sum(i.uss() for i in warm.all_instances())
+        assert uss_warm > 0.6 * uss_frozen
+
+
+class TestHeartbeatProbe:
+    def test_freeze_platform_classified(self):
+        report = probe_idle_semantics(PlatformConfig(idle_policy="freeze"))
+        assert report.classification == "freeze"
+        assert report.same_instance_resumed
+        # Heartbeats: a window per active period, gap in between.
+        assert len(report.windows) >= 2
+
+    def test_destroy_platform_classified(self):
+        report = probe_idle_semantics(PlatformConfig(idle_policy="destroy"))
+        assert report.classification == "destroy"
+
+    def test_keep_running_platform_classified(self):
+        report = probe_idle_semantics(PlatformConfig(idle_policy="keep-warm"))
+        assert report.classification == "keep-running"
+        assert len(report.windows) == 1
+        assert report.windows[0].end is None  # heartbeats never stopped
+
+    def test_heartbeat_windows_from_transitions(self):
+        platform = run_two_requests("freeze", gap=10.0)
+        instance = platform.all_instances()[0]
+        windows = heartbeat_windows(instance)
+        assert len(windows) == 2
+        first, second = windows
+        assert first.end is not None and first.end <= second.start
+        assert second.end is None or second.end > second.start

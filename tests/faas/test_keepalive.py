@@ -1,0 +1,135 @@
+"""Unit tests for the §6.1 keep-alive/eviction policies."""
+
+import pytest
+
+from repro.faas.instance import FunctionInstance
+from repro.faas.keepalive import (
+    GreedyDualSizeFrequency,
+    HybridHistogramKeepAlive,
+    LruEviction,
+)
+from repro.faas.platform import FaasPlatform, PlatformConfig, Request
+from repro.mem.layout import MIB
+from repro.workloads.registry import get_definition
+
+
+def frozen(name, frozen_at=0.0, used_at=0.0, invocations=2):
+    inst = FunctionInstance(get_definition(name).stages[0])
+    inst.boot()
+    for _ in range(invocations):
+        inst.invoke(used_at)
+    inst.freeze(frozen_at)
+    return inst
+
+
+class TestLru:
+    def test_picks_least_recently_used(self):
+        old = frozen("time", used_at=1.0)
+        recent = frozen("clock", used_at=9.0)
+        assert LruEviction().choose_victim([old, recent], now=10.0) is old
+        old.destroy()
+        recent.destroy()
+
+    def test_empty_returns_none(self):
+        assert LruEviction().choose_victim([], now=0.0) is None
+
+
+class TestGreedyDual:
+    def test_prefers_cheap_to_rebuild_fat_instances(self):
+        """A rarely-used JS instance (fast boot, big heap) should go before
+        a hot Java one (slow boot)."""
+        policy = GreedyDualSizeFrequency()
+        jvm = frozen("file-hash")
+        node = frozen("fft")
+        for _ in range(10):
+            policy.on_request("file-hash", 0.0)
+        policy.on_request("fft", 0.0)
+        victim = policy.choose_victim([jvm, node], now=10.0)
+        assert victim is node
+        jvm.destroy()
+        node.destroy()
+
+    def test_clock_ages_the_cache(self):
+        policy = GreedyDualSizeFrequency()
+        a = frozen("time")
+        policy.choose_victim([a], now=1.0)
+        assert policy.clock > 0.0
+        a.destroy()
+
+    def test_reclaimed_instance_gets_higher_priority(self):
+        """Desiccant composes: a reclaimed (smaller) instance is cheaper to
+        keep, so greedy-dual ranks it above its un-reclaimed twin."""
+        policy = GreedyDualSizeFrequency()
+        fat = frozen("sort")
+        slim = frozen("sort")
+        slim.reclaim()
+        assert policy.priority(slim) > policy.priority(fat)
+        fat.destroy()
+        slim.destroy()
+
+
+class TestHybridHistogram:
+    def test_window_tracks_interarrivals(self):
+        policy = HybridHistogramKeepAlive(min_window=1.0)
+        for t in (0.0, 10.0, 20.0, 30.0, 40.0):
+            policy.on_request("fft", t)
+        assert policy.window("fft") == pytest.approx(10.0, rel=0.01)
+
+    def test_unknown_function_keeps_conservatively(self):
+        policy = HybridHistogramKeepAlive()
+        assert policy.window("never-seen") == policy.max_window
+
+    def test_window_bounds_respected(self):
+        policy = HybridHistogramKeepAlive(min_window=5.0, max_window=50.0)
+        for t in (0.0, 0.1, 0.2):
+            policy.on_request("hot", t)
+        assert policy.window("hot") == 5.0
+        for t in (0.0, 1000.0, 2000.0):
+            policy.on_request("cold", t)
+        assert policy.window("cold") == 50.0
+
+    def test_proactive_eviction_past_window(self):
+        policy = HybridHistogramKeepAlive(min_window=1.0)
+        for t in (0.0, 2.0, 4.0, 6.0):
+            policy.on_request("time", t)
+        inst = frozen("time", frozen_at=6.0)
+        assert policy.proactive_victims([inst], now=7.0) == []
+        victims = policy.proactive_victims([inst], now=20.0)
+        assert victims == [inst]
+        inst.destroy()
+
+    def test_pressure_evicts_most_expired(self):
+        policy = HybridHistogramKeepAlive(min_window=1.0)
+        for t in (0.0, 2.0, 4.0):
+            policy.on_request("time", t)  # 2 s window
+        for t in (0.0, 50.0, 100.0):
+            policy.on_request("sort", t)  # 50 s window
+        short = frozen("time", frozen_at=0.0)
+        long = frozen("sort", frozen_at=0.0)
+        victim = policy.choose_victim([short, long], now=10.0)
+        assert victim is short  # 8 s past a 2 s window beats -40 s
+        short.destroy()
+        long.destroy()
+
+
+class TestPlatformIntegration:
+    def test_platform_uses_configured_policy(self):
+        policy = HybridHistogramKeepAlive(min_window=0.5, max_window=2.0)
+        platform = FaasPlatform(
+            config=PlatformConfig(eviction_policy=policy)
+        )
+        definition = get_definition("clock")
+        # Train a short window, then leave a long gap: the stale instance
+        # is evicted proactively when the late request arrives.
+        platform.submit(
+            [Request(arrival=t, definition=definition) for t in (0.0, 1.0, 2.0)]
+        )
+        platform.run()
+        assert len(platform.all_instances()) == 1
+        platform.submit([Request(arrival=50.0, definition=definition)])
+        platform.run()
+        assert platform.evictions >= 1
+
+    def test_default_policy_is_lru(self):
+        platform = FaasPlatform()
+        assert isinstance(platform.eviction_policy, LruEviction)

@@ -1,0 +1,122 @@
+"""Tests for the §2.1 alternatives: snapshots and provisioned concurrency."""
+
+import pytest
+
+from repro.faas.instance import (
+    SNAPSHOT_RESTORE_SECONDS,
+    FunctionInstance,
+    InstanceState,
+)
+from repro.faas.platform import FaasPlatform, PlatformConfig, Request
+from repro.mem.layout import MIB
+from repro.workloads.registry import get_definition
+
+
+def run_requests(platform, name, arrivals):
+    definition = get_definition(name)
+    platform.submit([Request(arrival=t, definition=definition) for t in arrivals])
+    return platform.run()
+
+
+class TestSnapshotInstance:
+    def test_snapshot_empties_memory(self):
+        inst = FunctionInstance(get_definition("file-hash").stages[0])
+        inst.boot()
+        inst.invoke()
+        uss_live = inst.uss()
+        inst.snapshot()
+        assert inst.state is InstanceState.FROZEN
+        assert inst.snapshotted
+        assert inst.uss() < uss_live / 20  # nearly everything on disk
+
+    def test_restore_pays_latency_once(self):
+        inst = FunctionInstance(get_definition("file-hash").stages[0])
+        inst.boot()
+        inst.invoke()
+        inst.snapshot()
+        assert inst.thaw() == SNAPSHOT_RESTORE_SECONDS
+        inst.freeze()
+        assert inst.thaw() < SNAPSHOT_RESTORE_SECONDS  # plain unpause now
+
+    def test_restored_instance_pays_page_in_faults(self):
+        inst = FunctionInstance(get_definition("file-hash").stages[0])
+        inst.boot()
+        plain = inst.invoke().fault_seconds
+        inst.snapshot()
+        inst.thaw()
+        restored = inst.invoke().fault_seconds
+        assert restored > plain + 0.005  # major faults on the working set
+
+    def test_state_survives_snapshot_restore(self):
+        inst = FunctionInstance(get_definition("web-server").stages[0])
+        inst.boot()
+        inst.invoke()
+        live = inst.runtime.live_bytes()
+        inst.snapshot()
+        inst.thaw()
+        assert inst.runtime.live_bytes() == live
+
+
+class TestSnapshotPlatform:
+    def test_snapshot_policy_caches_cheaply(self):
+        platform = FaasPlatform(config=PlatformConfig(idle_policy="snapshot"))
+        run_requests(platform, "sort", [0.0, 5.0, 10.0])
+        assert platform.cold_boots == 1
+        assert platform.warm_starts == 2
+        # After re-freeze the cache is nearly free again.
+        assert platform.frozen_bytes() < 4 * MIB
+
+    def test_snapshot_latency_worse_than_freeze(self):
+        """§2.1's trade-off: snapshots save memory but cost restore time."""
+        frozen = FaasPlatform(config=PlatformConfig(idle_policy="freeze"))
+        snap = FaasPlatform(config=PlatformConfig(idle_policy="snapshot"))
+        out_frozen = run_requests(frozen, "sort", [0.0, 5.0, 10.0])
+        out_snap = run_requests(snap, "sort", [0.0, 5.0, 10.0])
+        warm_frozen = out_frozen[-1].latency
+        warm_snap = out_snap[-1].latency
+        assert warm_snap > warm_frozen + 0.08  # ~100 ms restore + page-ins
+
+    def test_snapshot_memory_beats_desiccant(self):
+        """Snapshots cache at near-zero memory -- cheaper than even a
+        reclaimed instance, which is why the paper frames them as a
+        resource/latency trade-off rather than a loser."""
+        from repro.core import Desiccant
+
+        snap = FaasPlatform(config=PlatformConfig(idle_policy="snapshot"))
+        desic = FaasPlatform(manager=Desiccant())
+        run_requests(snap, "sort", [0.0, 5.0])
+        run_requests(desic, "sort", [0.0, 5.0])
+        desic.manager.reclaim(desic.frozen_instances()[0])
+        assert snap.frozen_bytes() < desic.frozen_bytes()
+
+
+class TestProvisionedConcurrency:
+    def test_provisioned_instances_preboot_frozen(self):
+        platform = FaasPlatform(
+            config=PlatformConfig(provisioned={"file-hash": 2})
+        )
+        assert len(platform.frozen_instances()) == 2
+        assert platform.cpu.busy.get("cold_boot", 0) > 0
+
+    def test_first_request_is_warm(self):
+        platform = FaasPlatform(
+            config=PlatformConfig(provisioned={"file-hash": 1})
+        )
+        run_requests(platform, "file-hash", [0.0])
+        assert platform.cold_boots == 0
+        assert platform.warm_starts == 1
+
+    def test_chains_provision_every_stage(self):
+        platform = FaasPlatform(
+            config=PlatformConfig(provisioned={"mapreduce": 1})
+        )
+        assert len(platform.frozen_instances()) == 2  # map + reduce
+        outcomes = run_requests(platform, "mapreduce", [0.0])
+        assert outcomes[0].cold_boots == 0
+
+    def test_unprovisioned_function_still_cold(self):
+        platform = FaasPlatform(
+            config=PlatformConfig(provisioned={"file-hash": 1})
+        )
+        run_requests(platform, "sort", [0.0])
+        assert platform.cold_boots == 1

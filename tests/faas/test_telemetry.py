@@ -1,0 +1,80 @@
+"""Unit tests for platform telemetry."""
+
+import pytest
+
+from repro.core import Desiccant
+from repro.faas.platform import FaasPlatform, PlatformConfig, Request
+from repro.faas.telemetry import TelemetryRecorder, sparkline
+from repro.workloads.registry import get_definition
+
+
+def run_recorded(manager=None, count=8):
+    platform = FaasPlatform(manager=manager)
+    recorder = TelemetryRecorder(platform, interval=0.5)
+    definition = get_definition("file-hash")
+    platform.submit(
+        [Request(arrival=i * 1.0, definition=definition) for i in range(count)]
+    )
+    platform.run()
+    return platform, recorder
+
+
+class TestRecorder:
+    def test_samples_collected_at_interval(self):
+        _platform, recorder = run_recorded()
+        assert len(recorder.samples) >= 4
+        times = [s.time for s in recorder.samples]
+        assert times == sorted(times)
+        assert all(b - a >= 0.5 - 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_invalid_interval_rejected(self):
+        platform = FaasPlatform()
+        with pytest.raises(ValueError):
+            TelemetryRecorder(platform, interval=0.0)
+
+    def test_counters_monotonic(self):
+        _platform, recorder = run_recorded()
+        cold = recorder.series("cold_boots")
+        assert cold == sorted(cold)
+
+    def test_threshold_recorded_for_desiccant(self):
+        _platform, recorder = run_recorded(manager=Desiccant())
+        thresholds = [s.activation_threshold for s in recorder.samples]
+        assert all(t is not None for t in thresholds)
+
+    def test_threshold_absent_for_vanilla(self):
+        _platform, recorder = run_recorded()
+        assert all(s.activation_threshold is None for s in recorder.samples)
+
+    def test_detach_stops_sampling(self):
+        platform, recorder = run_recorded()
+        n = len(recorder.samples)
+        recorder.detach()
+        platform.submit(
+            [Request(arrival=platform.now + 5.0, definition=get_definition("clock"))]
+        )
+        platform.run()
+        assert len(recorder.samples) == n
+
+    def test_csv_export(self, tmp_path):
+        _platform, recorder = run_recorded()
+        path = recorder.to_csv(tmp_path / "telemetry.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("time,frozen_bytes")
+        assert len(lines) == len(recorder.samples) + 1
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series(self):
+        assert set(sparkline([5, 5, 5])) == {"."}
+
+    def test_ramp_monotone(self):
+        line = sparkline(list(range(10)))
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_downsamples_to_width(self):
+        assert len(sparkline(list(range(1000)), width=40)) == 40

@@ -1,0 +1,101 @@
+"""Unit tests for USS/RSS/PSS accounting."""
+
+import pytest
+
+from repro.mem.accounting import measure, measure_many
+from repro.mem.layout import PAGE_SIZE, Protection
+from repro.mem.physical import MappedFile, PhysicalMemory
+from repro.mem.vmm import VirtualAddressSpace
+
+
+@pytest.fixture
+def phys():
+    return PhysicalMemory()
+
+
+def test_empty_space_measures_zero(phys):
+    report = measure(VirtualAddressSpace("p", phys))
+    assert report.uss == report.rss == report.pss == 0
+
+
+def test_anonymous_pages_are_private_dirty(phys):
+    space = VirtualAddressSpace("p", phys)
+    m = space.mmap(PAGE_SIZE * 3)
+    space.touch(m.start, PAGE_SIZE * 2)
+    report = measure(space)
+    assert report.private_dirty == 2 * PAGE_SIZE
+    assert report.uss == report.rss == int(report.pss) == 2 * PAGE_SIZE
+
+
+def test_solo_file_pages_are_private_clean(phys):
+    lib = MappedFile("/lib/x", PAGE_SIZE * 4)
+    space = VirtualAddressSpace("p", phys)
+    m = space.mmap(PAGE_SIZE * 4, prot=Protection.READ, file=lib)
+    space.touch(m.start, PAGE_SIZE * 4, write=False)
+    report = measure(space)
+    assert report.private_clean == 4 * PAGE_SIZE
+    assert report.uss == 4 * PAGE_SIZE  # unshared libraries count in USS
+
+
+def test_shared_file_pages_leave_uss(phys):
+    lib = MappedFile("/lib/x", PAGE_SIZE * 4)
+    s1 = VirtualAddressSpace("a", phys)
+    s2 = VirtualAddressSpace("b", phys)
+    for s in (s1, s2):
+        m = s.mmap(PAGE_SIZE * 4, prot=Protection.READ, file=lib)
+        s.touch(m.start, PAGE_SIZE * 4, write=False)
+    r1 = measure(s1)
+    assert r1.uss == 0
+    assert r1.shared_clean == 4 * PAGE_SIZE
+    assert r1.rss == 4 * PAGE_SIZE
+    assert r1.pss == pytest.approx(2 * PAGE_SIZE)
+
+
+def test_uss_le_pss_le_rss(phys):
+    lib = MappedFile("/lib/x", PAGE_SIZE * 8)
+    spaces = []
+    for name in ("a", "b", "c"):
+        s = VirtualAddressSpace(name, phys)
+        lm = s.mmap(PAGE_SIZE * 8, prot=Protection.READ, file=lib)
+        s.touch(lm.start, PAGE_SIZE * 8, write=False)
+        am = s.mmap(PAGE_SIZE * 4)
+        s.touch(am.start, PAGE_SIZE * 4)
+        spaces.append(s)
+    for s in spaces:
+        r = measure(s)
+        assert r.uss <= r.pss <= r.rss
+
+
+def test_summed_pss_equals_physical_usage(phys):
+    """PSS is the physically meaningful total across processes."""
+    lib = MappedFile("/lib/x", PAGE_SIZE * 4)
+    spaces = []
+    for name in ("a", "b"):
+        s = VirtualAddressSpace(name, phys)
+        lm = s.mmap(PAGE_SIZE * 4, prot=Protection.READ, file=lib)
+        s.touch(lm.start, PAGE_SIZE * 4, write=False)
+        am = s.mmap(PAGE_SIZE * 2)
+        s.touch(am.start, PAGE_SIZE * 2)
+        spaces.append(s)
+    total = measure_many(spaces)
+    assert total.pss == pytest.approx(phys.used_bytes)
+
+
+def test_swapped_pages_counted_in_swap_not_rss(phys):
+    space = VirtualAddressSpace("p", phys)
+    m = space.mmap(PAGE_SIZE * 2)
+    space.touch(m.start, PAGE_SIZE * 2)
+    space.swap_out_range(m.start, PAGE_SIZE * 2)
+    report = measure(space)
+    assert report.rss == 0
+    assert report.swap == 2 * PAGE_SIZE
+
+
+def test_discard_reduces_uss(phys):
+    space = VirtualAddressSpace("p", phys)
+    m = space.mmap(PAGE_SIZE * 8)
+    space.touch(m.start, PAGE_SIZE * 8)
+    before = measure(space).uss
+    space.discard(m.start, PAGE_SIZE * 5)
+    after = measure(space).uss
+    assert before - after == 5 * PAGE_SIZE

@@ -1,0 +1,127 @@
+"""Incremental accounting must match a brute-force page walk.
+
+The VMM maintains per-mapping residency counters and per-mapping
+proportional shares incrementally; these properties drive random
+cross-process sharing changes and compare :func:`measure` against a
+from-first-principles recomputation over the raw page tables.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.mem.accounting import MemoryReport, measure
+from repro.mem.layout import PAGE_SIZE, Protection
+from repro.mem.physical import MappedFile, PhysicalMemory
+from repro.mem.vmm import PageState, VirtualAddressSpace
+
+N_PAGES = 12
+
+
+def uncached_measure(space) -> MemoryReport:
+    """Ground truth: walk every page table entry and sharer set."""
+    total = MemoryReport()
+    for mapping in space.mappings():
+        for rel, state in mapping.page_states():
+            if state is PageState.ANON_DIRTY:
+                total.private_dirty += PAGE_SIZE
+                total.pss += PAGE_SIZE
+            elif state is PageState.FILE_CLEAN:
+                sharers = max(1, mapping.file.sharers(mapping.file_page_of(rel)))
+                if sharers == 1:
+                    total.private_clean += PAGE_SIZE
+                else:
+                    total.shared_clean += PAGE_SIZE
+                total.pss += PAGE_SIZE / sharers
+            elif state is PageState.SWAPPED:
+                total.swap += PAGE_SIZE
+    return total
+
+
+def reports_equal(a: MemoryReport, b: MemoryReport) -> bool:
+    return (
+        a.private_dirty == b.private_dirty
+        and a.private_clean == b.private_clean
+        and a.shared_clean == b.shared_clean
+        and a.shared_dirty == b.shared_dirty
+        and abs(a.pss - b.pss) < 1e-6
+        and a.swap == b.swap
+    )
+
+
+class CacheCoherence(RuleBasedStateMachine):
+    """Three processes share one library; ops change sharing willy-nilly."""
+
+    @initialize()
+    def setup(self):
+        self.phys = PhysicalMemory()
+        self.lib = MappedFile("/lib/x.so", PAGE_SIZE * N_PAGES)
+        self.spaces = []
+        self.libmaps = []
+        self.anons = []
+        for name in ("a", "b", "c"):
+            space = VirtualAddressSpace(name, self.phys)
+            self.spaces.append(space)
+            self.libmaps.append(
+                space.mmap(PAGE_SIZE * N_PAGES, prot=Protection.READ, file=self.lib)
+            )
+            self.anons.append(space.mmap(PAGE_SIZE * N_PAGES))
+
+    @rule(who=st.integers(0, 2), page=st.integers(0, N_PAGES - 1))
+    def read_lib(self, who, page):
+        m = self.libmaps[who]
+        self.spaces[who].touch(m.start + page * PAGE_SIZE, PAGE_SIZE, write=False)
+
+    @rule(who=st.integers(0, 2), page=st.integers(0, N_PAGES - 1))
+    def drop_lib_page(self, who, page):
+        m = self.libmaps[who]
+        self.spaces[who].discard(m.start + page * PAGE_SIZE, PAGE_SIZE)
+
+    @rule(who=st.integers(0, 2), page=st.integers(0, N_PAGES - 1))
+    def dirty_anon(self, who, page):
+        m = self.anons[who]
+        self.spaces[who].touch(m.start + page * PAGE_SIZE, PAGE_SIZE)
+
+    @rule(who=st.integers(0, 2), page=st.integers(0, N_PAGES - 1))
+    def swap_anon(self, who, page):
+        m = self.anons[who]
+        self.spaces[who].swap_out_range(m.start + page * PAGE_SIZE, PAGE_SIZE)
+
+    @rule(who=st.integers(0, 2))
+    def warm_cache(self, who):
+        # Populate the cache so later invariants exercise the cached path.
+        measure(self.spaces[who])
+
+    @invariant()
+    def cached_equals_uncached(self):
+        for space in self.spaces:
+            assert reports_equal(measure(space), uncached_measure(space))
+
+
+TestCacheCoherence = CacheCoherence.TestCase
+TestCacheCoherence.settings = settings(max_examples=25, stateful_step_count=25)
+
+
+@given(readers=st.integers(1, 4), dropper=st.integers(0, 3))
+@settings(deadline=None)
+def test_sharer_transitions_invalidate_other_spaces(readers, dropper):
+    """When process B drops the last co-mapping of a page, process A's
+    cached private_clean/shared_clean split must update."""
+    phys = PhysicalMemory()
+    lib = MappedFile("/lib/x.so", PAGE_SIZE)
+    spaces = [VirtualAddressSpace(str(i), phys) for i in range(readers + 1)]
+    maps = [
+        s.mmap(PAGE_SIZE, prot=Protection.READ, file=lib) for s in spaces
+    ]
+    for s, m in zip(spaces, maps):
+        s.touch(m.start, PAGE_SIZE, write=False)
+    first = measure(spaces[0])
+    if readers >= 1:
+        assert first.shared_clean == PAGE_SIZE
+    # Everyone else drops the page.
+    for s, m in list(zip(spaces, maps))[1:]:
+        s.discard(m.start, PAGE_SIZE)
+    after = measure(spaces[0])
+    assert after.private_clean == PAGE_SIZE
+    assert after.shared_clean == 0
+    assert reports_equal(after, uncached_measure(spaces[0]))

@@ -1,0 +1,74 @@
+"""Unit tests for page constants and address arithmetic."""
+
+import pytest
+
+from repro.mem.layout import (
+    PAGE_SIZE,
+    Protection,
+    fmt_bytes,
+    page_ceil,
+    page_floor,
+    page_span,
+    pages_in,
+)
+
+
+def test_page_floor_aligned_address_unchanged():
+    assert page_floor(PAGE_SIZE * 3) == PAGE_SIZE * 3
+
+
+def test_page_floor_rounds_down():
+    assert page_floor(PAGE_SIZE * 3 + 1) == PAGE_SIZE * 3
+    assert page_floor(PAGE_SIZE * 4 - 1) == PAGE_SIZE * 3
+
+
+def test_page_ceil_aligned_address_unchanged():
+    assert page_ceil(PAGE_SIZE * 5) == PAGE_SIZE * 5
+
+
+def test_page_ceil_rounds_up():
+    assert page_ceil(1) == PAGE_SIZE
+    assert page_ceil(PAGE_SIZE + 1) == PAGE_SIZE * 2
+
+
+def test_page_span_single_byte():
+    span = page_span(PAGE_SIZE * 2, 1)
+    assert list(span) == [2]
+
+
+def test_page_span_straddles_boundary():
+    span = page_span(PAGE_SIZE - 1, 2)
+    assert list(span) == [0, 1]
+
+
+def test_page_span_empty_for_zero_length():
+    assert list(page_span(0, 0)) == []
+    assert list(page_span(123, -5)) == []
+
+
+def test_pages_in_exact_and_partial():
+    assert pages_in(PAGE_SIZE) == 1
+    assert pages_in(PAGE_SIZE + 1) == 2
+    assert pages_in(1) == 1
+    assert pages_in(0) == 0
+
+
+def test_protection_flags_compose():
+    rw = Protection.READ | Protection.WRITE
+    assert rw & Protection.READ
+    assert rw & Protection.WRITE
+    assert not rw & Protection.EXEC
+    assert Protection.NONE == 0
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (512, "512B"),
+        (2048, "2.00KiB"),
+        (int(7.88 * 1024 * 1024), "7.88MiB"),
+        (3 * 1024**3, "3.00GiB"),
+    ],
+)
+def test_fmt_bytes(value, expected):
+    assert fmt_bytes(value) == expected

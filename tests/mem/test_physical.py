@@ -1,0 +1,103 @@
+"""Unit tests for frame accounting, the file page cache, and swap."""
+
+import pytest
+
+from repro.mem.layout import PAGE_SIZE
+from repro.mem.physical import (
+    MappedFile,
+    OutOfPhysicalMemory,
+    PhysicalMemory,
+    SwapDevice,
+)
+
+
+class TestSwapDevice:
+    def test_swap_out_and_in_round_trip(self):
+        swap = SwapDevice()
+        swap.swap_out(3)
+        assert swap.pages == 3
+        assert swap.bytes == 3 * PAGE_SIZE
+        swap.swap_in(2)
+        assert swap.pages == 1
+        assert swap.total_swap_outs == 3
+        assert swap.total_swap_ins == 2
+
+    def test_swap_in_more_than_swapped_raises(self):
+        swap = SwapDevice()
+        swap.swap_out(1)
+        with pytest.raises(ValueError):
+            swap.swap_in(2)
+
+
+class TestMappedFile:
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            MappedFile("/lib/x.so", 0)
+
+    def test_first_touch_allocates_cache_page(self):
+        f = MappedFile("/lib/x.so", PAGE_SIZE * 4)
+        assert f.touch(0, mapping_id=1) is True
+        assert f.touch(0, mapping_id=2) is False
+        assert f.sharers(0) == 2
+        assert f.resident_pages() == 1
+
+    def test_untouch_frees_only_when_last(self):
+        f = MappedFile("/lib/x.so", PAGE_SIZE * 4)
+        f.touch(1, 10)
+        f.touch(1, 11)
+        assert f.untouch(1, 10) is False
+        assert f.untouch(1, 11) is True
+        assert f.sharers(1) == 0
+        assert f.resident_pages() == 0
+
+    def test_untouch_of_unknown_toucher_is_noop(self):
+        f = MappedFile("/lib/x.so", PAGE_SIZE)
+        assert f.untouch(0, 99) is False
+
+    def test_touch_out_of_range_raises(self):
+        f = MappedFile("/lib/x.so", PAGE_SIZE)
+        with pytest.raises(ValueError):
+            f.touch(5, 1)
+
+    def test_num_pages_rounds_up(self):
+        assert MappedFile("/f", PAGE_SIZE + 1).num_pages == 2
+
+
+class TestPhysicalMemory:
+    def test_anon_alloc_free_balance(self):
+        phys = PhysicalMemory()
+        phys.alloc_anon(5)
+        assert phys.anon_bytes == 5 * PAGE_SIZE
+        phys.free_anon(5)
+        assert phys.anon_bytes == 0
+        assert phys.total_frame_allocs == 5
+
+    def test_file_alloc_free_balance(self):
+        phys = PhysicalMemory()
+        phys.alloc_file(2)
+        assert phys.file_cache_bytes == 2 * PAGE_SIZE
+        phys.free_file()
+        assert phys.file_cache_bytes == PAGE_SIZE
+
+    def test_over_free_raises(self):
+        phys = PhysicalMemory()
+        with pytest.raises(ValueError):
+            phys.free_anon()
+        with pytest.raises(ValueError):
+            phys.free_file()
+
+    def test_capacity_enforced(self):
+        phys = PhysicalMemory(capacity_bytes=2 * PAGE_SIZE)
+        phys.alloc_anon(2)
+        with pytest.raises(OutOfPhysicalMemory):
+            phys.alloc_file(1)
+        assert phys.available_bytes() == 0
+
+    def test_unlimited_capacity_reports_none(self):
+        assert PhysicalMemory().available_bytes() is None
+
+    def test_used_bytes_sums_pools(self):
+        phys = PhysicalMemory()
+        phys.alloc_anon(1)
+        phys.alloc_file(2)
+        assert phys.used_bytes == 3 * PAGE_SIZE

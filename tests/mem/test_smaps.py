@@ -1,0 +1,65 @@
+"""Unit tests for smaps reports and the §4.6 unmap predicate."""
+
+import pytest
+
+from repro.mem.layout import PAGE_SIZE, Protection
+from repro.mem.physical import MappedFile, PhysicalMemory
+from repro.mem.smaps import find_unmappable_library_ranges, smaps_report
+from repro.mem.vmm import VirtualAddressSpace
+
+
+@pytest.fixture
+def phys():
+    return PhysicalMemory()
+
+
+def test_report_covers_all_mappings(phys):
+    space = VirtualAddressSpace("p", phys)
+    space.mmap(PAGE_SIZE, name="[heap]")
+    space.mmap(PAGE_SIZE, name="[stack]")
+    entries = smaps_report(space)
+    assert [e.name for e in entries] == ["[heap]", "[stack]"]
+    assert all(e.size == PAGE_SIZE for e in entries)
+
+
+def test_solo_library_is_unmappable(phys):
+    lib = MappedFile("/lib/libjvm.so", PAGE_SIZE * 4)
+    space = VirtualAddressSpace("p", phys)
+    m = space.mmap(PAGE_SIZE * 4, prot=Protection.READ, file=lib, name="libjvm")
+    space.touch(m.start, PAGE_SIZE * 4, write=False)
+    eligible = find_unmappable_library_ranges(space)
+    assert len(eligible) == 1
+    assert eligible[0].path == "/lib/libjvm.so"
+
+
+def test_shared_library_not_unmappable(phys):
+    lib = MappedFile("/lib/libjvm.so", PAGE_SIZE * 4)
+    s1 = VirtualAddressSpace("a", phys)
+    s2 = VirtualAddressSpace("b", phys)
+    for s in (s1, s2):
+        m = s.mmap(PAGE_SIZE * 4, prot=Protection.READ, file=lib)
+        s.touch(m.start, PAGE_SIZE * 4, write=False)
+    # pages cost nothing privately, so there is nothing to reclaim
+    assert find_unmappable_library_ranges(s1) == []
+
+
+def test_modified_file_mapping_not_unmappable(phys):
+    lib = MappedFile("/lib/data", PAGE_SIZE * 2)
+    space = VirtualAddressSpace("p", phys)
+    m = space.mmap(PAGE_SIZE * 2, file=lib)
+    space.touch(m.start, PAGE_SIZE, write=True)  # COW -> private_dirty
+    assert find_unmappable_library_ranges(space) == []
+
+
+def test_anonymous_mapping_not_unmappable(phys):
+    space = VirtualAddressSpace("p", phys)
+    m = space.mmap(PAGE_SIZE * 2)
+    space.touch(m.start, PAGE_SIZE * 2)
+    assert find_unmappable_library_ranges(space) == []
+
+
+def test_untouched_library_not_listed(phys):
+    lib = MappedFile("/lib/x", PAGE_SIZE * 2)
+    space = VirtualAddressSpace("p", phys)
+    space.mmap(PAGE_SIZE * 2, prot=Protection.READ, file=lib)
+    assert find_unmappable_library_ranges(space) == []

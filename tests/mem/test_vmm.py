@@ -1,0 +1,273 @@
+"""Unit tests for the virtual memory manager."""
+
+import pytest
+
+from repro.mem.layout import PAGE_SIZE, PROT_RW, Protection
+from repro.mem.physical import MappedFile, PhysicalMemory
+from repro.mem.vmm import (
+    MappingConflict,
+    MemoryError_,
+    PageState,
+    SegmentationFault,
+    VirtualAddressSpace,
+)
+
+
+@pytest.fixture
+def phys():
+    return PhysicalMemory()
+
+
+@pytest.fixture
+def space(phys):
+    return VirtualAddressSpace("proc", phys)
+
+
+class TestMmap:
+    def test_anonymous_mapping_starts_non_resident(self, space, phys):
+        m = space.mmap(PAGE_SIZE * 4)
+        assert m.num_pages == 4
+        assert phys.anon_bytes == 0
+
+    def test_length_rounded_to_pages(self, space):
+        m = space.mmap(1)
+        assert m.length == PAGE_SIZE
+
+    def test_fixed_address_honored(self, space):
+        m = space.mmap(PAGE_SIZE, addr=0x10000)
+        assert m.start == 0x10000
+
+    def test_fixed_overlap_rejected(self, space):
+        space.mmap(PAGE_SIZE * 2, addr=0x10000)
+        with pytest.raises(MappingConflict):
+            space.mmap(PAGE_SIZE, addr=0x10000 + PAGE_SIZE)
+
+    def test_unaligned_fixed_address_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.mmap(PAGE_SIZE, addr=123)
+
+    def test_bump_allocations_never_overlap(self, space):
+        a = space.mmap(PAGE_SIZE * 3)
+        b = space.mmap(PAGE_SIZE * 5)
+        assert a.end <= b.start or b.end <= a.start
+
+    def test_shared_requires_file(self, space):
+        with pytest.raises(ValueError):
+            space.mmap(PAGE_SIZE, shared=True)
+
+
+class TestTouch:
+    def test_write_touch_allocates_anon_frames(self, space, phys):
+        m = space.mmap(PAGE_SIZE * 4)
+        counts = space.touch(m.start, PAGE_SIZE * 2)
+        assert counts.minor == 2
+        assert counts.major == 0
+        assert phys.anon_bytes == 2 * PAGE_SIZE
+
+    def test_second_touch_is_free(self, space):
+        m = space.mmap(PAGE_SIZE)
+        space.touch(m.start, PAGE_SIZE)
+        counts = space.touch(m.start, PAGE_SIZE)
+        assert counts.total == 0
+
+    def test_touch_unmapped_segfaults(self, space):
+        with pytest.raises(SegmentationFault):
+            space.touch(0xDEAD000, PAGE_SIZE)
+
+    def test_touch_prot_none_segfaults(self, space):
+        m = space.mmap(PAGE_SIZE, prot=Protection.NONE)
+        with pytest.raises(SegmentationFault):
+            space.touch(m.start, PAGE_SIZE)
+
+    def test_write_to_readonly_segfaults(self, space):
+        m = space.mmap(PAGE_SIZE, prot=Protection.READ)
+        with pytest.raises(SegmentationFault):
+            space.touch(m.start, PAGE_SIZE, write=True)
+        # but reads are fine
+        space.touch(m.start, PAGE_SIZE, write=False)
+
+    def test_touch_spanning_two_mappings(self, space):
+        a = space.mmap(PAGE_SIZE, addr=0x20000)
+        space.mmap(PAGE_SIZE, addr=0x20000 + PAGE_SIZE)
+        counts = space.touch(a.start, PAGE_SIZE * 2)
+        assert counts.minor == 2
+
+    def test_fault_counters_accumulate_on_space(self, space):
+        m = space.mmap(PAGE_SIZE * 3)
+        space.touch(m.start, PAGE_SIZE * 3)
+        assert space.faults.minor == 3
+
+
+class TestFileMappings:
+    def test_read_touch_uses_page_cache(self, space, phys):
+        lib = MappedFile("/lib/libjvm.so", PAGE_SIZE * 8)
+        m = space.mmap(PAGE_SIZE * 8, prot=Protection.READ, file=lib)
+        space.touch(m.start, PAGE_SIZE * 4, write=False)
+        assert phys.file_cache_bytes == 4 * PAGE_SIZE
+        assert phys.anon_bytes == 0
+        assert lib.sharers(0) == 1
+
+    def test_cache_shared_between_spaces(self, phys):
+        lib = MappedFile("/lib/libjvm.so", PAGE_SIZE * 4)
+        s1 = VirtualAddressSpace("a", phys)
+        s2 = VirtualAddressSpace("b", phys)
+        m1 = s1.mmap(PAGE_SIZE * 4, prot=Protection.READ, file=lib)
+        m2 = s2.mmap(PAGE_SIZE * 4, prot=Protection.READ, file=lib)
+        s1.touch(m1.start, PAGE_SIZE * 4, write=False)
+        s2.touch(m2.start, PAGE_SIZE * 4, write=False)
+        # one copy in the cache despite two mappers
+        assert phys.file_cache_bytes == 4 * PAGE_SIZE
+        assert lib.sharers(0) == 2
+
+    def test_private_write_cows_to_anon(self, space, phys):
+        lib = MappedFile("/lib/data", PAGE_SIZE * 2)
+        m = space.mmap(PAGE_SIZE * 2, file=lib)
+        space.touch(m.start, PAGE_SIZE, write=False)
+        assert phys.file_cache_bytes == PAGE_SIZE
+        space.touch(m.start, PAGE_SIZE, write=True)
+        assert phys.file_cache_bytes == 0
+        assert phys.anon_bytes == PAGE_SIZE
+        assert m.pages[0] is PageState.ANON_DIRTY
+
+    def test_shared_write_stays_in_cache(self, space, phys):
+        f = MappedFile("/shm/seg", PAGE_SIZE)
+        m = space.mmap(PAGE_SIZE, file=f, shared=True)
+        space.touch(m.start, PAGE_SIZE, write=True)
+        assert phys.file_cache_bytes == PAGE_SIZE
+        assert phys.anon_bytes == 0
+
+    def test_file_offset_maps_correct_pages(self, space):
+        lib = MappedFile("/lib/x", PAGE_SIZE * 8)
+        m = space.mmap(
+            PAGE_SIZE * 2, prot=Protection.READ, file=lib, file_offset=PAGE_SIZE * 4
+        )
+        space.touch(m.start, PAGE_SIZE, write=False)
+        assert lib.sharers(4) == 1
+        assert lib.sharers(0) == 0
+
+
+class TestMunmapAndSplits:
+    def test_munmap_frees_frames(self, space, phys):
+        m = space.mmap(PAGE_SIZE * 4)
+        space.touch(m.start, PAGE_SIZE * 4)
+        space.munmap(m.start, PAGE_SIZE * 4)
+        assert phys.anon_bytes == 0
+        assert space.find_mapping(m.start) is None
+
+    def test_partial_munmap_splits(self, space, phys):
+        m = space.mmap(PAGE_SIZE * 4, addr=0x40000)
+        space.touch(m.start, PAGE_SIZE * 4)
+        space.munmap(m.start + PAGE_SIZE, PAGE_SIZE * 2)
+        assert phys.anon_bytes == 2 * PAGE_SIZE
+        assert space.find_mapping(0x40000) is not None
+        assert space.find_mapping(0x40000 + PAGE_SIZE) is None
+        assert space.find_mapping(0x40000 + 3 * PAGE_SIZE) is not None
+
+    def test_munmap_releases_file_cache_refs(self, space, phys):
+        lib = MappedFile("/lib/x", PAGE_SIZE * 2)
+        m = space.mmap(PAGE_SIZE * 2, prot=Protection.READ, file=lib)
+        space.touch(m.start, PAGE_SIZE * 2, write=False)
+        space.munmap(m.start, PAGE_SIZE * 2)
+        assert phys.file_cache_bytes == 0
+        assert lib.resident_pages() == 0
+
+    def test_split_preserves_file_offsets(self, space):
+        lib = MappedFile("/lib/x", PAGE_SIZE * 4)
+        m = space.mmap(PAGE_SIZE * 4, prot=Protection.READ, file=lib, addr=0x50000)
+        space.touch(m.start + PAGE_SIZE * 3, PAGE_SIZE, write=False)
+        space.munmap(m.start, PAGE_SIZE)  # drop first page only
+        tail = space.find_mapping(0x50000 + PAGE_SIZE * 3)
+        assert tail is not None
+        space.touch(0x50000 + PAGE_SIZE * 3, PAGE_SIZE, write=False)
+        assert lib.sharers(3) == 1
+
+
+class TestProtectCommitUncommit:
+    def test_mprotect_does_not_free_frames(self, space, phys):
+        m = space.mmap(PAGE_SIZE * 2)
+        space.touch(m.start, PAGE_SIZE * 2)
+        space.mprotect(m.start, PAGE_SIZE * 2, Protection.NONE)
+        assert phys.anon_bytes == 2 * PAGE_SIZE  # the Linux mprotect gotcha
+
+    def test_uncommit_frees_and_blocks(self, space, phys):
+        m = space.mmap(PAGE_SIZE * 4)
+        space.touch(m.start, PAGE_SIZE * 4)
+        space.uncommit(m.start, PAGE_SIZE * 2)
+        assert phys.anon_bytes == 2 * PAGE_SIZE
+        with pytest.raises(SegmentationFault):
+            space.touch(m.start, PAGE_SIZE)
+
+    def test_commit_reopens_range(self, space):
+        m = space.mmap(PAGE_SIZE * 2, prot=Protection.NONE)
+        space.commit(m.start, PAGE_SIZE * 2)
+        counts = space.touch(m.start, PAGE_SIZE * 2)
+        assert counts.minor == 2
+
+    def test_mprotect_hole_rejected(self, space):
+        space.mmap(PAGE_SIZE, addr=0x60000)
+        space.mmap(PAGE_SIZE, addr=0x60000 + PAGE_SIZE * 2)
+        with pytest.raises(SegmentationFault):
+            space.mprotect(0x60000, PAGE_SIZE * 3, Protection.READ)
+
+
+class TestDiscardAndSwap:
+    def test_discard_releases_then_refaults(self, space, phys):
+        m = space.mmap(PAGE_SIZE * 4)
+        space.touch(m.start, PAGE_SIZE * 4)
+        released = space.discard(m.start, PAGE_SIZE * 4)
+        assert released == 4
+        assert phys.anon_bytes == 0
+        counts = space.touch(m.start, PAGE_SIZE)
+        assert counts.minor == 1
+
+    def test_discard_partial_range(self, space, phys):
+        m = space.mmap(PAGE_SIZE * 4)
+        space.touch(m.start, PAGE_SIZE * 4)
+        space.discard(m.start + PAGE_SIZE, PAGE_SIZE * 2)
+        assert phys.anon_bytes == 2 * PAGE_SIZE
+
+    def test_discard_of_non_resident_is_zero(self, space):
+        m = space.mmap(PAGE_SIZE * 4)
+        assert space.discard(m.start, PAGE_SIZE * 4) == 0
+
+    def test_swap_out_then_touch_is_major_fault(self, space, phys):
+        m = space.mmap(PAGE_SIZE * 2)
+        space.touch(m.start, PAGE_SIZE * 2)
+        moved = space.swap_out_range(m.start, PAGE_SIZE * 2)
+        assert moved == 2
+        assert phys.anon_bytes == 0
+        assert phys.swap.pages == 2
+        counts = space.touch(m.start, PAGE_SIZE)
+        assert counts.major == 1
+        assert phys.swap.pages == 1
+        assert phys.anon_bytes == PAGE_SIZE
+
+    def test_swap_out_drops_file_clean_pages(self, space, phys):
+        lib = MappedFile("/lib/x", PAGE_SIZE)
+        m = space.mmap(PAGE_SIZE, prot=Protection.READ, file=lib)
+        space.touch(m.start, PAGE_SIZE, write=False)
+        space.swap_out_range(m.start, PAGE_SIZE)
+        assert phys.file_cache_bytes == 0
+        assert phys.swap.pages == 0  # clean file pages are dropped, not swapped
+
+
+class TestClose:
+    def test_close_releases_everything(self, space, phys):
+        lib = MappedFile("/lib/x", PAGE_SIZE)
+        m1 = space.mmap(PAGE_SIZE * 2)
+        m2 = space.mmap(PAGE_SIZE, prot=Protection.READ, file=lib)
+        space.touch(m1.start, PAGE_SIZE * 2)
+        space.touch(m2.start, PAGE_SIZE, write=False)
+        space.close()
+        assert phys.anon_bytes == 0
+        assert phys.file_cache_bytes == 0
+        assert space.closed
+
+    def test_operations_after_close_raise(self, space):
+        space.close()
+        with pytest.raises(MemoryError_):
+            space.mmap(PAGE_SIZE)
+
+    def test_double_close_is_noop(self, space):
+        space.close()
+        space.close()

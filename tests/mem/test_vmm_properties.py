@@ -1,0 +1,125 @@
+"""Property-based tests for the VMM: accounting invariants hold under any
+interleaving of map / touch / discard / swap / unmap operations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.mem.accounting import measure, measure_many
+from repro.mem.layout import PAGE_SIZE, Protection
+from repro.mem.physical import MappedFile, PhysicalMemory
+from repro.mem.vmm import VirtualAddressSpace
+
+N_PAGES = 16
+
+
+class VMMachine(RuleBasedStateMachine):
+    """Two processes sharing one library, driven by random memory ops."""
+
+    @initialize()
+    def setup(self):
+        self.phys = PhysicalMemory()
+        self.lib = MappedFile("/lib/shared.so", PAGE_SIZE * N_PAGES)
+        self.spaces = []
+        self.anon = []
+        self.libmaps = []
+        for name in ("a", "b"):
+            s = VirtualAddressSpace(name, self.phys)
+            self.spaces.append(s)
+            self.anon.append(s.mmap(PAGE_SIZE * N_PAGES, name="[heap]"))
+            self.libmaps.append(
+                s.mmap(PAGE_SIZE * N_PAGES, prot=Protection.READ, file=self.lib)
+            )
+
+    @rule(
+        who=st.integers(0, 1),
+        page=st.integers(0, N_PAGES - 1),
+        count=st.integers(1, 4),
+    )
+    def touch_anon(self, who, page, count):
+        m = self.anon[who]
+        length = min(count, N_PAGES - page) * PAGE_SIZE
+        self.spaces[who].touch(m.start + page * PAGE_SIZE, length)
+
+    @rule(who=st.integers(0, 1), page=st.integers(0, N_PAGES - 1))
+    def touch_lib(self, who, page):
+        m = self.libmaps[who]
+        self.spaces[who].touch(m.start + page * PAGE_SIZE, PAGE_SIZE, write=False)
+
+    @rule(
+        who=st.integers(0, 1),
+        page=st.integers(0, N_PAGES - 1),
+        count=st.integers(1, 8),
+    )
+    def discard_anon(self, who, page, count):
+        m = self.anon[who]
+        length = min(count, N_PAGES - page) * PAGE_SIZE
+        self.spaces[who].discard(m.start + page * PAGE_SIZE, length)
+
+    @rule(who=st.integers(0, 1), page=st.integers(0, N_PAGES - 1))
+    def swap_anon(self, who, page):
+        m = self.anon[who]
+        self.spaces[who].swap_out_range(m.start + page * PAGE_SIZE, PAGE_SIZE)
+
+    @rule(who=st.integers(0, 1))
+    def drop_lib(self, who):
+        m = self.libmaps[who]
+        self.spaces[who].discard(m.start, m.length)
+
+    @invariant()
+    def uss_le_pss_le_rss(self):
+        for s in self.spaces:
+            r = measure(s)
+            assert r.uss <= r.pss + 1e-6
+            assert r.pss <= r.rss + 1e-6
+
+    @invariant()
+    def pss_sums_to_physical(self):
+        total = measure_many(self.spaces)
+        assert abs(total.pss - self.phys.used_bytes) < 1e-6
+
+    @invariant()
+    def rss_never_negative_or_excessive(self):
+        for s in self.spaces:
+            r = measure(s)
+            assert 0 <= r.rss <= 2 * N_PAGES * PAGE_SIZE
+
+    @invariant()
+    def swap_consistent(self):
+        total = measure_many(self.spaces)
+        assert total.swap == self.phys.swap.bytes
+
+
+TestVMMProperties = VMMachine.TestCase
+TestVMMProperties.settings = settings(max_examples=30, stateful_step_count=30)
+
+
+@given(
+    lengths=st.lists(st.integers(1, PAGE_SIZE * 8), min_size=1, max_size=10),
+)
+def test_mmap_touch_munmap_conserves_frames(lengths):
+    """After unmapping everything, no physical memory remains allocated."""
+    phys = PhysicalMemory()
+    space = VirtualAddressSpace("p", phys)
+    maps = []
+    for length in lengths:
+        m = space.mmap(length)
+        space.touch(m.start, m.length)
+        maps.append(m)
+    for m in maps:
+        space.munmap(m.start, m.length)
+    assert phys.used_bytes == 0
+
+
+@given(
+    touched=st.integers(1, 32),
+    discard_from=st.integers(0, 31),
+)
+def test_discard_releases_exactly_resident_overlap(touched, discard_from):
+    phys = PhysicalMemory()
+    space = VirtualAddressSpace("p", phys)
+    m = space.mmap(PAGE_SIZE * 32)
+    space.touch(m.start, PAGE_SIZE * touched)
+    released = space.discard(m.start + discard_from * PAGE_SIZE, PAGE_SIZE * 32)
+    assert released == max(0, touched - discard_from)
+    assert phys.anon_bytes == min(touched, discard_from) * PAGE_SIZE

@@ -1,0 +1,61 @@
+"""Unit tests for the JIT code-cache model."""
+
+import pytest
+
+from repro.mem.layout import KIB, MIB
+from repro.runtime.hotspot import HotSpotRuntime
+from repro.runtime.v8 import V8Runtime
+
+
+@pytest.fixture
+def v8():
+    rt = V8Runtime("node")
+    rt.boot()
+    rt.begin_invocation()
+    return rt
+
+
+def test_cold_function_pays_full_penalty(v8):
+    step = v8.jit.invoke("f", 128 * KIB, warm_units=4, interp_penalty=3.0)
+    assert step.multiplier == pytest.approx(3.0)
+    assert step.compile_seconds > 0
+
+
+def test_multiplier_decays_to_one_as_units_accumulate(v8):
+    multipliers = [
+        v8.jit.invoke("f", 128 * KIB, warm_units=4, interp_penalty=3.0).multiplier
+        for _ in range(6)
+    ]
+    assert multipliers == sorted(multipliers, reverse=True)
+    assert multipliers[-1] == pytest.approx(1.0)
+    assert v8.jit.invoke("f", 128 * KIB, 4, 3.0).compile_seconds == 0
+
+
+def test_insensitive_function_never_penalized(v8):
+    step = v8.jit.invoke("f", 128 * KIB, warm_units=0, interp_penalty=3.0)
+    assert step.multiplier == 1.0
+    step = v8.jit.invoke("g", 128 * KIB, warm_units=4, interp_penalty=1.0)
+    assert step.multiplier == 1.0
+
+
+def test_functions_warm_independently(v8):
+    for _ in range(4):
+        v8.jit.invoke("hot", 128 * KIB, 4, 2.0)
+    assert v8.jit.warm_fraction("hot", 4) == 1.0
+    assert v8.jit.warm_fraction("cold", 4) == 0.0
+
+
+def test_aggressive_gc_dewarms_v8_but_not_hotspot():
+    node = V8Runtime("node")
+    node.boot()
+    node.begin_invocation()
+    jvm = HotSpotRuntime("jvm")
+    jvm.boot()
+    jvm.begin_invocation()
+    for rt in (node, jvm):
+        for _ in range(4):
+            rt.jit.invoke("f", 128 * KIB, 4, 2.0)
+        assert rt.jit.warm_fraction("f", 4) == 1.0
+        rt.full_gc(aggressive=True)
+    assert node.jit.warm_fraction("f", 4) == 0.0  # weak-rooted heap code
+    assert jvm.jit.warm_fraction("f", 4) == 1.0  # native code cache survives

@@ -1,0 +1,65 @@
+"""Tests for the §5.4 parallel-collection suggestion (gc_threads)."""
+
+import pytest
+
+from repro.mem.layout import KIB, MIB
+from repro.runtime.g1 import G1Config, G1Runtime
+from repro.runtime.golang import GoConfig, GoRuntime
+from repro.runtime.hotspot import HotSpotConfig, HotSpotRuntime
+from repro.runtime.v8 import V8Config, V8Runtime
+
+RUNTIMES = [
+    (HotSpotRuntime, HotSpotConfig),
+    (V8Runtime, V8Config),
+    (GoRuntime, GoConfig),
+    (G1Runtime, G1Config),
+]
+
+
+def exercised(cls, cfg_cls, threads):
+    rt = cls("rt", cfg_cls(gc_threads=threads))
+    rt.boot()
+    rt.begin_invocation()
+    for _ in range(80):
+        rt.alloc(64 * KIB, scope="ephemeral")
+    rt.alloc(4 * MIB, scope="persistent")
+    rt.end_invocation()
+    return rt
+
+
+@pytest.mark.parametrize("cls,cfg_cls", RUNTIMES)
+def test_more_threads_shorter_pauses(cls, cfg_cls):
+    serial = exercised(cls, cfg_cls, threads=1)
+    parallel = exercised(cls, cfg_cls, threads=4)
+    pause_serial = serial.collect(full=True)
+    pause_parallel = parallel.collect(full=True)
+    assert pause_parallel < pause_serial
+    # Near-linear speedup with the coordination tax.
+    assert pause_parallel > pause_serial / 4
+
+
+@pytest.mark.parametrize("cls,cfg_cls", RUNTIMES)
+def test_memory_outcome_independent_of_threads(cls, cfg_cls):
+    """Parallelism changes pauses, never what gets collected."""
+    serial = exercised(cls, cfg_cls, threads=1)
+    parallel = exercised(cls, cfg_cls, threads=8)
+    serial.collect(full=True)
+    parallel.collect(full=True)
+    assert serial.live_bytes() == parallel.live_bytes()
+
+
+def test_reclaim_faster_with_threads():
+    """§5.4: with abundant CPU, parallel collection speeds reclamation."""
+    serial = exercised(HotSpotRuntime, HotSpotConfig, threads=1)
+    parallel = exercised(HotSpotRuntime, HotSpotConfig, threads=4)
+    out_serial = serial.reclaim()
+    out_parallel = parallel.reclaim()
+    assert out_parallel.cpu_seconds < out_serial.cpu_seconds
+    assert out_parallel.uss_after == pytest.approx(out_serial.uss_after, rel=0.05)
+
+
+def test_single_thread_is_identity():
+    one = exercised(V8Runtime, V8Config, threads=1)
+    assert one._parallel_pause(0.01) == 0.01
+    four = exercised(V8Runtime, V8Config, threads=4)
+    assert four._parallel_pause(0.01) == pytest.approx(0.01 * 1.15 / 4)

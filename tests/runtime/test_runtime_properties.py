@@ -1,0 +1,110 @@
+"""Property-based tests over all three runtimes: collections and reclamation
+never lose live data, never increase memory, and accounting stays sane."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.layout import KIB, MIB
+from repro.runtime.cpython import CPythonConfig, CPythonRuntime
+from repro.runtime.golang import GoConfig, GoRuntime
+from repro.runtime.hotspot import HotSpotConfig, HotSpotRuntime
+from repro.runtime.v8 import V8Config, V8Runtime
+
+RUNTIMES = [
+    (HotSpotRuntime, HotSpotConfig),
+    (V8Runtime, V8Config),
+    (CPythonRuntime, CPythonConfig),
+    (GoRuntime, GoConfig),
+]
+
+
+def fresh(cls, cfg_cls):
+    rt = cls("rt", cfg_cls(memory_budget=256 * MIB))
+    rt.boot()
+    return rt
+
+
+@st.composite
+def invocation_plans(draw):
+    """A list of invocations; each is (ephemeral sizes, persistent sizes)."""
+    n_invocations = draw(st.integers(1, 4))
+    plans = []
+    for _ in range(n_invocations):
+        temps = draw(
+            st.lists(st.integers(1 * KIB, 512 * KIB), min_size=0, max_size=12)
+        )
+        persist = draw(
+            st.lists(st.integers(1 * KIB, 256 * KIB), min_size=0, max_size=3)
+        )
+        plans.append((temps, persist))
+    return plans
+
+
+def run_plan(rt, plans):
+    expected_persistent = 0
+    for temps, persist in plans:
+        rt.begin_invocation()
+        for size in temps:
+            rt.alloc(size, scope="ephemeral")
+        for size in persist:
+            rt.alloc(size, scope="persistent")
+            expected_persistent += size
+        rt.end_invocation()
+    return expected_persistent
+
+
+@pytest.mark.parametrize("cls,cfg_cls", RUNTIMES)
+@given(plans=invocation_plans())
+@settings(max_examples=20, deadline=None)
+def test_collection_preserves_exactly_the_live_set(cls, cfg_cls, plans):
+    rt = fresh(cls, cfg_cls)
+    expected = run_plan(rt, plans)
+    assert rt.live_bytes() == expected
+    rt.collect(full=True)
+    assert rt.live_bytes() == expected
+    # After a full collection nothing dead remains in the object table.
+    assert rt.graph.total_bytes() == expected
+
+
+@pytest.mark.parametrize("cls,cfg_cls", RUNTIMES)
+@given(plans=invocation_plans())
+@settings(max_examples=15, deadline=None)
+def test_reclaim_never_loses_data_and_never_grows_uss(cls, cfg_cls, plans):
+    rt = fresh(cls, cfg_cls)
+    expected = run_plan(rt, plans)
+    uss_before = rt.uss()
+    outcome = rt.reclaim()
+    assert rt.live_bytes() == expected
+    # Promoting survivors into fresh chunks can cost a few metadata pages,
+    # so allow a small slack above the pre-reclaim footprint.
+    assert outcome.uss_after <= uss_before + 64 * KIB
+    assert outcome.uss_after == rt.uss()
+    assert outcome.cpu_seconds >= 0
+
+
+@pytest.mark.parametrize("cls,cfg_cls", RUNTIMES)
+@given(plans=invocation_plans())
+@settings(max_examples=10, deadline=None)
+def test_heap_stats_invariants(cls, cfg_cls, plans):
+    rt = fresh(cls, cfg_cls)
+    run_plan(rt, plans)
+    stats = rt.heap_stats()
+    assert 0 <= stats.used <= stats.committed
+    assert stats.committed <= rt.config.max_heap + MIB
+
+
+@pytest.mark.parametrize("cls,cfg_cls", RUNTIMES)
+@given(plans=invocation_plans(), seed=st.integers(0, 3))
+@settings(max_examples=10, deadline=None)
+def test_reexecution_after_reclaim_is_equivalent(cls, cfg_cls, plans, seed):
+    """Thaw-and-run: reclaiming between invocations must not change what
+    the mutator observes (its live state)."""
+    rt_plain = fresh(cls, cfg_cls)
+    rt_reclaimed = fresh(cls, cfg_cls)
+    for i, plan in enumerate(plans):
+        for rt in (rt_plain, rt_reclaimed):
+            run_plan(rt, [plan])
+        if i % 2 == seed % 2:
+            rt_reclaimed.reclaim()
+    assert rt_plain.live_bytes() == rt_reclaimed.live_bytes()

@@ -1,0 +1,81 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_prints_all_functions(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "file-hash" in out
+    assert "alexa (8)" in out
+    assert out.count("\n") >= 21  # header + rule + 20 functions
+
+
+def test_characterize_single_function(capsys):
+    assert main(["characterize", "clock", "--iterations", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "clock" in out
+    assert "max_ratio" in out
+
+
+def test_characterize_desiccant_policy(capsys):
+    assert (
+        main(
+            [
+                "characterize",
+                "time",
+                "--policy",
+                "desiccant",
+                "--iterations",
+                "5",
+            ]
+        )
+        == 0
+    )
+    assert "desiccant" in capsys.readouterr().out
+
+
+def test_characterize_unknown_function_fails_cleanly(capsys):
+    assert main(["characterize", "not-a-function", "--iterations", "2"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_overhead_command(capsys):
+    assert main(["overhead", "time", "--warm", "4", "--probe", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "time (desiccant)" in out
+    assert "%" in out
+
+
+def test_replay_single_policy(capsys):
+    assert (
+        main(
+            [
+                "replay",
+                "--policy",
+                "vanilla",
+                "--scale-factor",
+                "3",
+                "--warmup",
+                "5",
+                "--duration",
+                "10",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "vanilla" in out
+    assert "cold/req" in out
+
+
+def test_parser_rejects_unknown_policy():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["characterize", "fft", "--policy", "magic"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,152 @@
+"""Unit tests for the Azure Functions dataset loader (synthetic fixtures)."""
+
+import csv
+import random
+
+import pytest
+
+from repro.trace.azure_loader import (
+    MINUTES_PER_DAY,
+    arrivals_from_counts,
+    build_replay_arrivals,
+    load_average_durations,
+    load_invocation_counts,
+    select_by_duration,
+)
+from repro.workloads.registry import all_definitions
+
+
+def write_invocations_csv(path, rows):
+    minute_cols = [str(m) for m in range(1, MINUTES_PER_DAY + 1)]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["HashOwner", "HashApp", "HashFunction", "Trigger"] + minute_cols
+        )
+        for owner, app, fn, trigger, counts in rows:
+            padded = list(counts) + [0] * (MINUTES_PER_DAY - len(counts))
+            writer.writerow([owner, app, fn, trigger] + padded)
+
+
+def write_durations_csv(path, entries):
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["HashOwner", "HashApp", "HashFunction", "Average"])
+        for owner, app, fn, avg in entries:
+            writer.writerow([owner, app, fn, avg])
+
+
+@pytest.fixture
+def dataset(tmp_path):
+    """A synthetic dataset with enough spread to match every definition."""
+    rng = random.Random(3)
+    rows = []
+    durations = []
+    for k in range(40):
+        counts = [rng.randint(0, 3) for _ in range(200)]
+        rows.append(("o", "a", f"f{k}", "http", counts))
+        # Log-spaced 2ms..2000ms: short durations dominate, like the real
+        # dataset.
+        durations.append(("o", "a", f"f{k}", round(2 * (1000 ** (k / 39)), 2)))
+    inv_path = tmp_path / "invocations.csv"
+    dur_path = tmp_path / "durations.csv"
+    write_invocations_csv(inv_path, rows)
+    write_durations_csv(dur_path, durations)
+    return inv_path, dur_path
+
+
+class TestLoading:
+    def test_loads_rows_and_counts(self, dataset):
+        inv_path, _ = dataset
+        rows = load_invocation_counts(inv_path)
+        assert len(rows) == 40
+        assert len(rows[0].per_minute) == MINUTES_PER_DAY
+        assert rows[0].trigger == "http"
+        assert rows[0].total_invocations > 0
+
+    def test_loads_durations(self, dataset):
+        _, dur_path = dataset
+        durations = load_average_durations(dur_path)
+        assert durations["o/a/f0"] == 2.0
+        assert len(durations) == 40
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="expected Azure"):
+            load_invocation_counts(bad)
+        with pytest.raises(ValueError, match="expected Azure"):
+            load_average_durations(bad)
+
+
+class TestSelection:
+    def test_selects_one_row_per_definition(self, dataset):
+        inv_path, dur_path = dataset
+        rows = load_invocation_counts(inv_path)
+        durations = load_average_durations(dur_path)
+        selection = select_by_duration(rows, durations)
+        assert set(selection) == {d.name for d in all_definitions()}
+        # Each trace function used at most once.
+        keys = [row.key for row in selection.values()]
+        assert len(keys) == len(set(keys))
+
+    def test_matches_by_duration(self, dataset):
+        inv_path, dur_path = dataset
+        rows = load_invocation_counts(inv_path)
+        durations = load_average_durations(dur_path)
+        selection = select_by_duration(rows, durations)
+        # The fastest definition maps to one of the shortest trace rows.
+        fastest = min(all_definitions(), key=lambda d: d.total_exec_seconds)
+        chosen_ms = durations[selection[fastest.name].key]
+        assert chosen_ms <= 200
+
+    def test_requires_enough_candidates(self, dataset):
+        inv_path, dur_path = dataset
+        rows = load_invocation_counts(inv_path)[:5]
+        durations = load_average_durations(dur_path)
+        with pytest.raises(ValueError, match="usable trace functions"):
+            select_by_duration(rows, durations)
+
+
+class TestArrivalExpansion:
+    def test_counts_expand_to_that_many_arrivals(self, dataset):
+        inv_path, _ = dataset
+        row = load_invocation_counts(inv_path)[0]
+        times = arrivals_from_counts(row, horizon_seconds=86400.0)
+        assert len(times) == row.total_invocations
+        assert times == sorted(times)
+
+    def test_scale_factor_compresses_time(self, dataset):
+        inv_path, _ = dataset
+        row = load_invocation_counts(inv_path)[0]
+        plain = arrivals_from_counts(row, 86400.0, scale_factor=1.0, seed=1)
+        fast = arrivals_from_counts(row, 86400.0, scale_factor=10.0, seed=1)
+        assert max(fast) < max(plain)
+        assert fast == pytest.approx([t / 10.0 for t in plain])
+
+    def test_horizon_truncates(self, dataset):
+        inv_path, _ = dataset
+        row = load_invocation_counts(inv_path)[0]
+        times = arrivals_from_counts(row, horizon_seconds=60.0)
+        assert all(t < 60.0 for t in times)
+
+    def test_invalid_parameters_rejected(self, dataset):
+        inv_path, _ = dataset
+        row = load_invocation_counts(inv_path)[0]
+        with pytest.raises(ValueError):
+            arrivals_from_counts(row, 0.0)
+        with pytest.raises(ValueError):
+            arrivals_from_counts(row, 60.0, scale_factor=0.0)
+
+
+def test_end_to_end_replay_arrivals(dataset):
+    inv_path, dur_path = dataset
+    rows = load_invocation_counts(inv_path)
+    durations = load_average_durations(dur_path)
+    selection = select_by_duration(rows, durations)
+    events = build_replay_arrivals(selection, horizon_seconds=600.0, scale_factor=20.0)
+    assert events, "arrivals expected inside the horizon"
+    times = [t for t, _ in events]
+    assert times == sorted(times)
+    names = {d.name for _, d in events}
+    assert names <= {d.name for d in all_definitions()}

@@ -1,0 +1,72 @@
+"""Unit tests for the synthetic Azure-style trace generator."""
+
+import pytest
+
+from repro.trace.generator import FunctionArrivalSpec, TraceGenerator
+from repro.workloads.registry import all_definitions, get_definition
+
+
+@pytest.fixture
+def generator():
+    return TraceGenerator(seed=42)
+
+
+def test_covers_all_twenty_functions(generator):
+    assert len(generator.specs) == 20
+    names = {s.definition.name for s in generator.specs}
+    assert names == {d.name for d in all_definitions()}
+
+
+def test_spec_validation():
+    d = get_definition("fft")
+    with pytest.raises(ValueError):
+        FunctionArrivalSpec(d, "weird", 1.0)
+    with pytest.raises(ValueError):
+        FunctionArrivalSpec(d, "poisson", 0.0)
+
+
+def test_arrivals_sorted_and_within_horizon(generator):
+    events = generator.arrivals(60.0, scale_factor=5.0)
+    times = [t for t, _ in events]
+    assert times == sorted(times)
+    assert all(0 <= t < 60.0 for t in times)
+    assert len(events) > 20
+
+
+def test_deterministic_for_same_seed():
+    a = TraceGenerator(seed=7).arrivals(60.0, 5.0)
+    b = TraceGenerator(seed=7).arrivals(60.0, 5.0)
+    assert [(t, d.name) for t, d in a] == [(t, d.name) for t, d in b]
+
+
+def test_different_seeds_differ():
+    a = TraceGenerator(seed=7).arrivals(60.0, 5.0)
+    b = TraceGenerator(seed=8).arrivals(60.0, 5.0)
+    assert [(t, d.name) for t, d in a] != [(t, d.name) for t, d in b]
+
+
+def test_scale_factor_scales_load(generator):
+    low = len(generator.arrivals(120.0, scale_factor=1.0))
+    high = len(generator.arrivals(120.0, scale_factor=10.0))
+    assert high > 4 * low
+
+
+def test_popularity_is_heavy_tailed(generator):
+    from collections import Counter
+
+    counts = Counter(d.name for _, d in generator.arrivals(600.0, 5.0))
+    ordered = sorted(counts.values(), reverse=True)
+    # The hottest function fires far more often than the coldest.
+    assert ordered[0] > 5 * max(1, ordered[-1])
+
+
+def test_invalid_parameters_rejected(generator):
+    with pytest.raises(ValueError):
+        generator.arrivals(0.0, 1.0)
+    with pytest.raises(ValueError):
+        generator.arrivals(60.0, 0.0)
+
+
+def test_patterns_assigned_across_functions(generator):
+    patterns = {s.pattern for s in generator.specs}
+    assert patterns == {"poisson", "periodic", "bursty"}

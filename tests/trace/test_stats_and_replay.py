@@ -1,0 +1,88 @@
+"""Unit tests for percentile stats and the replay harness."""
+
+import pytest
+
+from repro.core import Desiccant, VanillaManager
+from repro.faas.platform import PlatformConfig
+from repro.mem.layout import GIB, MIB
+from repro.trace.generator import TraceGenerator
+from repro.trace.replay import ReplayConfig, replay
+from repro.trace.stats import percentile
+from repro.workloads.registry import get_definition
+
+
+class TestPercentile:
+    def test_simple_percentiles(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 99) == 99
+        assert percentile(values, 100) == 100
+        assert percentile(values, 0) == 1
+
+    def test_unsorted_input(self):
+        assert percentile([5, 1, 9, 3], 50) == 3
+
+    def test_single_value(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+
+class TestReplay:
+    @pytest.fixture(scope="class")
+    def small_replay(self):
+        """A small but end-to-end replay, shared across assertions."""
+        config = ReplayConfig(
+            scale_factor=6.0,
+            warmup_seconds=20.0,
+            warmup_scale_factor=6.0,
+            duration_seconds=40.0,
+            platform=PlatformConfig(capacity_bytes=1 * GIB),
+        )
+        generator = TraceGenerator(seed=3)
+        return replay(VanillaManager, config, generator)
+
+    def test_replay_completes_requests(self, small_replay):
+        assert small_replay.stats.completed > 10
+
+    def test_stats_are_consistent(self, small_replay):
+        stats = small_replay.stats
+        assert stats.policy == "vanilla"
+        assert 0 <= stats.cpu_utilization <= 1
+        assert stats.p50_latency <= stats.p90_latency <= stats.p99_latency
+        assert stats.throughput_rps == pytest.approx(
+            stats.completed / stats.duration_seconds
+        )
+
+    def test_warmup_not_counted(self, small_replay):
+        # All counted outcomes arrive in the measurement window.
+        outcomes = small_replay.platform.outcomes
+        assert all(o.request.arrival >= 20.0 for o in outcomes)
+
+    def test_desiccant_replay_reclaims_under_pressure(self):
+        config = ReplayConfig(
+            scale_factor=6.0,
+            warmup_seconds=20.0,
+            warmup_scale_factor=6.0,
+            duration_seconds=40.0,
+            platform=PlatformConfig(capacity_bytes=640 * MIB),
+        )
+        from repro.core import ActivationController
+
+        # A 640 MiB cache with 256 MiB launches hits eviction pressure well
+        # below the paper's default 60% floor; configure the floor down as
+        # an operator of such a small node would.
+        result = replay(
+            lambda: Desiccant(activation=ActivationController(floor=0.25, ceiling=0.3)),
+            config,
+            TraceGenerator(seed=3),
+        )
+        assert result.stats.policy == "desiccant"
+        manager = result.platform.manager
+        assert manager.total_released_bytes > 0

@@ -1,0 +1,99 @@
+"""Unit tests for the Table 1 registry."""
+
+import pytest
+
+from repro.workloads import (
+    all_definitions,
+    definitions_by_language,
+    get_definition,
+    table1_rows,
+)
+from repro.workloads.registry import get_stage
+
+
+def test_suite_has_all_table1_functions():
+    names = {d.name for d in all_definitions()}
+    assert names == {
+        "time",
+        "sort",
+        "file-hash",
+        "image-resize",
+        "image-pipeline",
+        "hotel-searching",
+        "mapreduce",
+        "specjbb2015",
+        "clock",
+        "dynamic-html",
+        "factor",
+        "fft",
+        "fibonacci",
+        "filesystem",
+        "matrix",
+        "pi",
+        "unionfind",
+        "web-server",
+        "data-analysis",
+        "alexa",
+    }
+
+
+def test_language_split_matches_table1():
+    assert len(definitions_by_language("java")) == 8
+    assert len(definitions_by_language("javascript")) == 12
+
+
+def test_chain_stage_counts_match_table1():
+    expected = {
+        "image-pipeline": 4,
+        "hotel-searching": 3,
+        "mapreduce": 2,
+        "specjbb2015": 3,
+        "data-analysis": 6,
+        "alexa": 8,
+    }
+    for name, count in expected.items():
+        assert len(get_definition(name).stages) == count
+    singles = [d for d in all_definitions() if not d.is_chain]
+    assert len(singles) == 14
+
+
+def test_display_names_carry_stage_counts():
+    assert get_definition("mapreduce").display_name() == "mapreduce (2)"
+    assert get_definition("fft").display_name() == "fft"
+
+
+def test_table1_rows_cover_everything():
+    rows = table1_rows()
+    assert len(rows) == 20
+    assert all(lang in ("java", "javascript") for lang, _, _ in rows)
+    assert all(desc for _, _, desc in rows)
+
+
+def test_unknown_function_raises_with_candidates():
+    with pytest.raises(KeyError, match="unknown function"):
+        get_definition("nope")
+
+
+def test_unknown_language_raises():
+    with pytest.raises(KeyError):
+        definitions_by_language("cobol")
+
+
+def test_get_stage_resolves_chain_members():
+    stage = get_stage("mapreduce.map")
+    assert stage.handoff_bytes > 0
+    with pytest.raises(KeyError):
+        get_stage("mapreduce.shuffle")
+
+
+def test_mapreduce_mapper_hands_off_reducer_does_not():
+    stages = get_definition("mapreduce").stages
+    assert stages[0].handoff_bytes > 0
+    assert stages[1].handoff_bytes == 0
+
+
+def test_deopt_sensitive_functions_marked():
+    assert get_definition("unionfind").stages[0].interp_penalty == pytest.approx(1.74)
+    assert all(
+        stage.interp_penalty > 2.0 for stage in get_definition("data-analysis").stages
+    )
