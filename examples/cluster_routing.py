@@ -36,7 +36,12 @@ def run(scheduler: str, with_desiccant: bool):
 def main() -> None:
     print("4-node cluster, 512 MiB cache per node, SF 12 trace...\n")
     rows = []
-    for scheduler in ("round-robin", "least-assigned", "warm-affinity"):
+    for scheduler in (
+        "round-robin",
+        "least-assigned",
+        "warm-affinity",
+        "least-loaded-live",
+    ):
         for desiccant in (False, True):
             stats = run(scheduler, desiccant)
             rows.append(
@@ -59,7 +64,9 @@ def main() -> None:
     print(
         "\nWarm-affinity concentrates each function's warm instances on its"
         "\nhome node (fewer cold boots, worse balance); Desiccant then packs"
-        "\nevery node's cache denser. Best of both: affinity + Desiccant."
+        "\nevery node's cache denser. least-loaded-live routes against live"
+        "\ncluster state -- only possible because all nodes share one event"
+        "\nkernel -- matching affinity's cold rate with better balance."
     )
 
 

@@ -5,9 +5,12 @@ freeze-aware memory manager -- over simulated substrates.
 Layers (bottom up):
 
 * :mod:`repro.mem`      -- page-granular virtual memory with USS/RSS/PSS.
+* :mod:`repro.sim`      -- the discrete-event kernel (clock, event heap,
+  typed event bus, per-component RNG streams, JSONL trace sink).
 * :mod:`repro.runtime`  -- HotSpot, V8, and CPython runtime simulators.
 * :mod:`repro.workloads`-- the Table 1 function suite.
-* :mod:`repro.faas`     -- the OpenWhisk/Lambda-like platforms.
+* :mod:`repro.faas`     -- the OpenWhisk/Lambda-like platforms, hosted on
+  the sim kernel.
 * :mod:`repro.trace`    -- Azure-style trace generation and replay.
 * :mod:`repro.core`     -- Desiccant itself plus the evaluation baselines.
 * :mod:`repro.analysis` -- characterization harnesses and reporting.
@@ -39,6 +42,7 @@ from repro.faas import (
     SharedLibraryPool,
 )
 from repro.faas.platform import Request
+from repro.sim import EventBus, EventTraceSink, RngStream, SimKernel
 from repro.runtime import CPythonRuntime, HotSpotRuntime, ManagedRuntime, V8Runtime
 from repro.trace import ReplayConfig, TraceGenerator, replay
 from repro.workloads import all_definitions, definitions_by_language, get_definition
@@ -64,6 +68,10 @@ __all__ = [
     "PlatformConfig",
     "SharedLibraryPool",
     "Request",
+    "EventBus",
+    "EventTraceSink",
+    "RngStream",
+    "SimKernel",
     "CPythonRuntime",
     "HotSpotRuntime",
     "ManagedRuntime",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.characterize import (
@@ -61,6 +62,14 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_path_for(template: str, policy: str, multiple: bool) -> str:
+    """Per-policy trace filename: ``out.jsonl`` -> ``out.desiccant.jsonl``."""
+    if not multiple:
+        return template
+    path = Path(template)
+    return str(path.with_name(f"{path.stem}.{policy}{path.suffix or '.jsonl'}"))
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.core import Desiccant, EagerGcManager, VanillaManager
     from repro.faas.platform import PlatformConfig
@@ -76,13 +85,23 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     generator = TraceGenerator(seed=args.seed)
     rows = []
     for policy in chosen:
+        trace_path = None
+        if args.event_trace:
+            trace_path = _trace_path_for(args.event_trace, policy, len(chosen) > 1)
         config = ReplayConfig(
             scale_factor=args.scale_factor,
             warmup_seconds=args.warmup,
             duration_seconds=args.duration,
             platform=PlatformConfig(capacity_bytes=args.capacity_mib * MIB),
+            event_trace_path=trace_path,
         )
-        stats = replay(factories[policy], config, generator).stats
+        result = replay(factories[policy], config, generator)
+        stats = result.stats
+        if result.trace is not None:
+            print(
+                f"wrote {len(result.trace)} events to {trace_path}",
+                file=sys.stderr,
+            )
         rows.append(
             [
                 policy,
@@ -147,6 +166,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup", type=float, default=30.0)
     p.add_argument("--duration", type=float, default=60.0)
     p.add_argument("--seed", type=int, default=42)
+    p.add_argument(
+        "--event-trace",
+        metavar="PATH",
+        help="stream a JSONL event trace of the measurement window here "
+        "(with --policy all, one file per policy: PATH.<policy>.jsonl)",
+    )
     p.set_defaults(func=_cmd_replay)
 
     p = sub.add_parser("overhead", help="post-reclaim overhead (§5.6)")

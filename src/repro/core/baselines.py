@@ -1,7 +1,11 @@
 """The evaluation's memory-management policies.
 
-The platform drives whichever policy it is configured with through three
-hooks; everything the paper compares is one of these:
+Managers are plain policy objects: they never touch the platform's event
+loop directly.  A :class:`~repro.faas.platform.ManagerBridge` subscribes
+each manager to its node's structured bus events (``invocation-end``,
+``freeze``, ``eviction``, and the per-event ``step``) and forwards them
+to the hooks below, returning the CPU seconds each hook consumed to the
+publisher.  Everything the paper compares is one of these:
 
 * :class:`VanillaManager` -- freeze semantics only; GC runs when the
   runtime decides (allocation pressure).
@@ -40,7 +44,8 @@ class PlatformView(Protocol):
 
 @runtime_checkable
 class MemoryManager(Protocol):
-    """Policy hooks the platform invokes.  Hooks return CPU seconds spent."""
+    """Policy hooks, driven by bus events through the manager bridge.
+    Hooks return CPU seconds spent."""
 
     name: str
 

@@ -1,11 +1,14 @@
 """Desiccant, the freeze-aware memory manager (§4).
 
-Wired into the platform as a background sweeper (Figure 5): the platform
-reports freezes and evictions; on every simulation step Desiccant checks
-the activation threshold against the frozen instances' accumulated memory,
-and while over it, reclaims the highest-estimated-throughput candidates
-using idle CPU.  Eviction stays the platform's business -- stateless
-instances make racing reclamation and eviction harmless (§4.2).
+Wired into the platform as a background sweeper (Figure 5): freezes and
+evictions arrive as bus events via the platform's manager bridge, which
+also drives :meth:`Desiccant.step` after every simulation event.  On each
+step Desiccant checks the activation threshold against the frozen
+instances' accumulated memory, and while over it, reclaims the
+highest-estimated-throughput candidates using idle CPU; the bridge
+publishes ``reclaim-start``/``reclaim-done`` events for any sweep that
+did work.  Eviction stays the platform's business -- stateless instances
+make racing reclamation and eviction harmless (§4.2).
 """
 
 from __future__ import annotations

@@ -6,26 +6,41 @@ front-end assigns requests to nodes.  Warm starts only happen on a node
 that already caches the function, so the routing policy interacts directly
 with the frozen-garbage economics:
 
-* ``round-robin``    -- spreads every function across all nodes: maximum
+* ``round-robin``       -- spreads every function across all nodes: maximum
   balance, minimum warm locality;
-* ``least-assigned`` -- balances by assigned request count;
-* ``warm-affinity``  -- hashes each function to a home node (consistent
-  assignment), concentrating its warm instances.
+* ``least-assigned``    -- balances by assigned request count;
+* ``warm-affinity``     -- hashes each function to a home node (consistent
+  assignment), concentrating its warm instances;
+* ``least-loaded-live`` -- routes on *live* state at arrival time: prefer
+  a node already caching the function warm, break ties (and the cold
+  case) by current cache pressure.  Only possible because the cluster is
+  a true time-interleaved simulation.
 
-Nodes do not interact, so the simulation runs each node's event queue
-independently and aggregates -- identical to a time-interleaved execution.
+All nodes share one :class:`~repro.sim.kernel.SimKernel`, so
+:meth:`Cluster.run` drives a single globally time-ordered event timeline
+across the whole cluster and collects outcomes in completion order from
+the bus.  The static schedulers route at submit time (their decisions
+depend only on the arrival sequence); ``least-loaded-live`` defers each
+routing decision into the simulation so it observes current node state.
 """
 
 from __future__ import annotations
 
+import copy
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.faas.instance import InstanceState
 from repro.faas.platform import FaasPlatform, PlatformConfig, Request, RequestOutcome
+from repro.sim import Event, REQUEST_DONE, SimKernel
 from repro.workloads.model import FunctionDefinition
 
-SCHEDULERS = ("round-robin", "least-assigned", "warm-affinity")
+SCHEDULERS = ("round-robin", "least-assigned", "warm-affinity", "least-loaded-live")
+
+#: Schedulers whose decisions read live simulation state, so routing must
+#: happen *inside* the timeline (at each request's arrival time).
+DEFERRED_SCHEDULERS = ("least-loaded-live",)
 
 
 @dataclass
@@ -67,24 +82,48 @@ class ClusterStats:
 
 
 class Cluster:
-    """A set of invoker nodes behind a routing front-end."""
+    """A set of invoker nodes behind a routing front-end.
+
+    Every node is constructed over the cluster's shared kernel with a
+    *deep copy* of the node config, so stateful knobs (a keep-alive
+    policy's histograms, the provisioned map) never leak between nodes.
+    """
 
     def __init__(
         self,
         config: Optional[ClusterConfig] = None,
         manager_factory: Optional[Callable[[], object]] = None,
+        kernel: Optional[SimKernel] = None,
     ) -> None:
         from repro.core.baselines import VanillaManager  # avoids module cycle
 
         self.config = config or ClusterConfig()
+        self.kernel = kernel if kernel is not None else SimKernel(
+            seed=self.config.node_config.seed
+        )
         factory = manager_factory or VanillaManager
         self.nodes: List[FaasPlatform] = []
         for index in range(self.config.nodes):
-            node_config = PlatformConfig(**vars(self.config.node_config))
+            node_config = copy.deepcopy(self.config.node_config)
             node_config.seed = self.config.node_config.seed + index
-            self.nodes.append(FaasPlatform(config=node_config, manager=factory()))
+            self.nodes.append(
+                FaasPlatform(
+                    config=node_config,
+                    manager=factory(),
+                    kernel=self.kernel,
+                    node_id=index,
+                )
+            )
         self._assigned: List[int] = [0] * self.config.nodes
         self._rr_next = 0
+        #: Request outcomes across all nodes in global completion order.
+        self.outcomes: List[RequestOutcome] = []
+        self._done_subscription = self.kernel.bus.subscribe(
+            self._on_request_done, kinds=(REQUEST_DONE,)
+        )
+
+    def _on_request_done(self, event: Event) -> None:
+        self.outcomes.append(event.data["outcome"])
 
     # -------------------------------------------------------------- routing
 
@@ -96,31 +135,70 @@ class Cluster:
             self._rr_next = (self._rr_next + 1) % len(self.nodes)
         elif scheduler == "least-assigned":
             node = min(range(len(self.nodes)), key=lambda i: self._assigned[i])
+        elif scheduler == "least-loaded-live":
+            node = self._route_least_loaded_live(definition)
         else:  # warm-affinity
             node = zlib.crc32(definition.name.encode()) % len(self.nodes)
         self._assigned[node] += 1
         return node
 
+    def _route_least_loaded_live(self, definition: FunctionDefinition) -> int:
+        """Load-aware warm routing against *current* simulation state."""
+        stages = {stage.name for stage in definition.stages}
+        warm = [
+            index
+            for index, node in enumerate(self.nodes)
+            if any(
+                instance.spec.name in stages
+                and (
+                    instance.state is InstanceState.FROZEN
+                    or (
+                        instance.state is InstanceState.IDLE
+                        and instance.invocation_count > 0
+                    )
+                )
+                for instance in node.all_instances()
+            )
+        ]
+        candidates = warm or range(len(self.nodes))
+        return min(
+            candidates,
+            key=lambda i: (self.nodes[i].used_bytes(), self._assigned[i], i),
+        )
+
     # -------------------------------------------------------------- running
 
     def submit(self, arrivals: Sequence[Tuple[float, FunctionDefinition]]) -> None:
-        """Route and queue a batch of (time, definition) arrivals."""
-        batches: Dict[int, List[Request]] = {}
+        """Queue a batch of (time, definition) arrivals.
+
+        Static schedulers route immediately; live schedulers schedule a
+        front-end routing event at each arrival time so the decision sees
+        the cluster as it is *then*.
+        """
+        if self.config.scheduler in DEFERRED_SCHEDULERS:
+            for time, definition in arrivals:
+                self.kernel.schedule(time, self._route_and_dispatch, (time, definition))
+            return
         for time, definition in arrivals:
             node = self.route(definition)
-            batches.setdefault(node, []).append(
-                Request(arrival=time, definition=definition)
-            )
-        for node, requests in batches.items():
-            self.nodes[node].submit(requests)
+            self.nodes[node].submit([Request(arrival=time, definition=definition)])
+
+    def _route_and_dispatch(self, payload: Tuple[float, FunctionDefinition]) -> None:
+        time, definition = payload
+        node = self.route(definition)
+        self.nodes[node].submit([Request(arrival=time, definition=definition)])
 
     def run(self) -> ClusterStats:
-        """Drain every node and aggregate."""
+        """Drive the shared kernel to completion and aggregate.
+
+        One merged timeline: events from all nodes interleave in global
+        ``(time, seq)`` order, and ``self.outcomes`` accumulates request
+        completions in that same order.
+        """
         from repro.trace.stats import percentile  # avoids module cycle
 
-        outcomes: List[RequestOutcome] = []
-        for node in self.nodes:
-            outcomes.extend(node.run())
+        self.kernel.run()
+        outcomes = self.outcomes
         latencies = [o.latency for o in outcomes] or [0.0]
         cold = sum(o.cold_boots for o in outcomes)
         return ClusterStats(

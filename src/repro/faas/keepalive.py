@@ -12,7 +12,11 @@ The paper positions Desiccant as *orthogonal* to instance-keeping policies:
   scheduled just before the predicted next arrival.
 
 Each policy implements :class:`EvictionPolicy`; the platform consults it
-for victims and (for the histogram policy) for proactive timeouts.
+for victims and (for the histogram policy) for proactive timeouts.  The
+per-request bookkeeping (frequencies, inter-arrival histograms) arrives
+through the simulation bus: :func:`subscribe_policy` wires a policy's
+``on_request`` to its node's ``request-arrival`` events, so policies are
+ordinary observers -- the platform never calls them per request.
 Desiccant keeps working underneath any of them -- reclaimed instances are
 simply smaller, whichever order they leave the cache in.
 """
@@ -25,6 +29,24 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, runtime_checkable
 
 from repro.faas.instance import FunctionInstance
+from repro.sim import REQUEST_ARRIVAL
+from repro.sim.bus import EventBus, Subscription
+
+
+def subscribe_policy(
+    policy: "EvictionPolicy", bus: EventBus, node: Optional[int] = None
+) -> Subscription:
+    """Attach a policy's request bookkeeping to a node's arrival events.
+
+    Returns the subscription (unsubscribe to detach the policy).  The
+    policy still serves victim queries synchronously -- only the
+    *observation* path rides the bus.
+    """
+
+    def _on_arrival(event) -> None:
+        policy.on_request(event.data["function"], event.time)
+
+    return bus.subscribe(_on_arrival, kinds=(REQUEST_ARRIVAL,), node=node)
 
 
 @runtime_checkable

@@ -1,21 +1,28 @@
 """The OpenWhisk-like FaaS platform (§2.1, Figure 5).
 
-A discrete-event simulator: requests arrive, the platform routes each to a
-warm frozen instance (thaw) or cold-boots a new container, executes the
-function (chains run stage by stage, each stage in its own instance), and
-freezes the instance again.  Memory is managed against an instance-cache
-capacity: launching needs the instance's full budget free, and the platform
-evicts least-recently-used frozen instances to make room -- each eviction
-is a future cold boot, which is the end-to-end cost Figures 9/10 quantify.
+A discrete-event simulator hosted on the shared :mod:`repro.sim` kernel:
+requests arrive, the platform routes each to a warm frozen instance
+(thaw) or cold-boots a new container, executes the function (chains run
+stage by stage, each stage in its own instance), and freezes the
+instance again.  Memory is managed against an instance-cache capacity:
+launching needs the instance's full budget free, and the platform evicts
+least-recently-used frozen instances to make room -- each eviction is a
+future cold boot, which is the end-to-end cost Figures 9/10 quantify.
 
-A pluggable :class:`~repro.core.baselines.MemoryManager` (vanilla / eager /
-swap / Desiccant) observes invocation ends, freezes, and evictions, and
-gets a background ``step`` after every event.
+The platform owns no private loop, clock, or observer list.  It
+*schedules* its handlers on a :class:`~repro.sim.kernel.SimKernel`
+(possibly shared with other nodes of a cluster) and *publishes*
+structured events -- ``request-arrival``, ``cold-boot``, ``thaw``,
+``freeze``, ``eviction``, ``request-done``, plus an internal ``step``
+after every event -- on the kernel's bus.  A pluggable
+:class:`~repro.core.baselines.MemoryManager` (vanilla / eager / swap /
+Desiccant) attaches through :class:`ManagerBridge`, a bus subscriber
+that forwards events to the manager's hooks and reports the CPU seconds
+they consume back to the platform's accountant.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -25,6 +32,21 @@ from typing import TYPE_CHECKING
 from repro.mem.layout import GIB, MIB
 from repro.mem.physical import PhysicalMemory
 from repro.faas.cgroup import CpuAccountant
+from repro.sim import (
+    COLD_BOOT,
+    EVICTION,
+    Event,
+    FREEZE,
+    GC,
+    INVOCATION_END,
+    RECLAIM_DONE,
+    RECLAIM_START,
+    REQUEST_ARRIVAL,
+    REQUEST_DONE,
+    STEP,
+    THAW,
+    SimKernel,
+)
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a module cycle
     from repro.core.baselines import MemoryManager
@@ -115,19 +137,123 @@ class _InFlight:
     current_instance: Optional[FunctionInstance] = None
 
 
+class ManagerBridge:
+    """Subscribes a :class:`MemoryManager`'s hooks to the platform's bus.
+
+    The managers themselves stay bus-unaware (they are plain policy
+    objects, also driven directly by unit tests); the bridge is the only
+    place that translates structured events into hook calls.  Each hook's
+    CPU cost is returned to :meth:`EventBus.publish`, so the publishing
+    platform charges exactly what the old direct calls charged:
+
+    * ``invocation-end`` -> ``on_invocation_end`` (charged as eager-GC
+      time and added to the stage's wall clock),
+    * ``freeze``         -> ``on_freeze``,
+    * ``eviction``       -> ``on_eviction``,
+    * ``step``           -> ``step`` (the background sweep; Desiccant's
+      activation/selection/reclamation loop lives here).
+
+    When a sweep does work, the bridge publishes ``reclaim-start`` /
+    ``reclaim-done`` so traces and telemetry see reclamation without
+    knowing the manager's type; an ``invocation-end`` hook that burned
+    CPU likewise publishes a ``gc`` event (that is what the eager
+    baseline's forced collection is).
+    """
+
+    def __init__(self, platform: "FaasPlatform", manager: "MemoryManager") -> None:
+        self.platform = platform
+        self.manager = manager
+        bus, node = platform.bus, platform.node_id
+        self._subscriptions = [
+            bus.subscribe(self._on_invocation_end, kinds=(INVOCATION_END,), node=node),
+            bus.subscribe(self._on_freeze, kinds=(FREEZE,), node=node),
+            bus.subscribe(self._on_eviction, kinds=(EVICTION,), node=node),
+            bus.subscribe(self._on_step, kinds=(STEP,), node=node),
+        ]
+
+    def detach(self) -> None:
+        for subscription in self._subscriptions:
+            self.platform.bus.unsubscribe(subscription)
+        self._subscriptions = []
+
+    # ---------------------------------------------------------------- hooks
+
+    def _on_invocation_end(self, event: Event) -> float:
+        instance = event.data["instance"]
+        cpu = self.manager.on_invocation_end(instance, event.time)
+        if cpu > 0:
+            self.platform.bus.publish(
+                Event(
+                    GC,
+                    event.time,
+                    event.node,
+                    {
+                        "instance_id": instance.id,
+                        "function": instance.spec.name,
+                        "cpu_seconds": cpu,
+                        "reason": "invocation-end",
+                    },
+                )
+            )
+        return cpu
+
+    def _on_freeze(self, event: Event) -> float:
+        return self.manager.on_freeze(event.data["instance"], event.time)
+
+    def _on_eviction(self, event: Event) -> None:
+        self.manager.on_eviction(event.data["instance"], event.time)
+        return None
+
+    def _on_step(self, event: Event) -> float:
+        released_before = getattr(self.manager, "total_released_bytes", 0)
+        frozen_before = self.platform.frozen_bytes()
+        cpu = self.manager.step(event.time, self.platform)
+        if cpu > 0:
+            released = getattr(self.manager, "total_released_bytes", 0) - released_before
+            bus = self.platform.bus
+            bus.publish(
+                Event(
+                    RECLAIM_START,
+                    event.time,
+                    event.node,
+                    {"frozen_bytes": frozen_before},
+                )
+            )
+            bus.publish(
+                Event(
+                    RECLAIM_DONE,
+                    event.time,
+                    event.node,
+                    {"cpu_seconds": cpu, "released_bytes": released},
+                )
+            )
+        return cpu
+
+
 class FaasPlatform:
-    """Event-driven FaaS platform with a pluggable memory manager."""
+    """Event-driven FaaS platform with a pluggable memory manager.
+
+    When ``kernel`` is omitted the platform creates a private
+    :class:`SimKernel`; a cluster passes one shared kernel (and a
+    distinct ``node_id``) to every node so all node timelines merge into
+    a single globally ordered execution.
+    """
 
     def __init__(
         self,
         config: PlatformConfig | None = None,
         manager: "MemoryManager | None" = None,
         physical: Optional[PhysicalMemory] = None,
+        kernel: Optional[SimKernel] = None,
+        node_id: int = 0,
     ) -> None:
         from repro.core.baselines import VanillaManager
-        from repro.faas.keepalive import LruEviction
+        from repro.faas.keepalive import LruEviction, subscribe_policy
 
         self.config = config or PlatformConfig()
+        self.kernel = kernel if kernel is not None else SimKernel(seed=self.config.seed)
+        self.bus = self.kernel.bus
+        self.node_id = node_id
         self.manager = manager or VanillaManager()
         self.eviction_policy = self.config.eviction_policy or LruEviction()
         self.physical = physical if physical is not None else PhysicalMemory()
@@ -138,11 +264,8 @@ class FaasPlatform:
                 runtime_classes=(HotSpotRuntime, V8Runtime, CPythonRuntime),
             )
         self._instances: Dict[str, List[FunctionInstance]] = {}
-        self._events: List[Tuple[float, int, str, object]] = []
-        self._event_seq = itertools.count()
         self._wait_queue: List[_InFlight] = []
         self._running = 0
-        self.now = 0.0
         self.cpu = CpuAccountant(cpus=self.config.cpus)
         self.outcomes: List[RequestOutcome] = []
         self.cold_boots = 0
@@ -150,14 +273,28 @@ class FaasPlatform:
         self.evictions = 0
         self.overcommits = 0
         self._last_event_time = 0.0
-        #: Callables invoked as ``observer(now)`` after every event --
-        #: telemetry recorders hook in here.
-        self.observers: List = []
+        #: Bus plumbing: the eviction policy's request bookkeeping and the
+        #: memory manager's hooks both attach as subscribers -- nothing
+        #: calls them directly.
+        self._policy_subscription = subscribe_policy(
+            self.eviction_policy, self.bus, node=self.node_id
+        )
+        self._manager_bridge = ManagerBridge(self, self.manager)
         self._provision()
         if self.config.idle_policy not in (
             "freeze", "destroy", "keep-warm", "snapshot"
         ):
             raise ValueError(f"unknown idle policy {self.config.idle_policy!r}")
+
+    # ----------------------------------------------------------------- time
+
+    @property
+    def now(self) -> float:
+        return self.kernel.clock.now
+
+    @now.setter
+    def now(self, value: float) -> None:
+        self.kernel.clock.reset(value)
 
     # ----------------------------------------------------------- accounting
 
@@ -250,37 +387,50 @@ class FaasPlatform:
     # ------------------------------------------------------------- running
 
     def submit(self, requests: List[Request]) -> None:
-        """Queue arrival events for a batch of requests."""
+        """Schedule arrival events for a batch of requests."""
         for request in requests:
-            self._push(request.arrival, "arrival", _InFlight(request=request))
+            self.kernel.schedule(
+                request.arrival, self._handle_arrival, _InFlight(request=request)
+            )
 
     def run(self, until: Optional[float] = None) -> List[RequestOutcome]:
-        """Process events until the queue drains (or ``until`` passes)."""
-        while self._events:
-            time, _seq, kind, payload = heapq.heappop(self._events)
-            if until is not None and time > until:
-                break
-            self._account_idle_background(time)
-            self.now = time
-            if kind == "arrival":
-                self._on_arrival(payload)
-            elif kind == "complete":
-                self._on_complete(payload)
-            else:  # pragma: no cover - defensive
-                raise AssertionError(f"unknown event {kind}")
-            self.cpu.charge("reclaim", self.manager.step(self.now, self))
-            for observer in self.observers:
-                observer(self.now)
+        """Drive the kernel until its queue drains (or ``until`` passes).
+
+        With a shared kernel this advances *every* attached component --
+        a cluster calls it once, not once per node.
+        """
+        self.kernel.run(until)
         return self.outcomes
 
-    def _push(self, time: float, kind: str, payload: object) -> None:
-        heapq.heappush(self._events, (time, next(self._event_seq), kind, payload))
+    def _emit(self, kind: str, **data) -> float:
+        """Publish a structured event for this node; returns the summed
+        CPU seconds the subscribers reported."""
+        return self.bus.publish(Event(kind, self.now, self.node_id, data))
 
     # --------------------------------------------------------------- events
 
+    def _handle_arrival(self, flight: _InFlight) -> None:
+        self._account_idle_background(self.now)
+        self._on_arrival(flight)
+        self._post_event()
+
+    def _handle_complete(self, flight: _InFlight) -> None:
+        self._account_idle_background(self.now)
+        self._on_complete(flight)
+        self._post_event()
+
+    def _post_event(self) -> None:
+        """The per-event hook cadence: one ``step`` on the bus (manager
+        background sweep, telemetry sampling)."""
+        self.cpu.charge("reclaim", self._emit(STEP))
+
     def _on_arrival(self, flight: _InFlight) -> None:
         flight.ready_since = self.now
-        self.eviction_policy.on_request(flight.request.definition.name, self.now)
+        self._emit(
+            REQUEST_ARRIVAL,
+            request_id=flight.request.id,
+            function=flight.request.definition.name,
+        )
         self._evict_proactively()
         self._try_dispatch(flight)
 
@@ -312,13 +462,20 @@ class FaasPlatform:
         result = instance.invoke(self.now)
         instance.state = InstanceState.RUNNING  # stays busy until completion
         self.cpu.charge("invocation", result.cpu_seconds)
-        mgr_cpu = self.manager.on_invocation_end(instance, self.now)
+        mgr_cpu = self._emit(
+            INVOCATION_END,
+            instance=instance,
+            instance_id=instance.id,
+            function=instance.spec.name,
+            request_id=flight.request.id,
+            cpu_seconds=result.cpu_seconds,
+        )
         self.cpu.charge("eager_gc", mgr_cpu)
         flight.current_instance = instance
         if result.handoff_oid is not None:
             flight.handoff = (instance, result.handoff_oid)
         wall = setup_wall + result.cpu_seconds + mgr_cpu
-        self._push(self.now + wall, "complete", flight)
+        self.kernel.schedule(self.now + wall, self._handle_complete, flight)
 
     def _on_complete(self, flight: _InFlight) -> None:
         instance = flight.current_instance
@@ -329,7 +486,13 @@ class FaasPlatform:
             if self.config.idle_policy == "freeze":
                 instance.freeze(self.now)
                 self.cpu.charge(
-                    "invocation", self.manager.on_freeze(instance, self.now)
+                    "invocation",
+                    self._emit(
+                        FREEZE,
+                        instance=instance,
+                        instance_id=instance.id,
+                        function=instance.spec.name,
+                    ),
                 )
             elif self.config.idle_policy == "destroy":
                 instance.destroy(self.now)
@@ -343,14 +506,21 @@ class FaasPlatform:
             flight.ready_since = self.now
             self._try_dispatch(flight)
         else:
-            self.outcomes.append(
-                RequestOutcome(
-                    request=flight.request,
-                    started=flight.started if flight.started is not None else self.now,
-                    finished=self.now,
-                    cold_boots=flight.cold_boots,
-                    queue_seconds=flight.queue_seconds,
-                )
+            outcome = RequestOutcome(
+                request=flight.request,
+                started=flight.started if flight.started is not None else self.now,
+                finished=self.now,
+                cold_boots=flight.cold_boots,
+                queue_seconds=flight.queue_seconds,
+            )
+            self.outcomes.append(outcome)
+            self._emit(
+                REQUEST_DONE,
+                outcome=outcome,
+                request_id=flight.request.id,
+                function=flight.request.definition.name,
+                latency=outcome.latency,
+                cold_boots=outcome.cold_boots,
             )
             self._try_dispatch()
 
@@ -375,6 +545,13 @@ class FaasPlatform:
             instance = max(frozen, key=lambda i: i.last_used_at)
             wall = instance.thaw(self.now)
             self.warm_starts += 1
+            self._emit(
+                THAW,
+                instance=instance,
+                instance_id=instance.id,
+                function=instance.spec.name,
+                thaw_seconds=wall,
+            )
             return instance, False, wall
         if self.config.idle_policy == "keep-warm":
             # Warm instances are reusable directly (no unpause needed).
@@ -395,6 +572,13 @@ class FaasPlatform:
         self.cpu.charge("cold_boot", boot_cpu)
         pool.append(instance)
         self.cold_boots += 1
+        self._emit(
+            COLD_BOOT,
+            instance=instance,
+            instance_id=instance.id,
+            function=instance.spec.name,
+            boot_cpu_seconds=boot_cpu,
+        )
         return instance, True, boot_cpu
 
     def _account_idle_background(self, until: float) -> None:
@@ -419,10 +603,17 @@ class FaasPlatform:
         for instance in idle:
             if until - instance.last_used_at >= self.config.idle_gc_delay:
                 if getattr(instance, "_idle_gc_done_at", None) != instance.last_used_at:
-                    self.cpu.charge(
-                        "idle_background", instance.runtime.full_gc(aggressive=False)
-                    )
+                    gc_cpu = instance.runtime.full_gc(aggressive=False)
+                    self.cpu.charge("idle_background", gc_cpu)
                     instance._idle_gc_done_at = instance.last_used_at
+                    self._emit(
+                        GC,
+                        instance=instance,
+                        instance_id=instance.id,
+                        function=instance.spec.name,
+                        cpu_seconds=gc_cpu,
+                        reason="idle",
+                    )
 
     def _make_room(self) -> None:
         """Evict LRU frozen instances until one budget fits."""
@@ -443,7 +634,13 @@ class FaasPlatform:
     def evict(self, instance: FunctionInstance) -> None:
         """Destroy a frozen instance (the §4.2 race with reclamation is
         harmless: instances are stateless)."""
-        self.manager.on_eviction(instance, self.now)
+        self._emit(
+            EVICTION,
+            instance=instance,
+            instance_id=instance.id,
+            function=instance.spec.name,
+            freed_bytes=instance.uss(),
+        )
         instance.destroy(self.now)
         self._instances[instance.spec.name].remove(instance)
         self.evictions += 1
@@ -451,7 +648,8 @@ class FaasPlatform:
     # -------------------------------------------------------------- helpers
 
     def reset_metrics(self) -> None:
-        """Zero the counters after warmup, keeping instance state warm."""
+        """Zero the meters after warmup, keeping instance state (and every
+        bus subscription) warm."""
         self.cpu = CpuAccountant(cpus=self.config.cpus)
         self.outcomes = []
         self.cold_boots = 0
@@ -459,14 +657,6 @@ class FaasPlatform:
         self.evictions = 0
         self.overcommits = 0
         self._last_event_time = 0.0
-        #: Callables invoked as ``observer(now)`` after every event --
-        #: telemetry recorders hook in here.
-        self.observers: List = []
-        self._provision()
-        if self.config.idle_policy not in (
-            "freeze", "destroy", "keep-warm", "snapshot"
-        ):
-            raise ValueError(f"unknown idle policy {self.config.idle_policy!r}")
 
     def cold_boot_rate(self) -> float:
         """Cold boots per completed request (across all stages)."""

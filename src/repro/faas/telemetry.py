@@ -1,10 +1,13 @@
 """Platform telemetry: time series of the quantities Desiccant acts on.
 
-A :class:`TelemetryRecorder` hooks into the platform's observer list and
-samples cache state at a fixed interval -- frozen memory, total cached
-memory, instance counts, cumulative cold boots/evictions, and (when the
-manager is Desiccant) the live activation threshold.  Series export to CSV
-and render as ASCII sparklines for quick inspection in examples.
+A :class:`TelemetryRecorder` subscribes to its node's ``step`` events on
+the simulation bus and samples cache state at a fixed interval -- frozen
+memory, total cached memory, instance counts, cumulative cold
+boots/evictions, and (when the manager is Desiccant) the live activation
+threshold.  Each snapshot is re-published as a structured ``sample``
+event, so trace sinks and other observers see telemetry through the same
+channel as everything else.  Series export to CSV and render as ASCII
+sparklines for quick inspection in examples.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.report import write_csv
 from repro.faas.platform import FaasPlatform
+from repro.sim import Event, SAMPLE, STEP
 
 _SPARK_GLYPHS = " .:-=+*#%@"
 
@@ -35,7 +39,7 @@ class TelemetrySample:
 
 @dataclass
 class TelemetryRecorder:
-    """Samples a platform at a fixed interval via its observer hook."""
+    """Samples a platform at a fixed interval via its bus subscription."""
 
     platform: FaasPlatform
     interval: float = 1.0
@@ -45,7 +49,12 @@ class TelemetryRecorder:
     def __post_init__(self) -> None:
         if self.interval <= 0:
             raise ValueError("interval must be positive")
-        self.platform.observers.append(self)
+        self._subscription = self.platform.bus.subscribe(
+            self._on_step, kinds=(STEP,), node=self.platform.node_id
+        )
+
+    def _on_step(self, event: Event) -> None:
+        self(event.time)
 
     def __call__(self, now: float) -> None:
         if now < self._next_sample_at:
@@ -56,23 +65,39 @@ class TelemetryRecorder:
         activation = getattr(manager, "activation", None)
         if activation is not None:
             threshold = getattr(activation, "threshold", None)
-        self.samples.append(
-            TelemetrySample(
-                time=now,
-                frozen_bytes=self.platform.frozen_bytes(),
-                used_bytes=self.platform.used_bytes(),
-                instances=len(self.platform.all_instances()),
-                frozen_instances=len(self.platform.frozen_instances()),
-                cold_boots=self.platform.cold_boots,
-                evictions=self.platform.evictions,
-                activation_threshold=threshold,
+        sample = TelemetrySample(
+            time=now,
+            frozen_bytes=self.platform.frozen_bytes(),
+            used_bytes=self.platform.used_bytes(),
+            instances=len(self.platform.all_instances()),
+            frozen_instances=len(self.platform.frozen_instances()),
+            cold_boots=self.platform.cold_boots,
+            evictions=self.platform.evictions,
+            activation_threshold=threshold,
+        )
+        self.samples.append(sample)
+        self.platform.bus.publish(
+            Event(
+                SAMPLE,
+                now,
+                self.platform.node_id,
+                {
+                    "frozen_bytes": sample.frozen_bytes,
+                    "used_bytes": sample.used_bytes,
+                    "instances": sample.instances,
+                    "frozen_instances": sample.frozen_instances,
+                    "cold_boots": sample.cold_boots,
+                    "evictions": sample.evictions,
+                    "activation_threshold": sample.activation_threshold,
+                },
             )
         )
 
     def detach(self) -> None:
         """Stop sampling."""
-        if self in self.platform.observers:
-            self.platform.observers.remove(self)
+        if self._subscription is not None:
+            self.platform.bus.unsubscribe(self._subscription)
+            self._subscription = None
 
     # --------------------------------------------------------------- series
 
@@ -107,18 +132,33 @@ class TelemetryRecorder:
         return write_csv(path, headers, rows)
 
 
+def bucket_means(values: Sequence[float], width: int) -> List[float]:
+    """Partition ``values`` into ``width`` contiguous buckets and average.
+
+    Every element lands in exactly one bucket and every bucket is
+    non-empty (bucket ``i`` spans ``[i*n//width, (i+1)*n//width)``), so
+    downsampling neither skips nor double-counts samples.  With
+    ``width >= len(values)`` the series is returned unchanged.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    n = len(values)
+    if n <= width:
+        return list(values)
+    means = []
+    for i in range(width):
+        lo = i * n // width
+        hi = (i + 1) * n // width
+        bucket = values[lo:hi]
+        means.append(sum(bucket) / len(bucket))
+    return means
+
+
 def sparkline(values: Sequence[float], width: int = 60) -> str:
     """Render a series as a one-line ASCII sparkline."""
     if not values:
         return ""
-    if len(values) > width:
-        # Downsample by bucket means.
-        bucket = len(values) / width
-        values = [
-            sum(values[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))])
-            / max(1, len(values[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))]))
-            for i in range(width)
-        ]
+    values = bucket_means(values, width)
     lo, hi = min(values), max(values)
     span = hi - lo
     if span == 0:

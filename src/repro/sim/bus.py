@@ -1,0 +1,112 @@
+"""The typed event bus.
+
+Observers subscribe by event kind (and optionally by node), publishers
+call :meth:`EventBus.publish`.  Publication is synchronous and ordered:
+handlers run in subscription order, and any numeric value a handler
+returns is summed into the publish result -- that is how memory-manager
+hooks report the CPU seconds they consumed back to the platform without
+the platform calling them directly.
+
+Handlers may publish further events re-entrantly (e.g. a manager bridge
+emitting ``reclaim-done`` from inside a ``step``).  Dispatch is
+run-to-completion: a nested publish gets the next sequence number but is
+queued and delivered only after the outer event's handlers all finish, so
+*every* subscriber -- whatever its subscription order -- observes events
+in sequence order.  A nested publish therefore returns 0.0 (its handlers
+have not run yet); only top-level publishes report handler costs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Callable, Iterable, List, Optional
+
+from repro.sim.events import Event
+
+Handler = Callable[[Event], Optional[float]]
+
+
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`; use to unsubscribe."""
+
+    __slots__ = ("handler", "kinds", "node", "active")
+
+    def __init__(
+        self,
+        handler: Handler,
+        kinds: Optional[frozenset],
+        node: Optional[int],
+    ) -> None:
+        self.handler = handler
+        self.kinds = kinds
+        self.node = node
+        self.active = True
+
+    def matches(self, event: Event) -> bool:
+        if not self.active:
+            return False
+        if self.kinds is not None and event.kind not in self.kinds:
+            return False
+        if self.node is not None and event.node != self.node:
+            return False
+        return True
+
+
+class EventBus:
+    """Synchronous publish/subscribe over :class:`Event`."""
+
+    def __init__(self) -> None:
+        self._subscriptions: List[Subscription] = []
+        self._seq = itertools.count()
+        self._pending: deque[Event] = deque()
+        self._dispatching = False
+
+    def subscribe(
+        self,
+        handler: Handler,
+        kinds: Optional[Iterable[str]] = None,
+        node: Optional[int] = None,
+    ) -> Subscription:
+        """Register ``handler`` for ``kinds`` (all kinds when None) on
+        ``node`` (all nodes when None)."""
+        subscription = Subscription(
+            handler, frozenset(kinds) if kinds is not None else None, node
+        )
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        subscription.active = False
+        if subscription in self._subscriptions:
+            self._subscriptions.remove(subscription)
+
+    def publish(self, event: Event) -> float:
+        """Deliver ``event``; returns the sum of numeric handler returns
+        (CPU seconds the observers consumed).
+
+        Re-entrant publishes are deferred until the current dispatch
+        completes (and return 0.0), keeping delivery in seq order for
+        every subscriber.
+        """
+        event.seq = next(self._seq)
+        if self._dispatching:
+            self._pending.append(event)
+            return 0.0
+        self._dispatching = True
+        try:
+            total = self._dispatch(event)
+            while self._pending:
+                self._dispatch(self._pending.popleft())
+        finally:
+            self._dispatching = False
+        return total
+
+    def _dispatch(self, event: Event) -> float:
+        total = 0.0
+        for subscription in list(self._subscriptions):
+            if subscription.matches(event):
+                result = subscription.handler(event)
+                if isinstance(result, (int, float)) and not isinstance(result, bool):
+                    total += result
+        return total

@@ -1,0 +1,31 @@
+"""Simulated time.
+
+One :class:`Clock` per kernel; every component reads the same ``now``.
+The clock only moves forward: :meth:`advance` clamps against the current
+time, so a handler that schedules work "in the past" (possible when a
+test rewinds manually) cannot drag the whole simulation backwards.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """Monotonic simulated wall clock."""
+
+    __slots__ = ("now",)
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = float(now)
+
+    def advance(self, to: float) -> float:
+        """Move time forward to ``to`` (no-op when ``to`` is in the past)."""
+        if to > self.now:
+            self.now = to
+        return self.now
+
+    def reset(self, now: float = 0.0) -> None:
+        """Hard-set the clock (tests and warmup-reset only)."""
+        self.now = float(now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self.now:.6f})"

@@ -1,0 +1,87 @@
+"""The kernel's event heap.
+
+A stable-ordered priority queue: entries pop by ``(time, seq)`` where
+``seq`` is a global insertion counter, so same-time events run in the
+order they were scheduled -- the property every deterministic-replay
+guarantee in this repo rests on.
+
+Cancellation is lazy: :meth:`ScheduledEvent.cancel` marks the entry and
+the heap discards it on the way out, which keeps both operations O(log n)
+without the tombstone-dict bookkeeping of ``sched``-style queues.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class ScheduledEvent:
+    """Handle for one queued callback; keep it to :meth:`cancel` later."""
+
+    __slots__ = ("time", "seq", "callback", "payload", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[Any], None],
+        payload: Any = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.payload = payload
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Drop the event; the queue skips it when its time comes."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " cancelled" if self.cancelled else ""
+        return f"ScheduledEvent(t={self.time:.6f}, seq={self.seq}{flag})"
+
+
+class EventQueue:
+    """Stable min-heap of :class:`ScheduledEvent` with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+
+    def push(
+        self, time: float, callback: Callable[[Any], None], payload: Any = None
+    ) -> ScheduledEvent:
+        """Schedule ``callback(payload)`` at ``time``; returns the handle."""
+        event = ScheduledEvent(time, next(self._seq), callback, payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        """Next pending event, or None when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def next_time(self) -> Optional[float]:
+        """Timestamp of the next pending event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def cancel(self, event: ScheduledEvent) -> None:
+        """Cancel via the queue (same as ``event.cancel()``)."""
+        event.cancel()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.next_time() is not None

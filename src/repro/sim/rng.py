@@ -1,0 +1,41 @@
+"""Per-component random streams.
+
+Every source of randomness in a simulation gets its *own* named stream
+derived from one master seed, so adding a new randomized component (or
+reordering draws inside one) never perturbs the others -- the standard
+discrete-event-simulation discipline for reproducible experiments.
+
+Derivation is ``crc32(name) ^ master_seed`` rather than Python's
+``hash()``, which is salted per process and would break cross-run
+determinism.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Deterministically derive a component seed from the master seed."""
+    return (zlib.crc32(name.encode("utf-8")) ^ (master_seed & 0xFFFFFFFF)) & 0xFFFFFFFF
+
+
+class RngStream(random.Random):
+    """A named ``random.Random`` seeded from ``(master_seed, name)``.
+
+    Two streams with the same master seed and name produce identical
+    draws; streams with different names are statistically independent.
+    """
+
+    def __init__(self, master_seed: int = 0, name: str = "default") -> None:
+        self.name = name
+        self.master_seed = master_seed
+        super().__init__(derive_seed(master_seed, name))
+
+    def restart(self) -> None:
+        """Rewind the stream to its initial state."""
+        self.seed(derive_seed(self.master_seed, self.name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngStream(master_seed={self.master_seed}, name={self.name!r})"

@@ -1,0 +1,104 @@
+"""Event-trace sink: export the full simulation timeline as JSONL.
+
+Subscribes to the bus and records every public event as one JSON object
+per line (schema in ``docs/EVENT_TRACE.md``).  Two normalizations make
+traces *byte-identical* across runs with the same seed:
+
+* only plain scalars from ``Event.data`` are serialized (live object
+  references a handler might need are dropped);
+* ``request_id`` / ``instance_id`` values are rewritten to dense
+  first-appearance indexes, because the underlying counters are global
+  to the process and would differ between back-to-back runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.sim.bus import EventBus, Subscription
+from repro.sim.events import TRACE_KINDS, Event
+
+#: data keys holding process-global ids that must be normalized.
+_ID_KEYS = ("request_id", "instance_id")
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+class EventTraceSink:
+    """Collects bus events; exports (or streams) them as JSONL."""
+
+    def __init__(
+        self,
+        bus: EventBus,
+        kinds: Optional[Iterable[str]] = None,
+        node: Optional[int] = None,
+        path: Optional[str | Path] = None,
+    ) -> None:
+        self.lines: List[str] = []
+        self._id_maps: Dict[str, Dict[object, int]] = {k: {} for k in _ID_KEYS}
+        if path is not None:
+            path = Path(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = path.open("w", encoding="utf-8")
+        else:
+            self._file = None
+        self._subscription: Optional[Subscription] = bus.subscribe(
+            self._record, kinds=tuple(kinds) if kinds is not None else TRACE_KINDS,
+            node=node,
+        )
+        self._bus = bus
+
+    # ------------------------------------------------------------- recording
+
+    def _normalize(self, key: str, value: object) -> object:
+        mapping = self._id_maps.get(key)
+        if mapping is None:
+            return value
+        if value not in mapping:
+            mapping[value] = len(mapping) + 1
+        return mapping[value]
+
+    def _record(self, event: Event) -> None:
+        record: Dict[str, object] = {
+            "seq": event.seq,
+            "t": round(event.time, 9),
+            "node": event.node,
+            "kind": event.kind,
+        }
+        for key in sorted(event.data):
+            value = event.data[key]
+            if isinstance(value, _SCALARS):
+                if isinstance(value, float):
+                    value = round(value, 9)
+                record[key] = self._normalize(key, value)
+        line = json.dumps(record, sort_keys=False, separators=(",", ":"))
+        self.lines.append(line)
+        if self._file is not None:
+            self._file.write(line + "\n")
+
+    # --------------------------------------------------------------- export
+
+    def detach(self) -> None:
+        """Stop recording (and close the streaming file, if any)."""
+        if self._subscription is not None:
+            self._bus.unsubscribe(self._subscription)
+            self._subscription = None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def to_jsonl(self) -> str:
+        """The whole trace as one newline-terminated string."""
+        return "".join(line + "\n" for line in self.lines)
+
+    def write(self, path: str | Path) -> Path:
+        """Write the collected trace to ``path``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl(), encoding="utf-8")
+        return path
+
+    def __len__(self) -> int:
+        return len(self.lines)

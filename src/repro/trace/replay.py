@@ -9,10 +9,12 @@ utilization, and tail latency.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, List, Optional
 
 from repro.core.baselines import MemoryManager
 from repro.faas.platform import FaasPlatform, PlatformConfig, Request
+from repro.sim import EventTraceSink
 from repro.trace.generator import TraceGenerator
 from repro.trace.stats import ReplayStats
 
@@ -27,6 +29,9 @@ class ReplayConfig:
     duration_seconds: float = 180.0
     platform: PlatformConfig = field(default_factory=PlatformConfig)
     trace_seed: int = 42
+    #: When set, stream a JSONL event trace of the *measurement* window
+    #: (warmup excluded) to this path.  See docs/EVENT_TRACE.md.
+    event_trace_path: Optional[str | Path] = None
 
 
 @dataclass
@@ -35,6 +40,8 @@ class ReplayResult:
 
     stats: ReplayStats
     platform: FaasPlatform
+    #: The trace sink, when ``event_trace_path`` was configured.
+    trace: Optional[EventTraceSink] = None
 
 
 def replay(
@@ -53,12 +60,17 @@ def replay(
     platform.run()
 
     platform.reset_metrics()
+    sink = None
+    if config.event_trace_path is not None:
+        sink = EventTraceSink(platform.bus, path=config.event_trace_path)
     measure_start = max(platform.now, config.warmup_seconds)
     measured = generator.arrivals(config.duration_seconds, config.scale_factor)
     platform.submit(
         [Request(arrival=measure_start + t, definition=d) for t, d in measured]
     )
     outcomes = platform.run()
+    if sink is not None:
+        sink.detach()
 
     stats = ReplayStats.from_platform(
         platform,
@@ -67,4 +79,4 @@ def replay(
         policy=getattr(manager, "name", type(manager).__name__),
         scale_factor=config.scale_factor,
     )
-    return ReplayResult(stats=stats, platform=platform)
+    return ReplayResult(stats=stats, platform=platform, trace=sink)

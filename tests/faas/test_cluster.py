@@ -4,7 +4,8 @@ import pytest
 
 from repro.core import Desiccant
 from repro.faas.cluster import Cluster, ClusterConfig
-from repro.faas.platform import PlatformConfig
+from repro.faas.keepalive import HybridHistogramKeepAlive
+from repro.faas.platform import PlatformConfig, Request
 from repro.mem.layout import GIB, MIB
 from repro.trace.generator import TraceGenerator
 from repro.workloads.registry import all_definitions, get_definition
@@ -43,6 +44,99 @@ class TestRouting:
         cluster = Cluster(ClusterConfig(nodes=4, scheduler="warm-affinity"))
         homes = {d.name: cluster.route(d) for d in all_definitions()}
         assert len(set(homes.values())) >= 3  # uses most of the cluster
+
+
+class TestNodeConfigIsolation:
+    """The cluster deep-copies the node config per node: stateful knobs
+    (keep-alive policy histograms, the provisioned map) must never be
+    shared between nodes."""
+
+    def test_eviction_policies_are_distinct_objects(self):
+        template = PlatformConfig(eviction_policy=HybridHistogramKeepAlive())
+        cluster = Cluster(ClusterConfig(nodes=3, node_config=template))
+        policies = [node.eviction_policy for node in cluster.nodes]
+        assert len({id(p) for p in policies}) == 3
+        assert all(p is not template.eviction_policy for p in policies)
+
+    def test_policy_state_does_not_leak_between_nodes(self):
+        template = PlatformConfig(eviction_policy=HybridHistogramKeepAlive())
+        cluster = Cluster(
+            ClusterConfig(nodes=2, scheduler="round-robin", node_config=template)
+        )
+        cluster.nodes[0].eviction_policy.on_request("clock", 0.0)
+        cluster.nodes[0].eviction_policy.on_request("clock", 5.0)
+        assert "clock" not in cluster.nodes[1].eviction_policy._last_arrival
+        assert "clock" not in template.eviction_policy._last_arrival
+
+    def test_provisioned_map_is_not_shared(self):
+        template = PlatformConfig(provisioned={"clock": 1})
+        cluster = Cluster(ClusterConfig(nodes=2, node_config=template))
+        cluster.nodes[0].config.provisioned["sort"] = 2
+        assert "sort" not in cluster.nodes[1].config.provisioned
+        assert "sort" not in template.provisioned
+        cluster.destroy()
+
+    def test_node_seeds_are_offset(self):
+        cluster = Cluster(ClusterConfig(nodes=3))
+        seeds = [node.config.seed for node in cluster.nodes]
+        assert seeds == [0, 1, 2]
+
+
+class TestLeastLoadedLive:
+    def test_prefers_node_with_warm_instance(self):
+        cluster = Cluster(ClusterConfig(nodes=3, scheduler="least-loaded-live"))
+        definition = get_definition("clock")
+        # Warm the function on node 2 only.
+        cluster.nodes[2].submit([Request(arrival=0.0, definition=definition)])
+        cluster.kernel.run()
+        assert cluster.route(definition) == 2
+        cluster.destroy()
+
+    def test_cold_case_picks_least_used_node(self):
+        cluster = Cluster(ClusterConfig(nodes=3, scheduler="least-loaded-live"))
+        definition = get_definition("clock")
+        # No node is warm; all empty -> lowest index wins the tie on
+        # (used_bytes, assigned, index), then assignment counts rotate it.
+        assert cluster.route(definition) == 0
+        assert cluster.route(definition) == 1
+
+    def test_end_to_end_beats_round_robin_on_cold_boots(self):
+        def run(scheduler):
+            cluster = Cluster(
+                ClusterConfig(
+                    nodes=4,
+                    scheduler=scheduler,
+                    node_config=PlatformConfig(capacity_bytes=512 * MIB),
+                )
+            )
+            arrivals = TraceGenerator(seed=9).arrivals(40.0, scale_factor=10.0)
+            cluster.submit(arrivals)
+            stats = cluster.run()
+            cluster.destroy()
+            return stats
+
+        rr = run("round-robin")
+        live = run("least-loaded-live")
+        assert live.completed == rr.completed
+        assert live.cold_boot_rate < rr.cold_boot_rate
+
+
+class TestGlobalTimeline:
+    def test_outcomes_arrive_in_completion_order(self):
+        cluster = Cluster(
+            ClusterConfig(
+                nodes=4,
+                scheduler="round-robin",
+                node_config=PlatformConfig(capacity_bytes=512 * MIB),
+            )
+        )
+        arrivals = TraceGenerator(seed=3).arrivals(30.0, scale_factor=8.0)
+        cluster.submit(arrivals)
+        stats = cluster.run()
+        finished = [o.finished for o in cluster.outcomes]
+        assert len(finished) == stats.completed > 0
+        assert finished == sorted(finished)
+        cluster.destroy()
 
 
 class TestEndToEnd:

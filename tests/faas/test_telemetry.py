@@ -4,7 +4,8 @@ import pytest
 
 from repro.core import Desiccant
 from repro.faas.platform import FaasPlatform, PlatformConfig, Request
-from repro.faas.telemetry import TelemetryRecorder, sparkline
+from repro.faas.telemetry import TelemetryRecorder, bucket_means, sparkline
+from repro.sim import SAMPLE
 from repro.workloads.registry import get_definition
 
 
@@ -62,6 +63,47 @@ class TestRecorder:
         lines = path.read_text().splitlines()
         assert lines[0].startswith("time,frozen_bytes")
         assert len(lines) == len(recorder.samples) + 1
+
+    def test_publishes_sample_events_on_the_bus(self):
+        platform = FaasPlatform()
+        recorder = TelemetryRecorder(platform, interval=0.5)
+        seen = []
+        platform.bus.subscribe(seen.append, kinds=(SAMPLE,))
+        platform.submit(
+            [Request(arrival=i * 1.0, definition=get_definition("clock")) for i in range(4)]
+        )
+        platform.run()
+        assert len(seen) == len(recorder.samples) > 0
+        assert all("used_bytes" in event.data for event in seen)
+
+
+class TestBucketMeans:
+    def test_width_covers_every_element_exactly_once(self):
+        values = list(range(10))
+        means = bucket_means(values, 3)
+        # Buckets [0,3), [3,6), [6,10): exact partition, nothing skipped
+        # or double-counted (the old stride-based downsampler did both).
+        assert means == [1.0, 4.0, 7.5]
+        assert sum(means[i] * n for i, n in enumerate((3, 3, 4))) == sum(values)
+
+    def test_width_greater_than_length_passes_through(self):
+        assert bucket_means([1.0, 2.0, 3.0], 10) == [1.0, 2.0, 3.0]
+
+    def test_width_equal_to_length_passes_through(self):
+        assert bucket_means([1.0, 2.0], 2) == [1.0, 2.0]
+
+    def test_constant_series_stays_constant(self):
+        assert bucket_means([7.0] * 100, 13) == [7.0] * 13
+
+    def test_every_bucket_nonempty(self):
+        # 7 values into 5 buckets: no bucket may be empty (the old
+        # downsampler could produce empty slices and divide by zero).
+        means = bucket_means(list(range(7)), 5)
+        assert len(means) == 5
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_means([1.0], 0)
 
 
 class TestSparkline:

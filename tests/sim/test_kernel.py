@@ -1,0 +1,199 @@
+"""Unit tests for the discrete-event kernel (repro.sim)."""
+
+import pytest
+
+from repro.sim import (
+    Clock,
+    Event,
+    EventBus,
+    EventQueue,
+    RngStream,
+    SimKernel,
+    derive_seed,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_advance_moves_forward(self):
+        clock = Clock()
+        clock.advance(3.5)
+        assert clock.now == 3.5
+
+    def test_advance_never_goes_backwards(self):
+        clock = Clock(10.0)
+        clock.advance(4.0)
+        assert clock.now == 10.0
+
+    def test_reset_is_unconditional(self):
+        clock = Clock(10.0)
+        clock.reset(4.0)
+        assert clock.now == 4.0
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        seen = []
+        for t in (5.0, 1.0, 3.0):
+            queue.push(t, seen.append, t)
+        while queue:
+            event = queue.pop()
+            event.callback(event.payload)
+        assert seen == [1.0, 3.0, 5.0]
+
+    def test_ties_resolve_by_insertion_order(self):
+        queue = EventQueue()
+        for tag in ("a", "b", "c"):
+            queue.push(1.0, lambda x: x, tag)
+        assert [queue.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, lambda x: x, "keep")
+        drop = queue.push(0.5, lambda x: x, "drop")
+        drop.cancel()
+        assert len(queue) == 1
+        assert queue.next_time() == 1.0
+        assert queue.pop() is keep
+        assert queue.pop() is None
+
+    def test_empty_queue_is_falsy(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(0.0, lambda x: x)
+        assert queue
+
+
+class TestRngStream:
+    def test_same_seed_and_name_reproduce(self):
+        a = RngStream(7, "arrivals")
+        b = RngStream(7, "arrivals")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_are_independent_by_name(self):
+        a = RngStream(7, "arrivals")
+        b = RngStream(7, "jitter")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_restart_rewinds(self):
+        stream = RngStream(7, "arrivals")
+        first = [stream.random() for _ in range(3)]
+        stream.restart()
+        assert [stream.random() for _ in range(3)] == first
+
+    def test_derive_seed_avoids_python_hash(self):
+        # crc32-based: stable across processes (hash() is salted).
+        assert derive_seed(0, "arrivals") == derive_seed(0, "arrivals")
+        assert derive_seed(0, "arrivals") != derive_seed(1, "arrivals")
+
+
+class TestEventBus:
+    def test_kind_filter(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda e: seen.append(e.kind), kinds=("freeze",))
+        bus.publish(Event("freeze", 0.0))
+        bus.publish(Event("thaw", 0.0))
+        assert seen == ["freeze"]
+
+    def test_node_filter(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda e: seen.append(e.node), node=1)
+        bus.publish(Event("freeze", 0.0, node=0))
+        bus.publish(Event("freeze", 0.0, node=1))
+        assert seen == [1]
+
+    def test_publish_sums_numeric_returns(self):
+        bus = EventBus()
+        bus.subscribe(lambda e: 0.25)
+        bus.subscribe(lambda e: None)
+        bus.subscribe(lambda e: 0.5)
+        assert bus.publish(Event("step", 0.0)) == 0.75
+
+    def test_bool_returns_are_not_costs(self):
+        bus = EventBus()
+        bus.subscribe(lambda e: True)
+        assert bus.publish(Event("step", 0.0)) == 0.0
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        subscription = bus.subscribe(lambda e: seen.append(e.kind))
+        bus.unsubscribe(subscription)
+        bus.publish(Event("freeze", 0.0))
+        assert seen == []
+
+    def test_sequence_numbers_total_order_nested_publishes(self):
+        bus = EventBus()
+        order = []
+
+        def outer(event):
+            order.append(("outer", event.seq))
+            if event.kind == "step":
+                bus.publish(Event("gc", event.time))
+
+        bus.subscribe(outer)
+        bus.publish(Event("step", 0.0))
+        seqs = [seq for _, seq in order]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+
+class TestSimKernel:
+    def test_runs_scheduled_callbacks_in_order(self):
+        kernel = SimKernel()
+        seen = []
+        kernel.schedule(2.0, seen.append, "late")
+        kernel.schedule(1.0, seen.append, "early")
+        assert kernel.run() == 2
+        assert seen == ["early", "late"]
+        assert kernel.now == 2.0
+
+    def test_until_keeps_future_events_queued(self):
+        kernel = SimKernel()
+        seen = []
+        kernel.schedule(1.0, seen.append, "a")
+        kernel.schedule(5.0, seen.append, "b")
+        kernel.run(until=2.0)
+        assert seen == ["a"]
+        kernel.run()
+        assert seen == ["a", "b"]
+
+    def test_handlers_may_schedule_more_events(self):
+        kernel = SimKernel()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                kernel.schedule(kernel.now + 1.0, chain, n + 1)
+
+        kernel.schedule(0.0, chain, 0)
+        kernel.run()
+        assert seen == [0, 1, 2, 3]
+        assert kernel.now == 3.0
+
+    def test_cancellation_via_handle(self):
+        kernel = SimKernel()
+        seen = []
+        handle = kernel.schedule(1.0, seen.append, "cancelled")
+        kernel.schedule(2.0, seen.append, "kept")
+        handle.cancel()
+        kernel.run()
+        assert seen == ["kept"]
+
+    def test_rng_streams_are_memoized_per_component(self):
+        kernel = SimKernel(seed=3)
+        assert kernel.rng("router") is kernel.rng("router")
+        assert kernel.rng("router") is not kernel.rng("jitter")
+
+    def test_events_processed_counter(self):
+        kernel = SimKernel()
+        for t in range(5):
+            kernel.schedule(float(t), lambda _: None)
+        kernel.run()
+        assert kernel.events_processed == 5

@@ -1,8 +1,10 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _trace_path_for, build_parser, main
 
 
 def test_list_prints_all_functions(capsys):
@@ -69,6 +71,44 @@ def test_replay_single_policy(capsys):
     out = capsys.readouterr().out
     assert "vanilla" in out
     assert "cold/req" in out
+
+
+def test_replay_writes_event_trace(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    assert (
+        main(
+            [
+                "replay",
+                "--policy",
+                "vanilla",
+                "--scale-factor",
+                "3",
+                "--warmup",
+                "5",
+                "--duration",
+                "10",
+                "--event-trace",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    assert "wrote" in captured.err
+    lines = path.read_text().splitlines()
+    assert lines
+    records = [json.loads(line) for line in lines]
+    assert all({"seq", "t", "node", "kind"} <= set(r) for r in records)
+    assert any(r["kind"] == "request-done" for r in records)
+
+
+def test_trace_path_per_policy():
+    assert _trace_path_for("out.jsonl", "desiccant", multiple=False) == "out.jsonl"
+    assert (
+        _trace_path_for("out.jsonl", "desiccant", multiple=True)
+        == "out.desiccant.jsonl"
+    )
+    assert _trace_path_for("trace", "eager", multiple=True) == "trace.eager.jsonl"
 
 
 def test_parser_rejects_unknown_policy():
