@@ -1,0 +1,80 @@
+"""VMM microbenchmark: bulk touch/discard vs the per-page reference.
+
+Pytest mode (collected with the other benches) asserts the run-length VMM
+beats the retained per-page oracle by at least 10x on a 200 MiB
+touch + discard -- the PR's acceptance bar.  Script mode drives CI's
+perf-smoke job::
+
+    python benchmarks/bench_microbench_vmm.py --json out.json
+    python benchmarks/bench_microbench_vmm.py --check BENCH_vmm.json
+
+``--check`` exits 1 when the current touch/discard times exceed 2x the
+committed baseline (tunable with ``--factor``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.bench import compare_micro, run_vmm_microbench
+
+#: Acceptance bar: bulk ops must beat the per-page baseline by this much.
+MIN_SPEEDUP = 10.0
+
+
+def test_microbench_vmm_speedup():
+    """The 200 MiB bulk touch + discard beats per-page by >= 10x."""
+    metrics = run_vmm_microbench(size_mib=200, repeats=3)
+    print(
+        f"\ntouch   {metrics['touch_ms']:.3f} ms vs per-page "
+        f"{metrics['ref_touch_ms']:.3f} ms ({metrics['speedup_touch']:.0f}x)\n"
+        f"discard {metrics['discard_ms']:.3f} ms vs per-page "
+        f"{metrics['ref_discard_ms']:.3f} ms ({metrics['speedup_discard']:.0f}x)"
+    )
+    assert metrics["speedup_touch"] >= MIN_SPEEDUP
+    assert metrics["speedup_discard"] >= MIN_SPEEDUP
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mib", type=int, default=200, help="range size in MiB")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument("--json", metavar="PATH", help="write metrics JSON here")
+    parser.add_argument(
+        "--check", metavar="BASELINE", help="compare against this baseline JSON"
+    )
+    parser.add_argument(
+        "--factor", type=float, default=2.0, help="allowed slowdown (default 2x)"
+    )
+    args = parser.parse_args(argv)
+
+    metrics = run_vmm_microbench(size_mib=args.mib, repeats=args.repeats)
+    print(json.dumps(metrics, indent=2))
+    if args.json:
+        Path(args.json).write_text(json.dumps(metrics, indent=2) + "\n")
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        # Accept either the bare metrics dict or the repro-bench document.
+        if "runs" in baseline:
+            baseline = next(
+                (
+                    r["metrics"]
+                    for r in baseline["runs"]
+                    if r.get("spec", {}).get("kind") == "micro"
+                ),
+                {},
+            )
+        failures = compare_micro(metrics, baseline, factor=args.factor)
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("within baseline", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,281 @@
+"""Parallel benchmark fan-out: independent runs across worker processes.
+
+The evaluation grid is embarrassingly parallel -- every (figure cell,
+policy, scale) characterization or replay run builds its own
+:class:`~repro.mem.physical.PhysicalMemory`, address spaces, and
+deterministic ``RngStream``s (seeded by name, PR 1's kernel), so runs share
+no state and their *metrics* are identical whether executed serially or
+fanned out.  Only the wall/CPU timings attached to each run vary with the
+machine.
+
+Three entry points:
+
+* :func:`execute_spec` -- run one :class:`BenchSpec`, returning its metrics
+  plus wall/CPU timings (top-level so it pickles into worker processes),
+* :func:`run_benchmarks` -- fan a list of specs across a
+  ``ProcessPoolExecutor`` (``jobs=1`` degrades to a serial loop),
+* :func:`run_vmm_microbench` / :func:`compare_micro` -- the bulk
+  touch/discard microbenchmark against the per-page reference oracle, and
+  the regression check CI applies against the committed ``BENCH_vmm.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.mem.layout import MIB, PAGE_SIZE
+
+#: Policies a replay spec accepts (characterize accepts POLICIES as well).
+REPLAY_POLICIES = ("vanilla", "eager", "desiccant")
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One independent benchmark cell.
+
+    ``kind`` selects the protocol: ``"characterize"`` runs the §3.1/§5.2
+    single-instance loop for function ``name``; ``"replay"`` runs the §5.3
+    Azure-style trace (``name`` is unused); ``"micro"`` runs the VMM
+    touch/discard microbenchmark.  Frozen so it hashes and pickles cleanly.
+    """
+
+    kind: str
+    name: str = ""
+    policy: str = "vanilla"
+    iterations: int = 30
+    budget_mib: int = 256
+    scale: float = 5.0
+    duration: float = 20.0
+    warmup: float = 10.0
+    capacity_mib: int = 1024
+    seed: int = 42
+    size_mib: int = 200
+    repeats: int = 3
+
+    @property
+    def label(self) -> str:
+        if self.kind == "characterize":
+            return f"characterize:{self.name}:{self.policy}:i{self.iterations}"
+        if self.kind == "replay":
+            return f"replay:{self.policy}:x{self.scale:g}:d{self.duration:g}"
+        return f"micro:vmm:{self.size_mib}mib"
+
+
+def _run_characterize(spec: BenchSpec) -> Dict[str, object]:
+    from repro.analysis.characterize import run_single
+
+    run = run_single(
+        spec.name,
+        policy=spec.policy,
+        iterations=spec.iterations,
+        memory_budget=spec.budget_mib * MIB,
+    )
+    try:
+        return {
+            "final_uss": run.final_uss,
+            "final_ideal": run.final_ideal,
+            "avg_ratio": round(run.avg_ratio, 9),
+            "max_ratio": round(run.max_ratio, 9),
+            "latency_sum": round(sum(run.latency_series), 9),
+        }
+    finally:
+        run.destroy()
+
+
+def _run_replay(spec: BenchSpec) -> Dict[str, object]:
+    from repro.core import Desiccant, EagerGcManager, VanillaManager
+    from repro.faas.platform import PlatformConfig
+    from repro.trace.generator import TraceGenerator
+    from repro.trace.replay import ReplayConfig, replay
+
+    factories = {
+        "vanilla": VanillaManager,
+        "eager": EagerGcManager,
+        "desiccant": Desiccant,
+    }
+    config = ReplayConfig(
+        scale_factor=spec.scale,
+        warmup_seconds=spec.warmup,
+        duration_seconds=spec.duration,
+        platform=PlatformConfig(capacity_bytes=spec.capacity_mib * MIB),
+    )
+    stats = replay(factories[spec.policy], config, TraceGenerator(seed=spec.seed)).stats
+    return {
+        "cold_boot_rate": round(stats.cold_boot_rate, 9),
+        "throughput_rps": round(stats.throughput_rps, 9),
+        "cpu_utilization": round(stats.cpu_utilization, 9),
+        "p99_latency": round(stats.p99_latency, 9),
+        "evictions": stats.evictions,
+    }
+
+
+def run_vmm_microbench(size_mib: int = 200, repeats: int = 3) -> Dict[str, float]:
+    """Time bulk touch + discard of ``size_mib`` MiB on the run-length VMM
+    and on the retained per-page reference; report best-of-``repeats`` in
+    milliseconds plus the resulting speedups.
+    """
+    from repro.mem.physical import PhysicalMemory
+    from repro.mem.reference import ReferenceAddressSpace
+    from repro.mem.vmm import VirtualAddressSpace
+
+    size = size_mib * MIB
+    pages = size // PAGE_SIZE
+
+    def best_of(factory) -> Dict[str, float]:
+        touch_s = discard_s = float("inf")
+        for _ in range(repeats):
+            space = factory()
+            mapping = space.mmap(size)
+            t0 = time.perf_counter()
+            counts = space.touch(mapping.start, size)
+            t1 = time.perf_counter()
+            released = space.discard(mapping.start, size)
+            t2 = time.perf_counter()
+            assert counts.minor == pages and released == pages
+            space.close()
+            touch_s = min(touch_s, t1 - t0)
+            discard_s = min(discard_s, t2 - t1)
+        return {"touch_ms": touch_s * 1e3, "discard_ms": discard_s * 1e3}
+
+    fast = best_of(lambda: VirtualAddressSpace("bench", PhysicalMemory()))
+    ref = best_of(lambda: ReferenceAddressSpace("bench-ref", PhysicalMemory()))
+    return {
+        "size_mib": size_mib,
+        "pages": pages,
+        "touch_ms": round(fast["touch_ms"], 4),
+        "discard_ms": round(fast["discard_ms"], 4),
+        "ref_touch_ms": round(ref["touch_ms"], 4),
+        "ref_discard_ms": round(ref["discard_ms"], 4),
+        "speedup_touch": round(ref["touch_ms"] / fast["touch_ms"], 2),
+        "speedup_discard": round(ref["discard_ms"] / fast["discard_ms"], 2),
+    }
+
+
+def execute_spec(spec: BenchSpec) -> Dict[str, object]:
+    """Run one spec; returns its metrics plus wall/CPU timings.
+
+    Top-level (not a closure) so ``ProcessPoolExecutor`` can pickle it.
+    """
+    wall0, cpu0 = time.perf_counter(), time.process_time()
+    if spec.kind == "characterize":
+        metrics = _run_characterize(spec)
+    elif spec.kind == "replay":
+        metrics = _run_replay(spec)
+    elif spec.kind == "micro":
+        metrics = run_vmm_microbench(spec.size_mib, spec.repeats)
+    else:
+        raise ValueError(f"unknown bench kind {spec.kind!r}")
+    return {
+        "label": spec.label,
+        "spec": asdict(spec),
+        "metrics": metrics,
+        "wall_seconds": round(time.perf_counter() - wall0, 4),
+        "cpu_seconds": round(time.process_time() - cpu0, 4),
+    }
+
+
+def run_benchmarks(
+    specs: Sequence[BenchSpec], jobs: int = 1
+) -> List[Dict[str, object]]:
+    """Execute every spec, fanning across ``jobs`` worker processes.
+
+    Results come back in spec order regardless of completion order, and the
+    per-run *metrics* are bit-identical to a serial run -- each spec builds
+    its own physical memory and seeds its own RNG streams.
+    """
+    if jobs <= 1 or len(specs) <= 1:
+        return [execute_spec(spec) for spec in specs]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+        return list(pool.map(execute_spec, specs))
+
+
+def build_grid(
+    functions: Sequence[str],
+    policies: Sequence[str],
+    scales: Sequence[float],
+    iterations: int = 30,
+    budget_mib: int = 256,
+    duration: float = 20.0,
+    warmup: float = 10.0,
+    seed: int = 42,
+) -> List[BenchSpec]:
+    """The default (figure-cell, policy, scale) fan-out grid."""
+    specs = [
+        BenchSpec(
+            kind="characterize",
+            name=fn,
+            policy=policy,
+            iterations=iterations,
+            budget_mib=budget_mib,
+        )
+        for fn in functions
+        for policy in policies
+    ]
+    specs.extend(
+        BenchSpec(
+            kind="replay",
+            policy=policy,
+            scale=scale,
+            duration=duration,
+            warmup=warmup,
+            seed=seed,
+        )
+        for scale in scales
+        for policy in policies
+    )
+    return specs
+
+
+def summarize(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Aggregate a result list into the ``BENCH_vmm.json`` document shape."""
+    return {
+        "schema": "repro-bench/1",
+        "total_wall_seconds": round(
+            sum(r["wall_seconds"] for r in results), 4
+        ),
+        "total_cpu_seconds": round(sum(r["cpu_seconds"] for r in results), 4),
+        "runs": list(results),
+    }
+
+
+def write_results(path: Path, document: Dict[str, object]) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def load_baseline(path: Path) -> Optional[Dict[str, object]]:
+    path = Path(path)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def compare_micro(
+    current: Dict[str, float],
+    baseline: Dict[str, float],
+    factor: float = 2.0,
+) -> List[str]:
+    """Regression check for the microbenchmark: returns failure messages.
+
+    A metric regresses when the current time exceeds ``factor`` times the
+    committed baseline time.  Only the run-length timings gate; the
+    reference timings are informational.
+    """
+    failures = []
+    for key in ("touch_ms", "discard_ms"):
+        cur, base = current.get(key), baseline.get(key)
+        if cur is None or base is None:
+            failures.append(f"{key}: missing from current or baseline")
+            continue
+        if cur > base * factor:
+            failures.append(
+                f"{key}: {cur:.2f} ms exceeds {factor:g}x baseline "
+                f"({base:.2f} ms)"
+            )
+    return failures

@@ -120,6 +120,91 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.bench import (
+        BenchSpec,
+        build_grid,
+        compare_micro,
+        load_baseline,
+        run_benchmarks,
+        summarize,
+        write_results,
+    )
+
+    specs = []
+    if args.suite in ("micro", "all"):
+        specs.append(BenchSpec(kind="micro", size_mib=args.size_mib))
+    if args.suite in ("characterize", "all"):
+        specs.extend(
+            build_grid(
+                functions=args.functions.split(","),
+                policies=args.policies.split(","),
+                scales=(),
+                iterations=args.iterations,
+                budget_mib=args.budget_mib,
+            )
+        )
+    if args.suite in ("replay", "all"):
+        specs.extend(
+            build_grid(
+                functions=(),
+                policies=args.policies.split(","),
+                scales=[float(s) for s in args.scales.split(",")],
+                duration=args.duration,
+                warmup=args.warmup,
+                seed=args.seed,
+            )
+        )
+    results = run_benchmarks(specs, jobs=args.jobs)
+    rows = []
+    for result in results:
+        metrics = result["metrics"]
+        key_metric = next(iter(metrics.items())) if metrics else ("-", "-")
+        rows.append(
+            [
+                result["label"],
+                f"{result['wall_seconds']:.2f}s",
+                f"{result['cpu_seconds']:.2f}s",
+                f"{key_metric[0]}={key_metric[1]}",
+            ]
+        )
+    print(render_table(["run", "wall", "cpu", "headline"], rows))
+    document = summarize(results)
+    if args.json:
+        write_results(Path(args.json), document)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.check:
+        baseline = load_baseline(Path(args.check))
+        if baseline is None:
+            print(f"error: baseline {args.check} not found", file=sys.stderr)
+            return 2
+        current_micro = next(
+            (r["metrics"] for r in results if r["spec"]["kind"] == "micro"), None
+        )
+        baseline_micro = next(
+            (
+                r["metrics"]
+                for r in baseline.get("runs", ())
+                if r.get("spec", {}).get("kind") == "micro"
+            ),
+            None,
+        )
+        if current_micro is None or baseline_micro is None:
+            print(
+                "error: --check needs a micro run in both current results "
+                "and the baseline (use --suite micro or all)",
+                file=sys.stderr,
+            )
+            return 2
+        failures = compare_micro(current_micro, baseline_micro, args.factor)
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("microbenchmark within baseline", file=sys.stderr)
+    return 0
+
+
 def _cmd_overhead(args: argparse.Namespace) -> int:
     before, after = run_overhead_experiment(
         args.function,
@@ -173,6 +258,40 @@ def build_parser() -> argparse.ArgumentParser:
         "(with --policy all, one file per policy: PATH.<policy>.jsonl)",
     )
     p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser(
+        "bench",
+        help="fan benchmark runs across processes; metrics are "
+        "deterministic, only wall/CPU timings vary",
+    )
+    p.add_argument(
+        "--suite",
+        choices=("micro", "characterize", "replay", "all"),
+        default="all",
+    )
+    p.add_argument("--functions", default="fft,sort,mapreduce")
+    p.add_argument("--policies", default="vanilla,eager,desiccant")
+    p.add_argument("--scales", default="5")
+    p.add_argument("--iterations", type=int, default=30)
+    p.add_argument("--budget-mib", type=int, default=256)
+    p.add_argument("--duration", type=float, default=20.0)
+    p.add_argument("--warmup", type=float, default=10.0)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--size-mib", type=int, default=200, help="microbench range size")
+    p.add_argument("--jobs", type=int, default=1, help="worker processes")
+    p.add_argument("--json", metavar="PATH", help="write the full results JSON here")
+    p.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare the micro run against this committed baseline JSON",
+    )
+    p.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="allowed slowdown vs the baseline before failing (default 2x)",
+    )
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("overhead", help="post-reclaim overhead (§5.6)")
     p.add_argument("function")

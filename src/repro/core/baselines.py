@@ -26,6 +26,7 @@ from typing import List, Protocol, runtime_checkable
 
 from repro.core.activation import ActivationController
 from repro.faas.instance import FunctionInstance, InstanceState
+from repro.mem.vmm import SwapOutResult
 
 
 @runtime_checkable
@@ -114,6 +115,9 @@ class SwapManager:
         self.freeze_timeout = freeze_timeout
         self.swapped_instances = 0
         self.swapped_bytes = 0
+        #: FILE_CLEAN pages released during swap-out never hit the swap
+        #: device (they are re-readable); tracked separately from swapped.
+        self.dropped_clean_bytes = 0
 
     def on_invocation_end(self, instance: FunctionInstance, now: float) -> float:
         return 0.0
@@ -153,11 +157,13 @@ class SwapManager:
         if instance.state is not InstanceState.FROZEN:
             raise RuntimeError("swap targets frozen instances only")
         space = instance.runtime.space
-        moved = 0
+        moved = SwapOutResult()
         for mapping in list(space.mappings()):
             moved += space.swap_out_range(mapping.start, mapping.length)
         instance.swapped_this_freeze = True
         self.swapped_instances += 1
-        self.swapped_bytes += moved * 4096
-        # Swap-out I/O is cheap CPU-wise; charge a nominal cost per page.
-        return moved * 1e-6
+        self.swapped_bytes += moved.swapped * 4096
+        self.dropped_clean_bytes += moved.dropped * 4096
+        # Swap-out I/O is cheap CPU-wise; charge a nominal cost per page
+        # released (swapped or dropped -- both are written/evicted work).
+        return moved.total * 1e-6

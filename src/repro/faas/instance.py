@@ -116,6 +116,10 @@ class FunctionInstance:
         self.transitions: list = []
         #: Set while the instance lives as an on-disk snapshot.
         self.snapshotted = False
+        #: Cumulative bytes the snapshots wrote to storage (private pages)
+        #: and dropped from the page cache (clean file pages).
+        self.snapshot_swapped_bytes = 0
+        self.snapshot_dropped_bytes = 0
 
     # ------------------------------------------------------------ lifecycle
 
@@ -172,7 +176,9 @@ class FunctionInstance:
         seconds = self.freeze(now)
         space = self.runtime.space
         for mapping in list(space.mappings()):
-            space.swap_out_range(mapping.start, mapping.length)
+            moved = space.swap_out_range(mapping.start, mapping.length)
+            self.snapshot_swapped_bytes += moved.swapped * 4096
+            self.snapshot_dropped_bytes += moved.dropped * 4096
         self.snapshotted = True
         return seconds
 

@@ -3,16 +3,20 @@
 The simulator does not materialize page contents; what matters to the paper's
 measurements is *which* pages are resident, whether they are private or
 shared, and how many processes share each file-backed page.  Frames are
-therefore tracked as counters plus, for file-backed pages, a per-page set of
-touching mappings (the equivalent of the kernel's ``mapcount``).
+therefore tracked as counters plus, for file-backed pages, run-length
+intervals of the sharing mappings (the equivalent of the kernel's
+``mapcount``).  Every operation takes a *range*: faulting a whole library in
+is O(runs), not O(pages).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Set
+from fractions import Fraction
+from typing import Dict, FrozenSet
 
 from repro.mem.layout import PAGE_SIZE, pages_in
+from repro.mem.runlist import RunList
 
 
 class OutOfPhysicalMemory(Exception):
@@ -51,6 +55,10 @@ class SwapDevice:
         return self.pages * PAGE_SIZE
 
 
+_NO_HOLDERS: FrozenSet[int] = frozenset()
+_ZERO = Fraction(0)
+
+
 class MappedFile:
     """A file that can back memory mappings (e.g. ``libjvm.so``).
 
@@ -59,6 +67,16 @@ class MappedFile:
     distinct mappings currently touching it.  That count is what turns a page
     from ``private_clean`` (one toucher) into ``shared_clean`` (several), the
     distinction USS/PSS accounting is built on.
+
+    Sharer sets are stored as a :class:`~repro.mem.runlist.RunList` of
+    frozensets -- instances fault libraries in by *prefix ranges*
+    (``touched_fraction``), so the number of distinct sharer sets along the
+    file stays tiny even with hundreds of co-mapping instances, and
+    :meth:`touch_range`/:meth:`untouch_range` cost O(runs x holders) rather
+    than O(pages x holders).  Per-mapping aggregates (solo pages and the
+    proportional share) are maintained incrementally, with the share kept as
+    an exact :class:`~fractions.Fraction` so bulk updates (``n / sharers``)
+    are bit-identical to ``n`` single-page updates.
     """
 
     def __init__(self, path: str, size: int) -> None:
@@ -66,18 +84,22 @@ class MappedFile:
             raise ValueError(f"file size must be positive, got {size}")
         self.path = path
         self.size = size
-        self._touchers: Dict[int, Set[int]] = {}
+        #: Sharer sets per page range; a gap means the page is not cached.
+        self._holders = RunList()
         #: Per-mapping count of pages it holds *alone* (private_clean).
         self._solo: Dict[int, int] = {}
         #: Per-mapping proportional share, in pages (sum of 1/sharers over
-        #: its touched pages).  Maintained incrementally so accounting is
-        #: O(1) per mapping; float drift is bounded well below a byte.
-        self._pss: Dict[int, float] = {}
+        #: its touched pages), as an exact rational.
+        self._pss: Dict[int, Fraction] = {}
+        #: Pages currently resident in the cache.
+        self._resident = 0
 
     @property
     def num_pages(self) -> int:
         """Number of pages the file spans."""
         return pages_in(self.size)
+
+    # ------------------------------------------------------------- touches
 
     def touch(self, file_page: int, mapping_id: int) -> bool:
         """Register ``mapping_id`` as touching ``file_page``.
@@ -85,50 +107,95 @@ class MappedFile:
         Returns ``True`` if this touch brought the page into the cache (i.e.
         a frame was allocated for it).
         """
-        self._check_page(file_page)
-        holders = self._touchers.setdefault(file_page, set())
-        if mapping_id in holders:
-            return False
-        n = len(holders)
-        fresh = n == 0
-        # Every pre-existing holder's share of this page drops 1/n -> 1/(n+1).
-        if n:
-            delta = 1.0 / (n + 1) - 1.0 / n
-            for holder in holders:
-                self._pss[holder] = self._pss.get(holder, 0.0) + delta
-            if n == 1:
-                (other,) = holders
-                self._solo[other] = self._solo.get(other, 0) - 1
-        holders.add(mapping_id)
-        self._pss[mapping_id] = self._pss.get(mapping_id, 0.0) + 1.0 / (n + 1)
-        if n == 0:
-            self._solo[mapping_id] = self._solo.get(mapping_id, 0) + 1
-        return fresh
+        return self.touch_range(file_page, file_page + 1, mapping_id) == 1
 
     def untouch(self, file_page: int, mapping_id: int) -> bool:
         """Drop ``mapping_id``'s reference to ``file_page``.
 
         Returns ``True`` if the page left the cache (its frame is freed).
         """
-        holders = self._touchers.get(file_page)
-        if not holders or mapping_id not in holders:
-            return False
-        n = len(holders)
-        holders.discard(mapping_id)
-        self._pss[mapping_id] = self._pss.get(mapping_id, 0.0) - 1.0 / n
-        if n == 1:
-            self._solo[mapping_id] = self._solo.get(mapping_id, 0) - 1
-        else:
-            delta = 1.0 / (n - 1) - 1.0 / n
-            for holder in holders:
-                self._pss[holder] = self._pss.get(holder, 0.0) + delta
-            if n == 2:
-                (other,) = holders
-                self._solo[other] = self._solo.get(other, 0) + 1
-        if holders:
-            return False
-        del self._touchers[file_page]
-        return True
+        return self.untouch_range(file_page, file_page + 1, mapping_id) == 1
+
+    def touch_range(self, first: int, last: int, mapping_id: int) -> int:
+        """Register ``mapping_id`` as touching file pages ``[first, last)``.
+
+        Returns the number of pages this brought into the cache (frames the
+        caller must allocate).  Bulk equivalent of ``touch`` per page.
+        """
+        self._check_page(first)
+        if last > self.num_pages or last <= first:
+            if last != first:  # empty ranges are a no-op, not an error
+                self._check_page(last - 1)
+            return 0
+        fresh = 0
+        changed = False
+        pieces = []
+        solo, pss = self._solo, self._pss
+        for s, e, holders in self._holders.iter_segments(first, last, _NO_HOLDERS):
+            n = e - s
+            if not holders:
+                # Fresh pages: this mapping is the sole toucher.
+                fresh += n
+                changed = True
+                pieces.append((s, e, frozenset((mapping_id,))))
+                solo[mapping_id] = solo.get(mapping_id, 0) + n
+                pss[mapping_id] = pss.get(mapping_id, _ZERO) + n
+            elif mapping_id in holders:
+                pieces.append((s, e, holders))
+            else:
+                # Every pre-existing holder's share drops 1/k -> 1/(k+1).
+                k = len(holders)
+                changed = True
+                delta = n * (Fraction(1, k + 1) - Fraction(1, k))
+                for holder in holders:
+                    pss[holder] = pss.get(holder, _ZERO) + delta
+                if k == 1:
+                    (other,) = holders
+                    solo[other] = solo.get(other, 0) - n
+                pss[mapping_id] = pss.get(mapping_id, _ZERO) + Fraction(n, k + 1)
+                pieces.append((s, e, holders | {mapping_id}))
+        if changed:
+            self._holders.splice(first, last, pieces)
+            self._resident += fresh
+        return fresh
+
+    def untouch_range(self, first: int, last: int, mapping_id: int) -> int:
+        """Drop ``mapping_id``'s references to file pages ``[first, last)``.
+
+        Returns the number of pages that left the cache (frames the caller
+        must free).  Pages the mapping never touched are skipped silently,
+        like the single-page ``untouch``.
+        """
+        freed = 0
+        changed = False
+        pieces = []
+        solo, pss = self._solo, self._pss
+        for s, e, holders in self._holders.iter_runs(first, last):
+            n = e - s
+            if mapping_id not in holders:
+                pieces.append((s, e, holders))
+                continue
+            k = len(holders)
+            changed = True
+            pss[mapping_id] = pss.get(mapping_id, _ZERO) - Fraction(n, k)
+            if k == 1:
+                solo[mapping_id] = solo.get(mapping_id, 0) - n
+                freed += n  # last holder gone: pages leave the cache
+            else:
+                rest = holders - {mapping_id}
+                delta = n * (Fraction(1, k - 1) - Fraction(1, k))
+                for holder in rest:
+                    pss[holder] = pss.get(holder, _ZERO) + delta
+                if k == 2:
+                    (other,) = rest
+                    solo[other] = solo.get(other, 0) + n
+                pieces.append((s, e, rest))
+        if changed:
+            self._holders.splice(first, last, pieces)
+            self._resident -= freed
+        return freed
+
+    # ------------------------------------------------------------- queries
 
     def solo_pages(self, mapping_id: int) -> int:
         """Pages held only by this mapping (its private_clean count)."""
@@ -136,15 +203,16 @@ class MappedFile:
 
     def pss_pages(self, mapping_id: int) -> float:
         """The mapping's proportional share of the file cache, in pages."""
-        return max(0.0, self._pss.get(mapping_id, 0.0))
+        share = self._pss.get(mapping_id, _ZERO)
+        return float(share) if share > 0 else 0.0
 
     def sharers(self, file_page: int) -> int:
         """Number of mappings currently touching ``file_page``."""
-        return len(self._touchers.get(file_page, ()))
+        return len(self._holders.value_at(file_page, _NO_HOLDERS))
 
     def resident_pages(self) -> int:
         """Number of file pages currently in the cache."""
-        return len(self._touchers)
+        return self._resident
 
     def _check_page(self, file_page: int) -> None:
         if not 0 <= file_page < self.num_pages:
@@ -163,7 +231,8 @@ class PhysicalMemory:
 
     ``capacity_bytes=None`` means unlimited (characterization experiments);
     the FaaS platform passes its instance-cache budget so eviction pressure
-    is observable.
+    is observable.  All operations take a frame count, so a bulk fault-in
+    of ``n`` pages is one counter update.
     """
 
     capacity_bytes: int | None = None

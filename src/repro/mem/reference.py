@@ -1,0 +1,406 @@
+"""Reference per-page address space: the oracle for differential testing.
+
+This is the dict-of-pages implementation the run-length
+:mod:`repro.mem.vmm` replaced, kept verbatim (one state entry per resident
+page, every operation a per-page loop).  It is deliberately slow and
+deliberately simple -- the differential test drives it and the production
+:class:`~repro.mem.vmm.VirtualAddressSpace` through identical syscall
+sequences and asserts identical observable state after every step, and the
+VMM microbenchmark uses it as the per-page baseline.
+
+It shares :class:`PageState`, :class:`FaultCounts`, :class:`SwapOutResult`
+and the physical layer with the production implementation, so reports,
+fault counts, and return values are directly comparable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.mem.layout import (
+    PAGE_SIZE,
+    PAGE_SHIFT,
+    PROT_RW,
+    Protection,
+    page_ceil,
+    page_floor,
+)
+from repro.mem.physical import MappedFile, PhysicalMemory
+from repro.mem.vmm import (
+    DEFAULT_MMAP_BASE,
+    FaultCounts,
+    MappingConflict,
+    MemoryError_,
+    PageState,
+    SegmentationFault,
+    SwapOutResult,
+    _mapping_ids,
+)
+
+
+class ReferenceMapping:
+    """Per-page twin of :class:`repro.mem.vmm.Mapping`."""
+
+    def __init__(
+        self,
+        start: int,
+        length: int,
+        prot: Protection,
+        name: str,
+        file: Optional[MappedFile] = None,
+        file_offset: int = 0,
+        shared: bool = False,
+    ) -> None:
+        if start % PAGE_SIZE or length % PAGE_SIZE:
+            raise ValueError("mappings must be page aligned")
+        if length <= 0:
+            raise ValueError("mapping length must be positive")
+        if shared and file is None:
+            raise ValueError("shared mappings must be file-backed")
+        if file is not None and file_offset % PAGE_SIZE:
+            raise ValueError("file offset must be page aligned")
+        self.id = next(_mapping_ids)
+        self.start = start
+        self.length = length
+        self.prot = prot
+        self.name = name
+        self.file = file
+        self.file_offset = file_offset
+        self.shared = shared
+        #: page index within the mapping -> state (absent == NOT_PRESENT)
+        self.pages: Dict[int, PageState] = {}
+        self.n_anon = 0
+        self.n_file = 0
+        self.n_swapped = 0
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    @property
+    def num_pages(self) -> int:
+        return self.length >> PAGE_SHIFT
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def file_page_of(self, rel_page: int) -> int:
+        return (self.file_offset >> PAGE_SHIFT) + rel_page
+
+    def state_of(self, rel: int) -> PageState:
+        return self.pages.get(rel, PageState.NOT_PRESENT)
+
+    def page_states(self) -> Iterator[Tuple[int, PageState]]:
+        return iter(self.pages.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = self.file.path if self.file else "anon"
+        return (
+            f"ReferenceMapping({self.start:#x}-{self.end:#x} {self.prot!r} "
+            f"{self.name} [{kind}])"
+        )
+
+
+class ReferenceAddressSpace:
+    """Per-page twin of :class:`repro.mem.vmm.VirtualAddressSpace`."""
+
+    def __init__(
+        self,
+        name: str,
+        physical: Optional[PhysicalMemory] = None,
+        mmap_base: int = DEFAULT_MMAP_BASE,
+    ) -> None:
+        self.name = name
+        self.physical = physical if physical is not None else PhysicalMemory()
+        self._mappings: Dict[int, ReferenceMapping] = {}
+        self._starts: List[int] = []
+        self._bump = mmap_base
+        self.faults = FaultCounts()
+        self.closed = False
+        self.version = 0
+        self.release_epoch = 0
+
+    # ------------------------------------------------------------------ maps
+
+    def mappings(self) -> List[ReferenceMapping]:
+        return [self._mappings[s] for s in self._starts]
+
+    def find_mapping(self, addr: int) -> Optional[ReferenceMapping]:
+        idx = bisect_right(self._starts, addr) - 1
+        if idx < 0:
+            return None
+        mapping = self._mappings[self._starts[idx]]
+        return mapping if mapping.contains(addr) else None
+
+    def mmap(
+        self,
+        length: int,
+        prot: Protection = PROT_RW,
+        file: Optional[MappedFile] = None,
+        file_offset: int = 0,
+        shared: bool = False,
+        name: str = "[anon]",
+        addr: Optional[int] = None,
+    ) -> ReferenceMapping:
+        self._check_open()
+        length = page_ceil(length)
+        if addr is None:
+            addr = self._bump
+            self._bump += length + PAGE_SIZE
+        else:
+            if addr % PAGE_SIZE:
+                raise ValueError("fixed mmap address must be page aligned")
+            if self._overlaps(addr, length):
+                raise MappingConflict(f"mapping at {addr:#x}+{length:#x} overlaps")
+            self._bump = max(self._bump, addr + length + PAGE_SIZE)
+        mapping = ReferenceMapping(addr, length, prot, name, file, file_offset, shared)
+        self._insert(mapping)
+        self.version += 1
+        return mapping
+
+    def munmap(self, addr: int, length: int) -> None:
+        self._check_open()
+        start, end = page_floor(addr), page_ceil(addr + length)
+        for mapping in self._overlapping(start, end):
+            self._split_for(mapping, start, end)
+        for mapping in self._overlapping(start, end):
+            self._release_pages(mapping, range(mapping.num_pages))
+            self._remove(mapping)
+        self.version += 1
+
+    def mprotect(self, addr: int, length: int, prot: Protection) -> None:
+        self._check_open()
+        start, end = page_floor(addr), page_ceil(addr + length)
+        self._require_fully_mapped(start, end)
+        for mapping in self._overlapping(start, end):
+            self._split_for(mapping, start, end)
+        for mapping in self._overlapping(start, end):
+            mapping.prot = prot
+        self.version += 1
+
+    def commit(self, addr: int, length: int) -> None:
+        self.mprotect(addr, length, PROT_RW)
+
+    def uncommit(self, addr: int, length: int) -> None:
+        self.discard(addr, length)
+        self.mprotect(addr, length, Protection.NONE)
+
+    # --------------------------------------------------------------- touches
+
+    def touch(self, addr: int, length: int, write: bool = True) -> FaultCounts:
+        self._check_open()
+        counts = FaultCounts()
+        start, end = page_floor(addr), page_ceil(addr + length)
+        pos = start
+        while pos < end:
+            mapping = self.find_mapping(pos)
+            if mapping is None:
+                raise SegmentationFault(f"{self.name}: access at {pos:#x} unmapped")
+            needed = Protection.WRITE if write else Protection.READ
+            if not mapping.prot & needed:
+                raise SegmentationFault(
+                    f"{self.name}: {needed!r} access at {pos:#x} "
+                    f"on {mapping.prot!r} mapping"
+                )
+            span_end = min(end, mapping.end)
+            first = (pos - mapping.start) >> PAGE_SHIFT
+            last = (span_end - mapping.start + PAGE_SIZE - 1) >> PAGE_SHIFT
+            for rel in range(first, last):
+                counts += self._touch_page(mapping, rel, write)
+            pos = span_end
+        self.faults += counts
+        return counts
+
+    def _touch_page(
+        self, mapping: ReferenceMapping, rel: int, write: bool
+    ) -> FaultCounts:
+        state = mapping.pages.get(rel, PageState.NOT_PRESENT)
+        counts = FaultCounts()
+        if state is not PageState.ANON_DIRTY and not (
+            state is PageState.FILE_CLEAN and not (write and not mapping.shared)
+        ):
+            self.version += 1
+        if state is PageState.NOT_PRESENT:
+            counts.minor += 1
+            if mapping.file is not None and not (write and not mapping.shared):
+                fresh = mapping.file.touch(mapping.file_page_of(rel), mapping.id)
+                if fresh:
+                    self.physical.alloc_file()
+                mapping.pages[rel] = PageState.FILE_CLEAN
+                mapping.n_file += 1
+            else:
+                self.physical.alloc_anon()
+                mapping.pages[rel] = PageState.ANON_DIRTY
+                mapping.n_anon += 1
+        elif state is PageState.FILE_CLEAN and write and not mapping.shared:
+            counts.minor += 1
+            if mapping.file.untouch(mapping.file_page_of(rel), mapping.id):
+                self.physical.free_file()
+            self.physical.alloc_anon()
+            mapping.pages[rel] = PageState.ANON_DIRTY
+            mapping.n_file -= 1
+            mapping.n_anon += 1
+        elif state is PageState.SWAPPED:
+            counts.major += 1
+            self.physical.swap.swap_in()
+            self.physical.alloc_anon()
+            mapping.pages[rel] = PageState.ANON_DIRTY
+            mapping.n_swapped -= 1
+            mapping.n_anon += 1
+        return counts
+
+    # ------------------------------------------------------------- reclaim
+
+    def discard(self, addr: int, length: int) -> int:
+        self._check_open()
+        start, end = page_floor(addr), page_ceil(addr + length)
+        released = 0
+        for mapping in self._overlapping(start, end):
+            first = max(0, (start - mapping.start) >> PAGE_SHIFT)
+            last = min(
+                mapping.num_pages,
+                (min(end, mapping.end) - mapping.start + PAGE_SIZE - 1) >> PAGE_SHIFT,
+            )
+            released += self._release_pages(mapping, range(first, last))
+        return released
+
+    def swap_out_range(self, addr: int, length: int) -> SwapOutResult:
+        self._check_open()
+        start, end = page_floor(addr), page_ceil(addr + length)
+        result = SwapOutResult()
+        for mapping in self._overlapping(start, end):
+            first = max(0, (start - mapping.start) >> PAGE_SHIFT)
+            last = min(
+                mapping.num_pages,
+                (min(end, mapping.end) - mapping.start + PAGE_SIZE - 1) >> PAGE_SHIFT,
+            )
+            for rel in range(first, last):
+                state = mapping.pages.get(rel)
+                if state is PageState.ANON_DIRTY:
+                    self.physical.free_anon()
+                    self.physical.swap.swap_out()
+                    mapping.pages[rel] = PageState.SWAPPED
+                    mapping.n_anon -= 1
+                    mapping.n_swapped += 1
+                    result.swapped += 1
+                elif state is PageState.FILE_CLEAN:
+                    if mapping.file.untouch(mapping.file_page_of(rel), mapping.id):
+                        self.physical.free_file()
+                    del mapping.pages[rel]
+                    mapping.n_file -= 1
+                    result.dropped += 1
+        if result.total:
+            self.version += 1
+            self.release_epoch += 1
+        return result
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        for mapping in list(self.mappings()):
+            self._release_pages(mapping, range(mapping.num_pages))
+            self._remove(mapping)
+        self.closed = True
+
+    # ------------------------------------------------------------ internals
+
+    def _release_pages(self, mapping: ReferenceMapping, rels: Iterable[int]) -> int:
+        released = 0
+        for rel in rels:
+            state = mapping.pages.pop(rel, None)
+            if state is None:
+                continue
+            if state is PageState.ANON_DIRTY:
+                self.physical.free_anon()
+                mapping.n_anon -= 1
+                released += 1
+            elif state is PageState.FILE_CLEAN:
+                if mapping.file.untouch(mapping.file_page_of(rel), mapping.id):
+                    self.physical.free_file()
+                mapping.n_file -= 1
+                released += 1
+            elif state is PageState.SWAPPED:
+                self.physical.swap.swap_in()
+                mapping.n_swapped -= 1
+                released += 1
+        if released:
+            self.version += 1
+            self.release_epoch += 1
+        return released
+
+    def _insert(self, mapping: ReferenceMapping) -> None:
+        self._mappings[mapping.start] = mapping
+        insort(self._starts, mapping.start)
+
+    def _remove(self, mapping: ReferenceMapping) -> None:
+        del self._mappings[mapping.start]
+        self._starts.remove(mapping.start)
+
+    def _overlaps(self, start: int, length: int) -> bool:
+        return bool(self._overlapping(start, start + length))
+
+    def _overlapping(self, start: int, end: int) -> List[ReferenceMapping]:
+        result = []
+        idx = max(0, bisect_right(self._starts, start) - 1)
+        for s in self._starts[idx:]:
+            mapping = self._mappings[s]
+            if mapping.start >= end:
+                break
+            if mapping.end > start:
+                result.append(mapping)
+        return result
+
+    def _require_fully_mapped(self, start: int, end: int) -> None:
+        covered = start
+        for mapping in self._overlapping(start, end):
+            if mapping.start > covered:
+                raise SegmentationFault(
+                    f"{self.name}: hole at {covered:#x} in mprotect range"
+                )
+            covered = max(covered, mapping.end)
+        if covered < end:
+            raise SegmentationFault(f"{self.name}: hole at {covered:#x} in mprotect range")
+
+    def _split_for(self, mapping: ReferenceMapping, start: int, end: int) -> None:
+        if mapping.start < start < mapping.end:
+            self._split_at(mapping, start)
+            mapping = self.find_mapping(start)
+            assert mapping is not None
+        if mapping.start < end < mapping.end:
+            self._split_at(mapping, end)
+
+    def _split_at(self, mapping: ReferenceMapping, addr: int) -> None:
+        assert mapping.start < addr < mapping.end and addr % PAGE_SIZE == 0
+        head_len = addr - mapping.start
+        tail = ReferenceMapping(
+            addr,
+            mapping.end - addr,
+            mapping.prot,
+            mapping.name,
+            mapping.file,
+            mapping.file_offset + head_len if mapping.file else 0,
+            mapping.shared,
+        )
+        split_page = head_len >> PAGE_SHIFT
+        for rel in [r for r in mapping.pages if r >= split_page]:
+            state = mapping.pages.pop(rel)
+            tail.pages[rel - split_page] = state
+            if state is PageState.ANON_DIRTY:
+                mapping.n_anon -= 1
+                tail.n_anon += 1
+            elif state is PageState.SWAPPED:
+                mapping.n_swapped -= 1
+                tail.n_swapped += 1
+            elif state is PageState.FILE_CLEAN:
+                mapping.n_file -= 1
+                tail.n_file += 1
+                file_page = mapping.file_page_of(rel)
+                mapping.file.untouch(file_page, mapping.id)
+                mapping.file.touch(file_page, tail.id)
+        mapping.length = head_len
+        self._insert(tail)
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise MemoryError_(f"address space {self.name} is closed")

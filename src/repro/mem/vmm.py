@@ -13,15 +13,22 @@ here:
   ``madvise(MADV_DONTNEED)``),
 * the swap baseline moves private pages out with ``swap_out_range``,
 * the library optimization unmaps private file ranges found via smaps.
+
+Residency is stored run-length: each mapping keeps a sorted
+:class:`~repro.mem.runlist.RunList` of ``(start_page, end_page, PageState)``
+runs, so every range operation above costs O(runs changed + log runs)
+rather than O(pages).  The paper's mechanisms are range-granular by nature
+(``madvise`` over the free span, HotSpot shrinking whole regions), so runs
+stay few and a 200 MiB fault-in is a single splice, not 51k dict stores.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from bisect import bisect_right, insort
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.mem.layout import (
     PAGE_SIZE,
@@ -32,6 +39,7 @@ from repro.mem.layout import (
     page_floor,
 )
 from repro.mem.physical import MappedFile, PhysicalMemory
+from repro.mem.runlist import RunList
 
 #: Where anonymous/bump allocations start; mirrors the x86-64 mmap area.
 DEFAULT_MMAP_BASE = 0x7F00_0000_0000
@@ -77,6 +85,74 @@ class FaultCounts:
         return self.minor + self.major
 
 
+@dataclass
+class SwapOutResult:
+    """Outcome of one :meth:`VirtualAddressSpace.swap_out_range` call.
+
+    ``swapped`` counts private pages actually moved to the swap device;
+    ``dropped`` counts FILE_CLEAN pages whose cache reference was simply
+    released (the kernel would do the same -- they can be re-read).  Both
+    free physical memory, but only swapped pages cost a major fault later.
+    """
+
+    swapped: int = 0
+    dropped: int = 0
+
+    @property
+    def total(self) -> int:
+        """All pages whose frames were released by the call."""
+        return self.swapped + self.dropped
+
+    def __iadd__(self, other: "SwapOutResult") -> "SwapOutResult":
+        self.swapped += other.swapped
+        self.dropped += other.dropped
+        return self
+
+    def __bool__(self) -> bool:
+        return self.total > 0
+
+
+class PageStateView:
+    """Read-only, dict-like view of a mapping's present pages.
+
+    Kept for callers of the former ``Mapping.pages`` dict: supports
+    ``rel in view``, ``view[rel]`` (KeyError when not present),
+    ``view.get(rel)``, ``len(view)``, iteration, and ``.items()``.
+    """
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: "Mapping") -> None:
+        self._mapping = mapping
+
+    def __contains__(self, rel: int) -> bool:
+        return self._mapping.state_of(rel) is not PageState.NOT_PRESENT
+
+    def __getitem__(self, rel: int) -> PageState:
+        state = self._mapping.state_of(rel)
+        if state is PageState.NOT_PRESENT:
+            raise KeyError(rel)
+        return state
+
+    def get(self, rel: int, default=None):
+        state = self._mapping.state_of(rel)
+        return default if state is PageState.NOT_PRESENT else state
+
+    def __len__(self) -> int:
+        m = self._mapping
+        return m.n_anon + m.n_file + m.n_swapped
+
+    def __iter__(self) -> Iterator[int]:
+        for rel, _state in self._mapping.page_states():
+            yield rel
+
+    def items(self) -> Iterator[Tuple[int, PageState]]:
+        return self._mapping.page_states()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PageStateView({dict(self.items())!r})"
+
+
 class Mapping:
     """A contiguous virtual memory area (one ``/proc/pid/maps`` line)."""
 
@@ -106,9 +182,10 @@ class Mapping:
         self.file = file
         self.file_offset = file_offset
         self.shared = shared
-        #: page index within the mapping -> state (absent == NOT_PRESENT)
-        self.pages: Dict[int, PageState] = {}
-        #: Residency counters kept in lockstep with ``pages`` so accounting
+        #: Run-length page table: runs of (first, last, PageState); gaps are
+        #: NOT_PRESENT.  All mutation goes through single splices.
+        self._runs = RunList()
+        #: Residency counters kept in lockstep with ``_runs`` so accounting
         #: is O(1) per mapping.
         self.n_anon = 0
         self.n_file = 0
@@ -129,9 +206,36 @@ class Mapping:
         """Map a page index within this mapping to a page index in the file."""
         return (self.file_offset >> PAGE_SHIFT) + rel_page
 
+    @property
+    def pages(self) -> PageStateView:
+        """Dict-like view over present pages (compat with the old dict)."""
+        return PageStateView(self)
+
+    def state_of(self, rel: int) -> PageState:
+        """State of one page (``NOT_PRESENT`` when never touched)."""
+        return self._runs.value_at(rel, PageState.NOT_PRESENT)
+
+    def runs(
+        self, first: int = 0, last: Optional[int] = None
+    ) -> Iterator[Tuple[int, int, PageState]]:
+        """Present ``(first, last, state)`` runs clipped to the window."""
+        if last is None:
+            last = self.num_pages
+        return self._runs.iter_runs(first, last)
+
+    def segments(
+        self, first: int = 0, last: Optional[int] = None
+    ) -> Iterator[Tuple[int, int, PageState]]:
+        """Like :meth:`runs` but with NOT_PRESENT gaps included."""
+        if last is None:
+            last = self.num_pages
+        return self._runs.iter_segments(first, last, PageState.NOT_PRESENT)
+
     def page_states(self) -> Iterator[Tuple[int, PageState]]:
         """Iterate over (relative page index, state) of present pages."""
-        return iter(self.pages.items())
+        for s, e, state in self._runs.iter_runs(0, self.num_pages):
+            for rel in range(s, e):
+                yield rel, state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = self.file.path if self.file else "anon"
@@ -158,6 +262,9 @@ class VirtualAddressSpace:
         self.faults = FaultCounts()
         self.closed = False
         #: Bumped on any residency/mapping change; accounting caches on it.
+        #: Touch operations bump it by the number of pages that changed
+        #: state, releases by one per releasing call -- the same cadence as
+        #: the per-page implementation this replaces.
         self.version = 0
         #: Bumped only when resident pages are *released* (discard, swap,
         #: uncommit, munmap); runtimes use it to skip re-touching data that
@@ -219,7 +326,7 @@ class VirtualAddressSpace:
             self._split_for(mapping, start, end)
         for mapping in self._overlapping(start, end):
             # After splitting, every overlapping mapping is fully contained.
-            self._release_pages(mapping, range(mapping.num_pages))
+            self._release_range(mapping, 0, mapping.num_pages)
             self._remove(mapping)
         self.version += 1
 
@@ -272,50 +379,71 @@ class VirtualAddressSpace:
             span_end = min(end, mapping.end)
             first = (pos - mapping.start) >> PAGE_SHIFT
             last = (span_end - mapping.start + PAGE_SIZE - 1) >> PAGE_SHIFT
-            for rel in range(first, last):
-                counts += self._touch_page(mapping, rel, write)
+            counts += self._touch_range(mapping, first, last, write)
             pos = span_end
         self.faults += counts
         return counts
 
-    def _touch_page(self, mapping: Mapping, rel: int, write: bool) -> FaultCounts:
-        state = mapping.pages.get(rel, PageState.NOT_PRESENT)
+    def _touch_range(
+        self, mapping: Mapping, first: int, last: int, write: bool
+    ) -> FaultCounts:
+        """Fault pages ``[first, last)`` of one mapping in, run by run."""
         counts = FaultCounts()
-        if state is not PageState.ANON_DIRTY and not (
-            state is PageState.FILE_CLEAN and not (write and not mapping.shared)
+        cow = write and not mapping.shared  # private writes copy file pages
+        changed = 0
+        pieces: List[Tuple[int, int, PageState]] = []
+        phys = self.physical
+        for s, e, state in mapping._runs.iter_segments(
+            first, last, PageState.NOT_PRESENT
         ):
-            self.version += 1
-        if state is PageState.NOT_PRESENT:
-            counts.minor += 1
-            if mapping.file is not None and not (write and not mapping.shared):
-                # Read of a file page, or write to a MAP_SHARED file page:
-                # serve from / install into the page cache.
-                fresh = mapping.file.touch(mapping.file_page_of(rel), mapping.id)
-                if fresh:
-                    self.physical.alloc_file()
-                mapping.pages[rel] = PageState.FILE_CLEAN
-                mapping.n_file += 1
-            else:
-                # Anonymous page, or COW write to a private file page.
-                self.physical.alloc_anon()
-                mapping.pages[rel] = PageState.ANON_DIRTY
-                mapping.n_anon += 1
-        elif state is PageState.FILE_CLEAN and write and not mapping.shared:
-            # Copy-on-write: the private file page becomes an anon frame.
-            counts.minor += 1
-            if mapping.file.untouch(mapping.file_page_of(rel), mapping.id):
-                self.physical.free_file()
-            self.physical.alloc_anon()
-            mapping.pages[rel] = PageState.ANON_DIRTY
-            mapping.n_file -= 1
-            mapping.n_anon += 1
-        elif state is PageState.SWAPPED:
-            counts.major += 1
-            self.physical.swap.swap_in()
-            self.physical.alloc_anon()
-            mapping.pages[rel] = PageState.ANON_DIRTY
-            mapping.n_swapped -= 1
-            mapping.n_anon += 1
+            n = e - s
+            if state is PageState.ANON_DIRTY:
+                pieces.append((s, e, state))
+            elif state is PageState.NOT_PRESENT:
+                counts.minor += n
+                changed += n
+                if mapping.file is not None and not cow:
+                    # Read of file pages, or write to MAP_SHARED file pages:
+                    # serve from / install into the page cache.
+                    fresh = mapping.file.touch_range(
+                        mapping.file_page_of(s), mapping.file_page_of(e), mapping.id
+                    )
+                    if fresh:
+                        phys.alloc_file(fresh)
+                    pieces.append((s, e, PageState.FILE_CLEAN))
+                    mapping.n_file += n
+                else:
+                    # Anonymous pages, or COW writes to unfaulted file pages.
+                    phys.alloc_anon(n)
+                    pieces.append((s, e, PageState.ANON_DIRTY))
+                    mapping.n_anon += n
+            elif state is PageState.FILE_CLEAN:
+                if cow:
+                    # Copy-on-write: private file pages become anon frames.
+                    counts.minor += n
+                    changed += n
+                    freed = mapping.file.untouch_range(
+                        mapping.file_page_of(s), mapping.file_page_of(e), mapping.id
+                    )
+                    if freed:
+                        phys.free_file(freed)
+                    phys.alloc_anon(n)
+                    pieces.append((s, e, PageState.ANON_DIRTY))
+                    mapping.n_file -= n
+                    mapping.n_anon += n
+                else:
+                    pieces.append((s, e, state))
+            else:  # SWAPPED
+                counts.major += n
+                changed += n
+                phys.swap.swap_in(n)
+                phys.alloc_anon(n)
+                pieces.append((s, e, PageState.ANON_DIRTY))
+                mapping.n_swapped -= n
+                mapping.n_anon += n
+        if changed:
+            mapping._runs.splice(first, last, pieces)
+            self.version += changed
         return counts
 
     # ------------------------------------------------------------- reclaim
@@ -335,75 +463,89 @@ class VirtualAddressSpace:
                 mapping.num_pages,
                 (min(end, mapping.end) - mapping.start + PAGE_SIZE - 1) >> PAGE_SHIFT,
             )
-            released += self._release_pages(mapping, range(first, last))
+            released += self._release_range(mapping, first, last)
         return released
 
-    def swap_out_range(self, addr: int, length: int) -> int:
+    def swap_out_range(self, addr: int, length: int) -> SwapOutResult:
         """Push private resident pages in the range to swap (the §5.6 baseline).
 
-        Returns the number of pages swapped out.  File-clean pages are simply
-        dropped (the kernel would too -- they can be re-read).
+        Returns a :class:`SwapOutResult`: ``swapped`` private pages moved to
+        the swap device plus ``dropped`` FILE_CLEAN pages whose cache
+        reference was released (re-readable, so never written to swap).
         """
         self._check_open()
         start, end = page_floor(addr), page_ceil(addr + length)
-        moved = 0
+        result = SwapOutResult()
+        phys = self.physical
         for mapping in self._overlapping(start, end):
             first = max(0, (start - mapping.start) >> PAGE_SHIFT)
             last = min(
                 mapping.num_pages,
                 (min(end, mapping.end) - mapping.start + PAGE_SIZE - 1) >> PAGE_SHIFT,
             )
-            for rel in range(first, last):
-                state = mapping.pages.get(rel)
+            pieces: List[Tuple[int, int, PageState]] = []
+            swapped = dropped = 0
+            for s, e, state in mapping._runs.iter_runs(first, last):
+                n = e - s
                 if state is PageState.ANON_DIRTY:
-                    self.physical.free_anon()
-                    self.physical.swap.swap_out()
-                    mapping.pages[rel] = PageState.SWAPPED
-                    mapping.n_anon -= 1
-                    mapping.n_swapped += 1
-                    moved += 1
+                    phys.free_anon(n)
+                    phys.swap.swap_out(n)
+                    pieces.append((s, e, PageState.SWAPPED))
+                    swapped += n
                 elif state is PageState.FILE_CLEAN:
-                    if mapping.file.untouch(mapping.file_page_of(rel), mapping.id):
-                        self.physical.free_file()
-                    del mapping.pages[rel]
-                    mapping.n_file -= 1
-                    moved += 1
-        if moved:
+                    freed = mapping.file.untouch_range(
+                        mapping.file_page_of(s), mapping.file_page_of(e), mapping.id
+                    )
+                    if freed:
+                        phys.free_file(freed)
+                    dropped += n  # left out of ``pieces``: page gone
+                else:  # already SWAPPED
+                    pieces.append((s, e, state))
+            if swapped or dropped:
+                mapping._runs.splice(first, last, pieces)
+                mapping.n_anon -= swapped
+                mapping.n_swapped += swapped
+                mapping.n_file -= dropped
+                result.swapped += swapped
+                result.dropped += dropped
+        if result.total:
             self.version += 1
             self.release_epoch += 1
-        return moved
+        return result
 
     def close(self) -> None:
         """Tear the whole address space down (instance destruction)."""
         if self.closed:
             return
         for mapping in list(self.mappings()):
-            self._release_pages(mapping, range(mapping.num_pages))
+            self._release_range(mapping, 0, mapping.num_pages)
             self._remove(mapping)
         self.closed = True
 
     # ------------------------------------------------------------ internals
 
-    def _release_pages(self, mapping: Mapping, rels: Iterable[int]) -> int:
+    def _release_range(self, mapping: Mapping, first: int, last: int) -> int:
+        """Free frames for every present page in ``[first, last)``."""
         released = 0
-        for rel in rels:
-            state = mapping.pages.pop(rel, None)
-            if state is None:
-                continue
+        phys = self.physical
+        for s, e, state in mapping._runs.iter_runs(first, last):
+            n = e - s
             if state is PageState.ANON_DIRTY:
-                self.physical.free_anon()
-                mapping.n_anon -= 1
-                released += 1
+                phys.free_anon(n)
+                mapping.n_anon -= n
             elif state is PageState.FILE_CLEAN:
-                if mapping.file.untouch(mapping.file_page_of(rel), mapping.id):
-                    self.physical.free_file()
-                mapping.n_file -= 1
-                released += 1
-            elif state is PageState.SWAPPED:
-                self.physical.swap.swap_in()  # discard from swap
-                mapping.n_swapped -= 1
-                released += 1
+                freed = mapping.file.untouch_range(
+                    mapping.file_page_of(s), mapping.file_page_of(e), mapping.id
+                )
+                if freed:
+                    phys.free_file(freed)
+                mapping.n_file -= n
+            else:  # SWAPPED: discard straight from the swap device
+                phys.swap.swap_in(n)
+                mapping.n_swapped -= n
+            released += n
         if released:
+            mapping._runs.clear(first, last)
             self.version += 1
             self.release_epoch += 1
         return released
@@ -414,7 +556,8 @@ class VirtualAddressSpace:
 
     def _remove(self, mapping: Mapping) -> None:
         del self._mappings[mapping.start]
-        self._starts.remove(mapping.start)
+        idx = bisect_left(self._starts, mapping.start)
+        del self._starts[idx]
 
     def _overlaps(self, start: int, length: int) -> bool:
         return bool(self._overlapping(start, start + length))
@@ -463,22 +606,31 @@ class VirtualAddressSpace:
             mapping.shared,
         )
         split_page = head_len >> PAGE_SHIFT
-        for rel in [r for r in mapping.pages if r >= split_page]:
-            state = mapping.pages.pop(rel)
-            tail.pages[rel - split_page] = state
+        tail_pieces: List[Tuple[int, int, PageState]] = []
+        n_anon = n_file = n_swapped = 0
+        for s, e, state in mapping._runs.iter_runs(split_page, mapping.num_pages):
+            tail_pieces.append((s - split_page, e - split_page, state))
+            n = e - s
             if state is PageState.ANON_DIRTY:
-                mapping.n_anon -= 1
-                tail.n_anon += 1
-            elif state is PageState.SWAPPED:
-                mapping.n_swapped -= 1
-                tail.n_swapped += 1
+                n_anon += n
             elif state is PageState.FILE_CLEAN:
-                mapping.n_file -= 1
-                tail.n_file += 1
-                # Re-home the page-cache reference under the tail's mapping id.
-                file_page = mapping.file_page_of(rel)
-                mapping.file.untouch(file_page, mapping.id)
-                mapping.file.touch(file_page, tail.id)
+                n_file += n
+                # Re-home the page-cache references under the tail's mapping
+                # id; the untouch/touch frame deltas cancel out, so physical
+                # counters are untouched.
+                fp_s, fp_e = mapping.file_page_of(s), mapping.file_page_of(e)
+                mapping.file.untouch_range(fp_s, fp_e, mapping.id)
+                mapping.file.touch_range(fp_s, fp_e, tail.id)
+            else:
+                n_swapped += n
+        mapping._runs.clear(split_page, mapping.num_pages)
+        tail._runs.splice(0, tail.num_pages, tail_pieces)
+        mapping.n_anon -= n_anon
+        mapping.n_file -= n_file
+        mapping.n_swapped -= n_swapped
+        tail.n_anon = n_anon
+        tail.n_file = n_file
+        tail.n_swapped = n_swapped
         mapping.length = head_len
         self._insert(tail)
 

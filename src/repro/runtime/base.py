@@ -18,10 +18,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.mem.accounting import measure, measure_mapping
-from repro.mem.layout import MIB, PROT_RX, Protection
+from repro.mem.layout import MIB, PROT_RX, Protection, page_ceil, page_floor
 from repro.mem.physical import MappedFile, PhysicalMemory
 from repro.mem.vmm import Mapping, VirtualAddressSpace
 from repro.runtime import costs
@@ -142,6 +142,9 @@ class ManagedRuntime(abc.ABC):
         self.invocation_gc_seconds = 0.0
         self.invocation_fault_seconds = 0.0
         self.last_gc_live_bytes = 0
+        #: ``space.release_epoch`` as of the last full :meth:`touch_live_data`
+        #: walk; ``None`` until the first walk completes.
+        self._live_touch_epoch: Optional[int] = None
 
     # ------------------------------------------------------------------ boot
 
@@ -309,7 +312,7 @@ class ManagedRuntime(abc.ABC):
         """
         # Fast path: if nothing has been released since the last full
         # touch, every page this would visit is still resident.
-        if getattr(self, "_live_touch_epoch", None) == self.space.release_epoch:
+        if self._live_touch_epoch == self.space.release_epoch:
             return 0.0
         seconds = self._touch_live_heap()
         if self._native is not None and self._native_touched > 0:
@@ -326,6 +329,36 @@ class ManagedRuntime(abc.ABC):
     @abc.abstractmethod
     def _touch_live_heap(self) -> float:
         """Fault in the heap regions that hold live data."""
+
+    def _touch_object_spans(
+        self, spans: Iterable[Tuple[int, int]], write: bool = True
+    ) -> float:
+        """Touch a batch of ``(addr, length)`` spans with range coalescing.
+
+        Each span is page-aligned exactly as a per-span ``space.touch`` call
+        would align it, then overlapping/adjacent page ranges are merged, so
+        the set of pages visited is identical to touching every span
+        individually -- but densely-packed live objects collapse into a few
+        bulk touches instead of one VMM call each.
+        """
+        ranges = sorted(
+            (page_floor(addr), page_ceil(addr + length)) for addr, length in spans
+        )
+        seconds = 0.0
+        pos = 0  # ranges are half-open [lo, hi); merge while they overlap
+        n = len(ranges)
+        while pos < n:
+            lo, hi = ranges[pos]
+            pos += 1
+            while pos < n and ranges[pos][0] <= hi:
+                if ranges[pos][1] > hi:
+                    hi = ranges[pos][1]
+                pos += 1
+            if hi <= lo:
+                continue
+            counts = self.space.touch(lo, hi - lo, write=write)
+            seconds += self._charge_faults(counts.minor, counts.major)
+        return seconds
 
     def live_bytes(self) -> int:
         """Exact live bytes (the runtime's query interface, §4.5.2)."""

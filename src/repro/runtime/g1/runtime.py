@@ -322,19 +322,16 @@ class G1Runtime(ManagedRuntime):
         )
 
     def _touch_live_heap(self) -> float:
-        seconds = 0.0
+        spans = []
         for region in self._regions.regions:
             if region.kind is RegionKind.FREE:
                 continue
             base = self._region_base(region)
             for oid, offset in region.objects:
                 obj = self.graph.objects.get(oid)
-                if obj is None:
-                    continue
-                length = min(obj.size, REGION_SIZE - offset)
-                counts = self.space.touch(base + offset, length)
-                seconds += self._charge_faults(counts.minor, counts.major)
-        return seconds
+                if obj is not None:
+                    spans.append((base + offset, min(obj.size, REGION_SIZE - offset)))
+        return self._touch_object_spans(spans)
 
     def _heap_mappings(self) -> List[Mapping]:
         start = self._heap.start

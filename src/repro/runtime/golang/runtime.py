@@ -179,19 +179,16 @@ class GoRuntime(ManagedRuntime):
         )
 
     def _touch_live_heap(self) -> float:
-        seconds = 0.0
+        spans = []
         for chunk in self._arenas.chunks:
             base = chunk.mapping.start + PAGE_SIZE
             for oid, offset in chunk.objects:
                 obj = self.graph.objects.get(oid)
-                if obj is None:
-                    continue
-                counts = self.space.touch(base + offset, obj.size)
-                seconds += self._charge_faults(counts.minor, counts.major)
+                if obj is not None:
+                    spans.append((base + offset, obj.size))
         for mapping in self._large.values():
-            counts = self.space.touch(mapping.start, mapping.length)
-            seconds += self._charge_faults(counts.minor, counts.major)
-        return seconds
+            spans.append((mapping.start, mapping.length))
+        return self._touch_object_spans(spans)
 
     def _heap_mappings(self) -> List[Mapping]:
         result = [chunk.mapping for chunk in self._arenas.chunks]

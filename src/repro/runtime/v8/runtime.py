@@ -380,20 +380,18 @@ class V8Runtime(ManagedRuntime):
         if self._from.top > 0:
             counts = self.space.touch(self._semi_base(self._from), self._from.top)
             seconds += self._charge_faults(counts.minor, counts.major)
-        # Touch per-object, not per-chunk: a freshly-reclaimed chunk has
+        # Span per-object, not per-chunk: a freshly-reclaimed chunk has
         # released holes between live objects that the mutator never reads.
+        spans = []
         for chunk in self._old.chunks:
             base = chunk.mapping.start + PAGE_SIZE
             for oid, offset in chunk.objects:
                 obj = self.graph.objects.get(oid)
-                if obj is None:
-                    continue
-                counts = self.space.touch(base + offset, obj.size)
-                seconds += self._charge_faults(counts.minor, counts.major)
+                if obj is not None:
+                    spans.append((base + offset, obj.size))
         for mapping in self._large.values():
-            counts = self.space.touch(mapping.start, mapping.length)
-            seconds += self._charge_faults(counts.minor, counts.major)
-        return seconds
+            spans.append((mapping.start, mapping.length))
+        return seconds + self._touch_object_spans(spans)
 
     def _heap_mappings(self) -> List[Mapping]:
         result: List[Mapping] = []

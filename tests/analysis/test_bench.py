@@ -1,0 +1,165 @@
+"""Tests for the parallel benchmark fan-out (repro.analysis.bench)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.bench import (
+    BenchSpec,
+    build_grid,
+    compare_micro,
+    execute_spec,
+    load_baseline,
+    run_benchmarks,
+    run_vmm_microbench,
+    summarize,
+    write_results,
+)
+from repro.cli import main as cli_main
+
+
+class TestSpecs:
+    def test_labels(self):
+        assert (
+            BenchSpec(kind="characterize", name="fft", policy="desiccant").label
+            == "characterize:fft:desiccant:i30"
+        )
+        assert BenchSpec(kind="replay", policy="eager", scale=5.0).label == (
+            "replay:eager:x5:d20"
+        )
+        assert BenchSpec(kind="micro").label == "micro:vmm:200mib"
+
+    def test_specs_are_hashable_and_frozen(self):
+        spec = BenchSpec(kind="micro")
+        assert spec in {spec}
+        with pytest.raises(AttributeError):
+            spec.kind = "replay"
+
+    def test_build_grid_shape(self):
+        specs = build_grid(
+            functions=["fft", "sort"],
+            policies=["vanilla", "desiccant"],
+            scales=[2.0],
+        )
+        kinds = [s.kind for s in specs]
+        assert kinds.count("characterize") == 4
+        assert kinds.count("replay") == 2
+        assert len({s.label for s in specs}) == len(specs)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown bench kind"):
+            execute_spec(BenchSpec(kind="nope"))
+
+
+class TestExecution:
+    def test_characterize_spec_runs(self):
+        out = execute_spec(
+            BenchSpec(kind="characterize", name="fft", policy="vanilla", iterations=5)
+        )
+        assert out["label"] == "characterize:fft:vanilla:i5"
+        assert out["metrics"]["final_uss"] > 0
+        assert out["wall_seconds"] >= 0 and out["cpu_seconds"] >= 0
+
+    def test_micro_spec_runs(self):
+        out = execute_spec(BenchSpec(kind="micro", size_mib=8, repeats=1))
+        metrics = out["metrics"]
+        assert metrics["pages"] == 8 * 256
+        assert metrics["touch_ms"] > 0 and metrics["ref_touch_ms"] > 0
+
+    def test_parallel_matches_serial(self):
+        specs = [
+            BenchSpec(kind="characterize", name="fft", policy=pol, iterations=5)
+            for pol in ("vanilla", "desiccant")
+        ]
+        serial = run_benchmarks(specs, jobs=1)
+        parallel = run_benchmarks(specs, jobs=2)
+        assert [r["label"] for r in serial] == [r["label"] for r in parallel]
+        assert [r["metrics"] for r in serial] == [r["metrics"] for r in parallel]
+
+
+class TestBaseline:
+    def test_round_trip_and_compare(self, tmp_path):
+        metrics = run_vmm_microbench(size_mib=4, repeats=1)
+        doc = summarize(
+            [
+                {
+                    "label": "micro:vmm:4mib",
+                    "spec": {"kind": "micro"},
+                    "metrics": metrics,
+                    "wall_seconds": 0.1,
+                    "cpu_seconds": 0.1,
+                }
+            ]
+        )
+        path = tmp_path / "baseline.json"
+        write_results(path, doc)
+        loaded = load_baseline(path)
+        assert loaded["schema"] == "repro-bench/1"
+        assert compare_micro(metrics, loaded["runs"][0]["metrics"]) == []
+
+    def test_compare_micro_flags_regression(self):
+        baseline = {"touch_ms": 1.0, "discard_ms": 1.0}
+        fine = {"touch_ms": 1.5, "discard_ms": 0.5}
+        slow = {"touch_ms": 2.5, "discard_ms": 1.0}
+        assert compare_micro(fine, baseline) == []
+        failures = compare_micro(slow, baseline)
+        assert len(failures) == 1 and "touch_ms" in failures[0]
+
+    def test_compare_micro_missing_key(self):
+        assert compare_micro({}, {"touch_ms": 1.0, "discard_ms": 1.0})
+
+    def test_missing_baseline_returns_none(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") is None
+
+
+class TestCli:
+    def test_bench_micro_writes_json(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        code = cli_main(
+            ["bench", "--suite", "micro", "--size-mib", "4", "--json", str(path)]
+        )
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert doc["runs"][0]["spec"]["kind"] == "micro"
+        assert "micro:vmm:4mib" in capsys.readouterr().out
+
+    def test_bench_check_passes_against_fresh_baseline(self, tmp_path):
+        path = tmp_path / "base.json"
+        assert (
+            cli_main(
+                ["bench", "--suite", "micro", "--size-mib", "4", "--json", str(path)]
+            )
+            == 0
+        )
+        assert (
+            cli_main(
+                [
+                    "bench",
+                    "--suite",
+                    "micro",
+                    "--size-mib",
+                    "4",
+                    "--check",
+                    str(path),
+                    "--factor",
+                    "50",
+                ]
+            )
+            == 0
+        )
+
+    def test_bench_check_missing_baseline_errors(self, tmp_path):
+        code = cli_main(
+            [
+                "bench",
+                "--suite",
+                "micro",
+                "--size-mib",
+                "4",
+                "--check",
+                str(tmp_path / "absent.json"),
+            ]
+        )
+        assert code == 2

@@ -1,0 +1,185 @@
+"""Unit tests for the run-length interval primitive and bulk file-cache ops."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.mem.layout import PAGE_SIZE
+from repro.mem.physical import MappedFile
+from repro.mem.runlist import RunList
+
+
+def runs_of(rl: RunList):
+    return list(zip(rl.starts, rl.ends, rl.values))
+
+
+class TestSplice:
+    def test_insert_into_empty(self):
+        rl = RunList()
+        rl.splice(4, 10, [(4, 10, "a")])
+        assert runs_of(rl) == [(4, 10, "a")]
+
+    def test_disjoint_inserts_stay_sorted(self):
+        rl = RunList()
+        rl.splice(20, 30, [(20, 30, "b")])
+        rl.splice(0, 5, [(0, 5, "a")])
+        rl.splice(10, 12, [(10, 12, "c")])
+        assert runs_of(rl) == [(0, 5, "a"), (10, 12, "c"), (20, 30, "b")]
+
+    def test_overwrite_middle_preserves_edges(self):
+        rl = RunList()
+        rl.splice(0, 10, [(0, 10, "a")])
+        rl.splice(3, 7, [(3, 7, "b")])
+        assert runs_of(rl) == [(0, 3, "a"), (3, 7, "b"), (7, 10, "a")]
+
+    def test_overwrite_with_same_value_recoalesces(self):
+        rl = RunList()
+        rl.splice(0, 10, [(0, 10, "a")])
+        rl.splice(3, 7, [(3, 7, "a")])
+        assert runs_of(rl) == [(0, 10, "a")]
+
+    def test_clear_punches_hole(self):
+        rl = RunList()
+        rl.splice(0, 10, [(0, 10, "a")])
+        rl.clear(2, 5)
+        assert runs_of(rl) == [(0, 2, "a"), (5, 10, "a")]
+
+    def test_neighbour_coalescing_across_window(self):
+        rl = RunList()
+        rl.splice(0, 3, [(0, 3, "a")])
+        rl.splice(6, 9, [(6, 9, "a")])
+        rl.splice(3, 6, [(3, 6, "a")])
+        assert runs_of(rl) == [(0, 9, "a")]
+
+    def test_pieces_coalesce_internally(self):
+        rl = RunList()
+        rl.splice(0, 10, [(0, 4, "a"), (4, 8, "a"), (8, 10, "b")])
+        assert runs_of(rl) == [(0, 8, "a"), (8, 10, "b")]
+
+    def test_empty_pieces_are_skipped(self):
+        rl = RunList()
+        rl.splice(0, 10, [(0, 0, "a"), (2, 5, "b"), (7, 7, "c")])
+        assert runs_of(rl) == [(2, 5, "b")]
+
+    def test_splice_replacing_many_runs(self):
+        rl = RunList()
+        for i in range(5):
+            rl.splice(i * 4, i * 4 + 2, [(i * 4, i * 4 + 2, i)])
+        rl.splice(1, 17, [(1, 17, "x")])
+        assert runs_of(rl) == [(0, 1, 0), (1, 17, "x"), (17, 18, 4)]
+
+
+class TestQueries:
+    def test_value_at_and_gaps(self):
+        rl = RunList()
+        rl.splice(2, 6, [(2, 6, "a")])
+        assert rl.value_at(1, "gap") == "gap"
+        assert rl.value_at(2) == "a"
+        assert rl.value_at(5) == "a"
+        assert rl.value_at(6, "gap") == "gap"
+
+    def test_iter_runs_clips(self):
+        rl = RunList()
+        rl.splice(0, 10, [(0, 10, "a")])
+        assert list(rl.iter_runs(3, 7)) == [(3, 7, "a")]
+
+    def test_iter_segments_includes_gaps(self):
+        rl = RunList()
+        rl.splice(2, 4, [(2, 4, "a")])
+        rl.splice(6, 8, [(6, 8, "b")])
+        assert list(rl.iter_segments(0, 10, "-")) == [
+            (0, 2, "-"),
+            (2, 4, "a"),
+            (4, 6, "-"),
+            (6, 8, "b"),
+            (8, 10, "-"),
+        ]
+
+    def test_covered(self):
+        rl = RunList()
+        rl.splice(0, 4, [(0, 4, "a")])
+        rl.splice(8, 10, [(8, 10, "b")])
+        assert rl.covered() == 6
+        assert rl.covered(2, 9) == 3
+
+
+class TestRandomizedAgainstDict:
+    """The RunList must agree with a plain per-unit dict model."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_splices(self, seed):
+        rng = random.Random(seed)
+        rl = RunList()
+        model = {}
+        universe = 64
+        for _ in range(300):
+            lo = rng.randint(0, universe - 1)
+            hi = rng.randint(lo + 1, universe)
+            if rng.random() < 0.3:
+                rl.clear(lo, hi)
+                for k in range(lo, hi):
+                    model.pop(k, None)
+            else:
+                value = rng.choice("abc")
+                # One uniform piece covering a sub-window of [lo, hi).
+                s = rng.randint(lo, hi - 1)
+                e = rng.randint(s + 1, hi)
+                rl.splice(lo, hi, [(s, e, value)])
+                for k in range(lo, hi):
+                    model.pop(k, None)
+                for k in range(s, e):
+                    model[k] = value
+            for k in range(universe):
+                assert rl.value_at(k) == model.get(k), (seed, k)
+            # Invariant: sorted, disjoint, coalesced.
+            for i in range(len(rl)):
+                assert rl.starts[i] < rl.ends[i]
+                if i:
+                    assert rl.starts[i] >= rl.ends[i - 1]
+                    if rl.starts[i] == rl.ends[i - 1]:
+                        assert rl.values[i] != rl.values[i - 1]
+
+
+class TestMappedFileRangeOps:
+    """Bulk touch_range/untouch_range vs per-page touch/untouch."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_range_matches_per_page(self, seed):
+        rng = random.Random(seed)
+        pages = 40
+        bulk = MappedFile("/lib/bulk.so", pages * PAGE_SIZE)
+        ref = MappedFile("/lib/ref.so", pages * PAGE_SIZE)
+        ids = [101, 202, 303]
+        for _ in range(200):
+            mid = rng.choice(ids)
+            lo = rng.randint(0, pages - 1)
+            hi = rng.randint(lo + 1, pages)
+            if rng.random() < 0.5:
+                fresh = bulk.touch_range(lo, hi, mid)
+                fresh_ref = sum(ref.touch(p, mid) for p in range(lo, hi))
+            else:
+                fresh = bulk.untouch_range(lo, hi, mid)
+                fresh_ref = sum(ref.untouch(p, mid) for p in range(lo, hi))
+            assert fresh == fresh_ref
+            assert bulk.resident_pages() == ref.resident_pages()
+            for mid2 in ids:
+                assert bulk.solo_pages(mid2) == ref.solo_pages(mid2)
+                # Fraction-exact shares: equality, not approx.
+                assert bulk.pss_pages(mid2) == ref.pss_pages(mid2)
+            for p in range(pages):
+                assert bulk.sharers(p) == ref.sharers(p)
+
+    def test_out_of_range_touch_raises(self):
+        f = MappedFile("/lib/x.so", 2 * PAGE_SIZE)
+        with pytest.raises(ValueError, match="out of range"):
+            f.touch(2, 1)
+        with pytest.raises(ValueError, match="out of range"):
+            f.touch_range(0, 3, 1)
+
+    def test_empty_range_is_noop(self):
+        f = MappedFile("/lib/x.so", 2 * PAGE_SIZE)
+        assert f.touch_range(1, 1, 7) == 0
+        assert f.untouch_range(0, 0, 7) == 0
+        assert f.resident_pages() == 0

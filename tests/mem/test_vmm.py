@@ -234,7 +234,9 @@ class TestDiscardAndSwap:
         m = space.mmap(PAGE_SIZE * 2)
         space.touch(m.start, PAGE_SIZE * 2)
         moved = space.swap_out_range(m.start, PAGE_SIZE * 2)
-        assert moved == 2
+        assert moved.swapped == 2
+        assert moved.dropped == 0
+        assert moved.total == 2
         assert phys.anon_bytes == 0
         assert phys.swap.pages == 2
         counts = space.touch(m.start, PAGE_SIZE)
@@ -246,7 +248,9 @@ class TestDiscardAndSwap:
         lib = MappedFile("/lib/x", PAGE_SIZE)
         m = space.mmap(PAGE_SIZE, prot=Protection.READ, file=lib)
         space.touch(m.start, PAGE_SIZE, write=False)
-        space.swap_out_range(m.start, PAGE_SIZE)
+        moved = space.swap_out_range(m.start, PAGE_SIZE)
+        assert moved.swapped == 0
+        assert moved.dropped == 1
         assert phys.file_cache_bytes == 0
         assert phys.swap.pages == 0  # clean file pages are dropped, not swapped
 
