@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Fuzz smoke: the script face of ``repro fuzz`` (the CI seed matrix).
+
+Fans a fixed seed range across a process pool, each seed running a
+deterministic randomized schedule under the invariant oracle; exits
+nonzero (and leaves shrunk ``.jsonl`` repro cases in ``--case-dir``)
+when any conservation law breaks::
+
+    python benchmarks/fuzz_smoke.py --seed 0..63 --ops 2000 --jobs 4 \\
+        --check-every 25 --case-dir fuzz-cases
+
+Schedules are deterministic per seed -- a parallel run finds exactly the
+failures a serial one would; only the wall time varies.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main as repro_main
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    return repro_main(["fuzz", *argv])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

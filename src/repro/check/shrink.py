@@ -1,0 +1,77 @@
+"""ddmin-style sequence shrinking for fuzzer counterexamples.
+
+Classic delta debugging (Zeller & Hildebrandt): given a failing op
+sequence and a predicate that re-runs a candidate subsequence and says
+"still fails the same way", find a small subsequence that still fails.
+The result is 1-minimal: removing any single remaining op makes the
+failure disappear, which is what turns a 2000-op fuzz schedule into a
+readable repro case.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+Predicate = Callable[[List[T]], bool]
+
+
+def ddmin(items: Sequence[T], fails: Predicate, max_runs: int = 2000) -> List[T]:
+    """Minimize ``items`` such that ``fails(result)`` still holds.
+
+    ``fails`` must be True for the full sequence; the return value is the
+    smallest subsequence found within ``max_runs`` predicate evaluations
+    (each evaluation re-executes the candidate, so this bounds shrink
+    cost on huge schedules).
+    """
+    current = list(items)
+    runs = 0
+    granularity = 2
+    while len(current) >= 2 and runs < max_runs:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current) and runs < max_runs:
+            candidate = current[:start] + current[start + chunk:]
+            runs += 1
+            if candidate and fails(candidate):
+                current = candidate
+                # Keep the same absolute chunk size but re-derive the
+                # granularity for the smaller sequence.
+                granularity = max(2, len(current) // chunk)
+                reduced = True
+                # Re-test from the same offset: the next chunk slid into
+                # this position.
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current
+
+
+def shrink_ops(ops: Sequence[T], fails: Predicate, max_runs: int = 2000) -> List[T]:
+    """Shrink a failing op schedule to a 1-minimal repro.
+
+    A final one-by-one sweep runs after :func:`ddmin` (within the same
+    ``max_runs`` budget) so the result is 1-minimal even when ddmin
+    stopped at a coarse granularity.
+    """
+    current = ddmin(ops, fails, max_runs=max_runs)
+    runs = 0
+    changed = True
+    while changed and runs < max_runs:
+        changed = False
+        for i in range(len(current) - 1, -1, -1):
+            if len(current) == 1:
+                break
+            candidate = current[:i] + current[i + 1:]
+            runs += 1
+            if fails(candidate):
+                current = candidate
+                changed = True
+            if runs >= max_runs:
+                break
+    return current

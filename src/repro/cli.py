@@ -205,6 +205,45 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.check.fuzz import parse_seed_spec, replay_case, run_fuzz
+
+    if args.replay:
+        failure, header = replay_case(Path(args.replay))
+        expected = header.get("kind", "?")
+        if failure is None:
+            print(f"{args.replay}: no violation (expected {expected})")
+            return 0
+        print(f"{args.replay}: reproduced {failure.kind} at op {failure.op_index}")
+        print(f"  {failure.detail}")
+        return 1
+
+    seeds = parse_seed_spec(args.seed)
+    results = run_fuzz(
+        seeds,
+        args.ops,
+        check_every=args.check_every,
+        jobs=args.jobs,
+        case_dir=args.case_dir,
+    )
+    failures = [r for r in results if not r["ok"]]
+    checks = sum(r["checks"] for r in results)
+    print(
+        f"fuzz: {len(results)} seeds x {args.ops} ops, "
+        f"{checks} oracle sweeps, {len(failures)} failing"
+    )
+    for result in failures:
+        line = (
+            f"  seed {result['seed']}: {result['kind']} at op "
+            f"{result['op_index']} (shrunk to {result['shrunk_len']} ops)"
+        )
+        if result.get("case_path"):
+            line += f" -> {result['case_path']}"
+        print(line)
+        print(f"    {result['detail']}")
+    return 1 if failures else 0
+
+
 def _cmd_overhead(args: argparse.Namespace) -> int:
     before, after = run_overhead_experiment(
         args.function,
@@ -292,6 +331,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed slowdown vs the baseline before failing (default 2x)",
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="deterministic simulation fuzzing under the invariant oracle "
+        "(repro.check)",
+    )
+    p.add_argument(
+        "--seed",
+        default="0",
+        help="seed spec: '7', '0..63' (inclusive range), or '1,5,9'",
+    )
+    p.add_argument("--ops", type=int, default=2000, help="ops per seed")
+    p.add_argument(
+        "--check-every",
+        type=int,
+        default=1,
+        help="run a full oracle sweep every N ops (a final sweep always runs)",
+    )
+    p.add_argument("--jobs", type=int, default=1, help="worker processes")
+    p.add_argument(
+        "--case-dir",
+        metavar="DIR",
+        help="write shrunk .jsonl repro cases for failing seeds here",
+    )
+    p.add_argument(
+        "--replay",
+        metavar="CASE",
+        help="re-execute one .jsonl case file instead of fuzzing",
+    )
+    p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser("overhead", help="post-reclaim overhead (§5.6)")
     p.add_argument("function")

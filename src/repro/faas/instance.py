@@ -12,7 +12,7 @@ import enum
 import itertools
 from typing import Dict, Optional
 
-from repro.mem.layout import MIB
+from repro.mem.layout import MIB, PAGE_SIZE
 from repro.mem.physical import MappedFile, PhysicalMemory
 from repro.runtime.base import ManagedRuntime, ReclaimOutcome
 from repro.runtime.cpython import CPythonConfig, CPythonRuntime
@@ -177,8 +177,8 @@ class FunctionInstance:
         space = self.runtime.space
         for mapping in list(space.mappings()):
             moved = space.swap_out_range(mapping.start, mapping.length)
-            self.snapshot_swapped_bytes += moved.swapped * 4096
-            self.snapshot_dropped_bytes += moved.dropped * 4096
+            self.snapshot_swapped_bytes += moved.swapped * PAGE_SIZE
+            self.snapshot_dropped_bytes += moved.dropped * PAGE_SIZE
         self.snapshotted = True
         return seconds
 
@@ -188,6 +188,7 @@ class FunctionInstance:
             return
         self.runtime.destroy()
         self.state = InstanceState.DEAD
+        self.frozen_since = None
         self.transitions.append((now, InstanceState.DEAD))
 
     # -------------------------------------------------------------- reclaim

@@ -285,6 +285,11 @@ class FaasPlatform:
             "freeze", "destroy", "keep-warm", "snapshot"
         ):
             raise ValueError(f"unknown idle policy {self.config.idle_policy!r}")
+        from repro.check.oracle import maybe_attach_oracle
+
+        #: Non-None only when REPRO_CHECK=1: the invariant oracle watching
+        #: this platform (see repro.check).
+        self.oracle = maybe_attach_oracle(self)
 
     # ----------------------------------------------------------------- time
 

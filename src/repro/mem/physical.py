@@ -36,6 +36,7 @@ class SwapDevice:
     pages: int = 0
     total_swap_outs: int = 0
     total_swap_ins: int = 0
+    total_discards: int = 0
 
     def swap_out(self, n: int = 1) -> None:
         """Record ``n`` pages moving from DRAM to swap."""
@@ -48,6 +49,16 @@ class SwapDevice:
             raise ValueError(f"swap-in of {n} pages but only {self.pages} swapped")
         self.pages -= n
         self.total_swap_ins += n
+
+    def discard(self, n: int = 1) -> None:
+        """Drop ``n`` swapped pages without bringing them back to DRAM
+        (munmap/discard of a swapped range).  Unlike :meth:`swap_in`, no
+        major fault is paid and ``total_swap_ins`` must not move -- the
+        oracle's swap-flow and swap-major-parity laws depend on it."""
+        if n > self.pages:
+            raise ValueError(f"discard of {n} pages but only {self.pages} swapped")
+        self.pages -= n
+        self.total_discards += n
 
     @property
     def bytes(self) -> int:

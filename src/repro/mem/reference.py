@@ -321,7 +321,8 @@ class ReferenceAddressSpace:
                 mapping.n_file -= 1
                 released += 1
             elif state is PageState.SWAPPED:
-                self.physical.swap.swap_in()
+                # Discarded, not swapped in: no frame, no major fault.
+                self.physical.swap.discard()
                 mapping.n_swapped -= 1
                 released += 1
         if released:

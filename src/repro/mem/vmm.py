@@ -540,8 +540,11 @@ class VirtualAddressSpace:
                 if freed:
                     phys.free_file(freed)
                 mapping.n_file -= n
-            else:  # SWAPPED: discard straight from the swap device
-                phys.swap.swap_in(n)
+            else:  # SWAPPED: discard straight from the swap device.  Not a
+                # swap-in -- no frame is allocated and no major fault is paid,
+                # so counting it as one would break swap-in/major-fault parity
+                # (and under-report swap traffic in snapshot accounting).
+                phys.swap.discard(n)
                 mapping.n_swapped -= n
             released += n
         if released:

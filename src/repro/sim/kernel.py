@@ -16,7 +16,7 @@ seed, so components cannot perturb each other's draws.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.sim.bus import EventBus
 from repro.sim.clock import Clock
@@ -33,6 +33,7 @@ class SimKernel:
         self.queue = EventQueue()
         self.bus = EventBus()
         self._rngs: Dict[str, RngStream] = {}
+        self._probes: List[Callable[[], None]] = []
         #: Total events dispatched over the kernel's lifetime.
         self.events_processed = 0
 
@@ -64,6 +65,22 @@ class SimKernel:
             stream = self._rngs[component] = RngStream(self.seed, component)
         return stream
 
+    # ---------------------------------------------------------------- probes
+
+    def add_probe(self, probe: Callable[[], None]) -> Callable[[], None]:
+        """Call ``probe()`` after *every* dispatched event.
+
+        This is the invariant oracle's per-event hook point
+        (:mod:`repro.check`): unlike a bus subscription it fires even for
+        events that publish nothing.  Returns ``probe`` as the handle for
+        :meth:`remove_probe`.
+        """
+        self._probes.append(probe)
+        return probe
+
+    def remove_probe(self, probe: Callable[[], None]) -> None:
+        self._probes.remove(probe)
+
     # --------------------------------------------------------------- running
 
     def run(self, until: Optional[float] = None) -> int:
@@ -85,6 +102,8 @@ class SimKernel:
                 break
             self.clock.advance(event.time)
             event.callback(event.payload)
+            for probe in self._probes:
+                probe()
             dispatched += 1
         self.events_processed += dispatched
         return dispatched

@@ -1,0 +1,98 @@
+"""Determinism lint: the simulation must be replayable bit-for-bit.
+
+AST-scans every module under ``src/repro`` and bans the ambient
+nondeterminism sources:
+
+* the global ``random`` module functions (``random.random()``,
+  ``from random import ...``) -- all randomness flows through seeded
+  ``random.Random`` instances (:class:`repro.sim.rng.RngStream`);
+* wall-clock reads (``time.time()`` and friends) -- simulated time comes
+  from the kernel clock (``analysis/bench.py`` is exempt: it *measures*
+  wall time, which is presentation, not simulation);
+* builtin ``hash()`` -- salted per process; stable hashing goes through
+  ``zlib.crc32`` (``hash_stable``);
+* iterating directly over set displays/constructors -- set order is
+  insertion-history dependent; sort first.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Reading the wall clock (never allowed in simulation code).
+WALL_CLOCK = {"time", "monotonic", "perf_counter", "time_ns", "monotonic_ns",
+              "perf_counter_ns", "process_time"}
+
+#: Modules allowed to read the wall clock: benchmark harnesses report
+#: wall/CPU timings *about* the (still deterministic) simulation.
+WALL_CLOCK_EXEMPT = {"analysis/bench.py"}
+
+
+def _iter_sources():
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        yield rel, ast.parse(path.read_text(), filename=rel)
+
+
+def _lint(rel: str, tree: ast.AST):
+    for node in ast.walk(tree):
+        where = f"{rel}:{getattr(node, 'lineno', '?')}"
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                yield f"{where}: 'from random import ...' (use random.Random/RngStream)"
+            if node.module == "time":
+                yield f"{where}: 'from time import ...' (use the simulated clock)"
+        elif isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            base, attr = node.value.id, node.attr
+            if base == "random" and attr != "Random":
+                yield (
+                    f"{where}: random.{attr} (module-global RNG; "
+                    "use a seeded random.Random / RngStream)"
+                )
+            if base == "time" and attr in WALL_CLOCK:
+                if rel not in WALL_CLOCK_EXEMPT:
+                    yield f"{where}: time.{attr} (use the simulated clock)"
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id == "hash":
+                yield f"{where}: builtin hash() is per-process salted; use hash_stable"
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            it = node.iter
+            if isinstance(it, (ast.Set, ast.SetComp)) or (
+                isinstance(it, ast.Call)
+                and isinstance(it.func, ast.Name)
+                and it.func.id in ("set", "frozenset")
+            ):
+                yield f"{where}: iterating a set directly (order is unstable; sort it)"
+
+
+def test_src_tree_is_deterministic():
+    problems = []
+    for rel, tree in _iter_sources():
+        problems.extend(_lint(rel, tree))
+    assert not problems, "nondeterminism in src/repro:\n" + "\n".join(problems)
+
+
+def test_wall_clock_exemptions_still_exist():
+    # Keep the exemption list honest: every exempted file must exist.
+    for rel in WALL_CLOCK_EXEMPT:
+        assert (SRC / rel).is_file(), f"stale exemption {rel}"
+
+
+def test_lint_catches_planted_violations(tmp_path):
+    planted = (
+        "import random, time\n"
+        "x = random.random()\n"
+        "t = time.time()\n"
+        "h = hash('key')\n"
+        "for item in {1, 2}:\n"
+        "    pass\n"
+    )
+    hits = list(_lint("planted.py", ast.parse(planted)))
+    assert len(hits) == 4
+    assert any("random.random" in h for h in hits)
+    assert any("time.time" in h for h in hits)
+    assert any("hash()" in h for h in hits)
+    assert any("iterating a set" in h for h in hits)

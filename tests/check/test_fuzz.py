@@ -1,0 +1,178 @@
+"""Fuzz harness tests: deterministic generation, sound shrinking, case
+file round-trips, seed specs, and the CLI face."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.check.fuzz import (
+    CASE_FORMAT,
+    FuzzFailure,
+    generate_ops,
+    parse_seed_spec,
+    read_case,
+    replay_case,
+    run_fuzz,
+    run_ops,
+    write_case,
+)
+from repro.check.shrink import ddmin, shrink_ops
+from repro.cli import main
+
+
+class TestGeneration:
+    def test_same_seed_same_schedule(self):
+        assert generate_ops(5, 400) == generate_ops(5, 400)
+
+    def test_different_seeds_differ(self):
+        assert generate_ops(1, 400) != generate_ops(2, 400)
+
+    def test_ops_are_json_scalars(self):
+        ops = generate_ops(3, 400)
+        assert ops == json.loads(json.dumps(ops))
+
+    def test_references_are_indices(self):
+        ops = generate_ops(7, 600)
+        mmaps = boots = 0
+        for op in ops:
+            if "region" in op:
+                assert 0 <= op["region"] < mmaps
+            if "slot" in op:
+                assert 0 <= op["slot"] < boots
+            mmaps += op["op"] in ("mmap", "mmap_file")
+            boots += op["op"] == "boot"
+
+
+class TestRunOps:
+    def test_clean_seed_runs_all_ops(self):
+        ops = generate_ops(0, 300)
+        failure, oracle = run_ops(ops, check_every=1)
+        assert failure is None
+        # One sweep per op plus the final finish() sweep.
+        assert oracle.checks_run == len(ops) + 1
+
+    def test_check_every_samples_sweeps(self):
+        ops = generate_ops(0, 300)
+        _, dense = run_ops(ops, check_every=1)
+        _, sparse = run_ops(ops, check_every=10)
+        assert sparse.checks_run < dense.checks_run
+        assert sparse.checks_run >= len(ops) // 10
+
+    def test_any_subsequence_is_executable(self):
+        # Skip-on-invalid semantics: dropping arbitrary ops (here: every
+        # third) must never crash -- that is what makes shrinking sound.
+        ops = [op for i, op in enumerate(generate_ops(9, 300)) if i % 3]
+        failure, _ = run_ops(ops, check_every=25)
+        assert failure is None
+
+
+class TestShrink:
+    def test_ddmin_finds_minimal_pair(self):
+        def fails(items):
+            return 3 in items and 11 in items
+
+        assert sorted(ddmin(list(range(20)), fails)) == [3, 11]
+
+    def test_shrink_ops_is_one_minimal(self):
+        def fails(items):
+            return sum(items) >= 30
+
+        result = shrink_ops([5] * 12, fails)
+        assert sum(result) >= 30
+        # 1-minimal: removing any single element breaks the predicate.
+        for i in range(len(result)):
+            assert not fails(result[:i] + result[i + 1:])
+
+    def test_budget_bounds_predicate_calls(self):
+        calls = []
+
+        def fails(items):
+            calls.append(1)
+            return True
+
+        ddmin(list(range(256)), fails, max_runs=20)
+        assert len(calls) <= 20
+
+
+class TestCaseFiles:
+    def test_round_trip(self, tmp_path):
+        ops = generate_ops(2, 50)
+        failure = FuzzFailure(kind="frames-anon", detail="d", op_index=7)
+        path = tmp_path / "case.jsonl"
+        write_case(path, 2, 50, 4, failure, ops)
+        header, read_ops = read_case(path)
+        assert header["format"] == CASE_FORMAT
+        assert header["kind"] == "frames-anon"
+        assert header["check_every"] == 4
+        assert read_ops == ops
+
+    def test_replay_clean_case(self, tmp_path):
+        ops = generate_ops(0, 100)
+        failure = FuzzFailure(kind="none", detail="-", op_index=0)
+        path = tmp_path / "clean.jsonl"
+        write_case(path, 0, 100, 5, failure, ops)
+        replayed, header = replay_case(path)
+        assert replayed is None
+        assert header["seed"] == 0
+
+    def test_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "not-a-case.jsonl"
+        path.write_text('{"format": "something-else"}\n')
+        try:
+            read_case(path)
+        except ValueError as exc:
+            assert "not a" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestSeedSpec:
+    def test_single(self):
+        assert parse_seed_spec("7") == [7]
+
+    def test_range_is_inclusive(self):
+        assert parse_seed_spec("0..3") == [0, 1, 2, 3]
+
+    def test_list_and_mixed(self):
+        assert parse_seed_spec("1,5,9") == [1, 5, 9]
+        assert parse_seed_spec("0..2,9") == [0, 1, 2, 9]
+
+    def test_empty_rejected(self):
+        try:
+            parse_seed_spec(" ")
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestFanOut:
+    def test_serial_matches_requested_seeds(self):
+        results = run_fuzz([0, 1], 150, check_every=25)
+        assert [r["seed"] for r in results] == [0, 1]
+        assert all(r["ok"] for r in results)
+
+
+class TestCli:
+    def test_fuzz_clean_exit_zero(self, capsys):
+        assert main(["fuzz", "--seed", "0..1", "--ops", "150",
+                     "--check-every", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "2 seeds x 150 ops" in out
+        assert "0 failing" in out
+
+    def test_replay_clean_case_exit_zero(self, tmp_path, capsys):
+        ops = generate_ops(0, 80)
+        failure = FuzzFailure(kind="none", detail="-", op_index=0)
+        path = tmp_path / "clean.jsonl"
+        write_case(path, 0, 80, 5, failure, ops)
+        assert main(["fuzz", "--replay", str(path)]) == 0
+        assert "no violation" in capsys.readouterr().out
+
+    def test_benchmarks_face_delegates(self, capsys):
+        from benchmarks.fuzz_smoke import main as smoke_main
+
+        assert smoke_main(["--seed", "0", "--ops", "100",
+                           "--check-every", "25"]) == 0
+        assert "1 seeds x 100 ops" in capsys.readouterr().out

@@ -1,0 +1,186 @@
+"""Oracle wiring tests: registration, cadence, env gating, stateful laws,
+and the acceptance mutation test (a deliberately injected accounting bug
+must be caught, shrunk, and replayable from the written case file).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import InvariantOracle, OracleConfig, Violation
+from repro.check.fuzz import fuzz_seed, generate_ops, replay_case, run_ops
+from repro.check.oracle import maybe_attach_oracle
+from repro.faas.instance import FunctionInstance
+from repro.faas.platform import FaasPlatform, PlatformConfig, Request
+from repro.mem.layout import MIB, PAGE_SIZE
+from repro.mem.physical import PhysicalMemory, SwapDevice
+from repro.mem.vmm import VirtualAddressSpace
+from repro.workloads.model import FunctionSpec
+from repro.workloads.registry import get_definition
+
+SPEC = FunctionSpec(
+    name="orc-py",
+    language="python",
+    description="oracle-test function",
+    base_exec_seconds=0.004,
+    ephemeral_bytes=192 * 1024,
+    frame_bytes=96 * 1024,
+    persistent_bytes=64 * 1024,
+    object_size=16 * 1024,
+    code_size=64 * 1024,
+    warm_units=2,
+)
+
+
+class TestOracleConfig:
+    def test_rejects_unknown_cadence(self):
+        with pytest.raises(ValueError):
+            OracleConfig(cadence="sometimes")
+
+    def test_rejects_non_positive_every(self):
+        with pytest.raises(ValueError):
+            OracleConfig(every=0)
+
+    def test_sampling_always_checks_first_occasion(self):
+        oracle = InvariantOracle(OracleConfig(cadence="end", every=3))
+        for _ in range(7):
+            oracle.maybe_check()
+        # Occasions 1, 4, 7 sweep under 1-in-3 sampling.
+        assert oracle.checks_run == 3
+
+
+class TestEnvGating:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        platform = FaasPlatform(config=PlatformConfig())
+        assert platform.oracle is None
+
+    def test_zero_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "0")
+        platform = FaasPlatform(config=PlatformConfig())
+        assert platform.oracle is None
+
+    def test_enabled_with_tuning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        monkeypatch.setenv("REPRO_CHECK_CADENCE", "step")
+        monkeypatch.setenv("REPRO_CHECK_EVERY", "2")
+        platform = FaasPlatform(config=PlatformConfig())
+        assert platform.oracle is not None
+        assert platform.oracle.config.cadence == "step"
+        assert platform.oracle.config.every == 2
+
+    def test_platform_run_sweeps_continuously(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        monkeypatch.setenv("REPRO_CHECK_CADENCE", "step")
+        monkeypatch.setenv("REPRO_CHECK_EVERY", "1")
+        platform = FaasPlatform(config=PlatformConfig())
+        definition = get_definition("clock")
+        platform.submit(
+            [Request(arrival=i * 0.5, definition=definition) for i in range(3)]
+        )
+        platform.run()
+        assert platform.oracle.checks_run > 0
+        assert platform.oracle.last_violation is None
+        platform.oracle.finish()
+
+
+class TestStatefulLaws:
+    def make_instance(self, oracle: InvariantOracle) -> FunctionInstance:
+        instance = FunctionInstance(SPEC, memory_budget=32 * MIB)
+        instance.boot(0.0)
+        instance.invoke(0.1)
+        oracle.attach_world(instances=[instance])
+        return instance
+
+    def test_frozen_instance_faulting_is_caught(self):
+        oracle = InvariantOracle(OracleConfig(cadence="end"))
+        instance = self.make_instance(oracle)
+        instance.freeze(1.0)
+        oracle.check_now()
+        # A frozen container's threads are stopped: any fault is a bug.
+        rogue = instance.runtime.space.mmap(PAGE_SIZE, name="[rogue]")
+        instance.runtime.space.touch(rogue.start, PAGE_SIZE, write=True)
+        with pytest.raises(Violation) as caught:
+            oracle.check_now()
+        assert caught.value.invariant == "frozen-no-fault"
+        assert oracle.last_violation is caught.value
+
+    def test_reclaim_rebaselines_frozen_faults(self):
+        oracle = InvariantOracle(OracleConfig(cadence="end"))
+        instance = self.make_instance(oracle)
+        instance.freeze(1.0)
+        oracle.check_now()
+        instance.reclaim()  # reclaim faults by design; must not trip the law
+        oracle.check_now()
+        instance.thaw(2.0)
+        instance.invoke(2.1)  # faults after thaw are fine too
+        oracle.finish()
+
+    def test_swap_parity_violation(self):
+        oracle = InvariantOracle(OracleConfig(cadence="end"))
+        physical = PhysicalMemory()
+        space = VirtualAddressSpace("[orc]", physical)
+        mapping = space.mmap(4 * PAGE_SIZE)
+        space.touch(mapping.start, 4 * PAGE_SIZE, write=True)
+        space.swap_out_range(mapping.start, 2 * PAGE_SIZE)
+        oracle.attach_world(spaces=[space], physical=physical)
+        oracle.check_now()
+        # Pretend one swap-in predates the oracle: parity now claims a
+        # swap-in happened with no matching major fault.
+        oracle._swap_in_baselines[id(physical)] -= 1
+        with pytest.raises(Violation) as caught:
+            oracle.check_now()
+        assert caught.value.invariant == "swap-major-parity"
+
+
+# ------------------------------------------------------------ mutation test
+
+
+def _buggy_discard(self, n=1):
+    """The pre-fix bug: a discarded swap page counted as a swap-in."""
+    if n > self.pages:
+        raise ValueError(f"discard of {n} pages but only {self.pages} swapped")
+    self.pages -= n
+    self.total_swap_ins += n
+
+
+class TestMutationCatching:
+    """Deliberately re-inject known accounting bugs; the oracle must catch
+    them through the fuzzer, shrink the schedule, and write a case file
+    that reproduces the violation on replay."""
+
+    def test_discard_counted_as_swap_in_is_caught(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(SwapDevice, "discard", _buggy_discard)
+        report = fuzz_seed(0, 250, check_every=1, case_dir=str(tmp_path))
+        assert not report.ok
+        assert report.failure.kind == "swap-major-parity"
+        # Shrinking kept the failure while dropping most of the schedule.
+        assert report.shrunk_ops
+        assert len(report.shrunk_ops) < report.ops_executed
+        assert report.case_path is not None
+        # The written case replays to the same violation while the bug is in.
+        failure, header = replay_case(report.case_path)
+        assert header["kind"] == "swap-major-parity"
+        assert failure is not None
+        assert failure.kind == "swap-major-parity"
+        # With the bug removed the very same case is clean: the case file
+        # pins the bug, not the schedule.
+        monkeypatch.undo()
+        failure, _ = replay_case(report.case_path)
+        assert failure is None
+
+    def test_anon_frame_leak_is_caught(self, monkeypatch):
+        original = PhysicalMemory.free_anon
+
+        def leaky(self, n=1):
+            original(self, max(0, n - 1))
+
+        monkeypatch.setattr(PhysicalMemory, "free_anon", leaky)
+        failure, _ = run_ops(generate_ops(0, 200), check_every=1)
+        assert failure is not None
+        assert failure.kind == "frames-anon"
+
+    def test_same_seed_clean_without_mutation(self):
+        failure, oracle = run_ops(generate_ops(0, 250), check_every=1)
+        assert failure is None
+        assert oracle.checks_run > 0

@@ -1,0 +1,140 @@
+"""Pinned regressions for accounting bugs the oracle work surfaced.
+
+Each test reproduces the exact pre-fix scenario and asserts the fixed
+accounting -- plus the oracle law that would have caught the drift.
+"""
+
+from __future__ import annotations
+
+from repro.check import check_physical
+from repro.check.fuzz import generate_ops, run_ops
+from repro.check.invariants import check_instance
+from repro.faas.instance import FunctionInstance
+from repro.mem.layout import MIB, PAGE_SIZE
+from repro.mem.physical import PhysicalMemory
+from repro.mem.reference import ReferenceAddressSpace
+from repro.mem.vmm import VirtualAddressSpace
+from repro.workloads.model import FunctionSpec
+
+SPEC = FunctionSpec(
+    name="reg-py",
+    language="python",
+    description="regression-test function",
+    base_exec_seconds=0.004,
+    ephemeral_bytes=192 * 1024,
+    frame_bytes=96 * 1024,
+    persistent_bytes=64 * 1024,
+    object_size=16 * 1024,
+    code_size=64 * 1024,
+    warm_units=2,
+)
+
+
+def swapped_region(space_cls):
+    """An 8-page anonymous region with pages 0-3 swapped out."""
+    physical = PhysicalMemory()
+    space = space_cls("[reg]", physical)
+    mapping = space.mmap(8 * PAGE_SIZE)
+    space.touch(mapping.start, 8 * PAGE_SIZE, write=True)
+    space.swap_out_range(mapping.start, 4 * PAGE_SIZE)
+    return physical, space, mapping
+
+
+class TestSwapDiscardAccounting:
+    """Dropping swapped pages (munmap/discard/uncommit/close) must count
+    as *discards*, never as swap-ins: no frame comes back, no major fault
+    is paid, and ``total_swap_ins`` must keep tracking major faults 1:1
+    (the pre-fix code double-counted them as swap-ins)."""
+
+    def test_munmap_of_swapped_range(self):
+        physical, space, mapping = swapped_region(VirtualAddressSpace)
+        majors_before = space.faults.major
+        space.munmap(mapping.start, 8 * PAGE_SIZE)
+        swap = physical.swap
+        assert swap.pages == 0
+        assert swap.total_discards == 4
+        assert swap.total_swap_ins == 0
+        assert space.faults.major == majors_before
+        check_physical(physical, [space])
+
+    def test_discard_of_swapped_range(self):
+        physical, space, mapping = swapped_region(VirtualAddressSpace)
+        space.discard(mapping.start, 4 * PAGE_SIZE)
+        assert physical.swap.total_discards == 4
+        assert physical.swap.total_swap_ins == 0
+        check_physical(physical, [space])
+
+    def test_uncommit_of_swapped_range(self):
+        physical, space, mapping = swapped_region(VirtualAddressSpace)
+        space.uncommit(mapping.start, 4 * PAGE_SIZE)
+        assert physical.swap.total_discards == 4
+        assert physical.swap.total_swap_ins == 0
+        check_physical(physical, [space])
+
+    def test_close_discards_everything_swapped(self):
+        physical, space, _ = swapped_region(VirtualAddressSpace)
+        space.close()
+        assert physical.swap.pages == 0
+        assert physical.swap.total_discards == 4
+        assert physical.swap.total_swap_ins == 0
+
+    def test_touch_after_swap_still_pays_major_faults(self):
+        physical, space, mapping = swapped_region(VirtualAddressSpace)
+        counts = space.touch(mapping.start, 4 * PAGE_SIZE, write=True)
+        assert counts.major == 4
+        assert physical.swap.total_swap_ins == 4
+        assert physical.swap.total_discards == 0
+        check_physical(physical, [space])
+
+    def test_reference_model_agrees(self):
+        """Differential: the per-page reference oracle keeps identical
+        swap counters through the same sequence."""
+        fast = swapped_region(VirtualAddressSpace)
+        slow = swapped_region(ReferenceAddressSpace)
+        for physical, space, mapping in (fast, slow):
+            space.touch(mapping.start, PAGE_SIZE, write=True)  # 1 major
+            space.discard(mapping.start + PAGE_SIZE, PAGE_SIZE)  # 1 discard
+            space.munmap(mapping.start, 8 * PAGE_SIZE)  # 2 discards
+        for attr in ("pages", "total_swap_outs", "total_swap_ins", "total_discards"):
+            assert getattr(fast[0].swap, attr) == getattr(slow[0].swap, attr), attr
+
+
+class TestInstanceRegressions:
+    def test_destroy_clears_frozen_since(self):
+        """Pre-fix, destroying a frozen instance left ``frozen_since``
+        set; the instance-frozen-since law flagged every eviction."""
+        instance = FunctionInstance(SPEC, memory_budget=32 * MIB)
+        instance.boot(0.0)
+        instance.invoke(0.1)
+        instance.freeze(1.0)
+        instance.destroy(2.0)
+        assert instance.frozen_since is None
+        check_instance(instance)
+
+    def test_reclaim_of_snapshotted_instance_may_grow_uss(self):
+        """Reclaiming a snapshotted instance faults live data back in, so
+        USS legitimately grows; the reclaim-uss law must exempt it (the
+        pre-fix oracle flagged fuzz seeds 1, 2, 4 and 6 on this)."""
+        instance = FunctionInstance(SPEC, memory_budget=32 * MIB)
+        instance.boot(0.0)
+        instance.invoke(0.1)
+        instance.snapshot(1.0)
+        uss_before = instance.uss()
+        outcome = instance.reclaim()
+        assert outcome.uss_before == uss_before
+        # The exemption only applies while the heap is paged out.
+        assert outcome.uss_before < outcome.live_bytes
+        from repro.check import InvariantOracle, OracleConfig
+
+        oracle = InvariantOracle(OracleConfig(cadence="end"))
+        oracle.attach_world(instances=[instance])
+        oracle.finish()  # must not raise reclaim-uss
+
+
+class TestFixedSeedFuzzRegression:
+    def test_previously_false_positive_seeds_stay_clean(self):
+        # Seeds that tripped pre-fix oracle bugs (reclaim-uss on
+        # snapshotted instances, discard-as-swap-in parity).
+        for seed in (1, 2, 4, 6):
+            failure, _ = run_ops(generate_ops(seed, 400), check_every=5)
+            assert failure is None, f"seed {seed}: {failure}"

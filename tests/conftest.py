@@ -1,0 +1,22 @@
+"""Suite-wide fixtures: run the invariant oracle under the whole tier.
+
+``REPRO_CHECK=1`` makes every :class:`~repro.faas.platform.FaasPlatform`
+attach an :class:`~repro.check.InvariantOracle` to itself, so each
+end-to-end test doubles as a conservation-law check.  The suite enables
+it by default; export ``REPRO_CHECK=0`` to opt out (e.g. when timing
+something), or ``REPRO_CHECK_EVERY=N`` to sample sweeps.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def repro_check_enabled(monkeypatch):
+    if "REPRO_CHECK" not in os.environ:
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        # Sample 1-in-8 step sweeps: near-baseline suite runtime while the
+        # fuzzer (which sweeps every op) covers the dense cadence.
+        if "REPRO_CHECK_EVERY" not in os.environ:
+            monkeypatch.setenv("REPRO_CHECK_EVERY", "8")

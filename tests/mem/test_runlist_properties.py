@@ -1,0 +1,116 @@
+"""Randomized property tests: RunList vs a naive per-page dict model.
+
+Same differential pattern as ``test_vmm_differential.py`` (the
+``mem/reference.py`` oracle), one layer down: drive :class:`RunList`
+through random splice/clear sequences and mirror every operation in a
+plain ``{position: value}`` dict.  After every step the run list must
+agree with the dict on every query *and* satisfy the structural
+invariants (sorted, disjoint, coalesced) via
+:func:`repro.check.check_runlist`.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.check import check_runlist
+from repro.mem.runlist import RunList
+
+AXIS = 64  # positions [0, AXIS)
+VALUES = ("a", "b", "c")
+
+
+def random_pieces(rng: random.Random, lo: int, hi: int):
+    """Sorted, disjoint (start, end, value) runs inside [lo, hi)."""
+    pieces = []
+    pos = lo
+    while pos < hi and len(pieces) < 3 and rng.random() < 0.8:
+        start = rng.randint(pos, hi - 1)
+        end = rng.randint(start + 1, hi)
+        pieces.append((start, end, rng.choice(VALUES)))
+        pos = end
+    return pieces
+
+
+def apply_model(model: dict, lo: int, hi: int, pieces) -> None:
+    for position in range(lo, hi):
+        model.pop(position, None)
+    for start, end, value in pieces:
+        for position in range(start, end):
+            model[position] = value
+
+
+def assert_equivalent(runs: RunList, model: dict, subject: str) -> None:
+    check_runlist(runs, subject, 0, AXIS)
+    # Point queries agree everywhere, including gaps.
+    for position in range(AXIS):
+        assert runs.value_at(position, default=None) == model.get(position), (
+            f"{subject}: value_at({position})"
+        )
+    # Coverage counts agree on the full axis.
+    assert runs.covered(0, AXIS) == len(model), f"{subject}: covered"
+    # iter_runs reconstructs the model exactly.
+    rebuilt = {}
+    for start, end, value in runs.iter_runs(0, AXIS):
+        for position in range(start, end):
+            rebuilt[position] = value
+    assert rebuilt == model, f"{subject}: iter_runs"
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_splices_match_per_page_model(seed):
+    rng = random.Random(seed)
+    runs = RunList()
+    model: dict = {}
+    for step in range(150):
+        lo = rng.randrange(AXIS)
+        hi = rng.randint(lo + 1, AXIS)
+        if rng.random() < 0.25:
+            runs.clear(lo, hi)
+            apply_model(model, lo, hi, ())
+        else:
+            pieces = random_pieces(rng, lo, hi)
+            runs.splice(lo, hi, pieces)
+            apply_model(model, lo, hi, pieces)
+        assert_equivalent(runs, model, f"seed{seed} step{step}")
+
+
+@pytest.mark.parametrize("seed", range(12, 18))
+def test_random_window_queries_match(seed):
+    rng = random.Random(seed)
+    runs = RunList()
+    model: dict = {}
+    for _ in range(60):
+        lo = rng.randrange(AXIS)
+        hi = rng.randint(lo + 1, AXIS)
+        pieces = random_pieces(rng, lo, hi)
+        runs.splice(lo, hi, pieces)
+        apply_model(model, lo, hi, pieces)
+        for _ in range(8):
+            qlo = rng.randrange(AXIS)
+            qhi = rng.randint(qlo + 1, AXIS)
+            expected = sum(1 for p in range(qlo, qhi) if p in model)
+            assert runs.covered(qlo, qhi) == expected
+            # iter_segments tiles [qlo, qhi) exactly: gaps + runs, in order.
+            position = qlo
+            for s, e, value in runs.iter_segments(qlo, qhi, absent=None):
+                assert s == position
+                assert e > s
+                for p in range(s, e):
+                    assert model.get(p) == value
+                position = e
+            assert position == qhi
+
+
+def test_coalescing_across_splice_boundaries():
+    runs = RunList()
+    runs.splice(0, 4, [(0, 4, "a")])
+    runs.splice(4, 8, [(4, 8, "a")])
+    assert len(runs) == 1  # merged into one run
+    runs.splice(2, 6, [(2, 6, "b")])
+    assert list(runs.iter_runs()) == [(0, 2, "a"), (2, 6, "b"), (6, 8, "a")]
+    runs.splice(2, 6, [(2, 6, "a")])
+    assert len(runs) == 1
+    check_runlist(runs, "coalesce", 0, 8)

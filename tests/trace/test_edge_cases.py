@@ -1,0 +1,207 @@
+"""Edge-case tests for the Azure trace loader and replay plumbing:
+empty traces, single-invocation functions, out-of-order timestamps, and
+zero-duration invocations."""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.faas.platform import FaasPlatform, PlatformConfig, Request
+from repro.trace.azure_loader import (
+    AzureFunctionRow,
+    arrivals_from_counts,
+    build_replay_arrivals,
+    hash_stable,
+    load_average_durations,
+    load_invocation_counts,
+    select_by_duration,
+)
+from repro.trace.stats import ReplayStats, percentile
+from repro.workloads.registry import all_definitions, get_definition
+
+
+def write_counts_csv(path, rows, minutes=5):
+    header = ["HashOwner", "HashApp", "HashFunction", "Trigger"] + [
+        str(i + 1) for i in range(minutes)
+    ]
+    lines = [",".join(header)]
+    for owner, app, function, trigger, counts in rows:
+        lines.append(",".join([owner, app, function, trigger, *counts]))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def write_durations_csv(path, entries):
+    lines = ["HashOwner,HashApp,HashFunction,Average"]
+    for owner, app, function, average in entries:
+        lines.append(f"{owner},{app},{function},{average}")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def make_row(counts, name="f1") -> AzureFunctionRow:
+    return AzureFunctionRow(
+        owner="o", app="a", function=name, trigger="http",
+        per_minute=tuple(counts),
+    )
+
+
+class TestEmptyTrace:
+    def test_header_only_counts_csv(self, tmp_path):
+        path = write_counts_csv(tmp_path / "counts.csv", [])
+        assert load_invocation_counts(path) == []
+
+    def test_header_only_durations_csv(self, tmp_path):
+        path = write_durations_csv(tmp_path / "durations.csv", [])
+        assert load_average_durations(path) == {}
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(ValueError, match="expected Azure"):
+            load_invocation_counts(path)
+        with pytest.raises(ValueError, match="expected Azure"):
+            load_average_durations(path)
+
+    def test_empty_cells_count_as_zero(self, tmp_path):
+        path = write_counts_csv(
+            tmp_path / "counts.csv", [("o", "a", "f", "http", ["", "3", "", "", ""])]
+        )
+        (row,) = load_invocation_counts(path)
+        assert row.per_minute == (0, 3, 0, 0, 0)
+        assert row.total_invocations == 3
+
+    def test_selection_fails_loudly_on_empty_trace(self):
+        with pytest.raises(ValueError, match="usable trace functions"):
+            select_by_duration([], {})
+
+    def test_all_zero_row_yields_no_arrivals(self):
+        assert arrivals_from_counts(make_row([0] * 5), 300.0) == []
+
+
+class TestSingleInvocationFunction:
+    def test_one_arrival_inside_its_minute(self):
+        row = make_row([0, 0, 1, 0, 0])
+        (t,) = arrivals_from_counts(row, 300.0, scale_factor=1.0, seed=7)
+        assert 120.0 <= t < 180.0
+
+    def test_arrivals_are_deterministic_per_seed(self):
+        row = make_row([0, 0, 1, 0, 0])
+        assert arrivals_from_counts(row, 300.0, seed=7) == arrivals_from_counts(
+            row, 300.0, seed=7
+        )
+
+    def test_scale_factor_compresses_time(self):
+        row = make_row([0, 0, 1, 0, 0])
+        (slow,) = arrivals_from_counts(row, 300.0, scale_factor=1.0, seed=7)
+        (fast,) = arrivals_from_counts(row, 300.0, scale_factor=10.0, seed=7)
+        assert fast == pytest.approx(slow / 10.0)
+
+    def test_below_min_invocations_is_filtered(self):
+        sparse = make_row([0, 0, 1, 0, 0], name="sparse")
+        durations = {sparse.key: 100.0}
+        with pytest.raises(ValueError, match="usable trace functions"):
+            select_by_duration([sparse], durations, definitions=[all_definitions()[0]])
+        # min_invocations=1 admits it.
+        selection = select_by_duration(
+            [sparse], durations,
+            definitions=[all_definitions()[0]], min_invocations=1,
+        )
+        assert selection == {all_definitions()[0].name: sparse}
+
+    def test_horizon_drops_late_arrivals(self):
+        row = make_row([0, 0, 0, 0, 1])
+        assert arrivals_from_counts(row, 60.0) == []
+
+
+class TestOutOfOrderTimestamps:
+    def test_arrivals_are_sorted_within_a_row(self):
+        row = make_row([3, 0, 2, 5, 1])
+        times = arrivals_from_counts(row, 300.0, seed=3)
+        assert times == sorted(times)
+        assert len(times) == 11
+
+    def test_merged_arrivals_interleave_sorted(self):
+        first = all_definitions()[0]
+        second = all_definitions()[1]
+        selection = {
+            first.name: make_row([0, 4, 0, 4, 0], name="early"),
+            second.name: make_row([2, 0, 2, 0, 2], name="late"),
+        }
+        events = build_replay_arrivals(selection, 300.0, seed=5)
+        times = [t for t, _ in events]
+        assert times == sorted(times)
+        assert {d.name for _, d in events} == {first.name, second.name}
+
+    def test_platform_accepts_unsorted_submissions(self):
+        platform = FaasPlatform(config=PlatformConfig())
+        definition = get_definition("clock")
+        # Reversed arrival order: the kernel queue must re-serialize it.
+        requests = [
+            Request(arrival=t, definition=definition) for t in (3.0, 1.0, 2.0)
+        ]
+        platform.submit(requests)
+        outcomes = platform.run()
+        assert len(outcomes) == 3
+        assert [o.request.arrival for o in outcomes] == [1.0, 2.0, 3.0]
+
+
+class TestZeroDurationInvocations:
+    def test_zero_average_parses_and_ranks_shortest(self, tmp_path):
+        path = write_durations_csv(
+            tmp_path / "durations.csv",
+            [("o", "a", "zero", ""), ("o", "a", "slow", "2500.0")],
+        )
+        durations = load_average_durations(path)
+        assert durations["o/a/zero"] == 0.0
+        assert durations["o/a/slow"] == 2500.0
+
+    def test_zero_duration_rows_still_selectable(self):
+        rows = [
+            make_row([10] * 5, name=f"f{i}")
+            for i in range(len(all_definitions()) + 4)
+        ]
+        durations = {row.key: 0.0 for row in rows}
+        selection = select_by_duration(rows, durations)
+        # Every definition got a (zero-duration) trace function, each used once.
+        assert len(selection) == len(all_definitions())
+        keys = [row.key for row in selection.values()]
+        assert len(set(keys)) == len(keys)
+
+    def test_invalid_horizon_and_scale_rejected(self):
+        row = make_row([1] * 5)
+        with pytest.raises(ValueError):
+            arrivals_from_counts(row, 0.0)
+        with pytest.raises(ValueError):
+            arrivals_from_counts(row, 60.0, scale_factor=0.0)
+
+
+class TestStatsEdges:
+    def test_percentile_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 100) == 4.0
+
+    def test_stats_from_idle_platform(self):
+        platform = FaasPlatform(config=PlatformConfig())
+        stats = ReplayStats.from_platform(
+            platform, [], duration_seconds=10.0, policy="vanilla", scale_factor=1.0
+        )
+        assert stats.completed == 0
+        assert stats.cold_boot_rate == 0.0
+        assert stats.throughput_rps == 0.0
+        assert stats.p99_latency == 0.0
+
+
+def test_hash_stable_is_crc32():
+    assert hash_stable("o/a/f") == zlib.crc32(b"o/a/f")
+    assert hash_stable("o/a/f") == hash_stable("o/a/f")
