@@ -8,7 +8,7 @@ no state and their *metrics* are identical whether executed serially or
 fanned out.  Only the wall/CPU timings attached to each run vary with the
 machine.
 
-Three entry points:
+Entry points:
 
 * :func:`execute_spec` -- run one :class:`BenchSpec`, returning its metrics
   plus wall/CPU timings (top-level so it pickles into worker processes),
@@ -16,22 +16,44 @@ Three entry points:
   ``ProcessPoolExecutor`` (``jobs=1`` degrades to a serial loop),
 * :func:`run_vmm_microbench` / :func:`compare_micro` -- the bulk
   touch/discard microbenchmark against the per-page reference oracle, and
-  the regression check CI applies against the committed ``BENCH_vmm.json``.
+  the regression check CI applies against the committed ``BENCH_vmm.json``,
+* :func:`build_replay_macro` / :func:`compare_replay` /
+  :func:`verify_trace_identity` -- the Azure-scale replay macro suite: each
+  size runs the same trace with the fast path on and off, the event-trace
+  digests of the two legs must be byte-identical, and CI gates the fast
+  leg's wall time against the committed ``BENCH_replay.json``.
 """
 
 from __future__ import annotations
 
+import cProfile
+import hashlib
 import json
+import os
+import pstats
+import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
+from functools import partial
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from repro import fastpath
 from repro.mem.layout import MIB, PAGE_SIZE
 
 #: Policies a replay spec accepts (characterize accepts POLICIES as well).
 REPLAY_POLICIES = ("vanilla", "eager", "desiccant")
+
+#: The macro replay sizes (§5.3 at increasing Azure-trace scale).  Each
+#: size fixes (scale factor, measured duration, warmup, node capacity);
+#: the suite runs every size twice -- fast path on and off -- and the two
+#: legs must produce byte-identical event traces.
+REPLAY_SIZES: Dict[str, Dict[str, float]] = {
+    "small": {"scale": 8.0, "duration": 30.0, "warmup": 15.0, "capacity_mib": 768},
+    "medium": {"scale": 15.0, "duration": 60.0, "warmup": 30.0, "capacity_mib": 1024},
+    "large": {"scale": 40.0, "duration": 120.0, "warmup": 45.0, "capacity_mib": 2048},
+}
 
 
 @dataclass(frozen=True)
@@ -56,13 +78,21 @@ class BenchSpec:
     seed: int = 42
     size_mib: int = 200
     repeats: int = 3
+    #: Run with the O(1) fast paths (indexed dispatch, cohort heap,
+    #: incremental aggregates) enabled.  ``False`` is the reference leg:
+    #: same simulation, linear/scalar code paths.
+    fastpath: bool = True
+    #: Stream the replay's event trace to a scratch file and report its
+    #: SHA-256 -- the equivalence witness between the two legs.
+    trace: bool = False
 
     @property
     def label(self) -> str:
         if self.kind == "characterize":
             return f"characterize:{self.name}:{self.policy}:i{self.iterations}"
         if self.kind == "replay":
-            return f"replay:{self.policy}:x{self.scale:g}:d{self.duration:g}"
+            label = f"replay:{self.policy}:x{self.scale:g}:d{self.duration:g}"
+            return label if self.fastpath else label + ":base"
         return f"micro:vmm:{self.size_mib}mib"
 
 
@@ -98,20 +128,37 @@ def _run_replay(spec: BenchSpec) -> Dict[str, object]:
         "eager": EagerGcManager,
         "desiccant": Desiccant,
     }
-    config = ReplayConfig(
-        scale_factor=spec.scale,
-        warmup_seconds=spec.warmup,
-        duration_seconds=spec.duration,
-        platform=PlatformConfig(capacity_bytes=spec.capacity_mib * MIB),
-    )
-    stats = replay(factories[spec.policy], config, TraceGenerator(seed=spec.seed)).stats
-    return {
-        "cold_boot_rate": round(stats.cold_boot_rate, 9),
-        "throughput_rps": round(stats.throughput_rps, 9),
-        "cpu_utilization": round(stats.cpu_utilization, 9),
-        "p99_latency": round(stats.p99_latency, 9),
-        "evictions": stats.evictions,
-    }
+    trace_path = None
+    if spec.trace:
+        fd, trace_path = tempfile.mkstemp(prefix="repro-trace-", suffix=".jsonl")
+        os.close(fd)
+    try:
+        config = ReplayConfig(
+            scale_factor=spec.scale,
+            warmup_seconds=spec.warmup,
+            warmup_scale_factor=spec.scale,
+            duration_seconds=spec.duration,
+            platform=PlatformConfig(capacity_bytes=spec.capacity_mib * MIB),
+            event_trace_path=trace_path,
+        )
+        result = replay(factories[spec.policy], config, TraceGenerator(seed=spec.seed))
+        stats = result.stats
+        metrics = {
+            "cold_boot_rate": round(stats.cold_boot_rate, 9),
+            "throughput_rps": round(stats.throughput_rps, 9),
+            "cpu_utilization": round(stats.cpu_utilization, 9),
+            "p99_latency": round(stats.p99_latency, 9),
+            "evictions": stats.evictions,
+        }
+        if trace_path is not None:
+            metrics["trace_events"] = len(result.trace)
+            metrics["trace_sha256"] = hashlib.sha256(
+                Path(trace_path).read_bytes()
+            ).hexdigest()
+        return metrics
+    finally:
+        if trace_path is not None:
+            os.unlink(trace_path)
 
 
 def run_vmm_microbench(size_mib: int = 200, repeats: int = 3) -> Dict[str, float]:
@@ -156,42 +203,72 @@ def run_vmm_microbench(size_mib: int = 200, repeats: int = 3) -> Dict[str, float
     }
 
 
-def execute_spec(spec: BenchSpec) -> Dict[str, object]:
+def execute_spec(
+    spec: BenchSpec, profile_dir: Optional[str] = None
+) -> Dict[str, object]:
     """Run one spec; returns its metrics plus wall/CPU timings.
 
+    The spec's ``fastpath`` flag is forced for the duration of the run
+    (overriding ``REPRO_FASTPATH``), so a spec names one leg unambiguously.
+    With ``profile_dir`` the run executes under ``cProfile`` and dumps
+    ``<label>.prof`` plus a cumulative-time top-30 listing next to it.
     Top-level (not a closure) so ``ProcessPoolExecutor`` can pickle it.
     """
+    profiler = None
+    if profile_dir is not None:
+        Path(profile_dir).mkdir(parents=True, exist_ok=True)
+        profiler = cProfile.Profile()
     wall0, cpu0 = time.perf_counter(), time.process_time()
-    if spec.kind == "characterize":
-        metrics = _run_characterize(spec)
-    elif spec.kind == "replay":
-        metrics = _run_replay(spec)
-    elif spec.kind == "micro":
-        metrics = run_vmm_microbench(spec.size_mib, spec.repeats)
-    else:
-        raise ValueError(f"unknown bench kind {spec.kind!r}")
-    return {
+    with fastpath.override(spec.fastpath):
+        if profiler is not None:
+            profiler.enable()
+        try:
+            if spec.kind == "characterize":
+                metrics = _run_characterize(spec)
+            elif spec.kind == "replay":
+                metrics = _run_replay(spec)
+            elif spec.kind == "micro":
+                metrics = run_vmm_microbench(spec.size_mib, spec.repeats)
+            else:
+                raise ValueError(f"unknown bench kind {spec.kind!r}")
+        finally:
+            if profiler is not None:
+                profiler.disable()
+    result = {
         "label": spec.label,
         "spec": asdict(spec),
         "metrics": metrics,
         "wall_seconds": round(time.perf_counter() - wall0, 4),
         "cpu_seconds": round(time.process_time() - cpu0, 4),
     }
+    if profiler is not None:
+        stem = Path(profile_dir) / spec.label.replace(":", "_")
+        profiler.dump_stats(f"{stem}.prof")
+        with open(f"{stem}.txt", "w") as sink:
+            stats = pstats.Stats(profiler, stream=sink)
+            stats.sort_stats("cumulative").print_stats(30)
+        result["profile"] = f"{stem}.prof"
+    return result
 
 
 def run_benchmarks(
-    specs: Sequence[BenchSpec], jobs: int = 1
+    specs: Sequence[BenchSpec],
+    jobs: int = 1,
+    profile_dir: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """Execute every spec, fanning across ``jobs`` worker processes.
 
     Results come back in spec order regardless of completion order, and the
     per-run *metrics* are bit-identical to a serial run -- each spec builds
-    its own physical memory and seeds its own RNG streams.
+    its own physical memory and seeds its own RNG streams.  Profiling
+    (``profile_dir``) composes with fan-out: each worker profiles only its
+    own spec's process.
     """
+    run_one = partial(execute_spec, profile_dir=profile_dir)
     if jobs <= 1 or len(specs) <= 1:
-        return [execute_spec(spec) for spec in specs]
+        return [run_one(spec) for spec in specs]
     with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-        return list(pool.map(execute_spec, specs))
+        return list(pool.map(run_one, specs))
 
 
 def build_grid(
@@ -231,9 +308,139 @@ def build_grid(
     return specs
 
 
+def build_replay_macro(
+    sizes: Sequence[str] = ("small", "medium", "large"),
+    policies: Sequence[str] = ("vanilla", "desiccant"),
+    seed: int = 42,
+    include_base: bool = True,
+) -> List[BenchSpec]:
+    """The macro replay suite: every (size, policy) as a fast/base leg pair.
+
+    Both legs trace: :func:`verify_trace_identity` requires the pair's
+    event-stream digests to match, which pins the fast path's semantics to
+    the reference implementation at full Azure-replay scale.  CI smoke runs
+    pass ``include_base=False`` to time only the fast leg.
+    """
+    specs = []
+    for size in sizes:
+        try:
+            shape = REPLAY_SIZES[size]
+        except KeyError:
+            raise ValueError(
+                f"unknown replay size {size!r} (choose from "
+                f"{', '.join(REPLAY_SIZES)})"
+            ) from None
+        for policy in policies:
+            for leg_fast in (True, False) if include_base else (True,):
+                specs.append(
+                    BenchSpec(
+                        kind="replay",
+                        policy=policy,
+                        scale=shape["scale"],
+                        duration=shape["duration"],
+                        warmup=shape["warmup"],
+                        capacity_mib=int(shape["capacity_mib"]),
+                        seed=seed,
+                        fastpath=leg_fast,
+                        trace=True,
+                    )
+                )
+    return specs
+
+
+def verify_trace_identity(results: Sequence[Dict[str, object]]) -> List[str]:
+    """Check that each fast/base replay pair produced identical traces.
+
+    Returns failure messages; an unpaired leg (CI smoke's fast-only runs)
+    or a replay without tracing is simply not checked.
+    """
+    digests: Dict[str, Dict[str, object]] = {}
+    for result in results:
+        if result["spec"]["kind"] != "replay":
+            continue
+        if "trace_sha256" not in result["metrics"]:
+            continue
+        digests[result["label"]] = result["metrics"]
+    failures = []
+    for label, metrics in sorted(digests.items()):
+        if label.endswith(":base"):
+            continue
+        base = digests.get(label + ":base")
+        if base is None:
+            continue
+        if metrics["trace_sha256"] != base["trace_sha256"]:
+            failures.append(
+                f"{label}: fast-path trace diverged from the reference leg "
+                f"({metrics['trace_events']} events, "
+                f"{metrics['trace_sha256'][:12]} != {base['trace_sha256'][:12]})"
+            )
+    return failures
+
+
+def replay_speedups(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Fast-vs-base wall-clock ratios for every paired replay label."""
+    walls = {
+        r["label"]: r["wall_seconds"]
+        for r in results
+        if r["spec"]["kind"] == "replay"
+    }
+    speedups = {}
+    for label in sorted(walls):
+        if label.endswith(":base") or label + ":base" not in walls:
+            continue
+        fast, base = walls[label], walls[label + ":base"]
+        speedups[label] = {
+            "fast_wall_seconds": fast,
+            "base_wall_seconds": base,
+            "speedup": round(base / fast, 2) if fast else None,
+        }
+    return speedups
+
+
+def compare_replay(
+    current: Sequence[Dict[str, object]],
+    baseline: Sequence[Dict[str, object]],
+    factor: float = 2.0,
+) -> List[str]:
+    """Regression check for the macro suite: returns failure messages.
+
+    Every *fast-leg* replay run present in both result lists gates on wall
+    time against ``factor`` times the committed baseline; base legs and
+    unmatched labels are informational.  Labels encode (policy, scale,
+    duration), so a matched label is the same workload.
+    """
+    base_walls = {
+        r["label"]: r["wall_seconds"]
+        for r in baseline
+        if r.get("spec", {}).get("kind") == "replay"
+    }
+    failures = []
+    matched = 0
+    for result in current:
+        label = result["label"]
+        if result["spec"]["kind"] != "replay" or label.endswith(":base"):
+            continue
+        base = base_walls.get(label)
+        if base is None:
+            continue
+        matched += 1
+        wall = result["wall_seconds"]
+        if wall > base * factor:
+            failures.append(
+                f"{label}: {wall:.2f}s exceeds {factor:g}x baseline "
+                f"({base:.2f}s)"
+            )
+    if not matched:
+        failures.append(
+            "no fast-leg replay labels matched the baseline "
+            "(wrong --sizes, or the baseline lacks replay runs)"
+        )
+    return failures
+
+
 def summarize(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
-    """Aggregate a result list into the ``BENCH_vmm.json`` document shape."""
-    return {
+    """Aggregate a result list into the committed-baseline document shape."""
+    document = {
         "schema": "repro-bench/1",
         "total_wall_seconds": round(
             sum(r["wall_seconds"] for r in results), 4
@@ -241,6 +448,10 @@ def summarize(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
         "total_cpu_seconds": round(sum(r["cpu_seconds"] for r in results), 4),
         "runs": list(results),
     }
+    speedups = replay_speedups(results)
+    if speedups:
+        document["replay_speedups"] = speedups
+    return document
 
 
 def write_results(path: Path, document: Dict[str, object]) -> None:

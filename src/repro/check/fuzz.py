@@ -83,6 +83,7 @@ _OP_WEIGHTS: Tuple[Tuple[str, int], ...] = (
     ("munmap", 4),
     ("boot", 4),
     ("invoke", 10),
+    ("alloc_cohort", 5),
     ("freeze", 6),
     ("thaw", 6),
     ("reclaim", 5),
@@ -148,6 +149,23 @@ def generate_ops(seed: int, n_ops: int) -> List[dict]:
                 "seed": rng.randrange(1 << 16),
             }
             slots += 1
+        elif name == "alloc_cohort":
+            if not slots:
+                continue
+            scope = ("ephemeral", "ephemeral", "persistent", "weak")[rng.randrange(4)]
+            if scope == "ephemeral":
+                count, unit = rng.randint(2, 32), rng.randint(1, 16) * KIB
+            else:
+                # Surviving scopes stay small: they accumulate across ops
+                # against the 32 MiB instance budget.
+                count, unit = rng.randint(2, 8), rng.randint(1, 8) * KIB
+            op = {
+                "op": "alloc_cohort",
+                "slot": rng.randrange(slots),
+                "count": count,
+                "unit": unit,
+                "scope": scope,
+            }
         elif name in ("invoke", "freeze", "thaw", "snapshot", "evict"):
             if not slots:
                 continue
@@ -317,6 +335,19 @@ class FuzzWorld:
         if instance is None:
             return self._skip()
         instance.invoke(self.tick())
+
+    def _op_alloc_cohort(self, op: dict) -> None:
+        instance = self._slot(op, InstanceState.IDLE)
+        if instance is None or not instance.runtime.booted:
+            return self._skip()
+        runtime = instance.runtime
+        volume = op["count"] * op["unit"]
+        if op["scope"] != "ephemeral":
+            # Persistent/weak cohorts outlive the op; cap accumulation so
+            # the schedule cannot legitimately run the tiny heap out.
+            if runtime.live_bytes() + volume > runtime.config.max_heap // 4:
+                return self._skip()
+        runtime.alloc_cohort(op["count"], op["unit"], scope=op["scope"])
 
     def _op_freeze(self, op: dict) -> None:
         instance = self._slot(op, InstanceState.IDLE)

@@ -472,3 +472,43 @@ def check_platform(platform, subject: Optional[str] = None) -> None:
                 subject,
                 f"negative busy time {seconds} in category {category!r}",
             )
+    # Aggregate parity: recompute the platform's totals from the address
+    # spaces directly, bypassing every cache layer (the runtime USS caches
+    # and the platform's incremental totals), so drift anywhere in the
+    # fast-path stack surfaces here.  Skipped for reduced platform stubs
+    # (unit tests drive this checker with partial doubles).
+    if not hasattr(platform, "all_instances"):
+        return
+    from repro.mem.accounting import measure
+
+    true_used = 0
+    true_frozen = 0
+    true_frozen_ids = set()
+    for instance in platform.all_instances():
+        uss = measure(instance.runtime.space).uss
+        true_used += uss
+        if instance.state is InstanceState.FROZEN:
+            true_frozen += uss
+            true_frozen_ids.add(instance.id)
+    if true_used != platform.used_bytes():
+        _violate(
+            "platform-used-aggregate",
+            subject,
+            f"used_bytes() = {platform.used_bytes()} but ground truth "
+            f"is {true_used}",
+        )
+    if true_frozen != platform.frozen_bytes():
+        _violate(
+            "platform-frozen-aggregate",
+            subject,
+            f"frozen_bytes() = {platform.frozen_bytes()} but ground truth "
+            f"is {true_frozen}",
+        )
+    listed_ids = {i.id for i in platform.frozen_instances()}
+    if listed_ids != true_frozen_ids:
+        _violate(
+            "platform-frozen-membership",
+            subject,
+            f"frozen_instances() ids {sorted(listed_ids)} != "
+            f"state-derived {sorted(true_frozen_ids)}",
+        )

@@ -81,6 +81,11 @@ class _SpaceRecord:
 class _FrozenRecord:
     faults_total: int
     reclaim_count: int
+    #: ``len(instance.transitions)`` at baseline time.  Freeze, thaw, and
+    #: destroy all append to the transition log, so a changed length means
+    #: the instance was not *continuously* frozen since the baseline --
+    #: faults from the thawed window are legal and the record is stale.
+    transition_count: int = 0
 
 
 class InvariantOracle:
@@ -224,6 +229,7 @@ class InvariantOracle:
         self._frozen[instance.id] = _FrozenRecord(
             faults_total=instance.runtime.space.faults.total,
             reclaim_count=instance.reclaim_count,
+            transition_count=len(instance.transitions),
         )
 
     # --------------------------------------------------------------- sweeps
@@ -350,6 +356,12 @@ class InvariantOracle:
                 # and may fault; re-baseline at the new count.
                 self._note_frozen(instance)
                 continue
+            if len(instance.transitions) != record.transition_count:
+                # The instance thawed and re-froze entirely between two
+                # sweeps (possible under sparse checking): faults from the
+                # thawed window are the mutator's, not the frozen period's.
+                self._note_frozen(instance)
+                continue
             faults = instance.runtime.space.faults.total
             if faults != record.faults_total:
                 _violate(
@@ -398,15 +410,21 @@ class InvariantOracle:
             # Growth is legal when the heap was paged out before the
             # reclaim (snapshot/swap: uss_before < live bytes) -- the GC
             # must fault live data back in to run.  A resident heap
-            # (uss_before >= live bytes) must never grow.
+            # (uss_before >= live bytes) may only grow by what the GC's
+            # evacuation materialized (survivors promoted into fresh
+            # old-space pages, including unreleasable chunk headers; the
+            # vacated young pages are released separately).  Anything
+            # beyond that tolerance is a leak.
+            evacuated = getattr(outcome, "evacuated_bytes", 0)
             if (
-                outcome.uss_after > outcome.uss_before
+                outcome.uss_after > outcome.uss_before + evacuated
                 and outcome.uss_before >= outcome.live_bytes
             ):
                 _violate(
                     "reclaim-uss",
                     label,
                     f"reclaim grew USS {outcome.uss_before} -> {outcome.uss_after} "
+                    f"(evacuation accounts for {evacuated}) "
                     f"with live bytes {outcome.live_bytes} resident",
                 )
             if outcome.released_bytes < outcome.uss_before - outcome.uss_after:

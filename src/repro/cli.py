@@ -122,12 +122,16 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.bench import (
+        REPLAY_POLICIES,
         BenchSpec,
         build_grid,
+        build_replay_macro,
         compare_micro,
+        compare_replay,
         load_baseline,
         run_benchmarks,
         summarize,
+        verify_trace_identity,
         write_results,
     )
 
@@ -146,16 +150,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     if args.suite in ("replay", "all"):
         specs.extend(
-            build_grid(
-                functions=(),
-                policies=args.policies.split(","),
-                scales=[float(s) for s in args.scales.split(",")],
-                duration=args.duration,
-                warmup=args.warmup,
+            build_replay_macro(
+                sizes=args.sizes.split(","),
+                policies=[
+                    p for p in args.policies.split(",") if p in REPLAY_POLICIES
+                ],
                 seed=args.seed,
+                include_base=not args.fast_only,
             )
         )
-    results = run_benchmarks(specs, jobs=args.jobs)
+    results = run_benchmarks(specs, jobs=args.jobs, profile_dir=args.profile)
     rows = []
     for result in results:
         metrics = result["metrics"]
@@ -173,35 +177,48 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.json:
         write_results(Path(args.json), document)
         print(f"wrote {args.json}", file=sys.stderr)
+    mismatches = verify_trace_identity(results)
+    for mismatch in mismatches:
+        print(f"TRACE MISMATCH {mismatch}", file=sys.stderr)
+    if mismatches:
+        return 1
     if args.check:
         baseline = load_baseline(Path(args.check))
         if baseline is None:
             print(f"error: baseline {args.check} not found", file=sys.stderr)
             return 2
+        baseline_runs = baseline.get("runs", ())
+        failures = []
+        gated = []
         current_micro = next(
             (r["metrics"] for r in results if r["spec"]["kind"] == "micro"), None
         )
         baseline_micro = next(
             (
                 r["metrics"]
-                for r in baseline.get("runs", ())
+                for r in baseline_runs
                 if r.get("spec", {}).get("kind") == "micro"
             ),
             None,
         )
-        if current_micro is None or baseline_micro is None:
+        if current_micro is not None and baseline_micro is not None:
+            failures.extend(compare_micro(current_micro, baseline_micro, args.factor))
+            gated.append("micro")
+        if any(r["spec"]["kind"] == "replay" for r in results):
+            failures.extend(compare_replay(results, baseline_runs, args.factor))
+            gated.append("replay")
+        if not gated:
             print(
-                "error: --check needs a micro run in both current results "
-                "and the baseline (use --suite micro or all)",
+                "error: --check found nothing to gate: the baseline and the "
+                "current run share no micro or replay suite",
                 file=sys.stderr,
             )
             return 2
-        failures = compare_micro(current_micro, baseline_micro, args.factor)
         for failure in failures:
             print(f"REGRESSION {failure}", file=sys.stderr)
         if failures:
             return 1
-        print("microbenchmark within baseline", file=sys.stderr)
+        print(f"{' and '.join(gated)} within baseline", file=sys.stderr)
     return 0
 
 
@@ -310,19 +327,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--functions", default="fft,sort,mapreduce")
     p.add_argument("--policies", default="vanilla,eager,desiccant")
-    p.add_argument("--scales", default="5")
+    p.add_argument(
+        "--sizes",
+        default="small",
+        help="replay macro sizes, comma-separated (small, medium, large)",
+    )
+    p.add_argument(
+        "--fast-only",
+        action="store_true",
+        help="skip the fastpath-off reference legs of the replay suite "
+        "(CI smoke: time only the fast path)",
+    )
     p.add_argument("--iterations", type=int, default=30)
     p.add_argument("--budget-mib", type=int, default=256)
-    p.add_argument("--duration", type=float, default=20.0)
-    p.add_argument("--warmup", type=float, default=10.0)
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--size-mib", type=int, default=200, help="microbench range size")
     p.add_argument("--jobs", type=int, default=1, help="worker processes")
+    p.add_argument(
+        "--profile",
+        metavar="DIR",
+        help="run each spec under cProfile; dump <label>.prof and a "
+        "cumulative top-30 listing into DIR",
+    )
     p.add_argument("--json", metavar="PATH", help="write the full results JSON here")
     p.add_argument(
         "--check",
         metavar="BASELINE",
-        help="compare the micro run against this committed baseline JSON",
+        help="compare the micro and replay runs against this committed "
+        "baseline JSON",
     )
     p.add_argument(
         "--factor",

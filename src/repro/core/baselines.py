@@ -144,7 +144,7 @@ class SwapManager:
                 if i.frozen_for(now) >= self.freeze_timeout
                 and not getattr(i, "swapped_this_freeze", False)
             ),
-            key=lambda i: i.frozen_since or 0.0,
+            key=lambda i: (i.frozen_since or 0.0, i.id),
         )
         for instance in candidates:
             if platform.frozen_bytes() <= target:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.mem.layout import MIB, PAGE_SIZE
 from repro.mem.physical import MappedFile, PhysicalMemory
@@ -101,7 +101,13 @@ class FunctionInstance:
             name=f"{spec.name}#{self.id}",
         )
         self.model = FunctionModel(spec, seed=seed)
-        self.state = InstanceState.IDLE
+        self._state = InstanceState.IDLE
+        #: Optional ``(instance, previous, new)`` callback fired on every
+        #: state change, however it happens (method or direct assignment);
+        #: the platform's incremental bookkeeping hangs off it.
+        self.state_listener: Optional[
+            Callable[["FunctionInstance", InstanceState, InstanceState], None]
+        ] = None
         self.frozen_since: Optional[float] = None
         self.last_used_at: float = 0.0
         self.invocation_count = 0
@@ -120,6 +126,19 @@ class FunctionInstance:
         #: and dropped from the page cache (clean file pages).
         self.snapshot_swapped_bytes = 0
         self.snapshot_dropped_bytes = 0
+
+    @property
+    def state(self) -> InstanceState:
+        return self._state
+
+    @state.setter
+    def state(self, value: InstanceState) -> None:
+        previous = self._state
+        if value is previous:
+            return
+        self._state = value
+        if self.state_listener is not None:
+            self.state_listener(self, previous, value)
 
     # ------------------------------------------------------------ lifecycle
 

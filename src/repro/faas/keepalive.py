@@ -28,9 +28,24 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, runtime_checkable
 
-from repro.faas.instance import FunctionInstance
+from repro import fastpath
+from repro.faas.instance import FunctionInstance, InstanceState
+from repro.faas.lazyheap import LazyHeap
 from repro.sim import REQUEST_ARRIVAL
 from repro.sim.bus import EventBus, Subscription
+
+
+def _is_frozen(instance: FunctionInstance) -> bool:
+    """The heaps' membership predicate: the platform's frozen list and
+    the FROZEN state are kept in lockstep (the oracle asserts it), so a
+    state check is an O(1) membership test."""
+    return instance.state is InstanceState.FROZEN
+
+
+def _use_heap(policy, frozen) -> bool:
+    """Heap path only for the platform's versioned frozen list; plain
+    lists (unit tests, keep-warm evictable sets) take the linear scan."""
+    return policy._fastpath and hasattr(frozen, "adds")
 
 
 def subscribe_policy(
@@ -70,17 +85,38 @@ class EvictionPolicy(Protocol):
 
 
 class LruEviction:
-    """OpenWhisk-style least-recently-used eviction."""
+    """OpenWhisk-style least-recently-used eviction.
+
+    Victim order is ``(last_used_at, id)`` -- the id tie-break makes the
+    choice independent of the candidate list's ordering, which is what
+    lets the heap and the linear scan agree bit for bit.
+    """
 
     name = "lru"
+
+    def __init__(self) -> None:
+        self._fastpath = fastpath.enabled()
+        self._heap = LazyHeap(_is_frozen)
+        self._synced: Optional[int] = None
 
     def on_request(self, function: str, now: float) -> None:
         return None
 
+    def _sync(self, frozen) -> None:
+        if self._synced == frozen.adds:
+            return
+        for i in frozen:
+            self._heap.set(i.id, (i.last_used_at, i.id), i)
+        self._synced = frozen.adds
+
     def choose_victim(self, frozen, now):
         if not frozen:
             return None
-        return min(frozen, key=lambda i: i.last_used_at)
+        if _use_heap(self, frozen):
+            self._sync(frozen)
+            entry = self._heap.peek()
+            return entry[1] if entry is not None else None
+        return min(frozen, key=lambda i: (i.last_used_at, i.id))
 
     def proactive_victims(self, frozen, now):
         return []
@@ -99,23 +135,53 @@ class GreedyDualSizeFrequency:
     name: str = "greedy-dual"
     clock: float = 0.0
     _frequency: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    _fastpath: bool = field(default_factory=fastpath.enabled)
+    _heap: LazyHeap = field(default_factory=lambda: LazyHeap(_is_frozen))
+    _synced: Optional[tuple] = None
+    _requests: int = 0
 
     def on_request(self, function: str, now: float) -> None:
         self._frequency[function] += 1
+        # Frequencies feed the priorities, so any arrival invalidates the
+        # heap's keys (cheap: the resync scan skips unchanged keys).
+        self._requests += 1
 
-    def priority(self, instance: FunctionInstance) -> float:
+    def _base_priority(self, instance: FunctionInstance) -> float:
+        """``freq * cost / size`` without the clock.  The clock is the
+        same additive constant for every candidate of one decision, so
+        both selection paths rank by this clock-free base: it preserves
+        the greedy-dual ordering while keeping heap keys valid across
+        aging steps (and avoids float-absorption ties the two paths
+        could break differently)."""
         size = max(instance.uss(), 1)
         cost = instance.runtime.config.boot_seconds
         freq = max(self._frequency.get(instance.spec.name, 1), 1)
-        return self.clock + freq * cost / size
+        return freq * cost / size
+
+    def priority(self, instance: FunctionInstance) -> float:
+        return self.clock + self._base_priority(instance)
+
+    def _sync(self, frozen) -> None:
+        fingerprint = (frozen.adds, frozen.state_version, self._requests)
+        if self._synced == fingerprint:
+            return
+        for i in frozen:
+            self._heap.set(i.id, (self._base_priority(i), i.id), i)
+        self._synced = fingerprint
 
     def choose_victim(self, frozen, now):
         if not frozen:
             return None
-        victim = min(frozen, key=self.priority)
-        # The greedy-dual aging step: the clock rises to the evicted
-        # priority, so long-cached entries eventually become evictable.
-        self.clock = self.priority(victim)
+        if _use_heap(self, frozen):
+            self._sync(frozen)
+            entry = self._heap.peek()
+            victim = entry[1] if entry is not None else None
+        else:
+            victim = min(frozen, key=lambda i: (self._base_priority(i), i.id))
+        if victim is not None:
+            # The greedy-dual aging step: the clock rises to the evicted
+            # priority, so long-cached entries eventually become evictable.
+            self.clock = self.priority(victim)
         return victim
 
     def proactive_victims(self, frozen, now):
@@ -140,6 +206,13 @@ class HybridHistogramKeepAlive:
     max_window: float = 600.0
     _last_arrival: Dict[str, float] = field(default_factory=dict)
     _intervals: Dict[str, List[float]] = field(default_factory=dict)
+    _fastpath: bool = field(default_factory=fastpath.enabled)
+    _heap: LazyHeap = field(default_factory=lambda: LazyHeap(_is_frozen))
+    _synced: Optional[int] = None
+    #: base function name -> frozen members last keyed under that base,
+    #: so a request (which may resize that function's window) re-keys
+    #: exactly the affected members instead of invalidating the heap.
+    _by_base: Dict[str, Dict[int, FunctionInstance]] = field(default_factory=dict)
 
     def on_request(self, function: str, now: float) -> None:
         last = self._last_arrival.get(function)
@@ -148,6 +221,16 @@ class HybridHistogramKeepAlive:
             if len(self._intervals[function]) > 512:
                 self._intervals[function] = self._intervals[function][-512:]
         self._last_arrival[function] = now
+        members = self._by_base.get(function)
+        if members:
+            stale = []
+            for iid, instance in members.items():
+                if instance.state is InstanceState.FROZEN:
+                    self._heap.set(iid, self._deadline_key(instance), instance)
+                else:
+                    stale.append(iid)
+            for iid in stale:
+                del members[iid]
 
     def window(self, function: str) -> float:
         """The keep-alive window for a function."""
@@ -162,10 +245,54 @@ class HybridHistogramKeepAlive:
         base = instance.spec.name.split(".")[0]
         return instance.frozen_for(now) - self.window(base)
 
+    def _deadline(self, instance: FunctionInstance, now: float) -> float:
+        """When the instance's keep-alive window expires.  Both selection
+        paths rank by this (not by :meth:`_expiry`) so they cannot break
+        float-rounding ties differently; for frozen instances it is also
+        ``now``-free, which is what makes it heap-cacheable."""
+        base = instance.spec.name.split(".")[0]
+        if instance.frozen_since is None:
+            return now + self.window(base)  # not frozen: never expired
+        return instance.frozen_since + self.window(base)
+
+    def _deadline_key(self, instance: FunctionInstance) -> tuple:
+        return (self._deadline(instance, 0.0), instance.id)
+
+    def _sync(self, frozen) -> None:
+        if self._synced == frozen.adds:
+            return
+        for i in frozen:
+            base = i.spec.name.split(".")[0]
+            self._by_base.setdefault(base, {})[i.id] = i
+            self._heap.set(i.id, self._deadline_key(i), i)
+        self._synced = frozen.adds
+
     def choose_victim(self, frozen, now):
         if not frozen:
             return None
-        return max(frozen, key=lambda i: self._expiry(i, now))
+        if _use_heap(self, frozen):
+            self._sync(frozen)
+            entry = self._heap.peek()
+            return entry[1] if entry is not None else None
+        # Earliest deadline = most expired window (now is a common offset).
+        return min(frozen, key=lambda i: (self._deadline(i, now), i.id))
 
     def proactive_victims(self, frozen, now):
-        return [i for i in frozen if self._expiry(i, now) > 0]
+        if _use_heap(self, frozen):
+            self._sync(frozen)
+            victims = []
+            popped = []
+            while True:
+                entry = self._heap.peek()
+                if entry is None or entry[0][0] >= now:
+                    break
+                popped.append(self._heap.pop())
+            for key, instance in popped:
+                self._heap.set(instance.id, key, instance)
+                victims.append(instance)
+            victims.sort(key=lambda i: i.id)
+            return victims
+        return sorted(
+            (i for i in frozen if self._deadline(i, now) < now),
+            key=lambda i: i.id,
+        )

@@ -1,0 +1,95 @@
+"""A lazy-deletion priority queue for eviction policies.
+
+Keep-alive policies rank the frozen set by a priority formula and
+repeatedly ask for the minimum.  Scanning the whole set per query is
+O(F); this heap makes the common cases cheap:
+
+* a *removal* (thaw, eviction) costs nothing -- the entry simply stops
+  validating and is skipped when it reaches the top;
+* a *re-key* pushes a fresh entry and invalidates the old one by key
+  mismatch;
+* a *peek* pops stale entries lazily, so its amortized cost is bounded
+  by the pushes that created them.
+
+Entries are ``(key, ident)`` pairs; keys are tuples ending in the
+instance id, so ordering is total and deterministic.  ``valid`` is the
+policy's membership predicate (normally "still frozen"): it is what
+lets removals be free.  The heap compacts itself when stale entries
+outnumber live ones, so memory stays proportional to the live set.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class LazyHeap:
+    """Min-heap over ``(key, ident)`` with lazy deletion.
+
+    ``ident`` is any hashable identity (instance id); ``member`` is the
+    payload returned by :meth:`peek`.  An entry is live while its key
+    matches the last :meth:`set` for its ident *and* ``valid(member)``
+    holds.
+    """
+
+    def __init__(self, valid: Callable[[Any], bool]) -> None:
+        self._valid = valid
+        self._heap: List[Tuple[Any, Any]] = []
+        self._keys: Dict[Any, Any] = {}
+        self._members: Dict[Any, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def set(self, ident: Any, key: Any, member: Any) -> None:
+        """Insert or re-key a member (a no-op when the key is unchanged)."""
+        if self._keys.get(ident) == key:
+            return
+        self._keys[ident] = key
+        self._members[ident] = member
+        heapq.heappush(self._heap, (key, ident))
+        self._maybe_compact()
+
+    def remove(self, ident: Any) -> None:
+        """Forget a member eagerly (lazy removal via ``valid`` also works)."""
+        self._keys.pop(ident, None)
+        self._members.pop(ident, None)
+
+    def peek(self) -> Optional[Tuple[Any, Any]]:
+        """The smallest live ``(key, member)``, or None when empty."""
+        heap = self._heap
+        while heap:
+            key, ident = heap[0]
+            member = self._members.get(ident)
+            current = member is not None and self._keys.get(ident) == key
+            if current and self._valid(member):
+                return key, member
+            heapq.heappop(heap)
+            if current:
+                # The entry was this member's current key but the member
+                # itself left the tracked population: purge it.
+                del self._keys[ident]
+                del self._members[ident]
+        return None
+
+    def pop(self) -> Optional[Tuple[Any, Any]]:
+        """Remove and return the smallest live ``(key, member)``."""
+        entry = self.peek()
+        if entry is None:
+            return None
+        key, ident = self._heap[0]
+        heapq.heappop(self._heap)
+        del self._keys[ident]
+        del self._members[ident]
+        return entry
+
+    def _maybe_compact(self) -> None:
+        if len(self._heap) <= 4 * len(self._keys) + 64:
+            return
+        for ident, member in list(self._members.items()):
+            if not self._valid(member):
+                del self._members[ident]
+                del self._keys[ident]
+        self._heap = [(key, ident) for ident, key in self._keys.items()]
+        heapq.heapify(self._heap)

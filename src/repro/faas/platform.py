@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 
 from typing import TYPE_CHECKING
 
+from repro import fastpath
 from repro.mem.layout import GIB, MIB
 from repro.mem.physical import PhysicalMemory
 from repro.faas.cgroup import CpuAccountant
@@ -122,6 +123,29 @@ class RequestOutcome:
     @property
     def latency(self) -> float:
         return self.finished - self.request.arrival
+
+
+class VersionedList(list):
+    """A list with explicit change counters so consumers can cache.
+
+    ``version`` counts membership changes (an instance entering or
+    leaving the frozen set); ``adds`` counts only the entries (lazy
+    consumers handle removals for free by validating members, so they
+    resync on ``adds`` alone); ``state_version`` additionally counts
+    in-place changes to members' memory state (a frozen instance's
+    address space going dirty, which moves its USS and hence any
+    size-dependent eviction priority).  The platform bumps all three
+    manually; otherwise this is a plain list, so existing policy code
+    that only iterates keeps working unchanged.
+    """
+
+    __slots__ = ("version", "adds", "state_version")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.version = 0
+        self.adds = 0
+        self.state_version = 0
 
 
 @dataclass
@@ -273,6 +297,24 @@ class FaasPlatform:
         self.evictions = 0
         self.overcommits = 0
         self._last_event_time = 0.0
+        #: Incremental bookkeeping (fast path).  Instead of summing every
+        #: instance's USS on each query -- the dominant cost of macro-scale
+        #: replays, paid before *every* manager step -- the platform keeps
+        #: running integer totals and a dirty set of instances whose memory
+        #: changed since they were last folded in.  Integer adds/subtracts
+        #: are exact and order-independent, so the totals match the slow
+        #: path's fresh sums bit for bit.
+        self._fastpath = fastpath.enabled()
+        self._tracked: Dict[int, FunctionInstance] = {}
+        self._uss_cache: Dict[int, int] = {}
+        self._uss_total = 0
+        self._frozen_uss_total = 0
+        self._frozen_ids: Dict[int, None] = {}
+        self._frozen_list = VersionedList()
+        self._dirty: Dict[int, FunctionInstance] = {}
+        #: Monotone counter over every bookkeeping change; cached consumers
+        #: (Desiccant's ranked candidate index) fold it into fingerprints.
+        self.change_epoch = 0
         #: Bus plumbing: the eviction policy's request bookkeeping and the
         #: memory manager's hooks both attach as subscribers -- nothing
         #: calls them directly.
@@ -301,6 +343,83 @@ class FaasPlatform:
     def now(self, value: float) -> None:
         self.kernel.clock.reset(value)
 
+    # ------------------------------------------------- incremental tracking
+
+    def _register_instance(self, instance: FunctionInstance) -> None:
+        """Hook a new instance into the incremental aggregates: watch its
+        state transitions (frozen-set membership) and its address space's
+        change counter (USS drift), and queue it for the first fold-in."""
+        if not self._fastpath:
+            return
+        self._tracked[instance.id] = instance
+        instance.state_listener = self._on_instance_state
+        instance.runtime.space.change_listener = self._space_dirtier(instance)
+        self._mark_dirty(instance)
+
+    def _unregister_instance(self, instance: FunctionInstance) -> None:
+        if not self._fastpath:
+            return
+        self._tracked.pop(instance.id, None)
+        instance.state_listener = None
+        instance.runtime.space.change_listener = None
+        # The next flush sees the id untracked and drops its cached USS.
+        self._dirty[instance.id] = instance
+        self.change_epoch += 1
+
+    def _space_dirtier(self, instance: FunctionInstance):
+        def _on_change() -> None:
+            self._mark_dirty(instance)
+
+        return _on_change
+
+    def _mark_dirty(self, instance: FunctionInstance) -> None:
+        self._dirty[instance.id] = instance
+        if instance.id in self._frozen_ids:
+            # A frozen member's USS moved: size-keyed eviction priorities
+            # are stale even though membership is unchanged.
+            self._frozen_list.state_version += 1
+        self.change_epoch += 1
+
+    def _on_instance_state(
+        self,
+        instance: FunctionInstance,
+        previous: InstanceState,
+        value: InstanceState,
+    ) -> None:
+        cached = self._uss_cache.get(instance.id, 0)
+        if previous is InstanceState.FROZEN and instance.id in self._frozen_ids:
+            del self._frozen_ids[instance.id]
+            self._frozen_list.remove(instance)
+            self._frozen_list.version += 1
+            self._frozen_uss_total -= cached
+        if value is InstanceState.FROZEN:
+            self._frozen_ids[instance.id] = None
+            self._frozen_list.append(instance)
+            self._frozen_list.version += 1
+            self._frozen_list.adds += 1
+            self._frozen_uss_total += cached
+        self._dirty[instance.id] = instance
+        self.change_epoch += 1
+
+    def _flush_dirty(self) -> None:
+        """Fold dirty instances into the totals: subtract each one's USS
+        as last counted, re-measure, add back (unless untracked)."""
+        if not self._dirty:
+            return
+        dirty, self._dirty = self._dirty, {}
+        for iid, instance in dirty.items():
+            previous = self._uss_cache.pop(iid, 0)
+            self._uss_total -= previous
+            frozen = iid in self._frozen_ids
+            if frozen:
+                self._frozen_uss_total -= previous
+            if iid in self._tracked:
+                current = instance.uss()
+                self._uss_cache[iid] = current
+                self._uss_total += current
+                if frozen:
+                    self._frozen_uss_total += current
+
     # ----------------------------------------------------------- accounting
 
     @property
@@ -311,24 +430,34 @@ class FaasPlatform:
         return [i for pool in self._instances.values() for i in pool]
 
     def frozen_instances(self) -> List[FunctionInstance]:
+        if self._fastpath:
+            # The maintained membership list (live, versioned).  Its order
+            # is freeze order, not pool order; every consumer breaks ties
+            # by instance id, so the two orders are indistinguishable.
+            return self._frozen_list
         return [
             i for i in self.all_instances() if i.state is InstanceState.FROZEN
         ]
 
     def frozen_bytes(self) -> int:
         """Accumulated USS of frozen instances (what Desiccant watches)."""
+        if self._fastpath:
+            self._flush_dirty()
+            return self._frozen_uss_total
         return sum(i.uss() for i in self.frozen_instances())
 
     def evictable_instances(self) -> List[FunctionInstance]:
         """Instances the cache may destroy: frozen ones always; under the
         keep-warm policy, idle (unpaused but not running) ones too."""
-        evictable = self.frozen_instances()
-        if self.config.idle_policy == "keep-warm":
-            evictable += [
-                i
-                for i in self.all_instances()
-                if i.state is InstanceState.IDLE and i.invocation_count > 0
-            ]
+        frozen = self.frozen_instances()
+        if self.config.idle_policy != "keep-warm":
+            return frozen
+        evictable = list(frozen)
+        evictable += [
+            i
+            for i in self.all_instances()
+            if i.state is InstanceState.IDLE and i.invocation_count > 0
+        ]
         return evictable
 
     def active_instances(self) -> List[FunctionInstance]:
@@ -345,6 +474,9 @@ class FaasPlatform:
         memory consumption -- that is what lets reclaimed instances pack
         more densely into the cache.
         """
+        if self._fastpath:
+            self._flush_dirty()
+            return self._uss_total
         return sum(i.uss() for i in self.all_instances())
 
     def available_for_launch(self) -> int:
@@ -355,7 +487,11 @@ class FaasPlatform:
         minus what running instances use, minus one launch budget of
         headroom.  Desiccant's activation fraction is measured against
         this, so it engages before eviction pressure does."""
-        active = sum(i.uss() for i in self.active_instances())
+        if self._fastpath:
+            self._flush_dirty()
+            active = self._uss_total - self._frozen_uss_total
+        else:
+            active = sum(i.uss() for i in self.active_instances())
         return max(1, self.capacity_bytes - self.config.instance_memory - active)
 
     def idle_cpu_share(self) -> float:
@@ -385,6 +521,7 @@ class FaasPlatform:
                         ),
                         seed=self.config.seed + k,
                     )
+                    self._register_instance(instance)
                     self.cpu.charge("cold_boot", instance.boot(0.0))
                     instance.freeze(0.0)
                     pool.append(instance)
@@ -409,7 +546,15 @@ class FaasPlatform:
 
     def _emit(self, kind: str, **data) -> float:
         """Publish a structured event for this node; returns the summed
-        CPU seconds the subscribers reported."""
+        CPU seconds the subscribers reported.
+
+        On the fast path the bus skips constructing and dispatching
+        events nobody subscribed to (it still consumes a sequence
+        number, so traces that attach mid-run see identical seqs)."""
+        if self._fastpath:
+            return self.bus.publish_lazy(
+                kind, self.now, self.node_id, lambda: data
+            )
         return self.bus.publish(Event(kind, self.now, self.node_id, data))
 
     # --------------------------------------------------------------- events
@@ -502,6 +647,7 @@ class FaasPlatform:
             elif self.config.idle_policy == "destroy":
                 instance.destroy(self.now)
                 self._instances[instance.spec.name].remove(instance)
+                self._unregister_instance(instance)
             elif self.config.idle_policy == "snapshot":
                 instance.snapshot(self.now)
             # keep-warm: the instance simply stays IDLE (threads running).
@@ -573,6 +719,7 @@ class FaasPlatform:
             shared_files=self._library_pool.files if self._library_pool else None,
             seed=self.config.seed,
         )
+        self._register_instance(instance)
         boot_cpu = instance.boot(self.now)
         self.cpu.charge("cold_boot", boot_cpu)
         pool.append(instance)
@@ -648,6 +795,7 @@ class FaasPlatform:
         )
         instance.destroy(self.now)
         self._instances[instance.spec.name].remove(instance)
+        self._unregister_instance(instance)
         self.evictions += 1
 
     # -------------------------------------------------------------- helpers

@@ -12,6 +12,7 @@ sparklines for quick inspection in examples.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -43,12 +44,21 @@ class TelemetryRecorder:
 
     platform: FaasPlatform
     interval: float = 1.0
+    #: Retain at most this many samples (``None`` = unbounded).  Macro
+    #: replays sample for hours of simulated time; a bounded ring keeps
+    #: recorder memory flat while every snapshot still goes out as a
+    #: ``sample`` bus event for streaming consumers (trace sinks).
+    max_samples: Optional[int] = None
     samples: List[TelemetrySample] = field(default_factory=list)
     _next_sample_at: float = 0.0
 
     def __post_init__(self) -> None:
         if self.interval <= 0:
             raise ValueError("interval must be positive")
+        if self.max_samples is not None:
+            if self.max_samples <= 0:
+                raise ValueError("max_samples must be positive")
+            self.samples = deque(self.samples, maxlen=self.max_samples)
         self._subscription = self.platform.bus.subscribe(
             self._on_step, kinds=(STEP,), node=self.platform.node_id
         )
@@ -116,7 +126,9 @@ class TelemetryRecorder:
             "evictions",
             "activation_threshold",
         ]
-        rows = [
+        # Generator, not list: rows stream straight into the csv writer,
+        # so exporting never doubles the recorder's footprint.
+        rows = (
             [
                 f"{s.time:.3f}",
                 s.frozen_bytes,
@@ -128,7 +140,7 @@ class TelemetryRecorder:
                 "" if s.activation_threshold is None else f"{s.activation_threshold:.3f}",
             ]
             for s in self.samples
-        ]
+        )
         return write_csv(path, headers, rows)
 
 

@@ -1,0 +1,53 @@
+"""The one switch for every algorithmic fast path in the repo.
+
+PR 2 proved the pattern at the VMM layer: keep the slow, obviously
+correct implementation as a reference, build the fast one next to it,
+and differential-test the two.  This module generalizes the toggle so
+the *platform* layers (indexed event dispatch, cohort heap allocation,
+incremental USS aggregates, heap-based eviction policies, Desiccant's
+candidate index) can be flipped as one unit:
+
+* benchmarks run the same spec twice -- fastpath off is the committed
+  pre-optimization baseline, fastpath on is the optimized build -- and
+  assert byte-identical event traces between the two;
+* differential tests pin fast results to slow results per component.
+
+The flag is read from ``REPRO_FASTPATH`` (unset/"1" = on, ""/"0" = off)
+the first time :func:`enabled` is called; :func:`set_enabled` and the
+:func:`override` context manager change it afterwards.  Components
+snapshot the flag when they are constructed, so toggling mid-simulation
+never mixes modes within one run.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+_enabled: Optional[bool] = None
+
+
+def enabled() -> bool:
+    """Whether fast paths are active (defaults to on)."""
+    global _enabled
+    if _enabled is None:
+        _enabled = os.environ.get("REPRO_FASTPATH", "1") not in ("", "0")
+    return _enabled
+
+
+def set_enabled(value: bool) -> None:
+    """Force the flag, overriding the environment."""
+    global _enabled
+    _enabled = bool(value)
+
+
+@contextmanager
+def override(value: bool) -> Iterator[None]:
+    """Temporarily force the flag (tests and paired benchmark runs)."""
+    previous = enabled()
+    set_enabled(value)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, FrozenSet
+from typing import Callable, Dict, FrozenSet
 
 from repro.mem.layout import PAGE_SIZE, pages_in
 from repro.mem.runlist import RunList
@@ -104,6 +104,30 @@ class MappedFile:
         self._pss: Dict[int, Fraction] = {}
         #: Pages currently resident in the cache.
         self._resident = 0
+        #: Per-mapping change callbacks (see :meth:`watch`).
+        self._watchers: Dict[int, Callable[[], None]] = {}
+
+    # ------------------------------------------------------------- watchers
+
+    def watch(self, mapping_id: int, callback: Callable[[], None]) -> None:
+        """Call ``callback`` whenever *another* mapping's touch/untouch
+        changes ``mapping_id``'s solo-page count.
+
+        That is the only way a mapping's USS can move without an
+        operation on its own address space (its private_clean bucket
+        flips when a page gains or loses its last co-sharer), so the
+        callback is exactly the cross-space cache-invalidation signal
+        :class:`~repro.mem.vmm.VirtualAddressSpace` needs.
+        """
+        self._watchers[mapping_id] = callback
+
+    def unwatch(self, mapping_id: int) -> None:
+        self._watchers.pop(mapping_id, None)
+
+    def _notify(self, mapping_id: int) -> None:
+        watcher = self._watchers.get(mapping_id)
+        if watcher is not None:
+            watcher()
 
     @property
     def num_pages(self) -> int:
@@ -163,6 +187,7 @@ class MappedFile:
                 if k == 1:
                     (other,) = holders
                     solo[other] = solo.get(other, 0) - n
+                    self._notify(other)
                 pss[mapping_id] = pss.get(mapping_id, _ZERO) + Fraction(n, k + 1)
                 pieces.append((s, e, holders | {mapping_id}))
         if changed:
@@ -200,6 +225,7 @@ class MappedFile:
                 if k == 2:
                     (other,) = rest
                     solo[other] = solo.get(other, 0) + n
+                    self._notify(other)
                 pieces.append((s, e, rest))
         if changed:
             self._holders.splice(first, last, pieces)

@@ -28,7 +28,7 @@ import enum
 import itertools
 from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.mem.layout import (
     PAGE_SIZE,
@@ -261,15 +261,42 @@ class VirtualAddressSpace:
         self._bump = mmap_base
         self.faults = FaultCounts()
         self.closed = False
-        #: Bumped on any residency/mapping change; accounting caches on it.
-        #: Touch operations bump it by the number of pages that changed
-        #: state, releases by one per releasing call -- the same cadence as
-        #: the per-page implementation this replaces.
-        self.version = 0
+        self._version = 0
         #: Bumped only when resident pages are *released* (discard, swap,
         #: uncommit, munmap); runtimes use it to skip re-touching data that
         #: cannot have gone away.
         self.release_epoch = 0
+        #: Bumped when *another* space's operation changes this space's
+        #: USS (a shared file page gaining/losing its last co-sharer);
+        #: fed by :meth:`MappedFile.watch` callbacks.  Caches that depend
+        #: on USS must key on ``(version, external_version)``.
+        self.external_version = 0
+        #: Optional zero-argument callback fired whenever ``version`` or
+        #: ``external_version`` moves; the platform uses it for dirty-set
+        #: incremental aggregation.
+        self.change_listener: Optional[Callable[[], None]] = None
+
+    @property
+    def version(self) -> int:
+        """Bumped on any residency/mapping change; accounting caches on
+        it.  Touch operations bump it by the number of pages that changed
+        state, releases by one per releasing call -- the same cadence as
+        the per-page implementation this replaces."""
+        return self._version
+
+    @version.setter
+    def version(self, value: int) -> None:
+        if value == self._version:
+            return
+        self._version = value
+        if self.change_listener is not None:
+            self.change_listener()
+
+    def _on_file_change(self) -> None:
+        """A shared file mutated this space's solo-page count from afar."""
+        self.external_version += 1
+        if self.change_listener is not None:
+            self.change_listener()
 
     # ------------------------------------------------------------------ maps
 
@@ -314,6 +341,8 @@ class VirtualAddressSpace:
                 raise MappingConflict(f"mapping at {addr:#x}+{length:#x} overlaps")
             self._bump = max(self._bump, addr + length + PAGE_SIZE)
         mapping = Mapping(addr, length, prot, name, file, file_offset, shared)
+        if file is not None:
+            file.watch(mapping.id, self._on_file_change)
         self._insert(mapping)
         self.version += 1
         return mapping
@@ -558,6 +587,8 @@ class VirtualAddressSpace:
         insort(self._starts, mapping.start)
 
     def _remove(self, mapping: Mapping) -> None:
+        if mapping.file is not None:
+            mapping.file.unwatch(mapping.id)
         del self._mappings[mapping.start]
         idx = bisect_left(self._starts, mapping.start)
         del self._starts[idx]
@@ -608,6 +639,8 @@ class VirtualAddressSpace:
             mapping.file_offset + head_len if mapping.file else 0,
             mapping.shared,
         )
+        if tail.file is not None:
+            tail.file.watch(tail.id, self._on_file_change)
         split_page = head_len >> PAGE_SHIFT
         tail_pieces: List[Tuple[int, int, PageState]] = []
         n_anon = n_file = n_swapped = 0

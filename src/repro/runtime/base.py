@@ -20,10 +20,18 @@ import abc
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import fastpath
 from repro.mem.accounting import measure, measure_mapping
-from repro.mem.layout import MIB, PROT_RX, Protection, page_ceil, page_floor
+from repro.mem.layout import (
+    MIB,
+    PAGE_SHIFT,
+    PROT_RX,
+    Protection,
+    page_ceil,
+    page_floor,
+)
 from repro.mem.physical import MappedFile, PhysicalMemory
-from repro.mem.vmm import Mapping, VirtualAddressSpace
+from repro.mem.vmm import Mapping, PageState, VirtualAddressSpace
 from repro.runtime import costs
 from repro.runtime.object_model import ObjectGraph
 
@@ -93,6 +101,12 @@ class ReclaimOutcome:
     uss_before: int
     uss_after: int
     aggressive: bool = False
+    #: Bytes of fresh pages the reclaim's GC faulted in while evacuating
+    #: survivors (promotions into newly materialized old-space pages,
+    #: including unreleasable chunk/region header pages).  The vacated
+    #: young pages are released separately, so a reclaim may end up to
+    #: this much *above* its starting USS without having leaked anything.
+    evacuated_bytes: int = 0
 
 
 @dataclass
@@ -145,6 +159,13 @@ class ManagedRuntime(abc.ABC):
         #: ``space.release_epoch`` as of the last full :meth:`touch_live_data`
         #: walk; ``None`` until the first walk completes.
         self._live_touch_epoch: Optional[int] = None
+        #: Fast-path snapshot (never flips mid-run) plus the measurement
+        #: caches it gates: ``(key, value)`` pairs keyed on the space's
+        #: change counters, so repeated USS reads between mutations are
+        #: O(1) instead of O(mappings).
+        self._fastpath = fastpath.enabled()
+        self._uss_cache: Optional[Tuple[Tuple[int, int], int]] = None
+        self._hrb_cache: Optional[Tuple[int, int]] = None
 
     # ------------------------------------------------------------------ boot
 
@@ -255,6 +276,101 @@ class ManagedRuntime(abc.ABC):
             self._place(oid)
         return oid
 
+    def alloc_cohort(
+        self, count: int, unit: int, scope: str = "frame"
+    ) -> List[int]:
+        """Allocate ``count`` objects of ``unit`` bytes, rooted per ``scope``.
+
+        Semantically identical to calling :meth:`alloc` ``count`` times --
+        and that is literally what happens off the fast path or when the
+        runtime cannot batch this unit size.  On the fast path the run is
+        folded into :class:`~repro.runtime.object_model.CohortObject`
+        segments placed with one graph node and one bulk page touch per
+        segment, while GC trigger points, collected volumes, and the
+        per-member fault-cost accumulation order are preserved exactly:
+        both paths produce byte-identical event traces.
+
+        Returns the allocated object ids (segment ids on the fast path).
+        """
+        self._check_booted()
+        if count <= 0:
+            return []
+        if count == 1 or not (self._fastpath and self._supports_cohorts(unit)):
+            return [self.alloc(unit, scope=scope) for _ in range(count)]
+        return self._alloc_cohort_fast(count, unit, scope)
+
+    def _supports_cohorts(self, unit: int) -> bool:
+        """Whether this runtime can bulk-place ``unit``-byte cohorts."""
+        return False
+
+    def _alloc_cohort_fast(self, count: int, unit: int, scope: str) -> List[int]:
+        raise NotImplementedError  # pragma: no cover - guarded by the gate
+
+    def _place_cohort_segment(self, oid: int, scope: str, place) -> None:
+        """Root one segment cohort per ``scope`` and run its placement.
+
+        Mirrors :meth:`alloc`'s routing, including the placement-guard
+        rooting for ephemerals (the site references the run until its
+        placement finishes).
+        """
+        if scope == "frame":
+            self.graph.root_in_frame(oid)
+        elif scope == "persistent":
+            self.graph.root_persistent(oid)
+        elif scope == "weak":
+            self.graph.root_weak(oid)
+        elif scope != "ephemeral":
+            raise ValueError(f"unknown scope {scope!r}")
+        if scope == "ephemeral":
+            self.graph.root_persistent(oid)
+            try:
+                place()
+            finally:
+                self.graph.unroot_persistent(oid)
+        else:
+            place()
+
+    def _touch_cohort_segment(
+        self, mapping: Mapping, addr: int, unit: int, members: int
+    ) -> None:
+        """One bulk touch for a contiguous run, charged per member.
+
+        Fault *costs* accumulate in float arithmetic, so the charging
+        order must match the scalar path: each faulting page is billed to
+        the first member whose page-aligned span covers it (exactly which
+        member would have faulted it in the one-touch-per-object flow),
+        and :meth:`_charge_faults` runs once per member, in order.  The
+        page states are read before the touch; the touch itself is a
+        single VMM splice for the whole run.
+        """
+        start = mapping.start
+        lo = (page_floor(addr) - start) >> PAGE_SHIFT
+        hi = (page_ceil(addr + members * unit) - start) >> PAGE_SHIFT
+        # Prefix-sum the pending faults over the run's page window.
+        minor_at = [0] * (hi - lo + 1)
+        major_at = [0] * (hi - lo + 1)
+        for s, e, state in mapping.segments(lo, hi):
+            if state is PageState.NOT_PRESENT or state is PageState.FILE_CLEAN:
+                for page in range(s, e):
+                    minor_at[page - lo + 1] = 1
+            elif state is PageState.SWAPPED:
+                for page in range(s, e):
+                    major_at[page - lo + 1] = 1
+        for i in range(1, len(minor_at)):
+            minor_at[i] += minor_at[i - 1]
+            major_at[i] += major_at[i - 1]
+        self.space.touch(addr, members * unit)
+        next_page = lo
+        for j in range(members):
+            a = addr + j * unit
+            m_lo = max((page_floor(a) - start) >> PAGE_SHIFT, next_page)
+            m_hi = (page_ceil(a + unit) - start) >> PAGE_SHIFT
+            next_page = m_hi
+            self._charge_faults(
+                minor_at[m_hi - lo] - minor_at[m_lo - lo],
+                major_at[m_hi - lo] - major_at[m_lo - lo],
+            )
+
     def free_persistent(self, oid: int) -> None:
         """Drop a persistent root (cached state handed off / invalidated)."""
         self.graph.unroot_persistent(oid)
@@ -285,15 +401,40 @@ class ManagedRuntime(abc.ABC):
     # ------------------------------------------------------------- metrics
 
     def uss(self) -> int:
-        """The instance's unique set size (the paper's headline metric)."""
-        return measure(self.space).uss
+        """The instance's unique set size (the paper's headline metric).
+
+        Cached on ``(space.version, space.external_version)``: the first
+        covers every operation on this space, the second covers shared
+        file pages whose last co-sharer appeared or vanished from another
+        space (the only remote influence on USS).
+        """
+        if not self._fastpath:
+            return measure(self.space).uss
+        key = (self.space.version, self.space.external_version)
+        cached = self._uss_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        value = measure(self.space).uss
+        self._uss_cache = (key, value)
+        return value
 
     def heap_resident_bytes(self) -> int:
         """Resident bytes inside the heap range (what ``pmap`` reports for
-        the address range the instance registered, §4.5.2)."""
+        the address range the instance registered, §4.5.2).
+
+        RSS counts resident pages regardless of sharing, so remote
+        sharer transitions cannot move it: caching on ``space.version``
+        alone is exact.
+        """
+        if self._fastpath:
+            cached = self._hrb_cache
+            if cached is not None and cached[0] == self.space.version:
+                return cached[1]
         total = 0
         for mapping in self._heap_mappings():
             total += measure_mapping(mapping).rss
+        if self._fastpath:
+            self._hrb_cache = (self.space.version, total)
         return total
 
     @abc.abstractmethod

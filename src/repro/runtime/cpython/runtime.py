@@ -96,6 +96,63 @@ class CPythonRuntime(ManagedRuntime):
         self._large[oid] = mapping
         self._allocated_since_gc += size
 
+    def _supports_cohorts(self, unit: int) -> bool:
+        cfg: CPythonConfig = self.config  # type: ignore[assignment]
+        return unit < cfg.large_object_threshold
+
+    def _alloc_cohort_fast(self, count: int, unit: int, scope: str) -> List[int]:
+        """Place a run of small objects segment by segment.
+
+        Each segment is the longest prefix that the scalar path would
+        place with no intervening event: it must fit the chunk the bump
+        allocator would pick, stay under the GC byte threshold, and not
+        flip the budget check.  A member that *would* trigger one of
+        those goes through :meth:`~ManagedRuntime.alloc` unbatched, so
+        the collection it causes sees exactly the scalar path's graph
+        (the triggering object allocated and rooted, earlier segments
+        dead or live per their scope).
+        """
+        cfg: CPythonConfig = self.config  # type: ignore[assignment]
+        oids: List[int] = []
+        placed = 0
+        while placed < count:
+            if self._allocated_since_gc >= cfg.gc_threshold_bytes or self._over_budget(unit):
+                oids.append(self.alloc(unit, scope=scope))
+                placed += 1
+                continue
+            # Longest run before the next member would trip the GC-bytes
+            # threshold check (member j's check reads allocated + j*unit).
+            members = min(
+                count - placed,
+                1 + (cfg.gc_threshold_bytes - self._allocated_since_gc - 1) // unit,
+            )
+            chunk = None
+            for candidate in reversed(self._arenas.chunks):
+                if candidate.fits(unit):
+                    chunk = candidate
+                    break
+            if chunk is None:
+                members = min(members, self._arenas.payload // unit)
+                large = sum(m.length for m in self._large.values())
+                if self._arenas.committed + self._arenas.chunk_size + large + unit > cfg.max_heap:
+                    # Opening the chunk flips the budget check; only the
+                    # opener goes in before the scalar flow re-collects.
+                    members = 1
+            else:
+                members = min(members, chunk.free // unit)
+            oid = self.graph.new_cohort(members, unit)
+
+            def place(oid: int = oid, members: int = members) -> None:
+                chunk, offset, _new = self._arenas.allocate(oid, members * unit)
+                addr = chunk.mapping.start + PAGE_SIZE + offset
+                self._touch_cohort_segment(chunk.mapping, addr, unit, members)
+                self._allocated_since_gc += members * unit
+
+            self._place_cohort_segment(oid, scope, place)
+            oids.append(oid)
+            placed += members
+        return oids
+
     def _over_budget(self, incoming: int) -> bool:
         cfg: CPythonConfig = self.config  # type: ignore[assignment]
         large = sum(m.length for m in self._large.values())

@@ -105,6 +105,53 @@ class GoRuntime(ManagedRuntime):
         self._charge_faults(counts.minor, counts.major)
         self._large[oid] = mapping
 
+    def _supports_cohorts(self, unit: int) -> bool:
+        cfg: GoConfig = self.config  # type: ignore[assignment]
+        return unit < cfg.large_object_threshold
+
+    def _alloc_cohort_fast(self, count: int, unit: int, scope: str) -> List[int]:
+        """Segment-wise bulk placement; see the CPython twin for the
+        scheme.  The difference is the trigger: Go's pacer compares
+        ``heap_used + size`` against the GOGC target before every
+        placement, and heap_used grows with each member, so the segment
+        bound solves ``used + m * unit < next_gc`` instead of reading a
+        since-last-GC counter."""
+        cfg: GoConfig = self.config  # type: ignore[assignment]
+        oids: List[int] = []
+        placed = 0
+        while placed < count:
+            if self._heap_used() + unit >= self._next_gc or self._over_budget(unit):
+                oids.append(self.alloc(unit, scope=scope))
+                placed += 1
+                continue
+            members = min(
+                count - placed,
+                (self._next_gc - self._heap_used() - 1) // unit,
+            )
+            chunk = None
+            for candidate in reversed(self._arenas.chunks):
+                if candidate.fits(unit):
+                    chunk = candidate
+                    break
+            if chunk is None:
+                members = min(members, self._arenas.payload // unit)
+                large = sum(m.length for m in self._large.values())
+                if self._arenas.committed + self._arenas.chunk_size + large + unit > cfg.max_heap:
+                    members = 1
+            else:
+                members = min(members, chunk.free // unit)
+            oid = self.graph.new_cohort(members, unit)
+
+            def place(oid: int = oid, members: int = members) -> None:
+                chunk, offset, _new = self._arenas.allocate(oid, members * unit)
+                addr = chunk.mapping.start + PAGE_SIZE + offset
+                self._touch_cohort_segment(chunk.mapping, addr, unit, members)
+
+            self._place_cohort_segment(oid, scope, place)
+            oids.append(oid)
+            placed += members
+        return oids
+
     def _heap_used(self) -> int:
         return self._arenas.used + sum(m.length for m in self._large.values())
 

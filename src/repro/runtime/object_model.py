@@ -33,6 +33,32 @@ class HeapObject:
         if self.size <= 0:
             raise ValueError(f"object size must be positive, got {self.size}")
 
+    @property
+    def member_count(self) -> int:
+        """How many mutator-visible objects this node stands for."""
+        return 1
+
+
+@dataclass
+class CohortObject(HeapObject):
+    """A run of ``count`` same-sized temporaries folded into one node.
+
+    Workload models allocate long runs of identical objects that live and
+    die together (one invocation's temporaries); representing each run as
+    a single contiguous node keeps graph, GC, and placement costs
+    O(cohorts) instead of O(objects).  ``size == count * unit`` always
+    holds, so every byte-based query (live bytes, sweep volume, page
+    masks) is exactly what the equivalent individual objects would give;
+    ``member_count`` keeps object *counts* exact too.
+    """
+
+    count: int = 1
+    unit: int = 0
+
+    @property
+    def member_count(self) -> int:
+        return self.count
+
 
 class ObjectGraph:
     """Object table plus root sets, with reachability tracing.
@@ -57,6 +83,16 @@ class ObjectGraph:
         for child in ref_list:
             self._require(child)
         self.objects[oid] = HeapObject(oid, size, ref_list)
+        return oid
+
+    def new_cohort(self, count: int, unit: int) -> int:
+        """Create one node standing for ``count`` objects of ``unit`` bytes."""
+        if count <= 0:
+            raise ValueError(f"cohort count must be positive, got {count}")
+        if unit <= 0:
+            raise ValueError(f"cohort unit must be positive, got {unit}")
+        oid = next(self._ids)
+        self.objects[oid] = CohortObject(oid, count * unit, [], 0, count, unit)
         return oid
 
     def add_ref(self, parent: int, child: int) -> None:
@@ -144,14 +180,17 @@ class ObjectGraph:
         """
         dead = [oid for oid in self.objects if oid not in live]
         collected_bytes = 0
+        collected_count = 0
         for oid in dead:
-            collected_bytes += self.objects[oid].size
+            obj = self.objects[oid]
+            collected_bytes += obj.size
+            collected_count += obj.member_count
             del self.objects[oid]
         self.weak_roots &= live
         self.persistent_roots &= live
         for frame in self._frames:
             frame &= live
-        return len(dead), collected_bytes
+        return collected_count, collected_bytes
 
     def total_bytes(self) -> int:
         """Sum of all object sizes, live or not."""

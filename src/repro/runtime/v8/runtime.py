@@ -76,6 +76,10 @@ class V8Runtime(ManagedRuntime):
         #: outgrows it (V8's heap-growing policy).  Reset after each full
         #: collection to a multiple of the live size.
         self._old_limit = 16 * MIB
+        #: Cumulative bytes faulted in by old-space placement (promotion
+        #: data pages); reclaim takes a delta across its GC to report how
+        #: much of any USS growth is evacuation, not a leak.
+        self._evac_fault_bytes = 0
         self.scavenge_count = 0
         self.full_gc_count = 0
 
@@ -151,6 +155,7 @@ class V8Runtime(ManagedRuntime):
                 raise OutOfMemory(f"{self.name}: old space over heap budget")
         chunk, offset, _new = self._old.allocate(oid, size)
         counts = self.space.touch(chunk.mapping.start + PAGE_SIZE + offset, size)
+        self._evac_fault_bytes += (counts.minor + counts.major) * PAGE_SIZE
         self._charge_faults(counts.minor, counts.major)
 
     def _place_large(self, oid: int, size: int) -> None:
@@ -295,9 +300,20 @@ class V8Runtime(ManagedRuntime):
         cfg: V8Config = self.config  # type: ignore[assignment]
         uss_before = self.uss()
         self._young_alloc_since_full_gc = 0  # frozen: no recent allocation
+        evac_base = self._evac_fault_bytes
+        chunks_base = self._old.total_chunks_allocated
         gc_seconds = self._full_gc(aggressive)
         if cfg.compact_on_reclaim:
             gc_seconds += self._compact_old()
+        # Evacuating young survivors into the old space materializes fresh
+        # pages (the promoted data plus each new chunk's metadata page)
+        # while the vacated semispace pages are released below -- so the
+        # reclaim can legitimately end slightly above its starting USS.
+        evacuated_bytes = (
+            self._evac_fault_bytes
+            - evac_base
+            + (self._old.total_chunks_allocated - chunks_base) * PAGE_SIZE
+        )
 
         released_pages = 0
         # The to space is unused until the next scavenge: release it all.
@@ -331,6 +347,7 @@ class V8Runtime(ManagedRuntime):
             uss_before=uss_before,
             uss_after=uss_after,
             aggressive=aggressive,
+            evacuated_bytes=evacuated_bytes,
         )
 
     def _compact_old(self) -> float:
@@ -356,6 +373,7 @@ class V8Runtime(ManagedRuntime):
             counts = self.space.touch(
                 chunk.mapping.start + PAGE_SIZE + offset, size
             )
+            self._evac_fault_bytes += (counts.minor + counts.major) * PAGE_SIZE
             self._charge_faults(counts.minor, counts.major)
             moved += size
         return costs.copy_cost(moved)

@@ -125,21 +125,35 @@ class FunctionModel:
                 self._alloc_volume(runtime, spec.persistent_bytes, "persistent")
         # Interleave short-lived garbage with invocation-scoped data, the
         # way real request handling mixes temporaries and working set.
+        # The per-object draws stay untouched (the jitter stream is part of
+        # the workload's identity); consecutive same-shaped draws are merely
+        # batched into one alloc_cohort call, which the runtime either
+        # unrolls (scalar path) or places as a cohort (fast path).
         eph = self._jittered(spec.ephemeral_bytes)
         frame = self._jittered(spec.frame_bytes)
         total = eph + frame
+        run_scope = ""
+        run_size = 0
+        run_count = 0
         while total > 0:
             scope = "ephemeral" if self._rng.random() < eph / max(1, eph + frame) else "frame"
             size = min(spec.object_size, eph if scope == "ephemeral" else frame)
             if size <= 0:
                 scope = "ephemeral" if eph > 0 else "frame"
                 size = min(spec.object_size, max(eph, frame))
-            runtime.alloc(size, scope=scope)
+            if scope == run_scope and size == run_size:
+                run_count += 1
+            else:
+                if run_count:
+                    runtime.alloc_cohort(run_count, run_size, scope=run_scope)
+                run_scope, run_size, run_count = scope, size, 1
             if scope == "ephemeral":
                 eph -= size
             else:
                 frame -= size
             total = eph + frame
+        if run_count:
+            runtime.alloc_cohort(run_count, run_size, scope=run_scope)
         handoff = None
         if spec.handoff_bytes:
             # Intermediate data stays persistently rooted until the consumer
@@ -169,10 +183,12 @@ class FunctionModel:
 
     def _alloc_volume(self, runtime: ManagedRuntime, volume: int, scope: str) -> None:
         remaining = self._jittered(volume)
-        while remaining > 0:
-            size = min(self.spec.object_size, remaining)
-            runtime.alloc(size, scope=scope)
-            remaining -= size
+        if remaining <= 0:
+            return
+        full, tail = divmod(remaining, self.spec.object_size)
+        runtime.alloc_cohort(full, self.spec.object_size, scope=scope)
+        if tail:
+            runtime.alloc(tail, scope=scope)
 
     def _jittered(self, value: int) -> int:
         if value <= 0:

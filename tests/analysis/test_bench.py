@@ -7,17 +7,33 @@ import json
 import pytest
 
 from repro.analysis.bench import (
+    REPLAY_SIZES,
     BenchSpec,
     build_grid,
+    build_replay_macro,
     compare_micro,
+    compare_replay,
     execute_spec,
     load_baseline,
+    replay_speedups,
     run_benchmarks,
     run_vmm_microbench,
     summarize,
+    verify_trace_identity,
     write_results,
 )
 from repro.cli import main as cli_main
+
+
+def _replay_result(label, wall, sha="a" * 64, events=100):
+    """A synthetic replay run result in the execute_spec shape."""
+    return {
+        "label": label,
+        "spec": {"kind": "replay"},
+        "metrics": {"trace_sha256": sha, "trace_events": events},
+        "wall_seconds": wall,
+        "cpu_seconds": wall,
+    }
 
 
 class TestSpecs:
@@ -112,6 +128,101 @@ class TestBaseline:
 
     def test_missing_baseline_returns_none(self, tmp_path):
         assert load_baseline(tmp_path / "nope.json") is None
+
+
+class TestReplayMacro:
+    def test_build_replay_macro_shape(self):
+        specs = build_replay_macro(sizes=("small", "large"), policies=("vanilla",))
+        assert len(specs) == 4  # 2 sizes x 1 policy x (fast, base)
+        assert all(s.kind == "replay" and s.trace for s in specs)
+        assert sum(1 for s in specs if not s.fastpath) == 2
+        assert len({s.label for s in specs}) == 4
+        assert any(s.label.endswith(":base") for s in specs)
+        fast = next(s for s in specs if s.fastpath)
+        assert fast.scale == REPLAY_SIZES["small"]["scale"]
+
+    def test_fast_only_skips_base_legs(self):
+        specs = build_replay_macro(sizes=("small",), include_base=False)
+        assert all(s.fastpath for s in specs)
+
+    def test_unknown_size_raises(self):
+        with pytest.raises(ValueError, match="unknown replay size"):
+            build_replay_macro(sizes=("enormous",))
+
+    def test_base_leg_label_suffix(self):
+        spec = BenchSpec(kind="replay", policy="vanilla", scale=8.0, fastpath=False)
+        assert spec.label == "replay:vanilla:x8:d20:base"
+
+    def test_verify_trace_identity_passes_on_matching_pair(self):
+        results = [
+            _replay_result("replay:vanilla:x8:d30", 1.0, sha="f" * 64),
+            _replay_result("replay:vanilla:x8:d30:base", 2.0, sha="f" * 64),
+        ]
+        assert verify_trace_identity(results) == []
+
+    def test_verify_trace_identity_flags_divergence(self):
+        results = [
+            _replay_result("replay:vanilla:x8:d30", 1.0, sha="f" * 64),
+            _replay_result("replay:vanilla:x8:d30:base", 2.0, sha="0" * 64),
+        ]
+        failures = verify_trace_identity(results)
+        assert len(failures) == 1 and "diverged" in failures[0]
+
+    def test_verify_trace_identity_skips_unpaired_legs(self):
+        assert verify_trace_identity([_replay_result("replay:vanilla:x8:d30", 1.0)]) == []
+
+    def test_replay_speedups_pairs_legs(self):
+        speedups = replay_speedups(
+            [
+                _replay_result("replay:vanilla:x8:d30", 2.0),
+                _replay_result("replay:vanilla:x8:d30:base", 10.0),
+            ]
+        )
+        entry = speedups["replay:vanilla:x8:d30"]
+        assert entry["speedup"] == 5.0
+        assert entry["base_wall_seconds"] == 10.0
+
+    def test_compare_replay_gates_fast_legs_only(self):
+        baseline = [
+            _replay_result("replay:vanilla:x8:d30", 1.0),
+            _replay_result("replay:vanilla:x8:d30:base", 5.0),
+        ]
+        fine = [
+            _replay_result("replay:vanilla:x8:d30", 1.5),
+            # Base leg got slower: informational, never gated.
+            _replay_result("replay:vanilla:x8:d30:base", 50.0),
+        ]
+        slow = [_replay_result("replay:vanilla:x8:d30", 3.0)]
+        assert compare_replay(fine, baseline, factor=2.0) == []
+        failures = compare_replay(slow, baseline, factor=2.0)
+        assert len(failures) == 1 and "exceeds" in failures[0]
+
+    def test_compare_replay_reports_no_match(self):
+        current = [_replay_result("replay:vanilla:x8:d30", 1.0)]
+        failures = compare_replay(current, [], factor=2.0)
+        assert len(failures) == 1 and "matched" in failures[0]
+
+    def test_summarize_includes_speedups_for_paired_runs(self):
+        doc = summarize(
+            [
+                _replay_result("replay:vanilla:x8:d30", 2.0),
+                _replay_result("replay:vanilla:x8:d30:base", 6.0),
+            ]
+        )
+        assert doc["replay_speedups"]["replay:vanilla:x8:d30"]["speedup"] == 3.0
+
+
+class TestProfile:
+    def test_execute_spec_dumps_profile(self, tmp_path):
+        out = execute_spec(
+            BenchSpec(kind="micro", size_mib=4, repeats=1),
+            profile_dir=str(tmp_path),
+        )
+        prof = tmp_path / "micro_vmm_4mib.prof"
+        listing = tmp_path / "micro_vmm_4mib.txt"
+        assert prof.is_file() and listing.is_file()
+        assert out["profile"] == str(prof)
+        assert "cumulative" in listing.read_text()
 
 
 class TestCli:

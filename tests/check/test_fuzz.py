@@ -66,6 +66,23 @@ class TestRunOps:
         failure, _ = run_ops(ops, check_every=25)
         assert failure is None
 
+    def test_cohort_ops_are_generated_and_run_clean(self):
+        # The alloc_cohort op must actually appear in schedules (it is
+        # weighted into the mix) and survive the oracle sweeps.
+        found = []
+        for seed in range(8):
+            ops = generate_ops(seed, 400)
+            cohorts = [op for op in ops if op["op"] == "alloc_cohort"]
+            if not cohorts:
+                continue
+            found.extend(cohorts)
+            failure, _ = run_ops(ops, check_every=50)
+            assert failure is None, failure
+        assert found, "no alloc_cohort ops in 8 seeds"
+        for op in found:
+            assert op["count"] >= 2 and op["unit"] > 0
+            assert op["scope"] in ("ephemeral", "persistent", "weak")
+
 
 class TestShrink:
     def test_ddmin_finds_minimal_pair(self):

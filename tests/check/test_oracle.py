@@ -5,6 +5,8 @@ must be caught, shrunk, and replayable from the written case file).
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.check import InvariantOracle, OracleConfig, Violation
@@ -115,6 +117,61 @@ class TestStatefulLaws:
         instance.thaw(2.0)
         instance.invoke(2.1)  # faults after thaw are fine too
         oracle.finish()
+
+    def test_thaw_refreeze_between_sweeps_rebaselines(self):
+        """A thaw -> fault -> freeze cycle wholly between two sweeps must
+        not be misread as faulting while frozen (the transition log tells
+        the oracle its baseline went stale)."""
+        oracle = InvariantOracle(OracleConfig(cadence="end"))
+        instance = self.make_instance(oracle)
+        instance.freeze(1.0)
+        oracle.check_now()
+        instance.thaw(2.0)
+        instance.invoke(2.1)  # faults while running
+        instance.freeze(3.0)
+        oracle.check_now()  # frozen again at the sweep; must re-baseline
+        # ...and with the fresh baseline, *new* frozen faults still trip.
+        rogue = instance.runtime.space.mmap(PAGE_SIZE, name="[rogue]")
+        instance.runtime.space.touch(rogue.start, PAGE_SIZE, write=True)
+        with pytest.raises(Violation) as caught:
+            oracle.check_now()
+        assert caught.value.invariant == "frozen-no-fault"
+
+    def test_reclaim_promotion_overhead_is_tolerated(self):
+        """Reclaiming a young persistent cohort promotes it into a fresh
+        old chunk: header page + promoted data materialize while the
+        vacated semispace pages are released, so USS can end one page up.
+        That exact overhead is reported as ``evacuated_bytes`` and must
+        pass the law; anything beyond it must still trip."""
+        js_spec = FunctionSpec(
+            name="orc-js",
+            language="javascript",
+            description="oracle-test js function",
+            base_exec_seconds=0.004,
+            ephemeral_bytes=256 * 1024,
+            frame_bytes=96 * 1024,
+            persistent_bytes=96 * 1024,
+            object_size=16 * 1024,
+            code_size=64 * 1024,
+            warm_units=2,
+        )
+        oracle = InvariantOracle(OracleConfig(cadence="end"))
+        instance = FunctionInstance(js_spec, memory_budget=64 * MIB, seed=7)
+        instance.boot(0.0)
+        oracle.attach_world(instances=[instance])
+        instance.runtime.alloc_cohort(2, 5120, scope="persistent")
+        instance.freeze(1.0)
+        instance.reclaim()
+        outcome = instance.last_reclaim
+        grown = outcome.uss_after - outcome.uss_before
+        assert grown > 0  # the scenario really does grow USS
+        assert outcome.evacuated_bytes >= grown
+        oracle.check_now()  # tolerated: growth is all evacuation
+        # With the evacuation unreported the same growth is a leak.
+        instance.last_reclaim = dataclasses.replace(outcome, evacuated_bytes=0)
+        with pytest.raises(Violation) as caught:
+            oracle.check_now()
+        assert caught.value.invariant == "reclaim-uss"
 
     def test_swap_parity_violation(self):
         oracle = InvariantOracle(OracleConfig(cadence="end"))

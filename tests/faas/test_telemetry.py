@@ -64,6 +64,49 @@ class TestRecorder:
         assert lines[0].startswith("time,frozen_bytes")
         assert len(lines) == len(recorder.samples) + 1
 
+    def test_max_samples_keeps_only_the_tail(self):
+        platform = FaasPlatform()
+        recorder = TelemetryRecorder(platform, interval=0.5, max_samples=3)
+        platform.submit(
+            [Request(arrival=i * 1.0, definition=get_definition("clock")) for i in range(8)]
+        )
+        platform.run()
+        assert len(recorder.samples) == 3
+        # The ring keeps the newest samples, still time-ordered.
+        times = [s.time for s in recorder.samples]
+        assert times == sorted(times)
+        assert times[-1] > 4.0
+
+    def test_max_samples_still_publishes_every_sample(self):
+        """The ring bounds the *recorder*; streaming consumers on the bus
+        still see every snapshot."""
+        platform = FaasPlatform()
+        recorder = TelemetryRecorder(platform, interval=0.5, max_samples=2)
+        seen = []
+        platform.bus.subscribe(seen.append, kinds=(SAMPLE,))
+        platform.submit(
+            [Request(arrival=i * 1.0, definition=get_definition("clock")) for i in range(6)]
+        )
+        platform.run()
+        assert len(recorder.samples) == 2
+        assert len(seen) > 2
+
+    def test_invalid_max_samples_rejected(self):
+        platform = FaasPlatform()
+        with pytest.raises(ValueError):
+            TelemetryRecorder(platform, max_samples=0)
+
+    def test_csv_export_with_ring(self, tmp_path):
+        platform = FaasPlatform()
+        recorder = TelemetryRecorder(platform, interval=0.5, max_samples=4)
+        platform.submit(
+            [Request(arrival=i * 1.0, definition=get_definition("clock")) for i in range(8)]
+        )
+        platform.run()
+        path = recorder.to_csv(tmp_path / "ring.csv")
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(recorder.samples) + 1 == 5
+
     def test_publishes_sample_events_on_the_bus(self):
         platform = FaasPlatform()
         recorder = TelemetryRecorder(platform, interval=0.5)

@@ -1,0 +1,143 @@
+"""Cohort allocation: the batched fast path vs the scalar reference.
+
+``alloc_cohort(count, unit)`` must be *semantically identical* to
+``count`` scalar ``alloc(unit)`` calls -- same GC events (trigger points,
+collected counts and bytes, pause seconds), same fault attribution, same
+heap layout, same USS.  The differential here replays one mixed workload
+through both paths and compares every observable checkpoint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import fastpath
+from repro.mem.layout import KIB
+from repro.runtime.cpython.runtime import CPythonRuntime
+from repro.runtime.golang.runtime import GoRuntime
+from repro.runtime.object_model import CohortObject, HeapObject, ObjectGraph
+
+
+class TestObjectModel:
+    def test_member_counts(self):
+        assert HeapObject(oid=1, size=8).member_count == 1
+        cohort = CohortObject(oid=2, size=96, count=12, unit=8)
+        assert cohort.member_count == 12
+
+    def test_new_cohort_size_and_validation(self):
+        graph = ObjectGraph()
+        oid = graph.new_cohort(5, 64)
+        obj = graph.objects[oid]
+        assert isinstance(obj, CohortObject)
+        assert obj.size == 5 * 64 and obj.count == 5 and obj.unit == 64
+        with pytest.raises(ValueError):
+            graph.new_cohort(0, 64)
+        with pytest.raises(ValueError):
+            graph.new_cohort(5, 0)
+
+    def test_sweep_counts_cohort_members(self):
+        graph = ObjectGraph()
+        kept = graph.new_object(32)
+        graph.root_persistent(kept)
+        graph.new_cohort(10, 16)  # unrooted: dies at the next sweep
+        graph.new_object(8)
+        count, volume = graph.sweep(graph.reachable())
+        assert count == 11  # 10 members + 1 scalar
+        assert volume == 10 * 16 + 8
+
+
+def _drive(runtime):
+    """One mixed workload; returns every observable checkpoint."""
+    log = []
+    runtime.boot()
+    for inv in range(3):
+        runtime.begin_invocation()
+        runtime.touch_live_data()
+        if inv == 0:
+            runtime.alloc_cohort(8, 32 * KIB, scope="persistent")
+        # Crosses GC triggers repeatedly; includes unaligned unit sizes.
+        runtime.alloc_cohort(150, 24 * KIB, scope="ephemeral")
+        runtime.alloc_cohort(45, 40 * KIB, scope="frame")
+        runtime.alloc_cohort(1, 7 * KIB, scope="ephemeral")
+        runtime.alloc_cohort(17, 5000, scope="frame")
+        log.append((inv, runtime.invocation_fault_seconds, runtime.invocation_gc_seconds))
+        runtime.end_invocation()
+    # Swap the heap out, then allocate over the swapped free space: cohort
+    # touches must bill major faults to the same members the scalar path does.
+    for mapping in runtime._heap_mappings():
+        runtime.space.swap_out_range(mapping.start, mapping.length)
+    runtime.begin_invocation()
+    runtime.touch_live_data()
+    runtime.alloc_cohort(120, 16 * KIB, scope="ephemeral")
+    log.append(("post-swap", runtime.invocation_fault_seconds))
+    runtime.end_invocation()
+    log.append(("final-gc", runtime.collect(full=True)))
+    stats = runtime.heap_stats()
+    log.append(("heap", stats.committed, stats.used, stats.live_estimate))
+    log.append(("uss", runtime.uss(), runtime.heap_resident_bytes(), runtime.live_bytes()))
+    log.append(
+        (
+            "gc",
+            runtime.gc_count,
+            [(e.kind, e.seconds, e.collected_bytes, e.live_bytes) for e in runtime.gc_events],
+        )
+    )
+    log.append(("faults", runtime.space.faults.minor, runtime.space.faults.major))
+    return log
+
+
+@pytest.mark.parametrize("factory", (CPythonRuntime, GoRuntime), ids=("cpython", "go"))
+class TestDifferential:
+    def test_cohort_path_matches_scalar_path(self, factory):
+        with fastpath.override(False):
+            scalar = _drive(factory("scalar"))
+        with fastpath.override(True):
+            cohort = _drive(factory("cohort"))
+        assert scalar == cohort
+
+    def test_member_total_is_exact(self, factory):
+        """The fast path may fuse members into fewer graph nodes, but the
+        mutator-visible object count and byte volume must stay exact."""
+        with fastpath.override(True):
+            runtime = factory("shape")
+            runtime.boot()
+            runtime.begin_invocation()
+            oids = runtime.alloc_cohort(40, 8 * KIB, scope="frame")
+            members = sum(
+                runtime.graph.objects[oid].member_count for oid in set(oids)
+            )
+            assert members == 40
+            volume = sum(runtime.graph.objects[oid].size for oid in set(oids))
+            assert volume == 40 * 8 * KIB
+            runtime.end_invocation()
+
+
+class TestScalarFallbacks:
+    def test_count_one_and_disabled_fastpath_stay_scalar(self):
+        with fastpath.override(False):
+            runtime = CPythonRuntime("fallback")
+            runtime.boot()
+            runtime.begin_invocation()
+            oids = runtime.alloc_cohort(3, 4 * KIB, scope="frame")
+            assert len(oids) == 3
+            for oid in oids:
+                assert not isinstance(runtime.graph.objects[oid], CohortObject)
+            runtime.end_invocation()
+
+    def test_large_units_stay_scalar(self):
+        """Units past the large-object threshold take the scalar path even
+        with the fast path on (they never share arena chunks)."""
+        with fastpath.override(True):
+            runtime = CPythonRuntime("large")
+            threshold = runtime.config.large_object_threshold
+            runtime.boot()
+            runtime.begin_invocation()
+            oids = runtime.alloc_cohort(2, threshold, scope="frame")
+            for oid in oids:
+                assert not isinstance(runtime.graph.objects[oid], CohortObject)
+            runtime.end_invocation()
+
+    def test_zero_count_returns_empty(self):
+        runtime = CPythonRuntime("empty")
+        runtime.boot()
+        assert runtime.alloc_cohort(0, 4 * KIB) == []

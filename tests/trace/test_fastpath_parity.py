@@ -1,0 +1,47 @@
+"""End-to-end fast-path parity: byte-identical event traces.
+
+The replay benchmark's claim is that the fast paths (indexed bus
+dispatch, cohort heap model, incremental platform aggregates, policy
+heaps) change *nothing* observable: a full platform replay streams the
+exact same event trace with them on and off.  This is the committed,
+always-on version of that check at small scale; ``repro bench --suite
+replay`` enforces it at Azure scale via trace digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro import fastpath
+from repro.core import Desiccant, VanillaManager
+from repro.faas.platform import PlatformConfig
+from repro.mem.layout import MIB
+from repro.trace.generator import TraceGenerator
+from repro.trace.replay import ReplayConfig, replay
+
+
+def _trace_digest(factory, path, fast):
+    with fastpath.override(fast):
+        config = ReplayConfig(
+            scale_factor=2.0,
+            warmup_seconds=5.0,
+            warmup_scale_factor=2.0,
+            duration_seconds=10.0,
+            platform=PlatformConfig(capacity_bytes=512 * MIB),
+            event_trace_path=str(path),
+        )
+        result = replay(factory, config, TraceGenerator(seed=42))
+    digest = hashlib.sha256(path.read_bytes()).hexdigest()
+    return digest, len(result.trace)
+
+
+@pytest.mark.parametrize(
+    "factory", (VanillaManager, Desiccant), ids=("vanilla", "desiccant")
+)
+def test_replay_trace_is_identical_with_fastpath_on_and_off(factory, tmp_path):
+    fast_digest, fast_events = _trace_digest(factory, tmp_path / "fast.jsonl", True)
+    base_digest, base_events = _trace_digest(factory, tmp_path / "base.jsonl", False)
+    assert fast_events == base_events > 0
+    assert fast_digest == base_digest
