@@ -31,6 +31,7 @@ import hashlib
 import json
 import os
 import pstats
+import re
 import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -39,7 +40,7 @@ from functools import partial
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from repro import fastpath
+from repro import fastpath, procenv
 from repro.mem.layout import MIB, PAGE_SIZE
 
 #: Policies a replay spec accepts (characterize accepts POLICIES as well).
@@ -85,6 +86,15 @@ class BenchSpec:
     #: Stream the replay's event trace to a scratch file and report its
     #: SHA-256 -- the equivalence witness between the two legs.
     trace: bool = False
+    #: Replay on a cluster of this many nodes (0 = single platform).
+    nodes: int = 0
+    #: Worker processes for a cluster replay (1 = the in-process serial
+    #: twin; the digest gate pins every shard count to it).
+    shards: int = 1
+    #: Cluster front-end scheduler (cluster replays only).
+    scheduler: str = "warm-affinity"
+    #: Simulated seconds per conservative epoch (cluster replays only).
+    epoch: float = 5.0
 
     @property
     def label(self) -> str:
@@ -92,6 +102,10 @@ class BenchSpec:
             return f"characterize:{self.name}:{self.policy}:i{self.iterations}"
         if self.kind == "replay":
             label = f"replay:{self.policy}:x{self.scale:g}:d{self.duration:g}"
+            if self.nodes:
+                label += f":n{self.nodes}"
+            if self.shards > 1:
+                label += f":s{self.shards}"
             return label if self.fastpath else label + ":base"
         return f"micro:vmm:{self.size_mib}mib"
 
@@ -121,13 +135,47 @@ def _run_replay(spec: BenchSpec) -> Dict[str, object]:
     from repro.core import Desiccant, EagerGcManager, VanillaManager
     from repro.faas.platform import PlatformConfig
     from repro.trace.generator import TraceGenerator
-    from repro.trace.replay import ReplayConfig, replay
+    from repro.trace.replay import (
+        ClusterReplayConfig,
+        ReplayConfig,
+        cluster_replay,
+        replay,
+    )
 
     factories = {
         "vanilla": VanillaManager,
         "eager": EagerGcManager,
         "desiccant": Desiccant,
     }
+    if spec.nodes:
+        config = ClusterReplayConfig(
+            nodes=spec.nodes,
+            scheduler=spec.scheduler,
+            shards=spec.shards,
+            epoch_seconds=spec.epoch,
+            scale_factor=spec.scale,
+            warmup_seconds=spec.warmup,
+            warmup_scale_factor=spec.scale,
+            duration_seconds=spec.duration,
+            platform=PlatformConfig(capacity_bytes=spec.capacity_mib * MIB),
+            trace=spec.trace,
+        )
+        result = cluster_replay(
+            factories[spec.policy], config, TraceGenerator(seed=spec.seed)
+        )
+        stats = result.stats
+        metrics = {
+            "cold_boot_rate": round(stats.cold_boot_rate, 9),
+            "throughput_rps": round(stats.throughput_rps, 9),
+            "cpu_utilization": round(stats.cpu_utilization, 9),
+            "p99_latency": round(stats.p99_latency, 9),
+            "evictions": stats.evictions,
+            "epochs": result.epochs,
+        }
+        if spec.trace:
+            metrics["trace_events"] = result.trace_events
+            metrics["trace_sha256"] = result.trace_sha256
+        return metrics
     trace_path = None
     if spec.trace:
         fd, trace_path = tempfile.mkstemp(prefix="repro-trace-", suffix=".jsonl")
@@ -255,6 +303,7 @@ def run_benchmarks(
     specs: Sequence[BenchSpec],
     jobs: int = 1,
     profile_dir: Optional[str] = None,
+    mp_context=None,
 ) -> List[Dict[str, object]]:
     """Execute every spec, fanning across ``jobs`` worker processes.
 
@@ -263,11 +312,23 @@ def run_benchmarks(
     its own physical memory and seeds its own RNG streams.  Profiling
     (``profile_dir``) composes with fan-out: each worker profiles only its
     own spec's process.
+
+    The parent's effective run flags (``REPRO_FASTPATH``, ``REPRO_CHECK``
+    and friends) are re-applied in every worker by an explicit pool
+    initializer, so results do not depend on the multiprocessing start
+    method -- under ``spawn`` (the macOS/Windows default, injectable here
+    via ``mp_context`` for tests) workers would otherwise re-read a stale
+    environment instead of the configuration the parent is running with.
     """
     run_one = partial(execute_spec, profile_dir=profile_dir)
     if jobs <= 1 or len(specs) <= 1:
         return [run_one(spec) for spec in specs]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(specs)),
+        mp_context=mp_context,
+        initializer=procenv.initializer,
+        initargs=(procenv.snapshot(),),
+    ) as pool:
         return list(pool.map(run_one, specs))
 
 
@@ -313,6 +374,9 @@ def build_replay_macro(
     policies: Sequence[str] = ("vanilla", "desiccant"),
     seed: int = 42,
     include_base: bool = True,
+    nodes: int = 0,
+    shard_counts: Sequence[int] = (),
+    scheduler: str = "warm-affinity",
 ) -> List[BenchSpec]:
     """The macro replay suite: every (size, policy) as a fast/base leg pair.
 
@@ -320,6 +384,12 @@ def build_replay_macro(
     event-stream digests to match, which pins the fast path's semantics to
     the reference implementation at full Azure-replay scale.  CI smoke runs
     pass ``include_base=False`` to time only the fast leg.
+
+    With ``nodes`` set, every (size, policy) additionally gets cluster
+    legs: one serial-twin run (``shards=1``) plus one per entry in
+    ``shard_counts``.  All of them trace, and the digest gate pins each
+    sharded leg's merged trace to the serial twin's byte for byte --
+    the cross-process equivalence witness.
     """
     specs = []
     for size in sizes:
@@ -345,11 +415,41 @@ def build_replay_macro(
                         trace=True,
                     )
                 )
+            if nodes:
+                for shards in (1, *shard_counts):
+                    specs.append(
+                        BenchSpec(
+                            kind="replay",
+                            policy=policy,
+                            scale=shape["scale"],
+                            duration=shape["duration"],
+                            warmup=shape["warmup"],
+                            capacity_mib=int(shape["capacity_mib"]),
+                            seed=seed,
+                            trace=True,
+                            nodes=nodes,
+                            shards=shards,
+                            scheduler=scheduler,
+                        )
+                    )
     return specs
 
 
+#: ``:sK`` shard suffix in a replay label (the serial twin has none).
+_SHARD_SUFFIX = re.compile(r":s\d+")
+#: ``:nK`` cluster-size suffix (single-platform labels have none).
+_NODES_SUFFIX = re.compile(r":n\d+")
+
+
 def verify_trace_identity(results: Sequence[Dict[str, object]]) -> List[str]:
-    """Check that each fast/base replay pair produced identical traces.
+    """Check that every replay equivalence pair produced identical traces.
+
+    Two pairings gate:
+
+    * fast leg vs its ``:base`` reference leg (same run, fast path off);
+    * every sharded cluster leg (``:sK``) vs its serial twin (the same
+      label without the shard suffix) -- the multi-process run must merge
+      to the exact bytes of the single-process run.
 
     Returns failure messages; an unpaired leg (CI smoke's fast-only runs)
     or a replay without tracing is simply not checked.
@@ -366,19 +466,39 @@ def verify_trace_identity(results: Sequence[Dict[str, object]]) -> List[str]:
         if label.endswith(":base"):
             continue
         base = digests.get(label + ":base")
-        if base is None:
-            continue
-        if metrics["trace_sha256"] != base["trace_sha256"]:
+        if base is not None and metrics["trace_sha256"] != base["trace_sha256"]:
             failures.append(
                 f"{label}: fast-path trace diverged from the reference leg "
                 f"({metrics['trace_events']} events, "
                 f"{metrics['trace_sha256'][:12]} != {base['trace_sha256'][:12]})"
             )
+        if _SHARD_SUFFIX.search(label):
+            serial = digests.get(_SHARD_SUFFIX.sub("", label))
+            if serial is None:
+                continue
+            if metrics["trace_sha256"] != serial["trace_sha256"]:
+                failures.append(
+                    f"{label}: sharded merged trace diverged from the serial "
+                    f"twin ({metrics['trace_events']} vs "
+                    f"{serial['trace_events']} events, "
+                    f"{metrics['trace_sha256'][:12]} != "
+                    f"{serial['trace_sha256'][:12]})"
+                )
     return failures
 
 
 def replay_speedups(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
-    """Fast-vs-base wall-clock ratios for every paired replay label."""
+    """Wall-clock ratios for every paired replay label.
+
+    Three pairings, one entry per non-reference label that has a partner:
+
+    * fast leg vs ``:base`` leg (the fast-path speedup);
+    * sharded cluster leg (``:sK``) vs its serial twin (the multi-process
+      speedup -- bounded by the machine's core count);
+    * sharded cluster leg vs the *single-platform* fast leg of the same
+      (policy, size), reported as ``vs_single_speedup`` -- the end-to-end
+      gain of splitting one big replay into sharded cluster nodes.
+    """
     walls = {
         r["label"]: r["wall_seconds"]
         for r in results
@@ -386,14 +506,34 @@ def replay_speedups(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
     }
     speedups = {}
     for label in sorted(walls):
-        if label.endswith(":base") or label + ":base" not in walls:
+        if label.endswith(":base"):
             continue
-        fast, base = walls[label], walls[label + ":base"]
-        speedups[label] = {
-            "fast_wall_seconds": fast,
-            "base_wall_seconds": base,
-            "speedup": round(base / fast, 2) if fast else None,
-        }
+        entry = {}
+        if label + ":base" in walls:
+            fast, base = walls[label], walls[label + ":base"]
+            entry.update(
+                fast_wall_seconds=fast,
+                base_wall_seconds=base,
+                speedup=round(base / fast, 2) if fast else None,
+            )
+        if _SHARD_SUFFIX.search(label):
+            serial_label = _SHARD_SUFFIX.sub("", label)
+            sharded = walls[label]
+            if serial_label in walls:
+                serial = walls[serial_label]
+                entry.update(
+                    serial_wall_seconds=serial,
+                    sharded_wall_seconds=sharded,
+                    speedup=round(serial / sharded, 2) if sharded else None,
+                )
+            single_label = _NODES_SUFFIX.sub("", serial_label)
+            if single_label in walls:
+                entry["vs_single_wall_seconds"] = walls[single_label]
+                entry["vs_single_speedup"] = (
+                    round(walls[single_label] / sharded, 2) if sharded else None
+                )
+        if entry:
+            speedups[label] = entry
     return speedups
 
 

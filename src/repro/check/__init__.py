@@ -31,6 +31,7 @@ invariant).
 from repro.check.invariants import (
     Violation,
     check_file,
+    check_shard_conservation,
     check_instance,
     check_mapping,
     check_physical,
@@ -53,6 +54,7 @@ __all__ = [
     "check_platform",
     "check_runlist",
     "check_runtime",
+    "check_shard_conservation",
     "check_smaps",
     "check_space",
     "maybe_attach_oracle",

@@ -572,7 +572,15 @@ def run_fuzz(
         return [_fuzz_worker(item) for item in work]
     from concurrent.futures import ProcessPoolExecutor
 
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    from repro import procenv
+
+    # Explicitly re-apply the parent's effective run flags in every
+    # worker (start-method-proof; see repro.procenv).
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=procenv.initializer,
+        initargs=(procenv.snapshot(),),
+    ) as pool:
         return list(pool.map(_fuzz_worker, work))
 
 

@@ -512,3 +512,67 @@ def check_platform(platform, subject: Optional[str] = None) -> None:
             f"frozen_instances() ids {sorted(listed_ids)} != "
             f"state-derived {sorted(true_frozen_ids)}",
         )
+
+
+# ------------------------------------------------------ cross-shard sweeps
+
+
+def check_shard_conservation(
+    reports: Iterable[dict], horizon: Optional[float] = None
+) -> None:
+    """Cross-shard conservation sweep at an epoch barrier.
+
+    ``reports`` are the per-shard epoch reports of a sharded cluster run
+    (:mod:`repro.sim.shard`): plain dicts so the coordinator can check
+    workers' claims without holding any live objects.  Each must carry a
+    ``conservation`` dict (summed over the shard's physical memories)
+    with ``swap_pages``, ``swap_outs``, ``swap_ins``, ``swap_discards``,
+    ``frames_used_bytes`` and a ``clock``.  Laws:
+
+    * **shard-swap-flow** -- globally, pages that ever left DRAM either
+      came back, were discarded, or still sit in swap:
+      ``sum(outs) - sum(ins) - sum(discards) == sum(pages)``.  Each
+      worker's physicals satisfy this locally (the per-physical oracle
+      law); the global re-check catches aggregation and transport bugs.
+    * **shard-frame-nonneg** -- no shard reports negative resident bytes
+      or swap counters.
+    * **shard-clock-horizon** -- a conservative epoch never runs past
+      its horizon: every shard's clock must be ``<= horizon`` (within
+      an exact comparison; the kernel dispatches events *at* the
+      horizon, never beyond it).
+    """
+    outs = ins = discards = pages = 0
+    for report in reports:
+        shard = f"shard {report.get('shard', '?')}"
+        conservation = report["conservation"]
+        for key in (
+            "frames_used_bytes",
+            "swap_pages",
+            "swap_outs",
+            "swap_ins",
+            "swap_discards",
+        ):
+            if conservation[key] < 0:
+                _violate(
+                    "shard-frame-nonneg",
+                    shard,
+                    f"{key} = {conservation[key]} is negative",
+                )
+        outs += conservation["swap_outs"]
+        ins += conservation["swap_ins"]
+        discards += conservation["swap_discards"]
+        pages += conservation["swap_pages"]
+        clock = report.get("clock")
+        if horizon is not None and clock is not None and clock > horizon:
+            _violate(
+                "shard-clock-horizon",
+                shard,
+                f"clock {clock} ran past the epoch horizon {horizon}",
+            )
+    if outs - ins - discards != pages:
+        _violate(
+            "shard-swap-flow",
+            "cluster",
+            f"global swap flow broken: {outs} outs - {ins} ins - "
+            f"{discards} discards != {pages} pages resident in swap",
+        )

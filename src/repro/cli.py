@@ -74,7 +74,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.core import Desiccant, EagerGcManager, VanillaManager
     from repro.faas.platform import PlatformConfig
     from repro.trace.generator import TraceGenerator
-    from repro.trace.replay import ReplayConfig, replay
+    from repro.trace.replay import (
+        ClusterReplayConfig,
+        ReplayConfig,
+        cluster_replay,
+        replay,
+    )
 
     factories = {
         "vanilla": VanillaManager,
@@ -88,20 +93,44 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         trace_path = None
         if args.event_trace:
             trace_path = _trace_path_for(args.event_trace, policy, len(chosen) > 1)
-        config = ReplayConfig(
-            scale_factor=args.scale_factor,
-            warmup_seconds=args.warmup,
-            duration_seconds=args.duration,
-            platform=PlatformConfig(capacity_bytes=args.capacity_mib * MIB),
-            event_trace_path=trace_path,
-        )
-        result = replay(factories[policy], config, generator)
-        stats = result.stats
-        if result.trace is not None:
-            print(
-                f"wrote {len(result.trace)} events to {trace_path}",
-                file=sys.stderr,
+        if args.nodes:
+            config = ClusterReplayConfig(
+                nodes=args.nodes,
+                scheduler=args.scheduler,
+                shards=args.shards,
+                epoch_seconds=args.epoch,
+                scale_factor=args.scale_factor,
+                warmup_seconds=args.warmup,
+                duration_seconds=args.duration,
+                platform=PlatformConfig(capacity_bytes=args.capacity_mib * MIB),
+                trace=trace_path is not None,
+                event_trace_path=trace_path,
             )
+            result = cluster_replay(factories[policy], config, generator)
+            stats = result.stats
+            if trace_path is not None:
+                print(
+                    f"wrote {result.trace_events} events to {trace_path} "
+                    f"(sha256 {result.trace_sha256[:16]}, merged from "
+                    f"{args.nodes} nodes / {args.shards} shards, "
+                    f"{result.epochs} epochs)",
+                    file=sys.stderr,
+                )
+        else:
+            config = ReplayConfig(
+                scale_factor=args.scale_factor,
+                warmup_seconds=args.warmup,
+                duration_seconds=args.duration,
+                platform=PlatformConfig(capacity_bytes=args.capacity_mib * MIB),
+                event_trace_path=trace_path,
+            )
+            result = replay(factories[policy], config, generator)
+            stats = result.stats
+            if result.trace is not None:
+                print(
+                    f"wrote {len(result.trace)} events to {trace_path}",
+                    file=sys.stderr,
+                )
         rows.append(
             [
                 policy,
@@ -149,6 +178,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
         )
     if args.suite in ("replay", "all"):
+        shard_counts = (
+            tuple(int(s) for s in args.shards.split(",") if s)
+            if args.shards
+            else ()
+        )
         specs.extend(
             build_replay_macro(
                 sizes=args.sizes.split(","),
@@ -157,6 +191,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 ],
                 seed=args.seed,
                 include_base=not args.fast_only,
+                nodes=args.nodes if shard_counts else 0,
+                shard_counts=shard_counts,
             )
         )
     results = run_benchmarks(specs, jobs=args.jobs, profile_dir=args.profile)
@@ -313,6 +349,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream a JSONL event trace of the measurement window here "
         "(with --policy all, one file per policy: PATH.<policy>.jsonl)",
     )
+    p.add_argument(
+        "--nodes",
+        type=int,
+        default=0,
+        help="replay on a cluster of this many invoker nodes instead of a "
+        "single platform (0 = single platform)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the cluster nodes across this many worker "
+        "processes, synchronized in conservative time epochs (1 = the "
+        "in-process serial twin; merged traces are byte-identical either "
+        "way)",
+    )
+    p.add_argument(
+        "--scheduler",
+        choices=("round-robin", "least-assigned", "warm-affinity",
+                 "least-loaded-live"),
+        default="warm-affinity",
+        help="cluster front-end scheduler (--nodes only)",
+    )
+    p.add_argument(
+        "--epoch",
+        type=float,
+        default=5.0,
+        help="simulated seconds per synchronization epoch (--shards only)",
+    )
     p.set_defaults(func=_cmd_replay)
 
     p = sub.add_parser(
@@ -337,6 +402,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the fastpath-off reference legs of the replay suite "
         "(CI smoke: time only the fast path)",
+    )
+    p.add_argument(
+        "--shards",
+        default="",
+        help="also run cluster replay legs at these shard counts "
+        "(comma-separated, e.g. '2,4'); each is digest-gated against an "
+        "in-process serial twin of the same cluster",
+    )
+    p.add_argument(
+        "--nodes",
+        type=int,
+        default=8,
+        help="cluster size for the sharded replay legs (with --shards)",
     )
     p.add_argument("--iterations", type=int, default=30)
     p.add_argument("--budget-mib", type=int, default=256)

@@ -16,12 +16,29 @@ with the frozen-garbage economics:
   case) by current cache pressure.  Only possible because the cluster is
   a true time-interleaved simulation.
 
-All nodes share one :class:`~repro.sim.kernel.SimKernel`, so
+Serially, all nodes share one :class:`~repro.sim.kernel.SimKernel`, so
 :meth:`Cluster.run` drives a single globally time-ordered event timeline
 across the whole cluster and collects outcomes in completion order from
 the bus.  The static schedulers route at submit time (their decisions
 depend only on the arrival sequence); ``least-loaded-live`` defers each
 routing decision into the simulation so it observes current node state.
+
+Sharded execution
+-----------------
+``Cluster.run(shards=N)`` (and :func:`repro.trace.replay.cluster_replay`)
+instead partitions the nodes across ``N`` worker processes via
+:mod:`repro.sim.shard`.  Each shard is a :class:`ClusterShardHost`: its
+nodes share one private kernel, and the only cross-node interaction --
+front-end routing -- stays in the coordinator
+(:class:`ShardedClusterSession`), which feeds routed arrivals to shards
+in conservative time epochs.  Node simulations are state-independent
+(each node owns its physical memory, library pool, and instances), so
+partitioning changes nothing observable: per-node canonical event traces
+are byte-identical to the serial run's and merge back into the same
+global order.  ``least-loaded-live`` is the exception -- sharded, it
+routes from epoch-boundary load digests rather than live arrival-time
+state, which is deterministic and shard-count-invariant but *not* the
+serial policy; the digest gate therefore runs on static schedulers.
 """
 
 from __future__ import annotations
@@ -29,11 +46,13 @@ from __future__ import annotations
 import copy
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.faas.instance import InstanceState
 from repro.faas.platform import FaasPlatform, PlatformConfig, Request, RequestOutcome
-from repro.sim import Event, REQUEST_DONE, SimKernel
+from repro.sim import Event, EventTraceSink, REQUEST_DONE, SimKernel
+from repro.sim.shard import make_pool
 from repro.workloads.model import FunctionDefinition
 
 SCHEDULERS = ("round-robin", "least-assigned", "warm-affinity", "least-loaded-live")
@@ -81,6 +100,79 @@ class ClusterStats:
         return max(self.per_node_requests) / mean if mean else 1.0
 
 
+class FrontEndRouter:
+    """Arrival-order routing state, shared by serial and sharded front-ends.
+
+    The static schedulers' decisions are a pure function of the arrival
+    sequence and this object's counters, which is exactly why a sharded
+    coordinator can replay them without any live node state.  For
+    ``least-loaded-live`` the router offers :meth:`route_from_loads`, the
+    digest-fed variant used at epoch boundaries.
+    """
+
+    def __init__(self, nodes: int, scheduler: str) -> None:
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; pick from {SCHEDULERS}"
+            )
+        self.node_count = nodes
+        self.scheduler = scheduler
+        #: Requests assigned per node so far (routing state and statistic).
+        self.assigned: List[int] = [0] * nodes
+        self._rr_next = 0
+
+    def note(self, node: int) -> None:
+        """Record an assignment decided elsewhere (live routing)."""
+        self.assigned[node] += 1
+
+    def route_static(self, definition: FunctionDefinition) -> int:
+        """One static routing decision; advances the router's state."""
+        scheduler = self.scheduler
+        if scheduler == "round-robin":
+            node = self._rr_next
+            self._rr_next = (self._rr_next + 1) % self.node_count
+        elif scheduler == "least-assigned":
+            node = min(range(self.node_count), key=lambda i: self.assigned[i])
+        elif scheduler == "warm-affinity":
+            node = zlib.crc32(definition.name.encode()) % self.node_count
+        else:
+            raise ValueError(
+                f"{scheduler!r} routes on live state; use route_from_loads "
+                "(sharded) or Cluster.route (serial)"
+            )
+        self.assigned[node] += 1
+        return node
+
+    def route_from_loads(
+        self, definition: FunctionDefinition, loads: Optional[Dict[int, dict]]
+    ) -> int:
+        """``least-loaded-live`` against epoch-boundary load digests.
+
+        ``loads`` maps node id to the last epoch report's digest
+        (``used_bytes`` and the ``warm`` function-name list).  The
+        decision depends only on the digests and the router's own
+        counters -- the same for every shard count -- but it observes
+        node state one epoch stale, so it is a deliberate approximation
+        of the serial policy, not a replica of it.
+        """
+        stages = {stage.name for stage in definition.stages}
+        if loads:
+            warm = [
+                index
+                for index in range(self.node_count)
+                if stages.intersection(loads[index]["warm"])
+            ]
+            candidates = warm or range(self.node_count)
+            node = min(
+                candidates,
+                key=lambda i: (loads[i]["used_bytes"], self.assigned[i], i),
+            )
+        else:
+            node = min(range(self.node_count), key=lambda i: (self.assigned[i], i))
+        self.assigned[node] += 1
+        return node
+
+
 class Cluster:
     """A set of invoker nodes behind a routing front-end.
 
@@ -101,7 +193,7 @@ class Cluster:
         self.kernel = kernel if kernel is not None else SimKernel(
             seed=self.config.node_config.seed
         )
-        factory = manager_factory or VanillaManager
+        self._manager_factory = manager_factory or VanillaManager
         self.nodes: List[FaasPlatform] = []
         for index in range(self.config.nodes):
             node_config = copy.deepcopy(self.config.node_config)
@@ -109,18 +201,27 @@ class Cluster:
             self.nodes.append(
                 FaasPlatform(
                     config=node_config,
-                    manager=factory(),
+                    manager=self._manager_factory(),
                     kernel=self.kernel,
                     node_id=index,
                 )
             )
-        self._assigned: List[int] = [0] * self.config.nodes
-        self._rr_next = 0
+        self._router = FrontEndRouter(self.config.nodes, self.config.scheduler)
+        #: Submission log: ``(time, definition, node, request_id)`` per
+        #: arrival, in submit order (node/id are None for deferred
+        #: scheduling).  A sharded run replays exactly these decisions.
+        self._submitted: List[
+            Tuple[float, FunctionDefinition, Optional[int], Optional[int]]
+        ] = []
         #: Request outcomes across all nodes in global completion order.
         self.outcomes: List[RequestOutcome] = []
         self._done_subscription = self.kernel.bus.subscribe(
             self._on_request_done, kinds=(REQUEST_DONE,)
         )
+
+    @property
+    def _assigned(self) -> List[int]:
+        return self._router.assigned
 
     def _on_request_done(self, event: Event) -> None:
         self.outcomes.append(event.data["outcome"])
@@ -129,18 +230,11 @@ class Cluster:
 
     def route(self, definition: FunctionDefinition) -> int:
         """Pick the node index for one request."""
-        scheduler = self.config.scheduler
-        if scheduler == "round-robin":
-            node = self._rr_next
-            self._rr_next = (self._rr_next + 1) % len(self.nodes)
-        elif scheduler == "least-assigned":
-            node = min(range(len(self.nodes)), key=lambda i: self._assigned[i])
-        elif scheduler == "least-loaded-live":
+        if self.config.scheduler == "least-loaded-live":
             node = self._route_least_loaded_live(definition)
-        else:  # warm-affinity
-            node = zlib.crc32(definition.name.encode()) % len(self.nodes)
-        self._assigned[node] += 1
-        return node
+            self._router.note(node)
+            return node
+        return self._router.route_static(definition)
 
     def _route_least_loaded_live(self, definition: FunctionDefinition) -> int:
         """Load-aware warm routing against *current* simulation state."""
@@ -178,40 +272,468 @@ class Cluster:
         if self.config.scheduler in DEFERRED_SCHEDULERS:
             for time, definition in arrivals:
                 self.kernel.schedule(time, self._route_and_dispatch, (time, definition))
+                self._submitted.append((time, definition, None, None))
             return
         for time, definition in arrivals:
             node = self.route(definition)
-            self.nodes[node].submit([Request(arrival=time, definition=definition)])
+            request = Request(arrival=time, definition=definition)
+            self.nodes[node].submit([request])
+            self._submitted.append((time, definition, node, request.id))
 
     def _route_and_dispatch(self, payload: Tuple[float, FunctionDefinition]) -> None:
         time, definition = payload
         node = self.route(definition)
         self.nodes[node].submit([Request(arrival=time, definition=definition)])
 
-    def run(self) -> ClusterStats:
-        """Drive the shared kernel to completion and aggregate.
+    def run(
+        self,
+        shards: int = 1,
+        epoch_seconds: float = 5.0,
+        start_method: Optional[str] = None,
+    ) -> ClusterStats:
+        """Drive the cluster to completion and aggregate.
 
-        One merged timeline: events from all nodes interleave in global
-        ``(time, seq)`` order, and ``self.outcomes`` accumulates request
-        completions in that same order.
+        With ``shards=1`` (the default) this runs the shared kernel
+        serially: events from all nodes interleave in global ``(time,
+        seq)`` order, and ``self.outcomes`` accumulates request
+        completions in that same order.  With ``shards=N`` the submitted
+        arrivals are replayed through :class:`ShardedClusterSession` --
+        node partitions run in worker processes, synchronized in
+        conservative epochs of ``epoch_seconds`` of simulated time -- and
+        the same statistics are aggregated from the workers' results
+        (``self.outcomes`` stays empty; the local node objects never ran).
         """
         from repro.trace.stats import percentile  # avoids module cycle
 
-        self.kernel.run()
-        outcomes = self.outcomes
-        latencies = [o.latency for o in outcomes] or [0.0]
-        cold = sum(o.cold_boots for o in outcomes)
+        if shards <= 1:
+            self.kernel.run()
+            outcomes = self.outcomes
+            latencies = [o.latency for o in outcomes] or [0.0]
+            cold = sum(o.cold_boots for o in outcomes)
+            return ClusterStats(
+                completed=len(outcomes),
+                cold_boots=cold,
+                cold_boot_rate=cold / len(outcomes) if outcomes else 0.0,
+                evictions=sum(node.evictions for node in self.nodes),
+                p50_latency=percentile(latencies, 50),
+                p99_latency=percentile(latencies, 99),
+                per_node_requests=list(self._assigned),
+            )
+
+        session = ShardedClusterSession(
+            self.config,
+            self._manager_factory,
+            shards=shards,
+            epoch_seconds=epoch_seconds,
+            start_method=start_method,
+        )
+        try:
+            if self.config.scheduler in DEFERRED_SCHEDULERS:
+                session.run_phase(
+                    [(time, definition) for time, definition, _, _ in self._submitted]
+                )
+                assigned = list(session.router.assigned)
+            else:
+                session.run_phase(self._submitted, routed=True)
+                assigned = list(self._assigned)
+            nodes = session.finish()
+        finally:
+            session.close()
+        outcomes = [pair for info in nodes.values() for pair in info["outcomes"]]
+        latencies = [latency for latency, _ in outcomes] or [0.0]
+        cold = sum(cold_boots for _, cold_boots in outcomes)
         return ClusterStats(
             completed=len(outcomes),
             cold_boots=cold,
             cold_boot_rate=cold / len(outcomes) if outcomes else 0.0,
-            evictions=sum(node.evictions for node in self.nodes),
+            evictions=sum(info["evictions"] for info in nodes.values()),
             p50_latency=percentile(latencies, 50),
             p99_latency=percentile(latencies, 99),
-            per_node_requests=list(self._assigned),
+            per_node_requests=assigned,
         )
 
     def destroy(self) -> None:
         for node in self.nodes:
             for instance in node.all_instances():
                 instance.destroy()
+
+
+# ------------------------------------------------------------------ shards
+
+
+def partition_nodes(nodes: int, shards: int) -> List[Tuple[int, ...]]:
+    """Contiguous, size-balanced node partitions (shard k gets
+    ``nodes[k*n//S:(k+1)*n//S]``); every node lands in exactly one shard."""
+    shards = max(1, min(shards, nodes))
+    return [
+        tuple(range(k * nodes // shards, (k + 1) * nodes // shards))
+        for k in range(shards)
+    ]
+
+
+@dataclass
+class ClusterShardSpec:
+    """Everything a worker needs to build its shard (must pickle)."""
+
+    shard: int
+    #: Kernel seed (the cluster-wide base seed).
+    seed: int
+    node_ids: Tuple[int, ...]
+    #: Per-node platform configs, seeds already offset by node id.
+    node_configs: Dict[int, PlatformConfig]
+    manager_factory: Callable[[], object]
+    #: Stream per-node canonical traces into this directory once the
+    #: ``start-trace`` mark arrives (None = never trace).
+    trace_dir: Optional[str] = None
+    #: Stream per-node telemetry CSVs here, flushed at every epoch barrier.
+    telemetry_dir: Optional[str] = None
+    telemetry_interval: float = 1.0
+    #: Bound each node's in-memory telemetry ring (rows still stream out).
+    telemetry_max_samples: Optional[int] = 512
+    #: Dump a cProfile of this worker here (None = no profiling).
+    profile_path: Optional[str] = None
+
+
+class ClusterShardHost:
+    """Worker-side shard: a partition of cluster nodes on one kernel.
+
+    Implements the :mod:`repro.sim.shard` host protocol.  The shard's
+    nodes share a private kernel seeded exactly like the serial
+    cluster's, and each node's platform config carries the same
+    node-offset seed -- so every node computes the same event timeline it
+    would have computed serially, just interleaved with fewer peers.
+    """
+
+    def __init__(self, spec: ClusterShardSpec) -> None:
+        # Lazy imports: this constructor is the worker process entry.
+        from repro.faas.telemetry import TelemetryRecorder
+
+        self.spec = spec
+        self.kernel = SimKernel(seed=spec.seed)
+        self.platforms: Dict[int, FaasPlatform] = {}
+        for node_id in spec.node_ids:
+            self.platforms[node_id] = FaasPlatform(
+                config=spec.node_configs[node_id],
+                manager=spec.manager_factory(),
+                kernel=self.kernel,
+                node_id=node_id,
+            )
+        self._sinks: Dict[int, EventTraceSink] = {}
+        self._recorders: Dict[int, object] = {}
+        if spec.telemetry_dir is not None:
+            for node_id, platform in self.platforms.items():
+                self._recorders[node_id] = TelemetryRecorder(
+                    platform,
+                    interval=spec.telemetry_interval,
+                    max_samples=spec.telemetry_max_samples,
+                    stream_csv=Path(spec.telemetry_dir) / f"node{node_id:03d}.csv",
+                )
+        self._profiler = None
+        if spec.profile_path is not None:
+            import cProfile
+
+            self._profiler = cProfile.Profile()
+
+    # ----------------------------------------------------------- protocol
+
+    def begin_epoch(
+        self, payload: Sequence[Tuple[int, float, FunctionDefinition, int]]
+    ) -> None:
+        """Accept this epoch's routed arrivals: (node, time, definition, id)."""
+        for node_id, time, definition, request_id in payload:
+            self.platforms[node_id].submit(
+                [Request(arrival=time, definition=definition, id=request_id)]
+            )
+
+    def advance(self, until: Optional[float]) -> None:
+        if self._profiler is not None:
+            self._profiler.enable()
+        try:
+            self.kernel.run(until)
+        finally:
+            if self._profiler is not None:
+                self._profiler.disable()
+
+    def epoch_report(self, horizon: Optional[float]) -> Dict[str, object]:
+        """Snapshot the shard at the barrier: loads, conservation, clock.
+
+        Also the shard's bounded-memory flush point (trace and telemetry
+        streams hit disk) and its oracle cadence: with ``REPRO_CHECK=1``
+        every node's invariant oracle sweeps its full platform here.
+        """
+        for sink in self._sinks.values():
+            sink.flush()
+        for recorder in self._recorders.values():
+            recorder.flush()
+        conservation = {
+            "frames_used_bytes": 0,
+            "swap_pages": 0,
+            "swap_outs": 0,
+            "swap_ins": 0,
+            "swap_discards": 0,
+        }
+        loads: Dict[int, dict] = {}
+        for node_id, platform in self.platforms.items():
+            if platform.oracle is not None:
+                platform.oracle.check_now()
+            physical = platform.physical
+            conservation["frames_used_bytes"] += physical.used_bytes
+            conservation["swap_pages"] += physical.swap.pages
+            conservation["swap_outs"] += physical.swap.total_swap_outs
+            conservation["swap_ins"] += physical.swap.total_swap_ins
+            conservation["swap_discards"] += physical.swap.total_discards
+            loads[node_id] = {
+                "used_bytes": platform.used_bytes(),
+                "frozen_bytes": platform.frozen_bytes(),
+                "instances": len(platform.all_instances()),
+                "warm": sorted(
+                    {
+                        instance.spec.name
+                        for instance in platform.all_instances()
+                        if instance.state is InstanceState.FROZEN
+                        or (
+                            instance.state is InstanceState.IDLE
+                            and instance.invocation_count > 0
+                        )
+                    }
+                ),
+            }
+        return {
+            "shard": self.spec.shard,
+            "clock": self.kernel.now,
+            "events": self.kernel.events_processed,
+            "loads": loads,
+            "conservation": conservation,
+        }
+
+    def mark(self, name: str) -> None:
+        if name == "reset-metrics":
+            for platform in self.platforms.values():
+                platform.reset_metrics()
+        elif name == "start-trace":
+            if self.spec.trace_dir is None:
+                return
+            for node_id, platform in self.platforms.items():
+                # Node-canonical, streamed: seq is the sink's own dense
+                # counter and lines go straight to disk, so worker memory
+                # stays flat and the records do not depend on shard count.
+                self._sinks[node_id] = EventTraceSink(
+                    platform.bus,
+                    node=node_id,
+                    path=Path(self.spec.trace_dir) / f"node{node_id:03d}.jsonl",
+                    normalize_seq=True,
+                    store=False,
+                )
+        elif name == "stop-trace":
+            for sink in self._sinks.values():
+                sink.detach()
+        else:
+            raise ValueError(f"unknown mark {name!r}")
+
+    def finalize(self) -> Dict[str, object]:
+        """Close streams, final oracle sweep, and ship per-node results."""
+        nodes: Dict[int, dict] = {}
+        for node_id, platform in self.platforms.items():
+            sink = self._sinks.get(node_id)
+            if sink is not None:
+                sink.detach()
+            recorder = self._recorders.get(node_id)
+            if recorder is not None:
+                recorder.detach()
+            if platform.oracle is not None:
+                platform.oracle.finish()
+            nodes[node_id] = {
+                "completed": len(platform.outcomes),
+                "outcomes": [
+                    (outcome.latency, outcome.cold_boots)
+                    for outcome in platform.outcomes
+                ],
+                "cold_boots": platform.cold_boots,
+                "warm_starts": platform.warm_starts,
+                "evictions": platform.evictions,
+                "overcommits": platform.overcommits,
+                "cpu_busy": dict(platform.cpu.busy),
+                "trace_path": (
+                    str(Path(self.spec.trace_dir) / f"node{node_id:03d}.jsonl")
+                    if sink is not None
+                    else None
+                ),
+                "trace_events": sink.count if sink is not None else 0,
+                "telemetry_path": str(
+                    Path(self.spec.telemetry_dir) / f"node{node_id:03d}.csv"
+                )
+                if recorder is not None
+                else None,
+            }
+        if self._profiler is not None:
+            self._profiler.dump_stats(self.spec.profile_path)
+        return {
+            "shard": self.spec.shard,
+            "events": self.kernel.events_processed,
+            "profile_path": self.spec.profile_path,
+            "nodes": nodes,
+        }
+
+
+class ShardedClusterSession:
+    """Coordinator of one sharded cluster run.
+
+    Owns the shard pool, the front-end router, and the conservative epoch
+    loop.  All scheduling decisions are made here -- deterministically,
+    from the arrival sequence plus previous-epoch load digests -- so the
+    workers never interact with each other and the epoch horizon is a
+    safe lower bound on cross-shard event times.
+
+    With ``shards=1`` (or ``processes=False``) the identical protocol
+    drives in-process hosts: that *serial twin* is the reference leg of
+    the digest gate, reducing the serial/sharded comparison to exactly
+    one variable -- how nodes were partitioned across kernels.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        manager_factory: Optional[Callable[[], object]] = None,
+        shards: int = 1,
+        epoch_seconds: float = 5.0,
+        processes: Optional[bool] = None,
+        trace_dir: Optional[str] = None,
+        telemetry_dir: Optional[str] = None,
+        telemetry_interval: float = 1.0,
+        telemetry_max_samples: Optional[int] = 512,
+        profile_dir: Optional[str] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        from repro.core.baselines import VanillaManager  # avoids module cycle
+
+        if epoch_seconds <= 0:
+            raise ValueError("epoch_seconds must be positive")
+        factory = manager_factory or VanillaManager
+        self.config = config
+        self.epoch_seconds = float(epoch_seconds)
+        partitions = partition_nodes(config.nodes, shards)
+        self.shards = len(partitions)
+        self.router = FrontEndRouter(config.nodes, config.scheduler)
+        self._shard_of: Dict[int, int] = {}
+        specs = []
+        for shard, node_ids in enumerate(partitions):
+            node_configs = {}
+            for node_id in node_ids:
+                node_config = copy.deepcopy(config.node_config)
+                node_config.seed = config.node_config.seed + node_id
+                node_configs[node_id] = node_config
+                self._shard_of[node_id] = shard
+            specs.append(
+                ClusterShardSpec(
+                    shard=shard,
+                    seed=config.node_config.seed,
+                    node_ids=node_ids,
+                    node_configs=node_configs,
+                    manager_factory=factory,
+                    trace_dir=trace_dir,
+                    telemetry_dir=telemetry_dir,
+                    telemetry_interval=telemetry_interval,
+                    telemetry_max_samples=telemetry_max_samples,
+                    profile_path=(
+                        str(Path(profile_dir) / f"shard{shard}.prof")
+                        if profile_dir is not None
+                        else None
+                    ),
+                )
+            )
+        if processes is None:
+            processes = self.shards > 1
+        self.pool = make_pool(
+            ClusterShardHost, specs, processes=processes, start_method=start_method
+        )
+        self._request_ids = 0
+        self._loads: Optional[Dict[int, dict]] = None
+        #: Max shard clock after the last barrier (== the global last
+        #: event time, identical for every shard count).
+        self.clock = 0.0
+        self.epochs = 0
+        self.events = 0
+
+    # ------------------------------------------------------------- routing
+
+    def route(self, definition: FunctionDefinition) -> int:
+        if self.config.scheduler in DEFERRED_SCHEDULERS:
+            return self.router.route_from_loads(definition, self._loads)
+        return self.router.route_static(definition)
+
+    # ------------------------------------------------------------- driving
+
+    def run_phase(
+        self,
+        arrivals: Sequence[Tuple],
+        start: float = 0.0,
+        end: Optional[float] = None,
+        routed: bool = False,
+    ) -> None:
+        """Feed one arrival batch through conservative epochs, then drain.
+
+        ``arrivals`` must be in submit order with nondecreasing times
+        (what :class:`~repro.trace.generator.TraceGenerator` produces):
+        items are ``(time, definition)`` -- routed here -- or, with
+        ``routed=True``, pre-decided ``(time, definition, node,
+        request_id)`` tuples from a :class:`Cluster` submission log.
+        Epoch *k* covers arrival times ``[start+(k-1)*e, start+k*e)``;
+        after the last horizon every shard drains to quiescence so
+        in-flight requests complete before the phase returns.
+        """
+        arrivals = list(arrivals)
+        if end is None:
+            end = arrivals[-1][0] if arrivals else start
+        index = 0
+        k = 0
+        while True:
+            k += 1
+            horizon = start + k * self.epoch_seconds
+            payloads: List[List[Tuple]] = [[] for _ in range(self.shards)]
+            while index < len(arrivals) and arrivals[index][0] < horizon:
+                item = arrivals[index]
+                index += 1
+                if routed:
+                    time, definition, node, request_id = item
+                else:
+                    time, definition = item
+                    node = self.route(definition)
+                    self._request_ids += 1
+                    request_id = self._request_ids
+                payloads[self._shard_of[node]].append(
+                    (node, time, definition, request_id)
+                )
+            self._absorb(self.pool.epoch(horizon, payloads), horizon)
+            if index >= len(arrivals) and horizon >= end:
+                break
+        self._absorb(
+            self.pool.epoch(None, [[] for _ in range(self.shards)]), None
+        )
+
+    def _absorb(self, reports: List[Dict], horizon: Optional[float]) -> None:
+        # Lazy import: repro.check reaches back into repro.faas.
+        from repro.check import check_shard_conservation
+
+        check_shard_conservation(reports, horizon)
+        self.epochs += 1
+        self.clock = max(report["clock"] for report in reports)
+        self.events = sum(report["events"] for report in reports)
+        loads: Dict[int, dict] = {}
+        for report in reports:
+            loads.update(report["loads"])
+        self._loads = loads
+
+    def mark(self, name: str) -> None:
+        self.pool.mark(name)
+
+    def finish(self) -> Dict[int, dict]:
+        """Collect per-node results from every shard, keyed by node id."""
+        results = self.pool.finish()
+        self.events = sum(result["events"] for result in results)
+        nodes: Dict[int, dict] = {}
+        for result in results:
+            nodes.update(result["nodes"])
+        return nodes
+
+    def close(self) -> None:
+        self.pool.close()

@@ -12,6 +12,7 @@ sparklines for quick inspection in examples.
 
 from __future__ import annotations
 
+import csv
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -49,8 +50,26 @@ class TelemetryRecorder:
     #: recorder memory flat while every snapshot still goes out as a
     #: ``sample`` bus event for streaming consumers (trace sinks).
     max_samples: Optional[int] = None
+    #: Stream every sample to this CSV as it is captured (rows identical
+    #: to :meth:`to_csv`).  With ``max_samples`` bounding the in-memory
+    #: ring this keeps recorder memory flat over arbitrarily long runs --
+    #: shard workers stream one CSV per node and :meth:`flush` it at
+    #: every epoch barrier, so a crashed worker loses at most one epoch
+    #: of samples and the coordinator never holds a full series.
+    stream_csv: Optional[str | Path] = None
     samples: List[TelemetrySample] = field(default_factory=list)
     _next_sample_at: float = 0.0
+
+    HEADERS = (
+        "time",
+        "frozen_bytes",
+        "used_bytes",
+        "instances",
+        "frozen_instances",
+        "cold_boots",
+        "evictions",
+        "activation_threshold",
+    )
 
     def __post_init__(self) -> None:
         if self.interval <= 0:
@@ -59,6 +78,14 @@ class TelemetryRecorder:
             if self.max_samples <= 0:
                 raise ValueError("max_samples must be positive")
             self.samples = deque(self.samples, maxlen=self.max_samples)
+        self._stream_handle = None
+        self._stream_writer = None
+        if self.stream_csv is not None:
+            path = Path(self.stream_csv)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream_handle = path.open("w", newline="")
+            self._stream_writer = csv.writer(self._stream_handle)
+            self._stream_writer.writerow(self.HEADERS)
         self._subscription = self.platform.bus.subscribe(
             self._on_step, kinds=(STEP,), node=self.platform.node_id
         )
@@ -86,6 +113,8 @@ class TelemetryRecorder:
             activation_threshold=threshold,
         )
         self.samples.append(sample)
+        if self._stream_writer is not None:
+            self._stream_writer.writerow(self._row(sample))
         self.platform.bus.publish(
             Event(
                 SAMPLE,
@@ -103,11 +132,20 @@ class TelemetryRecorder:
             )
         )
 
+    def flush(self) -> None:
+        """Push buffered streamed rows to disk (epoch-barrier hook)."""
+        if self._stream_handle is not None:
+            self._stream_handle.flush()
+
     def detach(self) -> None:
-        """Stop sampling."""
+        """Stop sampling (and close the streamed CSV, if any)."""
         if self._subscription is not None:
             self.platform.bus.unsubscribe(self._subscription)
             self._subscription = None
+        if self._stream_handle is not None:
+            self._stream_handle.close()
+            self._stream_handle = None
+            self._stream_writer = None
 
     # --------------------------------------------------------------- series
 
@@ -115,33 +153,26 @@ class TelemetryRecorder:
         """One column of the recording, e.g. ``series('frozen_bytes')``."""
         return [getattr(sample, attribute) or 0 for sample in self.samples]
 
-    def to_csv(self, path: str | Path) -> Path:
-        headers = [
-            "time",
-            "frozen_bytes",
-            "used_bytes",
-            "instances",
-            "frozen_instances",
-            "cold_boots",
-            "evictions",
-            "activation_threshold",
+    @staticmethod
+    def _row(s: TelemetrySample) -> List[object]:
+        return [
+            f"{s.time:.3f}",
+            s.frozen_bytes,
+            s.used_bytes,
+            s.instances,
+            s.frozen_instances,
+            s.cold_boots,
+            s.evictions,
+            "" if s.activation_threshold is None else f"{s.activation_threshold:.3f}",
         ]
+
+    def to_csv(self, path: str | Path) -> Path:
         # Generator, not list: rows stream straight into the csv writer,
-        # so exporting never doubles the recorder's footprint.
-        rows = (
-            [
-                f"{s.time:.3f}",
-                s.frozen_bytes,
-                s.used_bytes,
-                s.instances,
-                s.frozen_instances,
-                s.cold_boots,
-                s.evictions,
-                "" if s.activation_threshold is None else f"{s.activation_threshold:.3f}",
-            ]
-            for s in self.samples
+        # so exporting never doubles the recorder's footprint.  Rows are
+        # byte-identical to what ``stream_csv`` emits live.
+        return write_csv(
+            path, list(self.HEADERS), (self._row(s) for s in self.samples)
         )
-        return write_csv(path, headers, rows)
 
 
 def bucket_means(values: Sequence[float], width: int) -> List[float]:

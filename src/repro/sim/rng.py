@@ -37,5 +37,18 @@ class RngStream(random.Random):
         """Rewind the stream to its initial state."""
         self.seed(derive_seed(self.master_seed, self.name))
 
+    def split(self, label: str) -> "RngStream":
+        """Derive an independent child stream named ``label``.
+
+        The child is seeded from ``(master_seed, f"{name}/{label}")``
+        alone: splitting consumes no draws from the parent and the
+        child's sequence depends only on the two names -- not on when the
+        split happened, how many other splits exist, or which shard
+        worker performed it.  That is the property that lets shard
+        workers (:mod:`repro.sim.shard`) hand every component the same
+        stream it would have had in a serial run.
+        """
+        return RngStream(self.master_seed, f"{self.name}/{label}")
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RngStream(master_seed={self.master_seed}, name={self.name!r})"

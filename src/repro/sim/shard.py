@@ -1,0 +1,370 @@
+"""Sharded simulation: partition a cluster across worker processes.
+
+A serial cluster run drives every node on one shared
+:class:`~repro.sim.kernel.SimKernel`.  That is convenient but caps
+replay throughput at one core and keeps every node's state in one
+process.  This module supplies the generic machinery for the sharded
+alternative: node shards run in separate worker processes, each with its
+own kernel, synchronized by a coordinator in *conservative time epochs*.
+
+Protocol
+--------
+The coordinator owns a :class:`ShardPool` of workers, each built from a
+picklable *spec* by a picklable *host factory*.  A host exposes four
+methods (duck-typed; :class:`repro.faas.cluster.ClusterShardHost` is the
+canonical implementation)::
+
+    begin_epoch(payload)   # accept this epoch's inputs (routed arrivals)
+    advance(until)         # run the local kernel to the epoch horizon
+    epoch_report(horizon)  # -> picklable dict (loads, conservation, clock)
+    mark(name)             # phase transition (reset metrics, start trace)
+    finalize()             # -> picklable dict (stats, trace paths); shuts down
+
+One epoch is one ``epoch()`` call: the coordinator sends every worker
+its inputs and the shared horizon, workers advance independently, and
+the call returns only when every report is in -- a barrier.  Because all
+cross-shard interaction (request routing) flows coordinator -> worker at
+epoch boundaries, and routing decisions are derived deterministically
+from the arrival sequence plus *previous-epoch* load digests, no worker
+ever needs an event from a peer mid-epoch: the horizon is a conservative
+lower bound on cross-shard event times, the classic null-message-free
+special case of conservative parallel discrete-event simulation.
+
+Determinism
+-----------
+Shard workers produce *node-canonical* event traces
+(:class:`~repro.sim.trace.EventTraceSink` with ``normalize_seq=True``):
+per-node records do not depend on which process or kernel hosted the
+node.  :func:`merge_trace_files` merges the per-node JSONL streams into
+one stream ordered by ``(t, node, seq)`` -- the same total order a
+shared serial kernel produces -- so the merged trace's SHA-256 is
+byte-identical to the serial run's for any shard count.
+
+:class:`InlineShardPool` runs the identical epoch protocol with in-process
+hosts (no forking); the serial twin of a sharded run is an inline pool
+with one shard holding every node.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import multiprocessing
+import traceback
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ShardWorkerError",
+    "ShardPool",
+    "InlineShardPool",
+    "make_pool",
+    "epoch_horizons",
+    "merge_trace_lines",
+    "merge_trace_files",
+    "sha256_lines",
+]
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker raised; carries the worker-side traceback."""
+
+    def __init__(self, shard: int, worker_traceback: str) -> None:
+        super().__init__(
+            f"shard worker {shard} failed:\n{worker_traceback.rstrip()}"
+        )
+        self.shard = shard
+        self.worker_traceback = worker_traceback
+
+
+def _worker_main(conn, host_factory, spec, env: Dict[str, str]) -> None:
+    """Worker process entry: build the host, then serve epoch commands.
+
+    Every command is answered with exactly one reply tuple --
+    ``("report", dict)``, ``("ok", None)``, ``("result", dict)`` or
+    ``("error", traceback_str)`` -- so the coordinator can run a strict
+    send/recv lockstep per worker.
+    """
+    from repro import procenv  # local import: keep module picklable footprint small
+
+    try:
+        procenv.apply(env)
+        host = host_factory(spec)
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
+        conn.close()
+        return
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                return
+            command = message[0]
+            try:
+                if command == "epoch":
+                    _, horizon, payload = message
+                    if payload:
+                        host.begin_epoch(payload)
+                    host.advance(horizon)
+                    conn.send(("report", host.epoch_report(horizon)))
+                elif command == "mark":
+                    host.mark(message[1])
+                    conn.send(("ok", None))
+                elif command == "finish":
+                    conn.send(("result", host.finalize()))
+                    return
+                else:
+                    conn.send(("error", f"unknown shard command {command!r}"))
+                    return
+            except BaseException:
+                conn.send(("error", traceback.format_exc()))
+                return
+    finally:
+        conn.close()
+
+
+class ShardPool:
+    """Coordinator handle over one worker process per shard."""
+
+    def __init__(
+        self,
+        host_factory: Callable[[Any], Any],
+        specs: Sequence[Any],
+        env: Optional[Dict[str, str]] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        from repro import procenv
+
+        if not specs:
+            raise ValueError("need at least one shard spec")
+        if env is None:
+            env = procenv.snapshot()
+        context = multiprocessing.get_context(start_method)
+        self._connections = []
+        self._processes = []
+        try:
+            for spec in specs:
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(child_conn, host_factory, spec, env),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._connections.append(parent_conn)
+                self._processes.append(process)
+        except BaseException:
+            self.close()
+            raise
+
+    def __len__(self) -> int:
+        return len(self._connections)
+
+    def _send(self, shard: int, message: Tuple) -> None:
+        try:
+            self._connections[shard].send(message)
+        except (BrokenPipeError, OSError):
+            # The worker already died (e.g. its host factory raised and
+            # it closed the pipe).  Its queued error report -- if it got
+            # one out -- still sits in the pipe buffer; the paired
+            # _receive surfaces it as a ShardWorkerError.
+            pass
+
+    def _receive(self, shard: int) -> Any:
+        try:
+            kind, value = self._connections[shard].recv()
+        except EOFError as exc:
+            raise ShardWorkerError(shard, "worker exited without replying") from exc
+        if kind == "error":
+            raise ShardWorkerError(shard, value)
+        return value
+
+    def epoch(self, horizon: Optional[float], payloads: Sequence[Any]) -> List[Dict]:
+        """Run one epoch on every shard; a barrier returning all reports.
+
+        ``payloads[k]`` is shard *k*'s input batch (may be empty/None);
+        ``horizon`` bounds every shard's local clock (``None`` = drain to
+        quiescence -- only safe once no further inputs will be sent for
+        times the drain could overrun).
+        """
+        if len(payloads) != len(self._connections):
+            raise ValueError("one payload per shard required")
+        for shard, payload in enumerate(payloads):
+            self._send(shard, ("epoch", horizon, payload))
+        return [self._receive(shard) for shard in range(len(self._connections))]
+
+    def mark(self, name: str) -> None:
+        """Broadcast a phase-transition mark; barrier."""
+        for shard in range(len(self._connections)):
+            self._send(shard, ("mark", name))
+        for shard in range(len(self._connections)):
+            self._receive(shard)
+
+    def finish(self) -> List[Dict]:
+        """Collect final results and shut every worker down."""
+        for shard in range(len(self._connections)):
+            self._send(shard, ("finish",))
+        results = [self._receive(shard) for shard in range(len(self._connections))]
+        self.close()
+        return results
+
+    def close(self) -> None:
+        """Tear down workers unconditionally (error-path cleanup)."""
+        for connection in self._connections:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=5)
+        self._connections = []
+        self._processes = []
+
+
+class InlineShardPool:
+    """The same epoch protocol, with hosts living in this process.
+
+    Used for the serial twin (one shard, every node) and for debugging a
+    sharded run without process boundaries.  Deliberately does *not*
+    touch the environment: inline hosts share the caller's live flags.
+    """
+
+    def __init__(self, host_factory: Callable[[Any], Any], specs: Sequence[Any]) -> None:
+        if not specs:
+            raise ValueError("need at least one shard spec")
+        self._hosts = [host_factory(spec) for spec in specs]
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    def epoch(self, horizon: Optional[float], payloads: Sequence[Any]) -> List[Dict]:
+        if len(payloads) != len(self._hosts):
+            raise ValueError("one payload per shard required")
+        reports = []
+        for host, payload in zip(self._hosts, payloads):
+            if payload:
+                host.begin_epoch(payload)
+            host.advance(horizon)
+            reports.append(host.epoch_report(horizon))
+        return reports
+
+    def mark(self, name: str) -> None:
+        for host in self._hosts:
+            host.mark(name)
+
+    def finish(self) -> List[Dict]:
+        return [host.finalize() for host in self._hosts]
+
+    def close(self) -> None:
+        pass
+
+
+def make_pool(
+    host_factory: Callable[[Any], Any],
+    specs: Sequence[Any],
+    processes: bool,
+    start_method: Optional[str] = None,
+):
+    """Build a process pool, or the inline twin running the same protocol."""
+    if processes:
+        return ShardPool(host_factory, specs, start_method=start_method)
+    return InlineShardPool(host_factory, specs)
+
+
+# ------------------------------------------------------------------ epochs
+
+
+def epoch_horizons(start: float, end: float, epoch_seconds: float) -> List[float]:
+    """The conservative epoch grid covering ``(start, end]``.
+
+    Horizons land at ``start + k * epoch_seconds`` and the last one is
+    the first grid point ``>= end``, so every input time is covered by
+    exactly one epoch.  Computed by *index* (not by accumulating floats)
+    so every caller derives bit-identical horizons.
+    """
+    if epoch_seconds <= 0:
+        raise ValueError("epoch_seconds must be positive")
+    if end <= start:
+        return [start + epoch_seconds]
+    count = int((end - start) / epoch_seconds)
+    horizons = [start + (k + 1) * epoch_seconds for k in range(count)]
+    if not horizons or horizons[-1] < end:
+        horizons.append(start + (count + 1) * epoch_seconds)
+    return horizons
+
+
+# ------------------------------------------------------------------- merge
+
+
+def _keyed_lines(lines: Iterable[str]) -> Iterator[Tuple[Tuple[float, int, int], str]]:
+    for line in lines:
+        record = json.loads(line)
+        yield (record["t"], record["node"], record["seq"]), line
+
+
+def merge_trace_lines(sources: Sequence[Iterable[str]]) -> Iterator[str]:
+    """Merge per-shard JSONL trace streams into one canonical stream.
+
+    Each source must already be sorted by ``(t, node, seq)`` -- true of
+    any single-node sink, and of any previously merged stream.  The
+    merged order is the global event order a shared serial kernel
+    produces: time-major, with same-time events from different nodes
+    ordered by node id and ``seq`` breaking ties within a node.  Keys
+    are unique (``seq`` is dense per node), so the merge is a total
+    order independent of how records were partitioned across sources.
+    """
+    for _, line in heapq.merge(
+        *[_keyed_lines(source) for source in sources], key=lambda pair: pair[0]
+    ):
+        yield line
+
+
+def _iter_file(path: Path) -> Iterator[str]:
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if line:
+                yield line
+
+
+def sha256_lines(lines: Iterable[str]) -> Tuple[int, str]:
+    """Count and digest a line stream (newline-terminated, like the files)."""
+    digest = hashlib.sha256()
+    count = 0
+    for line in lines:
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\n")
+        count += 1
+    return count, digest.hexdigest()
+
+
+def merge_trace_files(
+    paths: Sequence[str | Path],
+    out_path: Optional[str | Path] = None,
+) -> Tuple[int, str]:
+    """Merge per-node trace files; return ``(events, sha256)``.
+
+    Streams: no file is ever fully resident.  With ``out_path`` the
+    merged JSONL is also written (digest covers exactly those bytes).
+    """
+    sources = [_iter_file(Path(path)) for path in paths]
+    merged = merge_trace_lines(sources)
+    if out_path is None:
+        return sha256_lines(merged)
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    digest = hashlib.sha256()
+    count = 0
+    with out_path.open("w", encoding="utf-8") as handle:
+        for line in merged:
+            handle.write(line + "\n")
+            digest.update(line.encode("utf-8"))
+            digest.update(b"\n")
+            count += 1
+    return count, digest.hexdigest()

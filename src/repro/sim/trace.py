@@ -9,6 +9,15 @@ traces *byte-identical* across runs with the same seed:
 * ``request_id`` / ``instance_id`` values are rewritten to dense
   first-appearance indexes, because the underlying counters are global
   to the process and would differ between back-to-back runs.
+
+With ``normalize_seq=True`` the recorded ``seq`` is additionally
+rewritten to the sink's own dense record index instead of the bus-wide
+publication counter.  A node-filtered sink then emits *node-canonical*
+records -- identical whether the node ran on a shared kernel (serial
+cluster) or alone in a shard worker, where the bus counter would differ.
+The sharded-replay digest gate (:mod:`repro.sim.shard`) is built on
+exactly this: per-node canonical traces merge into one stream ordered by
+``(t, node, seq)`` whose bytes do not depend on the shard count.
 """
 
 from __future__ import annotations
@@ -35,8 +44,14 @@ class EventTraceSink:
         kinds: Optional[Iterable[str]] = None,
         node: Optional[int] = None,
         path: Optional[str | Path] = None,
+        normalize_seq: bool = False,
+        store: bool = True,
     ) -> None:
         self.lines: List[str] = []
+        #: Records written (== ``len(self.lines)`` unless ``store=False``).
+        self.count = 0
+        self._normalize_seq = normalize_seq
+        self._store = store
         self._id_maps: Dict[str, Dict[object, int]] = {k: {} for k in _ID_KEYS}
         if path is not None:
             path = Path(path)
@@ -62,7 +77,7 @@ class EventTraceSink:
 
     def _record(self, event: Event) -> None:
         record: Dict[str, object] = {
-            "seq": event.seq,
+            "seq": self.count if self._normalize_seq else event.seq,
             "t": round(event.time, 9),
             "node": event.node,
             "kind": event.kind,
@@ -74,7 +89,9 @@ class EventTraceSink:
                     value = round(value, 9)
                 record[key] = self._normalize(key, value)
         line = json.dumps(record, sort_keys=False, separators=(",", ":"))
-        self.lines.append(line)
+        self.count += 1
+        if self._store:
+            self.lines.append(line)
         if self._file is not None:
             self._file.write(line + "\n")
 
@@ -89,6 +106,11 @@ class EventTraceSink:
             self._file.close()
             self._file = None
 
+    def flush(self) -> None:
+        """Push buffered streamed lines to disk (epoch-barrier hook)."""
+        if self._file is not None:
+            self._file.flush()
+
     def to_jsonl(self) -> str:
         """The whole trace as one newline-terminated string."""
         return "".join(line + "\n" for line in self.lines)
@@ -101,4 +123,4 @@ class EventTraceSink:
         return path
 
     def __len__(self) -> int:
-        return len(self.lines)
+        return self.count

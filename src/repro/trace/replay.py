@@ -4,19 +4,28 @@ Protocol copied from the paper: warm the system up for 60 seconds at a
 fixed scale factor of 15, zero the meters, then replay 180 seconds at the
 scale factor under test and report cold-boot rate, throughput, CPU
 utilization, and tail latency.
+
+:func:`replay` runs the protocol on a single platform.
+:func:`cluster_replay` runs it on a multi-node cluster through
+:class:`~repro.faas.cluster.ShardedClusterSession` -- optionally across
+worker processes (``shards > 1``) -- and reports the same statistics plus
+the merged canonical event trace and its SHA-256, which is byte-identical
+for every shard count.
 """
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.baselines import MemoryManager
 from repro.faas.platform import FaasPlatform, PlatformConfig, Request
 from repro.sim import EventTraceSink
 from repro.trace.generator import TraceGenerator
-from repro.trace.stats import ReplayStats
+from repro.trace.stats import ReplayStats, percentile
 
 
 @dataclass
@@ -80,3 +89,178 @@ def replay(
         scale_factor=config.scale_factor,
     )
     return ReplayResult(stats=stats, platform=platform, trace=sink)
+
+
+# ----------------------------------------------------------------- cluster
+
+
+@dataclass
+class ClusterReplayConfig:
+    """Window, load, and sharding parameters for one cluster replay."""
+
+    nodes: int = 8
+    scheduler: str = "warm-affinity"
+    #: Worker processes to partition the nodes across (1 = the in-process
+    #: serial twin, driven through the identical epoch protocol).
+    shards: int = 1
+    #: Simulated seconds per conservative synchronization epoch.
+    epoch_seconds: float = 5.0
+    scale_factor: float = 15.0
+    warmup_seconds: float = 60.0
+    warmup_scale_factor: float = 15.0
+    duration_seconds: float = 180.0
+    #: Per-node platform config (deep-copied per node, seeds offset).
+    platform: PlatformConfig = field(default_factory=PlatformConfig)
+    trace_seed: int = 42
+    #: Collect the measurement window's canonical event trace (always on
+    #: when ``event_trace_path`` is set): per-node streams merged into
+    #: one ``(t, node, seq)``-ordered file whose SHA-256 the result
+    #: carries -- the cross-shard equivalence witness.
+    trace: bool = False
+    event_trace_path: Optional[str | Path] = None
+    #: Stream per-node telemetry CSVs into this directory (flushed at
+    #: every epoch barrier; identical bytes for every shard count).
+    telemetry_dir: Optional[str | Path] = None
+    telemetry_interval: float = 1.0
+    #: Dump one cProfile per shard worker into this directory.
+    profile_dir: Optional[str | Path] = None
+    start_method: Optional[str] = None
+    #: Force worker processes on/off (default: processes iff shards > 1).
+    processes: Optional[bool] = None
+
+
+@dataclass
+class ClusterReplayResult:
+    """Aggregated stats plus the merged-trace equivalence witness."""
+
+    stats: ReplayStats
+    per_node: Dict[int, dict]
+    per_node_requests: List[int]
+    trace_path: Optional[Path] = None
+    trace_events: int = 0
+    trace_sha256: Optional[str] = None
+    epochs: int = 0
+    events: int = 0
+
+
+def cluster_replay(
+    manager_factory: Callable[[], MemoryManager],
+    config: Optional[ClusterReplayConfig] = None,
+    generator: Optional[TraceGenerator] = None,
+) -> ClusterReplayResult:
+    """Warmup + measurement on a (possibly process-sharded) cluster.
+
+    Both phases run through the conservative epoch loop regardless of
+    shard count, so the only variable between a ``shards=1`` and a
+    ``shards=N`` run is how nodes were partitioned across kernels -- and
+    the merged canonical trace digest is byte-identical across all of
+    them (for the static schedulers; ``least-loaded-live`` routes from
+    epoch-boundary digests and is its own deterministic policy).
+    """
+    from repro.faas.cluster import ClusterConfig, ShardedClusterSession
+    from repro.sim.shard import merge_trace_files
+
+    config = config or ClusterReplayConfig()
+    generator = generator or TraceGenerator(seed=config.trace_seed)
+    tracing = config.trace or config.event_trace_path is not None
+    trace_dir = tempfile.mkdtemp(prefix="repro-shard-trace-") if tracing else None
+    cluster_config = ClusterConfig(
+        nodes=config.nodes,
+        scheduler=config.scheduler,
+        node_config=config.platform,
+    )
+    session = ShardedClusterSession(
+        cluster_config,
+        manager_factory,
+        shards=config.shards,
+        epoch_seconds=config.epoch_seconds,
+        processes=config.processes,
+        trace_dir=trace_dir,
+        telemetry_dir=(
+            str(config.telemetry_dir) if config.telemetry_dir is not None else None
+        ),
+        telemetry_interval=config.telemetry_interval,
+        profile_dir=(
+            str(config.profile_dir) if config.profile_dir is not None else None
+        ),
+        start_method=config.start_method,
+    )
+    try:
+        warm = generator.arrivals(config.warmup_seconds, config.warmup_scale_factor)
+        session.run_phase(warm, start=0.0, end=config.warmup_seconds)
+        # Identical for every shard count: the max shard clock is the
+        # global last-event time of the (deterministic) warmup drain.
+        measure_start = max(session.clock, config.warmup_seconds)
+        session.mark("reset-metrics")
+        if tracing:
+            session.mark("start-trace")
+        measured = [
+            (measure_start + t, d)
+            for t, d in generator.arrivals(config.duration_seconds, config.scale_factor)
+        ]
+        session.run_phase(
+            measured,
+            start=measure_start,
+            end=measure_start + config.duration_seconds,
+        )
+        nodes = session.finish()
+        per_node_requests = list(session.router.assigned)
+        epochs, events = session.epochs, session.events
+    finally:
+        session.close()
+    try:
+        trace_path = None
+        trace_events = 0
+        trace_sha256 = None
+        if tracing:
+            paths = [nodes[node]["trace_path"] for node in sorted(nodes)]
+            trace_path = (
+                Path(config.event_trace_path)
+                if config.event_trace_path is not None
+                else None
+            )
+            trace_events, trace_sha256 = merge_trace_files(paths, trace_path)
+    finally:
+        if trace_dir is not None:
+            shutil.rmtree(trace_dir, ignore_errors=True)
+
+    outcomes = [pair for node in sorted(nodes) for pair in nodes[node]["outcomes"]]
+    latencies = sorted(latency for latency, _ in outcomes) or [0.0]
+    completed = len(outcomes)
+    cold = sum(cold_boots for _, cold_boots in outcomes)
+    busy: Dict[str, float] = {}
+    for info in nodes.values():
+        for category, seconds in info["cpu_busy"].items():
+            busy[category] = busy.get(category, 0.0) + seconds
+    total_busy = sum(busy.values())
+    cluster_cpus = config.platform.cpus * config.nodes
+    manager = manager_factory()
+    stats = ReplayStats(
+        policy=getattr(manager, "name", type(manager).__name__),
+        scale_factor=config.scale_factor,
+        duration_seconds=config.duration_seconds,
+        completed=completed,
+        cold_boots=cold,
+        evictions=sum(info["evictions"] for info in nodes.values()),
+        cold_boot_rate=cold / completed if completed else 0.0,
+        throughput_rps=completed / config.duration_seconds,
+        cpu_utilization=min(
+            1.0, total_busy / (config.duration_seconds * cluster_cpus)
+        ),
+        reclaim_cpu_fraction=busy.get("reclaim", 0.0) / total_busy if total_busy else 0.0,
+        eager_gc_cpu_fraction=busy.get("eager_gc", 0.0) / total_busy if total_busy else 0.0,
+        p50_latency=percentile(latencies, 50),
+        p90_latency=percentile(latencies, 90),
+        p95_latency=percentile(latencies, 95),
+        p99_latency=percentile(latencies, 99),
+    )
+    return ClusterReplayResult(
+        stats=stats,
+        per_node=nodes,
+        per_node_requests=per_node_requests,
+        trace_path=trace_path,
+        trace_events=trace_events,
+        trace_sha256=trace_sha256,
+        epochs=epochs,
+        events=events,
+    )

@@ -274,3 +274,99 @@ class TestCli:
             ]
         )
         assert code == 2
+
+
+class TestClusterLegs:
+    def test_cluster_and_shard_label_suffixes(self):
+        single = BenchSpec(kind="replay", policy="vanilla", scale=8.0)
+        cluster = BenchSpec(kind="replay", policy="vanilla", scale=8.0, nodes=8)
+        sharded = BenchSpec(
+            kind="replay", policy="vanilla", scale=8.0, nodes=8, shards=4
+        )
+        assert single.label == "replay:vanilla:x8:d20"
+        assert cluster.label == "replay:vanilla:x8:d20:n8"
+        assert sharded.label == "replay:vanilla:x8:d20:n8:s4"
+
+    def test_build_replay_macro_adds_cluster_legs(self):
+        specs = build_replay_macro(
+            sizes=("small",), policies=("vanilla",), nodes=8, shard_counts=(2, 4)
+        )
+        cluster = [s for s in specs if s.nodes]
+        # One serial twin plus one leg per shard count, all traced.
+        assert [s.shards for s in cluster] == [1, 2, 4]
+        assert all(s.trace and s.nodes == 8 for s in cluster)
+        labels = [s.label for s in cluster]
+        assert labels[0].endswith(":n8")
+        assert labels[1].endswith(":n8:s2") and labels[2].endswith(":n8:s4")
+        # Single-platform pair still present for the vs_single pairing.
+        assert sum(1 for s in specs if not s.nodes) == 2
+
+    def test_verify_trace_identity_gates_sharded_legs(self):
+        matching = [
+            _replay_result("replay:vanilla:x8:d30:n8", 4.0, sha="f" * 64),
+            _replay_result("replay:vanilla:x8:d30:n8:s2", 2.0, sha="f" * 64),
+        ]
+        assert verify_trace_identity(matching) == []
+        diverged = [
+            _replay_result("replay:vanilla:x8:d30:n8", 4.0, sha="f" * 64),
+            _replay_result("replay:vanilla:x8:d30:n8:s2", 2.0, sha="0" * 64),
+        ]
+        failures = verify_trace_identity(diverged)
+        assert len(failures) == 1 and "serial twin" in failures[0]
+
+    def test_verify_trace_identity_skips_unpaired_shard_leg(self):
+        alone = [_replay_result("replay:vanilla:x8:d30:n8:s2", 2.0)]
+        assert verify_trace_identity(alone) == []
+
+    def test_replay_speedups_sharded_and_vs_single_pairings(self):
+        speedups = replay_speedups(
+            [
+                _replay_result("replay:vanilla:x8:d30", 1.0),
+                _replay_result("replay:vanilla:x8:d30:n8", 4.0),
+                _replay_result("replay:vanilla:x8:d30:n8:s2", 2.0),
+            ]
+        )
+        entry = speedups["replay:vanilla:x8:d30:n8:s2"]
+        assert entry["speedup"] == 2.0  # serial twin 4.0s / sharded 2.0s
+        assert entry["serial_wall_seconds"] == 4.0
+        assert entry["vs_single_speedup"] == 0.5  # single 1.0s / sharded 2.0s
+        # The serial twin itself has no partner pairing.
+        assert "replay:vanilla:x8:d30:n8" not in speedups
+
+    def test_execute_spec_runs_sharded_cluster_replay(self):
+        out = execute_spec(
+            BenchSpec(
+                kind="replay",
+                policy="vanilla",
+                scale=4.0,
+                duration=10.0,
+                warmup=5.0,
+                capacity_mib=512,
+                nodes=2,
+                shards=2,
+                trace=True,
+            )
+        )
+        assert out["label"] == "replay:vanilla:x4:d10:n2:s2"
+        metrics = out["metrics"]
+        assert metrics["epochs"] > 0
+        assert metrics["trace_events"] > 0
+        assert len(metrics["trace_sha256"]) == 64
+
+
+class TestWorkerEnvPropagation:
+    def test_spawn_pool_matches_serial_results(self):
+        """Worker pools re-apply the parent's run flags via the
+        initializer, so results are identical even under ``spawn``
+        (where children inherit nothing that was set programmatically)."""
+        import multiprocessing
+
+        specs = [
+            BenchSpec(kind="characterize", name="fft", policy=pol, iterations=5)
+            for pol in ("vanilla", "desiccant")
+        ]
+        serial = run_benchmarks(specs, jobs=1)
+        spawned = run_benchmarks(
+            specs, jobs=2, mp_context=multiprocessing.get_context("spawn")
+        )
+        assert [r["metrics"] for r in spawned] == [r["metrics"] for r in serial]

@@ -21,6 +21,7 @@ from repro.check import (
     check_mapping,
     check_physical,
     check_platform,
+    check_shard_conservation,
     check_runlist,
     check_runtime,
     check_smaps,
@@ -423,3 +424,65 @@ class TestCheckPlatform:
         dead.destroy(1.0)
         platform = fake_platform(_instances={"inv-py": [dead]})
         assert violation_name(check_platform, platform) == "platform-dead-pooled"
+
+
+# ------------------------------------------------------- shard conservation
+
+
+def shard_report(shard=0, clock=4.0, pages=2, outs=5, ins=2, discards=1, used=64):
+    return {
+        "shard": shard,
+        "clock": clock,
+        "conservation": {
+            "frames_used_bytes": used,
+            "swap_pages": pages,
+            "swap_outs": outs,
+            "swap_ins": ins,
+            "swap_discards": discards,
+        },
+    }
+
+
+class TestShardConservation:
+    def test_healthy_barrier_passes(self):
+        check_shard_conservation(
+            [shard_report(0), shard_report(1, clock=5.0)], horizon=5.0
+        )
+
+    def test_flow_balances_globally_not_per_shard(self):
+        """Pages swapped out on one shard's books may be accounted
+        resident on another's aggregate: only the global sum gates."""
+        check_shard_conservation(
+            [
+                shard_report(0, pages=0, outs=5, ins=2, discards=1),
+                shard_report(1, pages=4, outs=3, ins=1, discards=0),
+            ],
+            horizon=10.0,
+        )
+
+    def test_broken_global_flow_detected(self):
+        reports = [shard_report(pages=99)]
+        assert (
+            violation_name(check_shard_conservation, reports, 5.0)
+            == "shard-swap-flow"
+        )
+
+    def test_negative_counter_detected(self):
+        reports = [shard_report(used=-1)]
+        assert (
+            violation_name(check_shard_conservation, reports, 5.0)
+            == "shard-frame-nonneg"
+        )
+
+    def test_clock_past_horizon_detected(self):
+        reports = [shard_report(clock=5.5)]
+        assert (
+            violation_name(check_shard_conservation, reports, 5.0)
+            == "shard-clock-horizon"
+        )
+
+    def test_clock_at_horizon_allowed(self):
+        check_shard_conservation([shard_report(clock=5.0)], horizon=5.0)
+
+    def test_drain_epoch_skips_clock_law(self):
+        check_shard_conservation([shard_report(clock=99.0)], horizon=None)

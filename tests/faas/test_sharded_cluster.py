@@ -1,0 +1,191 @@
+"""End-to-end tests for sharded cluster replay (repro.faas.cluster).
+
+The contract under test: a sharded run differs from the serial twin in
+exactly one way -- how nodes were partitioned across kernels -- so
+aggregate statistics, merged canonical trace digests, and streamed
+telemetry CSVs must be byte-identical for every shard count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Desiccant
+from repro.faas.cluster import (
+    Cluster,
+    ClusterConfig,
+    ShardedClusterSession,
+    partition_nodes,
+)
+from repro.faas.platform import PlatformConfig
+from repro.mem.layout import MIB
+from repro.sim.shard import ShardWorkerError, merge_trace_files
+from repro.trace.generator import TraceGenerator
+from repro.trace.replay import ClusterReplayConfig, cluster_replay
+
+ARRIVALS = TraceGenerator(seed=9).arrivals(25.0, scale_factor=8.0)
+
+
+def _config(nodes=8, scheduler="warm-affinity"):
+    return ClusterConfig(
+        nodes=nodes,
+        scheduler=scheduler,
+        node_config=PlatformConfig(capacity_bytes=512 * MIB),
+    )
+
+
+def _run_session(shards, scheduler="warm-affinity", processes=False, tmp_path=None):
+    """Drive one traced session over the shared arrival batch."""
+    trace_dir = tmp_path / f"trace-s{shards}"
+    telemetry_dir = tmp_path / f"telemetry-s{shards}"
+    session = ShardedClusterSession(
+        _config(scheduler=scheduler),
+        shards=shards,
+        epoch_seconds=5.0,
+        processes=processes,
+        trace_dir=str(trace_dir),
+        telemetry_dir=str(telemetry_dir),
+    )
+    try:
+        session.mark("start-trace")
+        session.run_phase(ARRIVALS, start=0.0, end=25.0)
+        nodes = session.finish()
+        epochs, clock = session.epochs, session.clock
+    finally:
+        session.close()
+    events, digest = merge_trace_files(
+        [nodes[node]["trace_path"] for node in sorted(nodes)]
+    )
+    telemetry = b"".join(
+        path.read_bytes() for path in sorted(telemetry_dir.glob("node*.csv"))
+    )
+    return {
+        "nodes": nodes,
+        "events": events,
+        "digest": digest,
+        "telemetry": telemetry,
+        "epochs": epochs,
+        "clock": clock,
+        "completed": sum(len(info["outcomes"]) for info in nodes.values()),
+    }
+
+
+class TestPartition:
+    def test_partitions_are_contiguous_and_exhaustive(self):
+        parts = partition_nodes(8, 3)
+        assert [n for part in parts for n in part] == list(range(8))
+        assert all(part == tuple(range(part[0], part[-1] + 1)) for part in parts)
+
+    def test_balanced_within_one(self):
+        sizes = [len(p) for p in partition_nodes(10, 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shards_clamped_to_nodes(self):
+        assert partition_nodes(2, 8) == [(0,), (1,)]
+        assert partition_nodes(4, 0) == [(0, 1, 2, 3)]
+
+
+class TestDigestIdentity:
+    def test_sharded_trace_matches_serial_twin(self, tmp_path):
+        """Satellite property: merged traces byte-identical to the
+        serial twin for shards in {1, 2, 4, 7}."""
+        serial = _run_session(1, tmp_path=tmp_path)
+        assert serial["events"] > 0
+        for shards in (2, 4, 7):
+            sharded = _run_session(shards, tmp_path=tmp_path)
+            assert sharded["events"] == serial["events"], shards
+            assert sharded["digest"] == serial["digest"], shards
+            assert sharded["epochs"] == serial["epochs"]
+            assert sharded["clock"] == serial["clock"]
+
+    def test_process_workers_match_inline_twin(self, tmp_path):
+        inline = _run_session(2, processes=False, tmp_path=tmp_path)
+        forked = _run_session(2, processes=True, tmp_path=tmp_path)
+        assert forked["digest"] == inline["digest"]
+        assert forked["events"] == inline["events"]
+
+    def test_telemetry_csvs_are_byte_identical(self, tmp_path):
+        """Per-epoch streamed telemetry must not depend on sharding."""
+        serial = _run_session(1, tmp_path=tmp_path)
+        sharded = _run_session(4, tmp_path=tmp_path)
+        assert serial["telemetry"]
+        assert sharded["telemetry"] == serial["telemetry"]
+
+    def test_least_loaded_live_is_shard_count_invariant(self, tmp_path):
+        """Digest routing feeds on merged epoch-boundary loads, so the
+        deferred scheduler replays identically at any shard count."""
+        serial = _run_session(1, scheduler="least-loaded-live", tmp_path=tmp_path)
+        sharded = _run_session(3, scheduler="least-loaded-live", tmp_path=tmp_path)
+        assert serial["completed"] > 0
+        assert sharded["digest"] == serial["digest"]
+        assert sharded["completed"] == serial["completed"]
+
+
+class TestClusterRun:
+    @pytest.mark.parametrize("scheduler", ["round-robin", "warm-affinity"])
+    def test_sharded_stats_equal_serial(self, scheduler):
+        def build():
+            cluster = Cluster(_config(nodes=4, scheduler=scheduler))
+            cluster.submit(ARRIVALS)
+            return cluster
+
+        serial_cluster = build()
+        serial = serial_cluster.run()
+        serial_cluster.destroy()
+        sharded = build().run(shards=2)
+        assert serial.completed > 0
+        assert sharded == serial  # dataclass equality: every field
+
+    def test_deferred_scheduler_reroutes_in_session(self):
+        cluster = Cluster(_config(nodes=4, scheduler="least-loaded-live"))
+        cluster.submit(ARRIVALS)
+        stats = cluster.run(shards=2)
+        assert stats.completed == len(ARRIVALS)
+        assert sum(stats.per_node_requests) == stats.completed
+
+
+def _boom_manager():
+    raise RuntimeError("manager factory boom")
+
+
+class TestWorkerFailure:
+    def test_worker_traceback_propagates(self, tmp_path):
+        session = ShardedClusterSession(_config(nodes=2), _boom_manager, shards=2)
+        try:
+            with pytest.raises(ShardWorkerError, match="manager factory boom"):
+                session.run_phase(ARRIVALS[:4], start=0.0, end=5.0)
+        finally:
+            session.close()
+
+
+class TestClusterReplay:
+    def _replay(self, shards, tmp_path, policy=None, trace_path=None):
+        config = ClusterReplayConfig(
+            nodes=4,
+            shards=shards,
+            epoch_seconds=5.0,
+            scale_factor=6.0,
+            warmup_seconds=10.0,
+            warmup_scale_factor=6.0,
+            duration_seconds=20.0,
+            platform=PlatformConfig(capacity_bytes=512 * MIB),
+            trace=True,
+            event_trace_path=trace_path,
+        )
+        return cluster_replay(policy or (lambda: Desiccant()), config)
+
+    def test_sharded_replay_matches_serial(self, tmp_path):
+        serial = self._replay(1, tmp_path)
+        sharded = self._replay(2, tmp_path)
+        assert serial.stats.completed > 0
+        assert sharded.stats == serial.stats
+        assert sharded.trace_events == serial.trace_events > 0
+        assert sharded.trace_sha256 == serial.trace_sha256
+        assert sharded.epochs == serial.epochs > 0
+
+    def test_merged_trace_file_written(self, tmp_path):
+        out = tmp_path / "merged.jsonl"
+        result = self._replay(2, tmp_path, trace_path=out)
+        assert result.trace_path == out
+        lines = out.read_text().splitlines()
+        assert len(lines) == result.trace_events > 0

@@ -163,3 +163,39 @@ class TestSparkline:
 
     def test_downsamples_to_width(self):
         assert len(sparkline(list(range(1000)), width=40)) == 40
+
+
+class TestStreaming:
+    def test_streamed_csv_matches_to_csv(self, tmp_path):
+        platform = FaasPlatform()
+        stream_path = tmp_path / "stream.csv"
+        recorder = TelemetryRecorder(
+            platform, interval=0.5, stream_csv=stream_path
+        )
+        definition = get_definition("file-hash")
+        platform.submit(
+            [Request(arrival=i * 1.0, definition=definition) for i in range(8)]
+        )
+        platform.run()
+        recorder.flush()  # epoch-barrier hook: rows visible on disk now
+        flushed = stream_path.read_text()
+        assert len(flushed.splitlines()) == len(recorder.samples) + 1
+        recorder.detach()
+        # The streamed rows are the same bytes to_csv writes from the ring.
+        exported = recorder.to_csv(tmp_path / "export.csv")
+        assert stream_path.read_text() == exported.read_text()
+
+    def test_ring_bound_does_not_truncate_stream(self, tmp_path):
+        platform = FaasPlatform()
+        stream_path = tmp_path / "stream.csv"
+        recorder = TelemetryRecorder(
+            platform, interval=0.5, stream_csv=stream_path, max_samples=2
+        )
+        definition = get_definition("file-hash")
+        platform.submit(
+            [Request(arrival=i * 1.0, definition=definition) for i in range(8)]
+        )
+        platform.run()
+        recorder.detach()
+        assert len(recorder.samples) == 2  # ring kept only the tail
+        assert len(stream_path.read_text().splitlines()) > 3  # stream kept all
