@@ -32,6 +32,7 @@ import json
 import os
 import pstats
 import re
+import shutil
 import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -95,6 +96,10 @@ class BenchSpec:
     scheduler: str = "warm-affinity"
     #: Simulated seconds per conservative epoch (cluster replays only).
     epoch: float = 5.0
+    #: Also roll the traced replay into a segmented archive and report
+    #: archive metrics (compressed bytes, compression ratio, pack
+    #: throughput, windowed-read latency).  Requires ``trace``.
+    archive: bool = False
 
     @property
     def label(self) -> str:
@@ -131,6 +136,56 @@ def _run_characterize(spec: BenchSpec) -> Dict[str, object]:
         run.destroy()
 
 
+def _archive_metrics(archive_dir: str, flat_path: str) -> Dict[str, object]:
+    """Archive-side metrics for one traced replay leg.
+
+    Reads the finished archive's manifest for size/ratio, times a fresh
+    :func:`~repro.trace.archive.pack` of the flat twin for pack
+    throughput, and times a 1% time-slice windowed read (the archive's
+    headline access pattern) including full footer verification.
+    """
+    from repro.trace.archive import ArchiveReader, pack
+    from repro.trace.replay import TraceWindow
+
+    manifest = ArchiveReader(archive_dir).manifest
+    compressed = manifest["compressed_bytes"]
+    payload = manifest["payload_bytes"]
+    metrics: Dict[str, object] = {
+        "archive_segments": manifest["segments"],
+        "archive_compressed_bytes": compressed,
+        "archive_payload_bytes": payload,
+        "archive_compression_ratio": (
+            round(payload / compressed, 4) if compressed else None
+        ),
+        "archive_sha256": manifest["sha256"],
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-pack-") as scratch:
+        t0 = time.perf_counter()
+        events, _ = pack(
+            flat_path,
+            Path(scratch) / "arc",
+            bucket_seconds=manifest["bucket_seconds"],
+        )
+        elapsed = time.perf_counter() - t0
+    metrics["archive_pack_events_per_sec"] = (
+        round(events / elapsed) if elapsed > 0 else None
+    )
+    t_min, t_max = manifest["t_min"], manifest["t_max"]
+    if t_min is not None and t_max is not None and t_max > t_min:
+        span = t_max - t_min
+        window = TraceWindow(
+            t_start=t_min + 0.495 * span, t_end=t_min + 0.505 * span
+        )
+        t0 = time.perf_counter()
+        result = window.read(archive_dir)
+        metrics["archive_window_read_ms"] = round(
+            (time.perf_counter() - t0) * 1e3, 3
+        )
+        metrics["archive_window_events"] = result.events
+        metrics["archive_window_segments_read"] = len(result.segments_read)
+    return metrics
+
+
 def _run_replay(spec: BenchSpec) -> Dict[str, object]:
     from repro.core import Desiccant, EagerGcManager, VanillaManager
     from repro.faas.platform import PlatformConfig
@@ -147,40 +202,54 @@ def _run_replay(spec: BenchSpec) -> Dict[str, object]:
         "eager": EagerGcManager,
         "desiccant": Desiccant,
     }
+    if spec.archive and not spec.trace:
+        raise ValueError("archive metrics require trace=True")
     if spec.nodes:
-        config = ClusterReplayConfig(
-            nodes=spec.nodes,
-            scheduler=spec.scheduler,
-            shards=spec.shards,
-            epoch_seconds=spec.epoch,
-            scale_factor=spec.scale,
-            warmup_seconds=spec.warmup,
-            warmup_scale_factor=spec.scale,
-            duration_seconds=spec.duration,
-            platform=PlatformConfig(capacity_bytes=spec.capacity_mib * MIB),
-            trace=spec.trace,
-        )
-        result = cluster_replay(
-            factories[spec.policy], config, TraceGenerator(seed=spec.seed)
-        )
-        stats = result.stats
-        metrics = {
-            "cold_boot_rate": round(stats.cold_boot_rate, 9),
-            "throughput_rps": round(stats.throughput_rps, 9),
-            "cpu_utilization": round(stats.cpu_utilization, 9),
-            "p99_latency": round(stats.p99_latency, 9),
-            "evictions": stats.evictions,
-            "epochs": result.epochs,
-        }
-        if spec.trace:
-            metrics["trace_events"] = result.trace_events
-            metrics["trace_sha256"] = result.trace_sha256
-        return metrics
+        with tempfile.TemporaryDirectory(prefix="repro-bench-arc-") as scratch:
+            archive_dir = str(Path(scratch) / "archive") if spec.archive else None
+            flat_path = str(Path(scratch) / "flat.jsonl") if spec.archive else None
+            config = ClusterReplayConfig(
+                nodes=spec.nodes,
+                scheduler=spec.scheduler,
+                shards=spec.shards,
+                epoch_seconds=spec.epoch,
+                scale_factor=spec.scale,
+                warmup_seconds=spec.warmup,
+                warmup_scale_factor=spec.scale,
+                duration_seconds=spec.duration,
+                platform=PlatformConfig(capacity_bytes=spec.capacity_mib * MIB),
+                trace=spec.trace,
+                event_trace_path=flat_path,
+                archive_dir=archive_dir,
+            )
+            result = cluster_replay(
+                factories[spec.policy], config, TraceGenerator(seed=spec.seed)
+            )
+            stats = result.stats
+            metrics = {
+                "cold_boot_rate": round(stats.cold_boot_rate, 9),
+                "throughput_rps": round(stats.throughput_rps, 9),
+                "cpu_utilization": round(stats.cpu_utilization, 9),
+                "p99_latency": round(stats.p99_latency, 9),
+                "evictions": stats.evictions,
+                "epochs": result.epochs,
+            }
+            if spec.trace:
+                metrics["trace_events"] = result.trace_events
+                metrics["trace_sha256"] = result.trace_sha256
+            if spec.archive:
+                metrics.update(_archive_metrics(archive_dir, flat_path))
+            return metrics
     trace_path = None
+    archive_root = None
     if spec.trace:
         fd, trace_path = tempfile.mkstemp(prefix="repro-trace-", suffix=".jsonl")
         os.close(fd)
     try:
+        archive_dir = None
+        if spec.archive:
+            archive_root = tempfile.mkdtemp(prefix="repro-bench-arc-")
+            archive_dir = str(Path(archive_root) / "archive")
         config = ReplayConfig(
             scale_factor=spec.scale,
             warmup_seconds=spec.warmup,
@@ -188,6 +257,7 @@ def _run_replay(spec: BenchSpec) -> Dict[str, object]:
             duration_seconds=spec.duration,
             platform=PlatformConfig(capacity_bytes=spec.capacity_mib * MIB),
             event_trace_path=trace_path,
+            archive_dir=archive_dir,
         )
         result = replay(factories[spec.policy], config, TraceGenerator(seed=spec.seed))
         stats = result.stats
@@ -203,10 +273,14 @@ def _run_replay(spec: BenchSpec) -> Dict[str, object]:
             metrics["trace_sha256"] = hashlib.sha256(
                 Path(trace_path).read_bytes()
             ).hexdigest()
+        if spec.archive:
+            metrics.update(_archive_metrics(archive_dir, trace_path))
         return metrics
     finally:
         if trace_path is not None:
             os.unlink(trace_path)
+        if archive_root is not None:
+            shutil.rmtree(archive_root, ignore_errors=True)
 
 
 def run_vmm_microbench(size_mib: int = 200, repeats: int = 3) -> Dict[str, float]:
@@ -413,6 +487,9 @@ def build_replay_macro(
                         seed=seed,
                         fastpath=leg_fast,
                         trace=True,
+                        # Archive metrics ride on the fast leg only; the
+                        # :base reference leg times the bare simulation.
+                        archive=leg_fast,
                     )
                 )
             if nodes:
@@ -427,6 +504,7 @@ def build_replay_macro(
                             capacity_mib=int(shape["capacity_mib"]),
                             seed=seed,
                             trace=True,
+                            archive=True,
                             nodes=nodes,
                             shards=shards,
                             scheduler=scheduler,
@@ -449,7 +527,10 @@ def verify_trace_identity(results: Sequence[Dict[str, object]]) -> List[str]:
     * fast leg vs its ``:base`` reference leg (same run, fast path off);
     * every sharded cluster leg (``:sK``) vs its serial twin (the same
       label without the shard suffix) -- the multi-process run must merge
-      to the exact bytes of the single-process run.
+      to the exact bytes of the single-process run;
+    * within every archiving leg, the archive's composed per-segment
+      digest vs the flat whole-run digest -- the composition rule
+      (docs/TRACE_ARCHIVE.md) holding at benchmark scale.
 
     Returns failure messages; an unpaired leg (CI smoke's fast-only runs)
     or a replay without tracing is simply not checked.
@@ -463,6 +544,13 @@ def verify_trace_identity(results: Sequence[Dict[str, object]]) -> List[str]:
         digests[result["label"]] = result["metrics"]
     failures = []
     for label, metrics in sorted(digests.items()):
+        archive_sha = metrics.get("archive_sha256")
+        if archive_sha is not None and archive_sha != metrics["trace_sha256"]:
+            failures.append(
+                f"{label}: composed archive digest diverged from the flat "
+                f"trace ({archive_sha[:12]} != "
+                f"{metrics['trace_sha256'][:12]})"
+            )
         if label.endswith(":base"):
             continue
         base = digests.get(label + ":base")

@@ -30,6 +30,8 @@ invariant).
 
 from repro.check.invariants import (
     Violation,
+    check_archive_writer,
+    check_digest_composition,
     check_file,
     check_shard_conservation,
     check_instance,
@@ -40,6 +42,7 @@ from repro.check.invariants import (
     check_runtime,
     check_smaps,
     check_space,
+    check_trace_archive,
 )
 from repro.check.oracle import InvariantOracle, OracleConfig, maybe_attach_oracle
 
@@ -47,6 +50,8 @@ __all__ = [
     "InvariantOracle",
     "OracleConfig",
     "Violation",
+    "check_archive_writer",
+    "check_digest_composition",
     "check_file",
     "check_instance",
     "check_mapping",
@@ -57,5 +62,6 @@ __all__ = [
     "check_shard_conservation",
     "check_smaps",
     "check_space",
+    "check_trace_archive",
     "maybe_attach_oracle",
 ]

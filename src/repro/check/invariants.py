@@ -576,3 +576,70 @@ def check_shard_conservation(
             f"global swap flow broken: {outs} outs - {ins} ins - "
             f"{discards} discards != {pages} pages resident in swap",
         )
+
+
+# ---------------------------------------------------------------- archive
+
+
+def check_archive_writer(writer) -> None:
+    """Writer-side half of the digest-composition invariant.
+
+    Swept at every epoch barrier of an archiving sharded run
+    (:class:`~repro.faas.cluster.ClusterShardHost.epoch_report`): the
+    live :class:`~repro.trace.archive.ArchiveWriter` must agree with its
+    own bookkeeping -- open segments non-empty, time ranges inside the
+    bucket the filename addresses, closed-plus-open event counts summing
+    to the writer's global count.  Cheap (no I/O), so it runs whenever
+    the platform oracle is enabled.
+
+    * **archive-writer** -- any :meth:`ArchiveWriter.self_check` problem.
+    """
+    problems = writer.self_check()
+    if problems:
+        _violate(
+            "archive-writer",
+            f"archive {writer.root}",
+            "; ".join(problems),
+        )
+
+
+def check_trace_archive(root, against_sha256: Optional[str] = None) -> None:
+    """Full archive integrity sweep (reads every segment).
+
+    * **archive-verify** -- a segment footer lies (digest, count, time
+      range, addressing), or the composed digest disagrees with the
+      manifest or with ``against_sha256`` (the flat-file twin's digest).
+    """
+    from repro.trace.archive import ArchiveReader
+
+    problems = ArchiveReader(root).verify(against_sha256=against_sha256)
+    if problems:
+        _violate("archive-verify", f"archive {root}", "; ".join(problems))
+
+
+def check_digest_composition(
+    flat_events: int,
+    flat_sha256: str,
+    archive_events: int,
+    archive_sha256: str,
+) -> None:
+    """The composition rule itself: the archive's composed per-segment
+    digest must equal the flat whole-run witness, event for event.
+
+    * **archive-digest-composition** -- counts or digests diverge
+      between the flat JSONL merge and the composed archive.
+    """
+    if flat_events != archive_events:
+        _violate(
+            "archive-digest-composition",
+            "trace",
+            f"flat merge saw {flat_events} events but the archive "
+            f"composed {archive_events}",
+        )
+    if flat_sha256 != archive_sha256:
+        _violate(
+            "archive-digest-composition",
+            "trace",
+            f"flat sha256 {flat_sha256[:12]} != composed archive "
+            f"sha256 {archive_sha256[:12]}",
+        )

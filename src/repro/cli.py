@@ -70,6 +70,13 @@ def _trace_path_for(template: str, policy: str, multiple: bool) -> str:
     return str(path.with_name(f"{path.stem}.{policy}{path.suffix or '.jsonl'}"))
 
 
+def _archive_dir_for(template: str, policy: str, multiple: bool) -> str:
+    """Per-policy archive directory: ``out`` -> ``out.desiccant``."""
+    if not multiple:
+        return template
+    return f"{template}.{policy}"
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.core import Desiccant, EagerGcManager, VanillaManager
     from repro.faas.platform import PlatformConfig
@@ -93,6 +100,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         trace_path = None
         if args.event_trace:
             trace_path = _trace_path_for(args.event_trace, policy, len(chosen) > 1)
+        archive_dir = None
+        if args.archive:
+            archive_dir = _archive_dir_for(args.archive, policy, len(chosen) > 1)
         if args.nodes:
             config = ClusterReplayConfig(
                 nodes=args.nodes,
@@ -105,6 +115,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                 platform=PlatformConfig(capacity_bytes=args.capacity_mib * MIB),
                 trace=trace_path is not None,
                 event_trace_path=trace_path,
+                archive_dir=archive_dir,
+                archive_bucket_seconds=args.bucket_seconds,
             )
             result = cluster_replay(factories[policy], config, generator)
             stats = result.stats
@@ -116,6 +128,13 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                     f"{result.epochs} epochs)",
                     file=sys.stderr,
                 )
+            if archive_dir is not None:
+                print(
+                    f"archived {result.archive_events} events to "
+                    f"{archive_dir} (composed sha256 "
+                    f"{result.archive_sha256[:16]})",
+                    file=sys.stderr,
+                )
         else:
             config = ReplayConfig(
                 scale_factor=args.scale_factor,
@@ -123,12 +142,21 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                 duration_seconds=args.duration,
                 platform=PlatformConfig(capacity_bytes=args.capacity_mib * MIB),
                 event_trace_path=trace_path,
+                archive_dir=archive_dir,
+                archive_bucket_seconds=args.bucket_seconds,
             )
             result = replay(factories[policy], config, generator)
             stats = result.stats
-            if result.trace is not None:
+            if result.trace is not None and trace_path is not None:
                 print(
                     f"wrote {len(result.trace)} events to {trace_path}",
+                    file=sys.stderr,
+                )
+            if archive_dir is not None:
+                print(
+                    f"archived {result.archive_events} events to "
+                    f"{archive_dir} (composed sha256 "
+                    f"{result.archive_sha256[:16]})",
                     file=sys.stderr,
                 )
         rows.append(
@@ -147,6 +175,91 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.sim.shard import sha256_lines
+    from repro.trace.archive import ArchiveReader, pack
+
+    if args.trace_command == "pack":
+        events, sha = pack(
+            args.jsonl, args.archive, bucket_seconds=args.bucket_seconds
+        )
+        print(f"packed {events} events into {args.archive} (sha256 {sha[:16]})")
+        return 0
+
+    if args.trace_command == "ls":
+        reader = ArchiveReader(args.archive)
+        rows = []
+        for info in reader.segments():
+            _, footer = reader.read_segment(info.name)
+            rows.append(
+                [
+                    info.name,
+                    footer["events"],
+                    f"{footer['t_min']:.3f}" if footer["t_min"] is not None else "-",
+                    f"{footer['t_max']:.3f}" if footer["t_max"] is not None else "-",
+                    fmt_bytes(footer.get("payload_bytes", 0)),
+                    str(footer["sha256"])[:12],
+                ]
+            )
+        print(
+            render_table(
+                ["segment", "events", "t_min", "t_max", "payload", "sha256"],
+                rows,
+            )
+        )
+        if reader.manifest is not None:
+            m = reader.manifest
+            print(
+                f"{m['segments']} segments, {m['events']} events, "
+                f"bucket {m['bucket_seconds']}s, composed sha256 "
+                f"{str(m['sha256'])[:16]}",
+                file=sys.stderr,
+            )
+        return 0
+
+    if args.trace_command == "cat":
+        reader = ArchiveReader(args.archive)
+        nodes = (
+            tuple(int(n) for n in args.nodes.split(",") if n)
+            if args.nodes
+            else None
+        )
+        try:
+            for line in reader.iter_window(
+                t_start=args.t_start, t_end=args.t_end, nodes=nodes
+            ):
+                print(line)
+        except BrokenPipeError:
+            # Downstream (e.g. `head`) closed the pipe: normal shutdown.
+            import os
+
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+    if args.trace_command == "verify":
+        reader = ArchiveReader(args.archive)
+        against = None
+        if args.against:
+            with open(args.against, "r", encoding="utf-8") as handle:
+                _, against = sha256_lines(
+                    line.rstrip("\n") for line in handle if line.rstrip("\n")
+                )
+        problems = reader.verify(against_sha256=against)
+        for problem in problems:
+            print(f"PROBLEM {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        events, sha = reader.compose(verify=False)
+        suffix = f", matches {args.against}" if args.against else ""
+        print(
+            f"{args.archive}: {len(reader.segments())} segments, "
+            f"{events} events verified (composed sha256 {sha[:16]}{suffix})"
+        )
+        return 0
+
+    raise ValueError(f"unknown trace command {args.trace_command!r}")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -350,6 +463,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(with --policy all, one file per policy: PATH.<policy>.jsonl)",
     )
     p.add_argument(
+        "--archive",
+        metavar="DIR",
+        help="roll the measurement trace into a segmented archive at DIR "
+        "(with --policy all, one directory per policy: DIR.<policy>); "
+        "independent of --event-trace, and digest-checked against it "
+        "when both are on",
+    )
+    p.add_argument(
+        "--bucket-seconds",
+        type=float,
+        default=60.0,
+        help="simulated seconds per archive time bucket (--archive only)",
+    )
+    p.add_argument(
         "--nodes",
         type=int,
         default=0,
@@ -379,6 +506,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated seconds per synchronization epoch (--shards only)",
     )
     p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect and verify segmented trace archives "
+        "(docs/TRACE_ARCHIVE.md)",
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+
+    tp = trace_sub.add_parser(
+        "pack", help="pack a flat JSONL trace into a segmented archive"
+    )
+    tp.add_argument("jsonl", help="flat JSONL event trace (docs/EVENT_TRACE.md)")
+    tp.add_argument("archive", help="output archive directory (must be fresh)")
+    tp.add_argument(
+        "--bucket-seconds",
+        type=float,
+        default=60.0,
+        help="simulated seconds per time bucket",
+    )
+    tp.set_defaults(func=_cmd_trace)
+
+    tp = trace_sub.add_parser("ls", help="list an archive's segments")
+    tp.add_argument("archive")
+    tp.set_defaults(func=_cmd_trace)
+
+    tp = trace_sub.add_parser(
+        "cat", help="stream records (optionally a time/node window) to stdout"
+    )
+    tp.add_argument("archive")
+    tp.add_argument("--t-start", type=float, help="window start (inclusive)")
+    tp.add_argument("--t-end", type=float, help="window end (exclusive)")
+    tp.add_argument("--nodes", help="comma-separated node ids (default: all)")
+    tp.set_defaults(func=_cmd_trace)
+
+    tp = trace_sub.add_parser(
+        "verify",
+        help="check every segment footer and the composed digest; "
+        "nonzero exit on any problem",
+    )
+    tp.add_argument("archive")
+    tp.add_argument(
+        "--against",
+        metavar="JSONL",
+        help="also require the composed digest to equal this flat trace's",
+    )
+    tp.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
         "bench",

@@ -385,6 +385,11 @@ class ClusterShardSpec:
     #: Stream per-node canonical traces into this directory once the
     #: ``start-trace`` mark arrives (None = never trace).
     trace_dir: Optional[str] = None
+    #: Roll canonical records into segmented-archive form here (shared
+    #: across shards: each worker writes only its own nodes' segments,
+    #: the coordinator finalizes).  Independent of ``trace_dir``.
+    archive_dir: Optional[str] = None
+    archive_bucket_seconds: float = 60.0
     #: Stream per-node telemetry CSVs here, flushed at every epoch barrier.
     telemetry_dir: Optional[str] = None
     telemetry_interval: float = 1.0
@@ -420,6 +425,7 @@ class ClusterShardHost:
             )
         self._sinks: Dict[int, EventTraceSink] = {}
         self._recorders: Dict[int, object] = {}
+        self._archive = None
         if spec.telemetry_dir is not None:
             for node_id, platform in self.platforms.items():
                 self._recorders[node_id] = TelemetryRecorder(
@@ -465,6 +471,12 @@ class ClusterShardHost:
             sink.flush()
         for recorder in self._recorders.values():
             recorder.flush()
+        if self._archive is not None:
+            self._archive.flush()
+            if any(p.oracle is not None for p in self.platforms.values()):
+                from repro.check import check_archive_writer
+
+                check_archive_writer(self._archive)
         conservation = {
             "frames_used_bytes": 0,
             "swap_pages": 0,
@@ -511,8 +523,19 @@ class ClusterShardHost:
             for platform in self.platforms.values():
                 platform.reset_metrics()
         elif name == "start-trace":
-            if self.spec.trace_dir is None:
+            if self.spec.trace_dir is None and self.spec.archive_dir is None:
                 return
+            if self.spec.archive_dir is not None:
+                from repro.trace.archive import ArchiveWriter  # worker-side lazy
+
+                # One writer per worker, shared by its node sinks: every
+                # (bucket, node) segment still has exactly one producer,
+                # so the shared root fills with byte-identical segments
+                # no matter how nodes were partitioned.
+                self._archive = ArchiveWriter(
+                    self.spec.archive_dir,
+                    bucket_seconds=self.spec.archive_bucket_seconds,
+                )
             for node_id, platform in self.platforms.items():
                 # Node-canonical, streamed: seq is the sink's own dense
                 # counter and lines go straight to disk, so worker memory
@@ -520,9 +543,14 @@ class ClusterShardHost:
                 self._sinks[node_id] = EventTraceSink(
                     platform.bus,
                     node=node_id,
-                    path=Path(self.spec.trace_dir) / f"node{node_id:03d}.jsonl",
+                    path=(
+                        Path(self.spec.trace_dir) / f"node{node_id:03d}.jsonl"
+                        if self.spec.trace_dir is not None
+                        else None
+                    ),
                     normalize_seq=True,
                     store=False,
+                    archive=self._archive,
                 )
         elif name == "stop-trace":
             for sink in self._sinks.values():
@@ -555,7 +583,7 @@ class ClusterShardHost:
                 "cpu_busy": dict(platform.cpu.busy),
                 "trace_path": (
                     str(Path(self.spec.trace_dir) / f"node{node_id:03d}.jsonl")
-                    if sink is not None
+                    if sink is not None and self.spec.trace_dir is not None
                     else None
                 ),
                 "trace_events": sink.count if sink is not None else 0,
@@ -565,6 +593,11 @@ class ClusterShardHost:
                 if recorder is not None
                 else None,
             }
+        if self._archive is not None:
+            # No manifest: this worker wrote only its own nodes' segments.
+            # The coordinator composes the shared root via finalize_archive.
+            self._archive.close(manifest=False)
+            self._archive = None
         if self._profiler is not None:
             self._profiler.dump_stats(self.spec.profile_path)
         return {
@@ -598,6 +631,8 @@ class ShardedClusterSession:
         epoch_seconds: float = 5.0,
         processes: Optional[bool] = None,
         trace_dir: Optional[str] = None,
+        archive_dir: Optional[str] = None,
+        archive_bucket_seconds: float = 60.0,
         telemetry_dir: Optional[str] = None,
         telemetry_interval: float = 1.0,
         telemetry_max_samples: Optional[int] = 512,
@@ -631,6 +666,8 @@ class ShardedClusterSession:
                     node_configs=node_configs,
                     manager_factory=factory,
                     trace_dir=trace_dir,
+                    archive_dir=archive_dir,
+                    archive_bucket_seconds=archive_bucket_seconds,
                     telemetry_dir=telemetry_dir,
                     telemetry_interval=telemetry_interval,
                     telemetry_max_samples=telemetry_max_samples,

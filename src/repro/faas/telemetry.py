@@ -57,6 +57,13 @@ class TelemetryRecorder:
     #: every epoch barrier, so a crashed worker loses at most one epoch
     #: of samples and the coordinator never holds a full series.
     stream_csv: Optional[str | Path] = None
+    #: Roll sample rows into a segmented archive (``kind="rows"``,
+    #: ``.csv.gz`` segments; see ``docs/TRACE_ARCHIVE.md``) using the
+    #: same deterministic segment roller as the event trace.  Rows are
+    #: the :attr:`HEADERS` columns comma-joined with ``\n`` line endings
+    #: (no header row) -- a distinct format from the ``\r\n`` CSV stream.
+    archive_dir: Optional[str | Path] = None
+    archive_bucket_seconds: float = 60.0
     samples: List[TelemetrySample] = field(default_factory=list)
     _next_sample_at: float = 0.0
 
@@ -86,6 +93,16 @@ class TelemetryRecorder:
             self._stream_handle = path.open("w", newline="")
             self._stream_writer = csv.writer(self._stream_handle)
             self._stream_writer.writerow(self.HEADERS)
+        self._archive = None
+        if self.archive_dir is not None:
+            from repro.trace.archive import ArchiveWriter  # lazy: avoid cycle
+
+            self._archive = ArchiveWriter(
+                self.archive_dir,
+                bucket_seconds=self.archive_bucket_seconds,
+                kind="rows",
+                suffix=".csv.gz",
+            )
         self._subscription = self.platform.bus.subscribe(
             self._on_step, kinds=(STEP,), node=self.platform.node_id
         )
@@ -115,6 +132,12 @@ class TelemetryRecorder:
         self.samples.append(sample)
         if self._stream_writer is not None:
             self._stream_writer.writerow(self._row(sample))
+        if self._archive is not None:
+            self._archive.add(
+                sample.time,
+                self.platform.node_id,
+                ",".join(str(v) for v in self._row(sample)),
+            )
         self.platform.bus.publish(
             Event(
                 SAMPLE,
@@ -136,9 +159,11 @@ class TelemetryRecorder:
         """Push buffered streamed rows to disk (epoch-barrier hook)."""
         if self._stream_handle is not None:
             self._stream_handle.flush()
+        if self._archive is not None:
+            self._archive.flush()
 
     def detach(self) -> None:
-        """Stop sampling (and close the streamed CSV, if any)."""
+        """Stop sampling (and close the streamed CSV/archive, if any)."""
         if self._subscription is not None:
             self.platform.bus.unsubscribe(self._subscription)
             self._subscription = None
@@ -146,6 +171,9 @@ class TelemetryRecorder:
             self._stream_handle.close()
             self._stream_handle = None
             self._stream_writer = None
+        if self._archive is not None:
+            self._archive.close(manifest=True)
+            self._archive = None
 
     # --------------------------------------------------------------- series
 

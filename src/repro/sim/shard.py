@@ -347,24 +347,59 @@ def sha256_lines(lines: Iterable[str]) -> Tuple[int, str]:
 def merge_trace_files(
     paths: Sequence[str | Path],
     out_path: Optional[str | Path] = None,
+    archive_dir: Optional[str | Path] = None,
+    archive_bucket_seconds: Optional[float] = None,
 ) -> Tuple[int, str]:
     """Merge per-node trace files; return ``(events, sha256)``.
 
-    Streams: no file is ever fully resident.  With ``out_path`` the
-    merged JSONL is also written (digest covers exactly those bytes).
+    **Constant-memory guarantee**: every input is consumed line by line
+    through a heap merge over one buffered reader per file, so peak
+    memory is bounded by ``O(len(paths))`` read buffers plus one record
+    -- independent of file sizes (regression-tested in
+    ``tests/sim/test_merge_memory.py``).  With ``out_path`` the merged
+    JSONL is also written; with ``archive_dir`` the merged stream is
+    additionally rolled straight into segmented-archive form
+    (:mod:`repro.trace.archive`), still in one streaming pass, and the
+    archive manifest carries the same composed digest this function
+    returns.
     """
-    sources = [_iter_file(Path(path)) for path in paths]
-    merged = merge_trace_lines(sources)
-    if out_path is None:
-        return sha256_lines(merged)
-    out_path = Path(out_path)
-    out_path.parent.mkdir(parents=True, exist_ok=True)
+    merged = heapq.merge(
+        *[_keyed_lines(_iter_file(Path(path))) for path in paths],
+        key=lambda pair: pair[0],
+    )
+    writer = None
+    if archive_dir is not None:
+        from repro.trace.archive import DEFAULT_BUCKET_SECONDS, ArchiveWriter
+
+        writer = ArchiveWriter(
+            archive_dir,
+            bucket_seconds=(
+                DEFAULT_BUCKET_SECONDS
+                if archive_bucket_seconds is None
+                else archive_bucket_seconds
+            ),
+        )
+    handle = None
+    if out_path is not None:
+        out_path = Path(out_path)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        handle = out_path.open("w", encoding="utf-8")
     digest = hashlib.sha256()
     count = 0
-    with out_path.open("w", encoding="utf-8") as handle:
-        for line in merged:
-            handle.write(line + "\n")
+    try:
+        for (t, node, _), line in merged:
+            if handle is not None:
+                handle.write(line + "\n")
+            if writer is not None:
+                writer.add(t, node, line)
             digest.update(line.encode("utf-8"))
             digest.update(b"\n")
             count += 1
+    finally:
+        if handle is not None:
+            handle.close()
+    if writer is not None:
+        # The merged stream is canonical, so the writer's input-order
+        # digest is the composed digest: safe to stamp the manifest.
+        writer.close(manifest=True)
     return count, digest.hexdigest()

@@ -46,6 +46,9 @@ class EventTraceSink:
         path: Optional[str | Path] = None,
         normalize_seq: bool = False,
         store: bool = True,
+        archive: Optional[object] = None,
+        archive_dir: Optional[str | Path] = None,
+        archive_bucket_seconds: float = 60.0,
     ) -> None:
         self.lines: List[str] = []
         #: Records written (== ``len(self.lines)`` unless ``store=False``).
@@ -59,6 +62,21 @@ class EventTraceSink:
             self._file = path.open("w", encoding="utf-8")
         else:
             self._file = None
+        # Segmented-archive backend (docs/TRACE_ARCHIVE.md).  ``archive``
+        # is a shared, externally owned ArchiveWriter (e.g. one writer for
+        # every node sink in a shard worker); ``archive_dir`` creates a
+        # writer this sink owns and finalizes (with manifest) on detach.
+        if archive is not None and archive_dir is not None:
+            raise ValueError("pass either archive or archive_dir, not both")
+        self._archive = archive
+        self._owns_archive = False
+        if archive_dir is not None:
+            from repro.trace.archive import ArchiveWriter  # lazy: avoid cycle
+
+            self._archive = ArchiveWriter(
+                archive_dir, bucket_seconds=archive_bucket_seconds
+            )
+            self._owns_archive = True
         self._subscription: Optional[Subscription] = bus.subscribe(
             self._record, kinds=tuple(kinds) if kinds is not None else TRACE_KINDS,
             node=node,
@@ -94,22 +112,36 @@ class EventTraceSink:
             self.lines.append(line)
         if self._file is not None:
             self._file.write(line + "\n")
+        if self._archive is not None:
+            self._archive.add(record["t"], record["node"], line)
 
     # --------------------------------------------------------------- export
 
     def detach(self) -> None:
-        """Stop recording (and close the streaming file, if any)."""
+        """Stop recording (and close the streaming file, if any).
+
+        An owned archive (``archive_dir``) is finalized with a manifest:
+        a single sink sees records in canonical bus order, so the
+        writer's input-order digest *is* the composed digest.  A shared
+        external ``archive`` writer is left open for its owner to close.
+        """
         if self._subscription is not None:
             self._bus.unsubscribe(self._subscription)
             self._subscription = None
         if self._file is not None:
             self._file.close()
             self._file = None
+        if self._archive is not None and self._owns_archive:
+            self._archive.close(manifest=True)
+            self._owns_archive = False
+            self._archive = None
 
     def flush(self) -> None:
         """Push buffered streamed lines to disk (epoch-barrier hook)."""
         if self._file is not None:
             self._file.flush()
+        if self._archive is not None:
+            self._archive.flush()
 
     def to_jsonl(self) -> str:
         """The whole trace as one newline-terminated string."""

@@ -9,15 +9,33 @@ Poisson/bursty triggers, per Shahrad et al.), and :mod:`replay` drives the
 platform through warmup + measurement windows.
 """
 
+from repro.trace.archive import (
+    ArchiveReader,
+    ArchiveWriter,
+    finalize_archive,
+    pack,
+)
 from repro.trace.generator import FunctionArrivalSpec, TraceGenerator
-from repro.trace.replay import ReplayConfig, ReplayResult, replay
+from repro.trace.replay import (
+    ReplayConfig,
+    ReplayResult,
+    TraceWindow,
+    WindowResult,
+    replay,
+)
 from repro.trace.stats import ReplayStats, percentile
 
 __all__ = [
+    "ArchiveReader",
+    "ArchiveWriter",
     "FunctionArrivalSpec",
     "TraceGenerator",
     "ReplayConfig",
     "ReplayResult",
+    "TraceWindow",
+    "WindowResult",
+    "finalize_archive",
+    "pack",
     "replay",
     "ReplayStats",
     "percentile",

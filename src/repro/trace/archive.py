@@ -1,0 +1,764 @@
+"""Segmented trace archive: compressed, indexed, windowed trace storage.
+
+Flat JSONL event traces scale linearly in both bytes and verification
+time: a gigabyte-class Azure-x40 trace can only be checked by scanning it
+end to end.  This module replaces "one growing file per run" with an
+*archive*: a directory of time-bucketed, node-sharded, gzip-compressed
+segments, each carrying an embedded footer index, addressed purely
+algorithmically from ``(t, node)`` -- there is no catalog database.
+
+Layout
+------
+::
+
+    out.trarc/
+        MANIFEST.json                  # archive-level summary (see below)
+        seg-b00000000-n000.jsonl.gz    # bucket 0, node 0
+        seg-b00000000-n003.jsonl.gz    # bucket 0, node 3
+        seg-b00000001-n000.jsonl.gz    # bucket 1, node 0
+        ...
+
+Segment ``seg-b<B>-n<N>`` holds exactly node ``N``'s records with
+``B * bucket_seconds <= t < (B + 1) * bucket_seconds``, in the node's own
+canonical ``(t, seq)`` order.  Empty buckets have no file (the archive is
+sparse).  The address of any event is a pure function of its time and
+node::
+
+    bucket = int(t // bucket_seconds)
+    name   = f"seg-b{bucket:08d}-n{node:03d}.jsonl.gz"
+
+Segment file format
+-------------------
+Two concatenated gzip members (readable as one stream by any gzip tool):
+
+1. the **payload**: the newline-terminated record lines;
+2. the **footer**: one JSON line with ``schema``, ``bucket``, ``node``,
+   ``bucket_seconds``, ``events``, ``t_min``, ``t_max``, and the SHA-256
+   of the exact payload bytes.
+
+Both members are compressed deterministically -- ``mtime=0``, no embedded
+filename, pinned :data:`COMPRESSLEVEL` -- so a segment's bytes are a pure
+function of its payload.  Because each ``(bucket, node)`` cell is written
+by exactly one producer and contains only that node's canonical records,
+**archives are byte-identical across runs and shard counts**.
+
+Digest composition
+------------------
+The pre-existing whole-run witness is ``sha256`` over the canonical
+``(t, node, seq)``-ordered JSONL bytes (:func:`repro.sim.shard.sha256_lines`).
+Buckets partition time, so that stream is exactly the concatenation, in
+bucket order, of the per-bucket ``(t, node, seq)`` merges of the bucket's
+per-node segments::
+
+    whole_sha = sha256( ++_{b ascending} merge_{n}(payload[b, n]) )
+
+:func:`ArchiveReader.compose` streams that merge (constant memory),
+verifying every footer digest on the way -- so per-segment digests
+compose to the existing whole-run SHA-256 and every current digest gate
+keeps working unchanged.  ``kind="rows"`` archives (telemetry CSV
+segments, which have no ``(t, node, seq)`` key embedded per line)
+compose by plain ``(bucket, node)``-ordered concatenation instead.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import re
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ARCHIVE_SCHEMA",
+    "COMPRESSLEVEL",
+    "DEFAULT_BUCKET_SECONDS",
+    "MANIFEST_NAME",
+    "ArchiveWriter",
+    "ArchiveReader",
+    "SegmentInfo",
+    "bucket_of",
+    "segment_name",
+    "parse_segment_name",
+    "open_deterministic_gzip",
+    "gzip_member",
+    "pack",
+    "finalize_archive",
+]
+
+#: Schema tag stamped into every footer and manifest.
+ARCHIVE_SCHEMA = "repro-trace-archive/1"
+
+#: The one pinned compression level.  Part of the byte-identity contract:
+#: changing it changes every archive's bytes, so it is a schema property,
+#: not a knob.
+COMPRESSLEVEL = 6
+
+#: Default simulated seconds per time bucket.
+DEFAULT_BUCKET_SECONDS = 60.0
+
+MANIFEST_NAME = "MANIFEST.json"
+
+_SEGMENT_RE = re.compile(r"^seg-b(\d{8,})-n(\d{3,})(\.[a-z]+\.gz)$")
+
+#: sha256 of zero bytes -- the composed digest of an empty archive.
+_EMPTY_SHA = hashlib.sha256(b"").hexdigest()
+
+
+def bucket_of(t: float, bucket_seconds: float) -> int:
+    """The time-bucket index of simulated second ``t`` -- the ``f(t)``
+    half of the algorithmic segment address.  Bucket ``b`` covers
+    ``[b * bucket_seconds, (b + 1) * bucket_seconds)``."""
+    if bucket_seconds <= 0:
+        raise ValueError("bucket_seconds must be positive")
+    if t < 0:
+        raise ValueError(f"negative simulated time {t}")
+    return int(t // bucket_seconds)
+
+
+def segment_name(bucket: int, node: int, suffix: str = ".jsonl.gz") -> str:
+    """The segment filename for ``(bucket, node)`` -- no catalog lookup."""
+    return f"seg-b{bucket:08d}-n{node:03d}{suffix}"
+
+
+def parse_segment_name(name: str) -> Optional[Tuple[int, int, str]]:
+    """``(bucket, node, suffix)`` for a segment filename, else ``None``."""
+    match = _SEGMENT_RE.match(name)
+    if match is None:
+        return None
+    return int(match.group(1)), int(match.group(2)), match.group(3)
+
+
+def open_deterministic_gzip(path: str | Path, mode: str = "rb"):
+    """The sanctioned way to open archive gzip files.
+
+    Write modes pin the gzip header -- ``mtime=0``, empty filename field,
+    :data:`COMPRESSLEVEL` -- so output bytes are a pure function of the
+    payload.  (Bare ``gzip.open`` embeds the wall-clock mtime, which the
+    determinism lint therefore bans in ``src/``.)
+    """
+    if "r" in mode:
+        return gzip.open(path, mode, encoding="utf-8" if "t" in mode else None)
+    if "w" not in mode and "a" not in mode:
+        raise ValueError(f"unsupported gzip mode {mode!r}")
+    raw = open(path, mode.replace("t", "") + ("b" if "b" not in mode else ""))
+    return gzip.GzipFile(
+        filename="", mode="wb", fileobj=raw, compresslevel=COMPRESSLEVEL, mtime=0
+    )
+
+
+def gzip_member(data: bytes) -> bytes:
+    """Compress ``data`` as one deterministic gzip member."""
+    compressor = zlib.compressobj(COMPRESSLEVEL, zlib.DEFLATED, -zlib.MAX_WBITS)
+    body = compressor.compress(data) + compressor.flush()
+    header = b"\x1f\x8b\x08\x00\x00\x00\x00\x00\x00\xff"
+    crc = zlib.crc32(data).to_bytes(4, "little")
+    size = (len(data) & 0xFFFFFFFF).to_bytes(4, "little")
+    return header + body + crc + size
+
+
+# ------------------------------------------------------------------ writer
+
+
+class _OpenSegment:
+    """One segment mid-write: raw file + gzip member + running footer."""
+
+    __slots__ = (
+        "bucket", "node", "path", "raw", "zip",
+        "events", "t_min", "t_max", "sha", "payload_bytes",
+    )
+
+    def __init__(self, path: Path, bucket: int, node: int) -> None:
+        self.bucket = bucket
+        self.node = node
+        self.path = path
+        self.raw = path.open("wb")
+        self.zip = gzip.GzipFile(
+            filename="", mode="wb", fileobj=self.raw,
+            compresslevel=COMPRESSLEVEL, mtime=0,
+        )
+        self.events = 0
+        self.t_min: Optional[float] = None
+        self.t_max: Optional[float] = None
+        self.sha = hashlib.sha256()
+        self.payload_bytes = 0
+
+    def write(self, t: float, line: str) -> None:
+        data = line.encode("utf-8") + b"\n"
+        self.zip.write(data)
+        self.sha.update(data)
+        self.payload_bytes += len(data)
+        self.events += 1
+        if self.t_min is None:
+            self.t_min = t
+        self.t_max = t
+
+    def close(self, bucket_seconds: float) -> Dict[str, object]:
+        """Finish the payload member, append the footer member, return
+        the footer (with the segment name and compressed size added)."""
+        self.zip.close()
+        footer = {
+            "schema": ARCHIVE_SCHEMA,
+            "bucket": self.bucket,
+            "node": self.node,
+            "bucket_seconds": bucket_seconds,
+            "events": self.events,
+            "t_min": self.t_min,
+            "t_max": self.t_max,
+            "payload_bytes": self.payload_bytes,
+            "sha256": self.sha.hexdigest(),
+        }
+        line = json.dumps(footer, sort_keys=True, separators=(",", ":"))
+        self.raw.write(gzip_member(line.encode("utf-8") + b"\n"))
+        self.raw.flush()
+        compressed = self.raw.tell()
+        self.raw.close()
+        footer["name"] = self.path.name
+        footer["compressed_bytes"] = compressed
+        return footer
+
+
+class ArchiveWriter:
+    """Segment-rolling writer: feed ``(t, node, line)``, get an archive.
+
+    Keeps at most one open segment per node; when a node's stream crosses
+    into a new bucket the current segment is finalized (footer appended)
+    and the next one opened -- memory stays constant no matter how long
+    the run is.  Per-node times must be nondecreasing (true of any
+    node-canonical event stream and of a ``(t, node, seq)``-merged
+    stream), and a closed bucket is never reopened, which is what makes
+    the segment bytes independent of how producers were partitioned.
+
+    Several writers may share one ``root`` as long as they write disjoint
+    node sets (shard workers do exactly this); pass ``manifest=False`` to
+    :meth:`close` and let the coordinator run :func:`finalize_archive`.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
+        kind: str = "events",
+        suffix: str = ".jsonl.gz",
+    ) -> None:
+        if bucket_seconds <= 0:
+            raise ValueError("bucket_seconds must be positive")
+        if kind not in ("events", "rows"):
+            raise ValueError(f"unknown archive kind {kind!r}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.bucket_seconds = float(bucket_seconds)
+        self.kind = kind
+        self.suffix = suffix
+        self.events = 0
+        self._open: Dict[int, _OpenSegment] = {}
+        self._last_bucket: Dict[int, int] = {}
+        self._closed: List[Dict[str, object]] = []
+        #: Running digest over the *input* stream order; equals the
+        #: composed archive digest iff the input was already canonical
+        #: (single node, or ``(t, node, seq)``-merged).
+        self._input_sha = hashlib.sha256()
+        self._closed_flag = False
+
+    # ------------------------------------------------------------ writing
+
+    def add(self, t: float, node: int, line: str) -> None:
+        """Append one record line for ``node`` at simulated time ``t``."""
+        if self._closed_flag:
+            raise ValueError("archive writer is closed")
+        bucket = bucket_of(t, self.bucket_seconds)
+        segment = self._open.get(node)
+        if segment is not None and segment.bucket != bucket:
+            if bucket < segment.bucket:
+                raise ValueError(
+                    f"node {node} time went backwards: bucket {bucket} after "
+                    f"{segment.bucket}"
+                )
+            self._closed.append(segment.close(self.bucket_seconds))
+            segment = None
+        if segment is None:
+            last = self._last_bucket.get(node)
+            if last is not None and bucket <= last:
+                raise ValueError(
+                    f"node {node} bucket {bucket} already finalized "
+                    f"(last was {last})"
+                )
+            segment = _OpenSegment(
+                self.root / segment_name(bucket, node, self.suffix), bucket, node
+            )
+            self._open[node] = segment
+            self._last_bucket[node] = bucket
+        elif segment.t_max is not None and t < segment.t_max:
+            raise ValueError(
+                f"node {node} time went backwards: {t} after {segment.t_max}"
+            )
+        segment.write(t, line)
+        self._input_sha.update(line.encode("utf-8") + b"\n")
+        self.events += 1
+
+    def flush(self) -> None:
+        """Push finished compressed bytes to the OS (epoch-barrier hook).
+
+        Deliberately does *not* sync-flush the gzip compressors: a zlib
+        sync flush injects marker blocks whose placement would depend on
+        barrier timing, breaking byte-identity.  Crash loss is bounded by
+        one compressor buffer per node.
+        """
+        for segment in self._open.values():
+            segment.raw.flush()
+
+    # ------------------------------------------------------------ closing
+
+    def close(self, manifest: bool = True) -> Dict[str, object]:
+        """Finalize all open segments; optionally write the manifest.
+
+        Only pass ``manifest=True`` when this writer produced the whole
+        archive from a canonical stream -- its input-order digest is then
+        the composed archive digest.  Multi-writer archives (shard
+        workers) close with ``manifest=False`` and are finalized once by
+        :func:`finalize_archive`.
+        """
+        if not self._closed_flag:
+            for node in sorted(self._open):
+                self._closed.append(self._open[node].close(self.bucket_seconds))
+            self._open.clear()
+            self._closed_flag = True
+        summary = {
+            "events": self.events,
+            "sha256": self._input_sha.hexdigest(),
+            "segments": sorted(
+                self._closed, key=lambda f: (f["bucket"], f["node"])
+            ),
+        }
+        if manifest:
+            write_manifest(
+                self.root,
+                bucket_seconds=self.bucket_seconds,
+                kind=self.kind,
+                suffix=self.suffix,
+                footers=summary["segments"],
+                sha256=summary["sha256"],
+            )
+        return summary
+
+    # ----------------------------------------------------------- checking
+
+    def self_check(self) -> List[str]:
+        """Internal-consistency problems (empty list == healthy).
+
+        The writer-side half of the digest-composition invariant, cheap
+        enough to sweep at every epoch barrier: open segments must agree
+        with their own bookkeeping and with the addressing function, and
+        closed-segment footers must sum to the writer's global count.
+        """
+        problems = []
+        for node, segment in sorted(self._open.items()):
+            subject = f"open segment {segment.path.name}"
+            if segment.node != node:
+                problems.append(f"{subject}: keyed under node {node}")
+            if segment.events == 0:
+                problems.append(f"{subject}: open with zero events")
+                continue
+            if segment.t_min is None or segment.t_max is None:
+                problems.append(f"{subject}: missing time range")
+                continue
+            if segment.t_min > segment.t_max:
+                problems.append(
+                    f"{subject}: t_min {segment.t_min} > t_max {segment.t_max}"
+                )
+            for bound in (segment.t_min, segment.t_max):
+                if bucket_of(bound, self.bucket_seconds) != segment.bucket:
+                    problems.append(
+                        f"{subject}: t={bound} addresses bucket "
+                        f"{bucket_of(bound, self.bucket_seconds)}, "
+                        f"not {segment.bucket}"
+                    )
+        closed_events = sum(f["events"] for f in self._closed)
+        open_events = sum(s.events for s in self._open.values())
+        if closed_events + open_events != self.events:
+            problems.append(
+                f"event count drift: {closed_events} closed + {open_events} "
+                f"open != {self.events} written"
+            )
+        return problems
+
+
+def write_manifest(
+    root: str | Path,
+    bucket_seconds: float,
+    kind: str,
+    suffix: str,
+    footers: Sequence[Dict[str, object]],
+    sha256: str,
+) -> Path:
+    """Write the archive-level summary.  Purely informational: addressing
+    never consults it, but readers use it for ``bucket_seconds`` and the
+    composed digest, and ``repro trace verify`` re-derives every field."""
+    events = sum(f["events"] for f in footers)
+    manifest = {
+        "schema": ARCHIVE_SCHEMA,
+        "kind": kind,
+        "suffix": suffix,
+        "bucket_seconds": bucket_seconds,
+        "segments": len(footers),
+        "events": events,
+        "sha256": sha256,
+        "nodes": sorted({f["node"] for f in footers}),
+        "buckets": (
+            [
+                min(f["bucket"] for f in footers),
+                max(f["bucket"] for f in footers),
+            ]
+            if footers
+            else []
+        ),
+        "t_min": min((f["t_min"] for f in footers), default=None),
+        "t_max": max((f["t_max"] for f in footers), default=None),
+        "compressed_bytes": sum(f["compressed_bytes"] for f in footers),
+        "payload_bytes": sum(f.get("payload_bytes", 0) for f in footers),
+    }
+    path = Path(root) / MANIFEST_NAME
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+# ------------------------------------------------------------------ reader
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One segment as addressed on disk."""
+
+    name: str
+    bucket: int
+    node: int
+
+
+class ArchiveReader:
+    """Range reads over an archive, opening only the touched segments.
+
+    Every segment the reader actually opens is appended to
+    :attr:`segments_read` -- the I/O witness the windowed-read tests (and
+    anyone tuning bucket size) assert against.
+    """
+
+    def __init__(
+        self, root: str | Path, bucket_seconds: Optional[float] = None
+    ) -> None:
+        self.root = Path(root)
+        if not self.root.is_dir():
+            raise FileNotFoundError(f"no archive directory at {self.root}")
+        self.manifest: Optional[Dict[str, object]] = None
+        manifest_path = self.root / MANIFEST_NAME
+        if manifest_path.is_file():
+            self.manifest = json.loads(manifest_path.read_text())
+        if bucket_seconds is not None:
+            self.bucket_seconds = float(bucket_seconds)
+        elif self.manifest is not None:
+            self.bucket_seconds = float(self.manifest["bucket_seconds"])
+        else:
+            self.bucket_seconds = self._probe_bucket_seconds()
+        self.kind = (self.manifest or {}).get("kind", "events")
+        #: Names of segments opened so far, in open order.
+        self.segments_read: List[str] = []
+
+    def _probe_bucket_seconds(self) -> float:
+        """Without a manifest, any one footer names the bucket width."""
+        for info in self.segments():
+            footer = self._read_footer(info.name)
+            return float(footer["bucket_seconds"])
+        return DEFAULT_BUCKET_SECONDS
+
+    # ---------------------------------------------------------- addressing
+
+    def segment_for(self, t: float, node: int, suffix: str = ".jsonl.gz") -> str:
+        """The filename holding ``(t, node)`` -- pure computation."""
+        return segment_name(bucket_of(t, self.bucket_seconds), node, suffix)
+
+    def segments(self) -> List[SegmentInfo]:
+        """Existing segments, sorted by ``(bucket, node)`` -- a directory
+        scan, not a catalog read."""
+        found = []
+        for path in self.root.iterdir():
+            parsed = parse_segment_name(path.name)
+            if parsed is not None:
+                bucket, node, _ = parsed
+                found.append(SegmentInfo(path.name, bucket, node))
+        return sorted(found, key=lambda s: (s.bucket, s.node))
+
+    # ------------------------------------------------------------- reading
+
+    def _read_footer(self, name: str) -> Dict[str, object]:
+        """Parse a segment's footer (its last decompressed line)."""
+        lines = self._read_all_lines(name, count_io=False)
+        if not lines:
+            raise ValueError(f"{name}: empty segment file")
+        footer = json.loads(lines[-1])
+        if footer.get("schema") != ARCHIVE_SCHEMA:
+            raise ValueError(f"{name}: last line is not a footer")
+        return footer
+
+    def _read_all_lines(self, name: str, count_io: bool = True) -> List[str]:
+        if count_io:
+            self.segments_read.append(name)
+        with gzip.open(self.root / name, "rt", encoding="utf-8") as handle:
+            return [line.rstrip("\n") for line in handle]
+
+    def read_segment(
+        self, name: str, verify: bool = False
+    ) -> Tuple[List[str], Dict[str, object]]:
+        """``(payload_lines, footer)`` of one segment.
+
+        With ``verify=True`` the payload is re-hashed and the footer's
+        count, digest, time range, and addressing are all checked.
+        """
+        lines = self._read_all_lines(name)
+        if not lines:
+            raise ValueError(f"{name}: empty segment file")
+        footer = json.loads(lines[-1])
+        if not isinstance(footer, dict) or footer.get("schema") != ARCHIVE_SCHEMA:
+            raise ValueError(f"{name}: missing footer (truncated segment?)")
+        payload = lines[:-1]
+        if verify:
+            problems = self._verify_segment(name, payload, footer)
+            if problems:
+                raise ValueError("; ".join(problems))
+        return payload, footer
+
+    def _verify_segment(
+        self, name: str, payload: List[str], footer: Dict[str, object]
+    ) -> List[str]:
+        problems = []
+        digest = hashlib.sha256()
+        for line in payload:
+            digest.update(line.encode("utf-8") + b"\n")
+        if digest.hexdigest() != footer["sha256"]:
+            problems.append(
+                f"{name}: payload sha256 {digest.hexdigest()[:12]} != "
+                f"footer {str(footer['sha256'])[:12]}"
+            )
+        if len(payload) != footer["events"]:
+            problems.append(
+                f"{name}: {len(payload)} payload lines != footer events "
+                f"{footer['events']}"
+            )
+        parsed = parse_segment_name(name)
+        if parsed is not None and (footer["bucket"], footer["node"]) != parsed[:2]:
+            problems.append(
+                f"{name}: footer addresses (bucket {footer['bucket']}, "
+                f"node {footer['node']}) but the filename says {parsed[:2]}"
+            )
+        width = float(footer["bucket_seconds"])
+        for bound in (footer["t_min"], footer["t_max"]):
+            if bound is not None and bucket_of(bound, width) != footer["bucket"]:
+                problems.append(
+                    f"{name}: t={bound} outside bucket {footer['bucket']} "
+                    f"(width {width})"
+                )
+        recorded_bytes = footer.get("payload_bytes")
+        actual_bytes = sum(len(line.encode("utf-8")) + 1 for line in payload)
+        if recorded_bytes is not None and recorded_bytes != actual_bytes:
+            problems.append(
+                f"{name}: {actual_bytes} payload bytes != footer "
+                f"payload_bytes {recorded_bytes}"
+            )
+        return problems
+
+    def iter_window(
+        self,
+        t_start: Optional[float] = None,
+        t_end: Optional[float] = None,
+        nodes: Optional[Sequence[int]] = None,
+        verify: bool = False,
+    ) -> Iterator[str]:
+        """Stream the canonical record lines of a ``[t_start, t_end)``
+        window, touching only the segments the window addresses.
+
+        For ``kind="events"`` archives the per-node segments of each
+        bucket are merged by ``(t, node, seq)``, so concatenating the
+        buckets reproduces the exact canonical stream -- the composition
+        rule.  ``kind="rows"`` archives concatenate in ``(bucket, node)``
+        order and window at bucket granularity only.
+        """
+        from repro.sim.shard import merge_trace_lines
+
+        node_set = None if nodes is None else set(nodes)
+        by_bucket: Dict[int, List[SegmentInfo]] = {}
+        for info in self.segments():
+            if node_set is not None and info.node not in node_set:
+                continue
+            lo = info.bucket * self.bucket_seconds
+            hi = lo + self.bucket_seconds
+            if t_start is not None and hi <= t_start:
+                continue
+            if t_end is not None and lo >= t_end:
+                continue
+            by_bucket.setdefault(info.bucket, []).append(info)
+
+        def clipped(lines: Iterable[str]) -> Iterator[str]:
+            for line in lines:
+                if t_start is not None or t_end is not None:
+                    t = json.loads(line)["t"]
+                    if t_start is not None and t < t_start:
+                        continue
+                    if t_end is not None and t >= t_end:
+                        continue
+                yield line
+
+        for bucket in sorted(by_bucket):
+            infos = by_bucket[bucket]
+            boundary = (
+                t_start is not None
+                and bucket == bucket_of(t_start, self.bucket_seconds)
+            ) or (
+                t_end is not None
+                and bucket * self.bucket_seconds < t_end <= (bucket + 1) * self.bucket_seconds
+            )
+            if self.kind == "rows":
+                for info in infos:
+                    payload, _ = self.read_segment(info.name, verify=verify)
+                    yield from payload
+                continue
+            streams = [
+                self.read_segment(info.name, verify=verify)[0] for info in infos
+            ]
+            merged = merge_trace_lines(streams)
+            yield from clipped(merged) if boundary else merged
+
+    def compose(self, verify: bool = True) -> Tuple[int, str]:
+        """``(events, sha256)`` of the whole archive in canonical order.
+
+        This *is* the digest-composition rule: with ``verify=True`` every
+        segment footer is checked as it streams past, so a matching
+        composed digest certifies both the parts and the whole.
+        """
+        from repro.sim.shard import sha256_lines
+
+        return sha256_lines(self.iter_window(verify=verify))
+
+    # ------------------------------------------------------------ verifying
+
+    def verify(self, against_sha256: Optional[str] = None) -> List[str]:
+        """Full integrity sweep; returns problems (empty == verified).
+
+        Checks every segment's footer (digest, count, time range,
+        addressing), then the composed whole-archive digest against the
+        manifest and, optionally, an external expectation (the flat-file
+        twin's SHA-256).
+        """
+        problems = []
+        events = 0
+        digest = hashlib.sha256()
+        from repro.sim.shard import merge_trace_lines
+
+        infos = self.segments()
+        for bucket in sorted({info.bucket for info in infos}):
+            streams = []
+            for info in infos:
+                if info.bucket != bucket:
+                    continue
+                try:
+                    payload, footer = self.read_segment(info.name)
+                except (OSError, ValueError, KeyError, EOFError, zlib.error) as exc:
+                    problems.append(f"{info.name}: unreadable ({exc})")
+                    continue
+                problems.extend(self._verify_segment(info.name, payload, footer))
+                streams.append(payload)
+            bucket_lines = (
+                [line for payload in streams for line in payload]
+                if self.kind == "rows"
+                else list(merge_trace_lines(streams))
+            )
+            for line in bucket_lines:
+                digest.update(line.encode("utf-8") + b"\n")
+                events += 1
+        composed = digest.hexdigest()
+        if self.manifest is not None:
+            if self.manifest.get("events") != events:
+                problems.append(
+                    f"manifest events {self.manifest.get('events')} != "
+                    f"{events} composed"
+                )
+            recorded = self.manifest.get("sha256")
+            if recorded is not None and recorded != composed:
+                problems.append(
+                    f"manifest sha256 {str(recorded)[:12]} != composed "
+                    f"{composed[:12]}"
+                )
+        if against_sha256 is not None and against_sha256 != composed:
+            problems.append(
+                f"composed digest {composed[:12]} != expected "
+                f"{against_sha256[:12]}"
+            )
+        return problems
+
+
+# ------------------------------------------------------------- packing
+
+
+def pack(
+    jsonl_path: str | Path,
+    root: str | Path,
+    bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
+) -> Tuple[int, str]:
+    """Pack a legacy flat JSONL trace into a segmented archive.
+
+    Streams -- the flat file is never resident -- and returns ``(events,
+    sha256)`` where the digest covers the flat file's exact line bytes,
+    which (for a canonical input) equals the archive's composed digest.
+    """
+    root = Path(root)
+    if root.exists():
+        stale = [
+            p.name
+            for p in root.iterdir()
+            if p.name == MANIFEST_NAME or parse_segment_name(p.name)
+        ]
+        if stale:
+            raise FileExistsError(
+                f"{root} already holds an archive ({len(stale)} files); "
+                "pack into a fresh directory"
+            )
+    writer = ArchiveWriter(root, bucket_seconds=bucket_seconds)
+    with open(jsonl_path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            record = json.loads(line)
+            writer.add(record["t"], record["node"], line)
+    summary = writer.close(manifest=True)
+    return summary["events"], summary["sha256"]
+
+
+def finalize_archive(root: str | Path) -> Tuple[int, str]:
+    """Compose a multi-writer archive and stamp its manifest.
+
+    Shard workers write disjoint node segments into a shared root and
+    close their writers without a manifest; the coordinator calls this
+    once: it verifies every footer, streams the canonical composition,
+    writes the manifest, and returns ``(events, sha256)``.  Running it on
+    a writer-finalized archive is a no-op rewrite of identical bytes.
+    """
+    root = Path(root)
+    reader = ArchiveReader(root)
+    footers = []
+    suffix = ".jsonl.gz"
+    for info in reader.segments():
+        _, footer = reader.read_segment(info.name, verify=True)
+        footer["name"] = info.name
+        footer["compressed_bytes"] = (root / info.name).stat().st_size
+        footers.append(footer)
+        suffix = parse_segment_name(info.name)[2]
+    events, sha = reader.compose(verify=False)
+    write_manifest(
+        root,
+        bucket_seconds=reader.bucket_seconds,
+        kind=reader.kind,
+        suffix=suffix,
+        footers=footers,
+        sha256=sha,
+    )
+    return events, sha

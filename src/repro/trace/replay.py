@@ -28,6 +28,47 @@ from repro.trace.generator import TraceGenerator
 from repro.trace.stats import ReplayStats, percentile
 
 
+@dataclass(frozen=True)
+class TraceWindow:
+    """A ``[t_start, t_end) x nodes`` slice of a segmented trace archive.
+
+    Passed to a replay config alongside ``archive_dir``, the window is
+    range-read back from the finished archive -- touching only the
+    segments it addresses -- and the result carries the slice's event
+    count, digest, and the exact list of segments read (the I/O witness).
+    """
+
+    t_start: Optional[float] = None
+    t_end: Optional[float] = None
+    nodes: Optional[tuple[int, ...]] = None
+
+    def read(self, archive_dir: str | Path) -> "WindowResult":
+        from repro.sim.shard import sha256_lines
+        from repro.trace.archive import ArchiveReader
+
+        reader = ArchiveReader(archive_dir)
+        events, sha = sha256_lines(
+            reader.iter_window(
+                t_start=self.t_start,
+                t_end=self.t_end,
+                nodes=self.nodes,
+                verify=True,
+            )
+        )
+        return WindowResult(
+            events=events, sha256=sha, segments_read=list(reader.segments_read)
+        )
+
+
+@dataclass
+class WindowResult:
+    """What a :class:`TraceWindow` read back from the archive."""
+
+    events: int
+    sha256: str
+    segments_read: List[str]
+
+
 @dataclass
 class ReplayConfig:
     """Window and load parameters for one replay."""
@@ -41,6 +82,13 @@ class ReplayConfig:
     #: When set, stream a JSONL event trace of the *measurement* window
     #: (warmup excluded) to this path.  See docs/EVENT_TRACE.md.
     event_trace_path: Optional[str | Path] = None
+    #: When set, additionally roll the measurement trace into a segmented
+    #: archive at this directory (docs/TRACE_ARCHIVE.md).
+    archive_dir: Optional[str | Path] = None
+    archive_bucket_seconds: float = 60.0
+    #: Range-read this slice back from the archive after the run
+    #: (requires ``archive_dir``).
+    window: Optional[TraceWindow] = None
 
 
 @dataclass
@@ -51,6 +99,10 @@ class ReplayResult:
     platform: FaasPlatform
     #: The trace sink, when ``event_trace_path`` was configured.
     trace: Optional[EventTraceSink] = None
+    archive_path: Optional[Path] = None
+    archive_events: int = 0
+    archive_sha256: Optional[str] = None
+    window: Optional[WindowResult] = None
 
 
 def replay(
@@ -69,17 +121,41 @@ def replay(
     platform.run()
 
     platform.reset_metrics()
+    if config.window is not None and config.archive_dir is None:
+        raise ValueError("window requires archive_dir")
+    writer = None
+    if config.archive_dir is not None:
+        from repro.trace.archive import ArchiveWriter
+
+        writer = ArchiveWriter(
+            config.archive_dir, bucket_seconds=config.archive_bucket_seconds
+        )
     sink = None
-    if config.event_trace_path is not None:
-        sink = EventTraceSink(platform.bus, path=config.event_trace_path)
+    if config.event_trace_path is not None or writer is not None:
+        sink = EventTraceSink(
+            platform.bus, path=config.event_trace_path, archive=writer
+        )
     measure_start = max(platform.now, config.warmup_seconds)
     measured = generator.arrivals(config.duration_seconds, config.scale_factor)
     platform.submit(
         [Request(arrival=measure_start + t, definition=d) for t, d in measured]
     )
     outcomes = platform.run()
+    archive_events = 0
+    archive_sha256 = None
     if sink is not None:
         sink.detach()
+    if writer is not None:
+        # A single-platform sink sees records in canonical order, so the
+        # writer's input-order digest is the composed archive digest.
+        summary = writer.close(manifest=True)
+        archive_events = summary["events"]
+        archive_sha256 = summary["sha256"]
+    window = (
+        config.window.read(config.archive_dir)
+        if config.window is not None
+        else None
+    )
 
     stats = ReplayStats.from_platform(
         platform,
@@ -88,7 +164,17 @@ def replay(
         policy=getattr(manager, "name", type(manager).__name__),
         scale_factor=config.scale_factor,
     )
-    return ReplayResult(stats=stats, platform=platform, trace=sink)
+    return ReplayResult(
+        stats=stats,
+        platform=platform,
+        trace=sink,
+        archive_path=(
+            Path(config.archive_dir) if config.archive_dir is not None else None
+        ),
+        archive_events=archive_events,
+        archive_sha256=archive_sha256,
+        window=window,
+    )
 
 
 # ----------------------------------------------------------------- cluster
@@ -118,6 +204,16 @@ class ClusterReplayConfig:
     #: carries -- the cross-shard equivalence witness.
     trace: bool = False
     event_trace_path: Optional[str | Path] = None
+    #: Roll the measurement trace into a segmented archive at this shared
+    #: directory: each shard worker writes its own nodes' segments and
+    #: the coordinator finalizes (docs/TRACE_ARCHIVE.md).  Independent of
+    #: the flat trace; with both on, the composed archive digest is
+    #: checked against the merged flat digest (a ``check`` invariant).
+    archive_dir: Optional[str | Path] = None
+    archive_bucket_seconds: float = 60.0
+    #: Range-read this slice back from the archive after the run
+    #: (requires ``archive_dir``).
+    window: Optional[TraceWindow] = None
     #: Stream per-node telemetry CSVs into this directory (flushed at
     #: every epoch barrier; identical bytes for every shard count).
     telemetry_dir: Optional[str | Path] = None
@@ -139,6 +235,10 @@ class ClusterReplayResult:
     trace_path: Optional[Path] = None
     trace_events: int = 0
     trace_sha256: Optional[str] = None
+    archive_path: Optional[Path] = None
+    archive_events: int = 0
+    archive_sha256: Optional[str] = None
+    window: Optional[WindowResult] = None
     epochs: int = 0
     events: int = 0
 
@@ -163,6 +263,9 @@ def cluster_replay(
     config = config or ClusterReplayConfig()
     generator = generator or TraceGenerator(seed=config.trace_seed)
     tracing = config.trace or config.event_trace_path is not None
+    archiving = config.archive_dir is not None
+    if config.window is not None and not archiving:
+        raise ValueError("window requires archive_dir")
     trace_dir = tempfile.mkdtemp(prefix="repro-shard-trace-") if tracing else None
     cluster_config = ClusterConfig(
         nodes=config.nodes,
@@ -176,6 +279,10 @@ def cluster_replay(
         epoch_seconds=config.epoch_seconds,
         processes=config.processes,
         trace_dir=trace_dir,
+        archive_dir=(
+            str(config.archive_dir) if config.archive_dir is not None else None
+        ),
+        archive_bucket_seconds=config.archive_bucket_seconds,
         telemetry_dir=(
             str(config.telemetry_dir) if config.telemetry_dir is not None else None
         ),
@@ -192,7 +299,7 @@ def cluster_replay(
         # global last-event time of the (deterministic) warmup drain.
         measure_start = max(session.clock, config.warmup_seconds)
         session.mark("reset-metrics")
-        if tracing:
+        if tracing or archiving:
             session.mark("start-trace")
         measured = [
             (measure_start + t, d)
@@ -223,6 +330,21 @@ def cluster_replay(
     finally:
         if trace_dir is not None:
             shutil.rmtree(trace_dir, ignore_errors=True)
+    archive_events = 0
+    archive_sha256 = None
+    window = None
+    if archiving:
+        from repro.trace.archive import finalize_archive
+
+        archive_events, archive_sha256 = finalize_archive(config.archive_dir)
+        if tracing:
+            from repro.check import check_digest_composition
+
+            check_digest_composition(
+                trace_events, trace_sha256, archive_events, archive_sha256
+            )
+        if config.window is not None:
+            window = config.window.read(config.archive_dir)
 
     outcomes = [pair for node in sorted(nodes) for pair in nodes[node]["outcomes"]]
     latencies = sorted(latency for latency, _ in outcomes) or [0.0]
@@ -261,6 +383,12 @@ def cluster_replay(
         trace_path=trace_path,
         trace_events=trace_events,
         trace_sha256=trace_sha256,
+        archive_path=(
+            Path(config.archive_dir) if config.archive_dir is not None else None
+        ),
+        archive_events=archive_events,
+        archive_sha256=archive_sha256,
+        window=window,
         epochs=epochs,
         events=events,
     )

@@ -13,6 +13,11 @@ nondeterminism sources:
   ``zlib.crc32`` (``hash_stable``);
 * iterating directly over set displays/constructors -- set order is
   insertion-history dependent; sort first.
+* bare ``gzip.open`` / ``gzip.GzipFile`` writes -- the default gzip
+  header embeds the wall-clock mtime, so compressed output differs
+  between runs; archive code goes through the pinned helpers in
+  ``repro.trace.archive`` (``mtime=0``, no filename, fixed level),
+  which is the one file exempt from this rule.
 """
 
 from __future__ import annotations
@@ -29,6 +34,10 @@ WALL_CLOCK = {"time", "monotonic", "perf_counter", "time_ns", "monotonic_ns",
 #: Modules allowed to read the wall clock: benchmark harnesses report
 #: wall/CPU timings *about* the (still deterministic) simulation.
 WALL_CLOCK_EXEMPT = {"analysis/bench.py"}
+
+#: The one module allowed to touch gzip directly: it owns the pinned
+#: deterministic writers everything else must use.
+GZIP_EXEMPT = {"trace/archive.py"}
 
 
 def _iter_sources():
@@ -55,6 +64,12 @@ def _lint(rel: str, tree: ast.AST):
             if base == "time" and attr in WALL_CLOCK:
                 if rel not in WALL_CLOCK_EXEMPT:
                     yield f"{where}: time.{attr} (use the simulated clock)"
+            if base == "gzip" and attr in ("open", "GzipFile"):
+                if rel not in GZIP_EXEMPT:
+                    yield (
+                        f"{where}: gzip.{attr} (header embeds wall-clock "
+                        "mtime; use repro.trace.archive helpers)"
+                    )
         elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
             if node.func.id == "hash":
                 yield f"{where}: builtin hash() is per-process salted; use hash_stable"
@@ -76,23 +91,31 @@ def test_src_tree_is_deterministic():
 
 
 def test_wall_clock_exemptions_still_exist():
-    # Keep the exemption list honest: every exempted file must exist.
-    for rel in WALL_CLOCK_EXEMPT:
+    # Keep the exemption lists honest: every exempted file must exist.
+    for rel in WALL_CLOCK_EXEMPT | GZIP_EXEMPT:
         assert (SRC / rel).is_file(), f"stale exemption {rel}"
 
 
 def test_lint_catches_planted_violations(tmp_path):
     planted = (
-        "import random, time\n"
+        "import gzip, random, time\n"
         "x = random.random()\n"
         "t = time.time()\n"
         "h = hash('key')\n"
+        "z = gzip.open('out.gz', 'wt')\n"
         "for item in {1, 2}:\n"
         "    pass\n"
     )
     hits = list(_lint("planted.py", ast.parse(planted)))
-    assert len(hits) == 4
+    assert len(hits) == 5
     assert any("random.random" in h for h in hits)
     assert any("time.time" in h for h in hits)
     assert any("hash()" in h for h in hits)
+    assert any("gzip.open" in h for h in hits)
     assert any("iterating a set" in h for h in hits)
+
+
+def test_gzip_rule_exempts_the_archive_module():
+    planted = "import gzip\nz = gzip.GzipFile(fileobj=None)\n"
+    assert list(_lint("trace/archive.py", ast.parse(planted))) == []
+    assert len(list(_lint("sim/trace.py", ast.parse(planted)))) == 1

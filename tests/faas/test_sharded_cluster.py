@@ -20,8 +20,9 @@ from repro.faas.cluster import (
 from repro.faas.platform import PlatformConfig
 from repro.mem.layout import MIB
 from repro.sim.shard import ShardWorkerError, merge_trace_files
+from repro.trace.archive import ArchiveReader, finalize_archive
 from repro.trace.generator import TraceGenerator
-from repro.trace.replay import ClusterReplayConfig, cluster_replay
+from repro.trace.replay import ClusterReplayConfig, TraceWindow, cluster_replay
 
 ARRIVALS = TraceGenerator(seed=9).arrivals(25.0, scale_factor=8.0)
 
@@ -34,10 +35,13 @@ def _config(nodes=8, scheduler="warm-affinity"):
     )
 
 
-def _run_session(shards, scheduler="warm-affinity", processes=False, tmp_path=None):
+def _run_session(
+    shards, scheduler="warm-affinity", processes=False, tmp_path=None, archive=False
+):
     """Drive one traced session over the shared arrival batch."""
     trace_dir = tmp_path / f"trace-s{shards}"
     telemetry_dir = tmp_path / f"telemetry-s{shards}"
+    archive_dir = tmp_path / f"archive-s{shards}"
     session = ShardedClusterSession(
         _config(scheduler=scheduler),
         shards=shards,
@@ -45,6 +49,8 @@ def _run_session(shards, scheduler="warm-affinity", processes=False, tmp_path=No
         processes=processes,
         trace_dir=str(trace_dir),
         telemetry_dir=str(telemetry_dir),
+        archive_dir=str(archive_dir) if archive else None,
+        archive_bucket_seconds=5.0,
     )
     try:
         session.mark("start-trace")
@@ -59,6 +65,8 @@ def _run_session(shards, scheduler="warm-affinity", processes=False, tmp_path=No
     telemetry = b"".join(
         path.read_bytes() for path in sorted(telemetry_dir.glob("node*.csv"))
     )
+    if archive:
+        finalize_archive(archive_dir)
     return {
         "nodes": nodes,
         "events": events,
@@ -67,6 +75,7 @@ def _run_session(shards, scheduler="warm-affinity", processes=False, tmp_path=No
         "epochs": epochs,
         "clock": clock,
         "completed": sum(len(info["outcomes"]) for info in nodes.values()),
+        "archive_dir": archive_dir if archive else None,
     }
 
 
@@ -121,6 +130,41 @@ class TestDigestIdentity:
         assert sharded["completed"] == serial["completed"]
 
 
+class TestArchiveIdentity:
+    def test_archive_is_byte_identical_across_shard_counts(self, tmp_path):
+        """Tentpole acceptance: the segmented archives a run produces are
+        byte-identical files across shard counts, and their composed
+        digest equals the flat merged trace's whole-run SHA-256."""
+        serial = _run_session(1, tmp_path=tmp_path, archive=True)
+        reference = serial["archive_dir"]
+        names = sorted(p.name for p in reference.iterdir())
+        assert any(name.startswith("seg-") for name in names)
+
+        reader = ArchiveReader(reference)
+        assert reader.manifest["sha256"] == serial["digest"]
+        assert reader.manifest["events"] == serial["events"]
+        assert reader.verify(against_sha256=serial["digest"]) == []
+
+        for shards in (2, 4, 7):
+            sharded = _run_session(shards, tmp_path=tmp_path, archive=True)
+            root = sharded["archive_dir"]
+            assert sorted(p.name for p in root.iterdir()) == names, shards
+            for name in names:
+                assert (root / name).read_bytes() == (
+                    reference / name
+                ).read_bytes(), (shards, name)
+
+    def test_process_workers_write_identical_archives(self, tmp_path):
+        inline = _run_session(2, processes=False, tmp_path=tmp_path, archive=True)
+        forked = _run_session(2, processes=True, tmp_path=tmp_path, archive=True)
+        names = sorted(p.name for p in inline["archive_dir"].iterdir())
+        assert sorted(p.name for p in forked["archive_dir"].iterdir()) == names
+        for name in names:
+            assert (forked["archive_dir"] / name).read_bytes() == (
+                inline["archive_dir"] / name
+            ).read_bytes(), name
+
+
 class TestClusterRun:
     @pytest.mark.parametrize("scheduler", ["round-robin", "warm-affinity"])
     def test_sharded_stats_equal_serial(self, scheduler):
@@ -159,7 +203,15 @@ class TestWorkerFailure:
 
 
 class TestClusterReplay:
-    def _replay(self, shards, tmp_path, policy=None, trace_path=None):
+    def _replay(
+        self,
+        shards,
+        tmp_path,
+        policy=None,
+        trace_path=None,
+        archive_dir=None,
+        window=None,
+    ):
         config = ClusterReplayConfig(
             nodes=4,
             shards=shards,
@@ -171,6 +223,9 @@ class TestClusterReplay:
             platform=PlatformConfig(capacity_bytes=512 * MIB),
             trace=True,
             event_trace_path=trace_path,
+            archive_dir=archive_dir,
+            archive_bucket_seconds=5.0,
+            window=window,
         )
         return cluster_replay(policy or (lambda: Desiccant()), config)
 
@@ -189,3 +244,28 @@ class TestClusterReplay:
         assert result.trace_path == out
         lines = out.read_text().splitlines()
         assert len(lines) == result.trace_events > 0
+
+    def test_archived_replay_composes_to_flat_digest(self, tmp_path):
+        """The in-run archive's composed digest must equal the flat
+        merged trace digest (cluster_replay asserts this itself via
+        check_digest_composition; re-verify from the files here)."""
+        result = self._replay(2, tmp_path, archive_dir=tmp_path / "arc")
+        assert result.archive_events == result.trace_events > 0
+        assert result.archive_sha256 == result.trace_sha256
+        reader = ArchiveReader(result.archive_path)
+        assert reader.verify(against_sha256=result.trace_sha256) == []
+
+    def test_windowed_replay_reads_only_window_segments(self, tmp_path):
+        window = TraceWindow(t_start=12.0, t_end=18.0, nodes=(0, 2))
+        result = self._replay(
+            2, tmp_path, archive_dir=tmp_path / "arc", window=window
+        )
+        assert result.window is not None
+        assert 0 < result.window.events < result.trace_events
+        # I/O witness: every segment touched lies inside the window.
+        assert result.window.segments_read
+        for name in result.window.segments_read:
+            bucket = int(name.split("-")[1][1:])
+            node = int(name.split("-")[2].split(".")[0][1:])
+            assert 12.0 <= (bucket + 1) * 5.0 and bucket * 5.0 < 18.0, name
+            assert node in (0, 2), name

@@ -1,0 +1,106 @@
+"""Regression test for merge_trace_files' constant-memory guarantee.
+
+``merge_trace_files`` documents that peak memory is bounded by one read
+buffer per input file plus one in-flight record -- independent of file
+sizes.  A naive implementation (read all spills, sort) would blow
+through the budget here by an order of magnitude: 7 spills x 15k lines
+is ~10 MB of line data alone, and we hold the merge to a hard
+``tracemalloc`` peak far below that headroom times the pre-merge
+baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import tracemalloc
+
+from repro.sim.shard import merge_trace_files, sha256_lines
+from repro.trace.archive import ArchiveReader
+
+SPILLS = 7
+LINES_PER_SPILL = 15_000  # 7 x 15k = 105k lines total
+PEAK_BUDGET = 32 * 1024 * 1024  # hard cap, bytes
+
+#: Padding makes each record ~100 bytes, so the full dataset is ~10 MiB
+#: -- comfortably larger than the peak budget's working-set share if the
+#: merge ever buffered whole files.
+PAD = "x" * 40
+
+
+def _spill_files(tmp_path):
+    """Write SPILLS sorted per-node spill files; return (paths, flat).
+
+    Spill ``k`` owns node ``k``: each file is sorted by ``(t, node,
+    seq)`` as ``merge_trace_files`` requires, with interleaved
+    timestamps across spills so the heap merge actually alternates
+    between inputs instead of draining them one by one.
+    """
+    paths = []
+    everything = []
+    for spill in range(SPILLS):
+        path = tmp_path / f"spill-{spill}.jsonl"
+        with path.open("w", encoding="utf-8") as handle:
+            for seq in range(LINES_PER_SPILL):
+                t = float(seq) + spill / 10.0
+                line = json.dumps(
+                    {"seq": seq, "t": t, "node": spill, "pad": PAD},
+                    separators=(",", ":"),
+                )
+                handle.write(line + "\n")
+                everything.append(((t, spill, seq), line))
+        paths.append(path)
+    everything.sort(key=lambda pair: pair[0])
+    return paths, [line for _, line in everything]
+
+
+def _merged_peak(fn):
+    tracemalloc.start()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak
+
+
+def test_merge_trace_files_is_constant_memory(tmp_path):
+    paths, flat = _spill_files(tmp_path)
+    out = tmp_path / "merged.jsonl"
+
+    (events, sha), peak = _merged_peak(
+        lambda: merge_trace_files(paths, out_path=out)
+    )
+
+    assert events == SPILLS * LINES_PER_SPILL
+    assert (events, sha) == sha256_lines(flat)
+    assert out.read_text(encoding="utf-8") == "".join(
+        line + "\n" for line in flat
+    )
+    assert peak < PEAK_BUDGET, (
+        f"merge peak {peak / 2**20:.1f} MiB exceeds the "
+        f"{PEAK_BUDGET / 2**20:.0f} MiB constant-memory budget"
+    )
+
+
+def test_merge_into_archive_is_constant_memory(tmp_path):
+    """The archive_dir fast path must stream too: the ArchiveWriter holds
+    one open compressor per node, never the merged stream."""
+    paths, flat = _spill_files(tmp_path)
+    root = tmp_path / "archive"
+
+    (events, sha), peak = _merged_peak(
+        lambda: merge_trace_files(
+            paths, archive_dir=root, archive_bucket_seconds=1000.0
+        )
+    )
+
+    assert events == SPILLS * LINES_PER_SPILL
+    assert (events, sha) == sha256_lines(flat)
+    assert peak < PEAK_BUDGET, (
+        f"archive merge peak {peak / 2**20:.1f} MiB exceeds the "
+        f"{PEAK_BUDGET / 2**20:.0f} MiB constant-memory budget"
+    )
+
+    reader = ArchiveReader(root)
+    assert reader.manifest["sha256"] == sha
+    assert reader.verify(against_sha256=sha) == []

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import _trace_path_for, build_parser, main
+from repro.cli import _archive_dir_for, _trace_path_for, build_parser, main
 
 
 def test_list_prints_all_functions(capsys):
@@ -109,6 +109,91 @@ def test_trace_path_per_policy():
         == "out.desiccant.jsonl"
     )
     assert _trace_path_for("trace", "eager", multiple=True) == "trace.eager.jsonl"
+
+
+def test_archive_dir_per_policy():
+    assert _archive_dir_for("arc", "desiccant", multiple=False) == "arc"
+    assert _archive_dir_for("arc", "desiccant", multiple=True) == "arc.desiccant"
+
+
+REPLAY_ARGS = [
+    "replay",
+    "--policy",
+    "vanilla",
+    "--scale-factor",
+    "3",
+    "--warmup",
+    "5",
+    "--duration",
+    "10",
+]
+
+
+class TestTraceCommands:
+    @pytest.fixture()
+    def traced(self, tmp_path, capsys):
+        """One replay leg producing both a flat trace and an archive."""
+        flat = tmp_path / "trace.jsonl"
+        arc = tmp_path / "arc"
+        assert (
+            main(
+                REPLAY_ARGS
+                + ["--event-trace", str(flat), "--archive", str(arc)]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "archived" in err and "composed sha256" in err
+        return flat, arc
+
+    def test_replay_archive_matches_flat_trace(self, traced, capsys):
+        flat, arc = traced
+        assert main(["trace", "verify", str(arc), "--against", str(flat)]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_pack_reproduces_replay_archive(self, traced, tmp_path, capsys):
+        flat, arc = traced
+        packed = tmp_path / "packed"
+        assert main(["trace", "pack", str(flat), str(packed)]) == 0
+        capsys.readouterr()
+        originals = sorted(p.name for p in arc.iterdir())
+        assert sorted(p.name for p in packed.iterdir()) == originals
+        for name in originals:
+            assert (packed / name).read_bytes() == (arc / name).read_bytes()
+
+    def test_ls_renders_segments(self, traced, capsys):
+        _, arc = traced
+        assert main(["trace", "ls", str(arc)]) == 0
+        captured = capsys.readouterr()
+        assert "seg-b" in captured.out
+        assert "events" in captured.out
+        assert "segments" in captured.err
+
+    def test_cat_windows_the_stream(self, traced, capsys):
+        flat, arc = traced
+        assert (
+            main(
+                ["trace", "cat", str(arc), "--t-start", "5", "--t-end", "9"]
+            )
+            == 0
+        )
+        lines = capsys.readouterr().out.splitlines()
+        assert lines
+        expected = [
+            line
+            for line in flat.read_text().splitlines()
+            if 5 <= json.loads(line)["t"] < 9
+        ]
+        assert lines == expected
+
+    def test_verify_fails_on_corruption(self, traced, capsys):
+        _, arc = traced
+        victim = sorted(arc.glob("seg-*"))[0]
+        blob = bytearray(victim.read_bytes())
+        blob[16] ^= 0x01  # inside the payload deflate stream
+        victim.write_bytes(bytes(blob))
+        assert main(["trace", "verify", str(arc)]) == 1
+        assert "PROBLEM" in capsys.readouterr().err
 
 
 def test_parser_rejects_unknown_policy():

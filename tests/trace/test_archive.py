@@ -1,0 +1,431 @@
+"""Tests for the segmented trace archive (repro.trace.archive).
+
+The contract under test (docs/TRACE_ARCHIVE.md):
+
+* **addressing** is a pure function of ``(t, node)`` -- no catalog;
+* **determinism** -- segment bytes are a pure function of their payload
+  (pinned gzip header), so archives are byte-identical across runs *and*
+  across how producers were partitioned (shard counts 1/2/4/7);
+* **composition** -- per-segment digests compose to the whole-run
+  SHA-256: pack -> window-read -> concat reproduces the original JSONL
+  byte for byte;
+* **windowing** -- a ``[t_start, t_end) x nodes`` read touches only the
+  segments the window addresses (asserted via the reader's I/O witness).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import (
+    Violation,
+    check_archive_writer,
+    check_digest_composition,
+    check_trace_archive,
+)
+from repro.sim.shard import merge_trace_lines, sha256_lines
+from repro.trace.archive import (
+    ARCHIVE_SCHEMA,
+    ArchiveReader,
+    ArchiveWriter,
+    bucket_of,
+    finalize_archive,
+    gzip_member,
+    open_deterministic_gzip,
+    pack,
+    parse_segment_name,
+    segment_name,
+)
+
+# ------------------------------------------------------------- fixtures
+
+
+def _record(t, node, seq):
+    return json.dumps(
+        {"seq": seq, "t": t, "node": node, "kind": "step"},
+        sort_keys=False,
+        separators=(",", ":"),
+    )
+
+
+def _canonical(events):
+    """Canonical ``(t, node, seq)`` stream from (t, node) pairs: seq is
+    dense per node, global order time-major."""
+    per_node = {}
+    keyed = []
+    for t, node in sorted(events, key=lambda e: e[0]):
+        seq = per_node.get(node, 0)
+        per_node[node] = seq + 1
+        keyed.append((t, node, seq))
+    keyed.sort()
+    return [_record(t, node, seq) for t, node, seq in keyed]
+
+
+def _write_archive(root, lines, bucket_seconds=10.0):
+    writer = ArchiveWriter(root, bucket_seconds=bucket_seconds)
+    for line in lines:
+        record = json.loads(line)
+        writer.add(record["t"], record["node"], line)
+    return writer.close(manifest=True)
+
+
+EVENTS = [(float(step % 37) + 0.25 * (step % 4), step % 5) for step in range(400)]
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return _canonical(EVENTS)
+
+
+# ------------------------------------------------------------ addressing
+
+
+class TestAddressing:
+    def test_bucket_of_is_floor_division(self):
+        assert bucket_of(0.0, 10.0) == 0
+        assert bucket_of(9.999, 10.0) == 0
+        assert bucket_of(10.0, 10.0) == 1
+        assert bucket_of(125.0, 60.0) == 2
+
+    def test_bucket_of_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            bucket_of(1.0, 0.0)
+        with pytest.raises(ValueError):
+            bucket_of(-0.5, 10.0)
+
+    def test_segment_name_roundtrip(self):
+        name = segment_name(7, 3)
+        assert name == "seg-b00000007-n003.jsonl.gz"
+        assert parse_segment_name(name) == (7, 3, ".jsonl.gz")
+        assert parse_segment_name("seg-b00000007-n003.csv.gz") == (
+            7, 3, ".csv.gz",
+        )
+
+    def test_non_segment_names_rejected(self):
+        for name in ("MANIFEST.json", "seg-b1-n1.jsonl.gz", "other.gz"):
+            assert parse_segment_name(name) is None
+
+
+# ---------------------------------------------------------- determinism
+
+
+class TestGzipDeterminism:
+    def test_member_header_is_pinned(self):
+        # mtime=0, no filename, OS byte 0xff: the whole header is fixed.
+        member = gzip_member(b"payload\n")
+        assert member[:10] == b"\x1f\x8b\x08\x00\x00\x00\x00\x00\x00\xff"
+        assert gzip.decompress(member) == b"payload\n"
+
+    def test_member_bytes_are_reproducible(self):
+        data = b"x" * 10_000
+        assert gzip_member(data) == gzip_member(data)
+
+    def test_open_deterministic_gzip_writes_pinned_header(self, tmp_path):
+        path = tmp_path / "out.gz"
+        with open_deterministic_gzip(path, "wb") as handle:
+            handle.write(b"hello\n")
+        raw = path.read_bytes()
+        assert raw[:10] == b"\x1f\x8b\x08\x00\x00\x00\x00\x00\x00\xff"
+        with open_deterministic_gzip(path, "rt") as handle:
+            assert handle.read() == "hello\n"
+
+    def test_archives_identical_across_runs(self, tmp_path, stream):
+        _write_archive(tmp_path / "a", stream)
+        _write_archive(tmp_path / "b", stream)
+        names = sorted(p.name for p in (tmp_path / "a").iterdir())
+        assert names == sorted(p.name for p in (tmp_path / "b").iterdir())
+        for name in names:
+            assert (tmp_path / "a" / name).read_bytes() == (
+                tmp_path / "b" / name
+            ).read_bytes(), name
+
+    @pytest.mark.parametrize("shards", [1, 2, 4, 7])
+    def test_archives_identical_across_shard_counts(
+        self, tmp_path, stream, shards
+    ):
+        """Satellite property: K writers over disjoint node partitions
+        fill a shared root with byte-identical segments, and the
+        finalized manifest matches the single-writer one."""
+        reference = tmp_path / "serial"
+        _write_archive(reference, stream)
+
+        root = tmp_path / f"s{shards}"
+        writers = [
+            ArchiveWriter(root, bucket_seconds=10.0) for _ in range(shards)
+        ]
+        for line in stream:
+            record = json.loads(line)
+            writers[record["node"] % shards].add(
+                record["t"], record["node"], line
+            )
+        for writer in writers:
+            writer.close(manifest=False)
+        finalize_archive(root)
+
+        names = sorted(p.name for p in reference.iterdir())
+        assert sorted(p.name for p in root.iterdir()) == names
+        for name in names:
+            assert (root / name).read_bytes() == (
+                reference / name
+            ).read_bytes(), name
+
+
+# ---------------------------------------------------------- composition
+
+
+class TestComposition:
+    def test_composed_digest_equals_flat_digest(self, tmp_path, stream):
+        summary = _write_archive(tmp_path, stream)
+        events, flat_sha = sha256_lines(stream)
+        assert summary["events"] == events
+        assert summary["sha256"] == flat_sha
+        reader = ArchiveReader(tmp_path)
+        assert reader.compose() == (events, flat_sha)
+        assert reader.verify(against_sha256=flat_sha) == []
+
+    def test_full_window_read_reproduces_stream(self, tmp_path, stream):
+        _write_archive(tmp_path, stream)
+        assert list(ArchiveReader(tmp_path).iter_window()) == stream
+
+    def test_pack_roundtrip(self, tmp_path, stream):
+        flat = tmp_path / "flat.jsonl"
+        flat.write_text("".join(line + "\n" for line in stream))
+        events, sha = pack(flat, tmp_path / "arc", bucket_seconds=10.0)
+        assert (events, sha) == sha256_lines(stream)
+        assert list(ArchiveReader(tmp_path / "arc").iter_window()) == stream
+
+    def test_pack_refuses_existing_archive(self, tmp_path, stream):
+        flat = tmp_path / "flat.jsonl"
+        flat.write_text("".join(line + "\n" for line in stream[:5]))
+        pack(flat, tmp_path / "arc")
+        with pytest.raises(FileExistsError):
+            pack(flat, tmp_path / "arc")
+
+    def test_empty_archive(self, tmp_path):
+        summary = _write_archive(tmp_path, [])
+        assert summary["events"] == 0
+        reader = ArchiveReader(tmp_path)
+        assert reader.segments() == []
+        events, sha = reader.compose()
+        assert events == 0
+        assert reader.verify(against_sha256=sha) == []
+
+    def test_single_event_segment(self, tmp_path):
+        line = _record(3.5, 2, 0)
+        _write_archive(tmp_path, [line])
+        reader = ArchiveReader(tmp_path)
+        infos = reader.segments()
+        assert [(i.bucket, i.node) for i in infos] == [(0, 2)]
+        payload, footer = reader.read_segment(infos[0].name, verify=True)
+        assert payload == [line]
+        assert footer["t_min"] == footer["t_max"] == 3.5
+        assert footer["schema"] == ARCHIVE_SCHEMA
+
+    def test_writer_manifest_matches_finalize(self, tmp_path, stream):
+        a, b = tmp_path / "a", tmp_path / "b"
+        _write_archive(a, stream)
+        writer = ArchiveWriter(b, bucket_seconds=10.0)
+        for line in stream:
+            record = json.loads(line)
+            writer.add(record["t"], record["node"], line)
+        writer.close(manifest=False)
+        finalize_archive(b)
+        assert (a / "MANIFEST.json").read_bytes() == (
+            b / "MANIFEST.json"
+        ).read_bytes()
+
+
+# ------------------------------------------------------------ windowing
+
+
+class TestWindowedReads:
+    def _expect(self, stream, t_start, t_end, nodes=None):
+        out = []
+        for line in stream:
+            record = json.loads(line)
+            if t_start is not None and record["t"] < t_start:
+                continue
+            if t_end is not None and record["t"] >= t_end:
+                continue
+            if nodes is not None and record["node"] not in nodes:
+                continue
+            out.append(line)
+        return out
+
+    def test_window_matches_filtered_stream(self, tmp_path, stream):
+        _write_archive(tmp_path, stream)
+        reader = ArchiveReader(tmp_path)
+        got = list(reader.iter_window(t_start=12.0, t_end=31.5, nodes=(1, 3)))
+        assert got == self._expect(stream, 12.0, 31.5, {1, 3})
+
+    def test_window_reads_only_addressed_segments(self, tmp_path, stream):
+        """Acceptance criterion: the I/O witness must show no segment
+        outside the window's bucket range / node set was ever opened."""
+        _write_archive(tmp_path, stream)
+        reader = ArchiveReader(tmp_path)
+        t_start, t_end, nodes = 12.0, 31.5, (1, 3)
+        list(reader.iter_window(t_start=t_start, t_end=t_end, nodes=nodes))
+        assert reader.segments_read  # the window is non-empty
+        lo = bucket_of(t_start, reader.bucket_seconds)
+        hi = bucket_of(t_end, reader.bucket_seconds)
+        for name in reader.segments_read:
+            bucket, node, _ = parse_segment_name(name)
+            assert lo <= bucket <= hi, name
+            assert node in nodes, name
+
+    def test_boundary_clipping_is_exact(self, tmp_path, stream):
+        _write_archive(tmp_path, stream)
+        reader = ArchiveReader(tmp_path)
+        # Boundaries mid-bucket, on a record time, and on a bucket edge.
+        for t_start, t_end in ((12.25, 12.26), (10.0, 20.0), (0.0, 0.25)):
+            got = list(reader.iter_window(t_start=t_start, t_end=t_end))
+            assert got == self._expect(stream, t_start, t_end), (t_start, t_end)
+
+
+# -------------------------------------------------------------- property
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=400).map(lambda k: k / 8.0),
+            st.integers(min_value=0, max_value=4),
+        ),
+        max_size=120,
+    ),
+    shards=st.sampled_from([1, 2, 4, 7]),
+    window=st.tuples(
+        st.integers(min_value=0, max_value=400).map(lambda k: k / 8.0),
+        st.integers(min_value=0, max_value=400).map(lambda k: k / 8.0),
+    ),
+)
+def test_pack_window_concat_is_byte_identical(tmp_path_factory, events, shards, window):
+    """Satellite property test: for random streams, shard counts, and
+    windows, pack -> window-read -> concat reproduces the original JSONL
+    byte-identically, and complementary windows partition the stream."""
+    tmp_path = tmp_path_factory.mktemp("arc")
+    stream = _canonical(events)
+    root = tmp_path / "arc"
+    writers = [ArchiveWriter(root, bucket_seconds=7.5) for _ in range(shards)]
+    for line in stream:
+        record = json.loads(line)
+        writers[record["node"] % shards].add(record["t"], record["node"], line)
+    for writer in writers:
+        writer.close(manifest=False)
+    events_count, sha = finalize_archive(root)
+    assert (events_count, sha) == sha256_lines(stream)
+
+    reader = ArchiveReader(root)
+    assert list(reader.iter_window(verify=True)) == stream
+
+    cut = sorted(window)
+    before = list(reader.iter_window(t_end=cut[0]))
+    middle = list(reader.iter_window(t_start=cut[0], t_end=cut[1]))
+    after = list(reader.iter_window(t_start=cut[1]))
+    assert before + middle + after == stream
+
+
+# ------------------------------------------------------- writer contract
+
+
+class TestWriterContract:
+    def test_rejects_time_going_backwards_within_node(self, tmp_path):
+        writer = ArchiveWriter(tmp_path, bucket_seconds=10.0)
+        writer.add(5.0, 0, _record(5.0, 0, 0))
+        with pytest.raises(ValueError, match="backwards"):
+            writer.add(4.0, 0, _record(4.0, 0, 1))
+
+    def test_rejects_reopening_a_closed_bucket(self, tmp_path):
+        writer = ArchiveWriter(tmp_path, bucket_seconds=10.0)
+        writer.add(5.0, 0, _record(5.0, 0, 0))
+        writer.add(15.0, 0, _record(15.0, 0, 1))
+        with pytest.raises(ValueError, match="backwards"):
+            writer.add(5.0, 0, _record(5.0, 0, 2))
+
+    def test_other_nodes_are_independent(self, tmp_path):
+        writer = ArchiveWriter(tmp_path, bucket_seconds=10.0)
+        writer.add(15.0, 0, _record(15.0, 0, 0))
+        writer.add(5.0, 1, _record(5.0, 1, 0))  # fine: different node
+        summary = writer.close()
+        assert summary["events"] == 2
+
+    def test_add_after_close_rejected(self, tmp_path):
+        writer = ArchiveWriter(tmp_path, bucket_seconds=10.0)
+        writer.close()
+        with pytest.raises(ValueError, match="closed"):
+            writer.add(1.0, 0, _record(1.0, 0, 0))
+
+    def test_flush_does_not_change_final_bytes(self, tmp_path, stream):
+        plain = tmp_path / "plain"
+        flushed = tmp_path / "flushed"
+        _write_archive(plain, stream)
+        writer = ArchiveWriter(flushed, bucket_seconds=10.0)
+        for index, line in enumerate(stream):
+            record = json.loads(line)
+            writer.add(record["t"], record["node"], line)
+            if index % 17 == 0:
+                writer.flush()  # epoch-barrier hook: raw flush only
+        writer.close(manifest=True)
+        for path in sorted(plain.iterdir()):
+            assert (flushed / path.name).read_bytes() == path.read_bytes()
+
+    def test_rows_kind_concatenates(self, tmp_path):
+        writer = ArchiveWriter(
+            tmp_path, bucket_seconds=10.0, kind="rows", suffix=".csv.gz"
+        )
+        rows = [(1.0, 0, "1.0,a"), (2.0, 1, "2.0,b"), (12.0, 0, "12.0,c")]
+        for t, node, row in rows:
+            writer.add(t, node, row)
+        writer.close(manifest=True)
+        reader = ArchiveReader(tmp_path)
+        assert reader.kind == "rows"
+        # (bucket, node)-ordered concatenation, no per-line key parsing.
+        assert list(reader.iter_window()) == ["1.0,a", "2.0,b", "12.0,c"]
+
+
+# ------------------------------------------------------------ invariants
+
+
+class TestInvariants:
+    def test_corruption_is_detected(self, tmp_path, stream):
+        _write_archive(tmp_path, stream)
+        victim = sorted(tmp_path.glob("seg-*"))[0]
+        blob = bytearray(victim.read_bytes())
+        # Byte 16 sits in the payload member's deflate stream (the pinned
+        # gzip header is 10 bytes); flipping it corrupts decoded content.
+        blob[16] ^= 0x01
+        victim.write_bytes(bytes(blob))
+        problems = ArchiveReader(tmp_path).verify()
+        assert problems
+        with pytest.raises(Violation, match="archive-verify"):
+            check_trace_archive(tmp_path)
+
+    def test_check_archive_writer_passes_live_writer(self, tmp_path, stream):
+        writer = ArchiveWriter(tmp_path, bucket_seconds=10.0)
+        for line in stream:
+            record = json.loads(line)
+            writer.add(record["t"], record["node"], line)
+        check_archive_writer(writer)  # mid-run sweep: no violation
+        writer.events += 1  # plant bookkeeping drift
+        with pytest.raises(Violation, match="archive-writer"):
+            check_archive_writer(writer)
+
+    def test_check_digest_composition(self):
+        check_digest_composition(5, "a" * 64, 5, "a" * 64)
+        with pytest.raises(Violation, match="archive-digest-composition"):
+            check_digest_composition(5, "a" * 64, 6, "a" * 64)
+        with pytest.raises(Violation, match="archive-digest-composition"):
+            check_digest_composition(5, "a" * 64, 5, "b" * 64)
+
+    def test_check_trace_archive_against_external_digest(self, tmp_path, stream):
+        _write_archive(tmp_path, stream)
+        _, sha = sha256_lines(stream)
+        check_trace_archive(tmp_path, against_sha256=sha)
+        with pytest.raises(Violation, match="archive-verify"):
+            check_trace_archive(tmp_path, against_sha256="0" * 64)
