@@ -96,6 +96,10 @@ class BenchSpec:
     scheduler: str = "warm-affinity"
     #: Simulated seconds per conservative epoch (cluster replays only).
     epoch: float = 5.0
+    #: Shard wire protocol (cluster replays only): ``"batched"`` is the
+    #: default window protocol, ``"unbatched"`` the PR 5 comparison leg
+    #: that :func:`verify_coordination` gates against.
+    protocol: str = "batched"
     #: Also roll the traced replay into a segmented archive and report
     #: archive metrics (compressed bytes, compression ratio, pack
     #: throughput, windowed-read latency).  Requires ``trace``.
@@ -111,6 +115,8 @@ class BenchSpec:
                 label += f":n{self.nodes}"
             if self.shards > 1:
                 label += f":s{self.shards}"
+            if self.nodes and self.protocol == "unbatched":
+                label += ":unbatched"
             return label if self.fastpath else label + ":base"
         return f"micro:vmm:{self.size_mib}mib"
 
@@ -213,6 +219,7 @@ def _run_replay(spec: BenchSpec) -> Dict[str, object]:
                 scheduler=spec.scheduler,
                 shards=spec.shards,
                 epoch_seconds=spec.epoch,
+                protocol=spec.protocol,
                 scale_factor=spec.scale,
                 warmup_seconds=spec.warmup,
                 warmup_scale_factor=spec.scale,
@@ -233,6 +240,24 @@ def _run_replay(spec: BenchSpec) -> Dict[str, object]:
                 "p99_latency": round(stats.p99_latency, 9),
                 "evictions": stats.evictions,
                 "epochs": result.epochs,
+                # Coordination-cost accounting (docs/BENCHMARKS.md):
+                # barrier exchanges, exact framed pipe bytes, and the
+                # coordinator wall not covered by worker kernel time.
+                "round_trips": result.round_trips,
+                "pipe_bytes": result.pipe_bytes,
+                "pipe_bytes_per_epoch": (
+                    round(result.pipe_bytes / result.epochs, 1)
+                    if result.epochs
+                    else 0.0
+                ),
+                "coordination_overhead": round(
+                    result.coordination_overhead, 4
+                ),
+                "worker_busy_seconds": round(result.worker_busy_seconds, 4),
+                "coordinator_wall_seconds": round(
+                    result.coordinator_wall_seconds, 4
+                ),
+                "cpu_count": os.cpu_count(),
             }
             if spec.trace:
                 metrics["trace_events"] = result.trace_events
@@ -451,6 +476,7 @@ def build_replay_macro(
     nodes: int = 0,
     shard_counts: Sequence[int] = (),
     scheduler: str = "warm-affinity",
+    include_unbatched: bool = False,
 ) -> List[BenchSpec]:
     """The macro replay suite: every (size, policy) as a fast/base leg pair.
 
@@ -463,7 +489,10 @@ def build_replay_macro(
     legs: one serial-twin run (``shards=1``) plus one per entry in
     ``shard_counts``.  All of them trace, and the digest gate pins each
     sharded leg's merged trace to the serial twin's byte for byte --
-    the cross-process equivalence witness.
+    the cross-process equivalence witness.  ``include_unbatched`` adds a
+    PR 5-protocol twin per sharded leg (label suffix ``:unbatched``):
+    same workload, one pipe message per epoch -- the comparison leg
+    :func:`verify_coordination` gates round-trips and pipe bytes against.
     """
     specs = []
     for size in sizes:
@@ -494,22 +523,35 @@ def build_replay_macro(
                 )
             if nodes:
                 for shards in (1, *shard_counts):
-                    specs.append(
-                        BenchSpec(
-                            kind="replay",
-                            policy=policy,
-                            scale=shape["scale"],
-                            duration=shape["duration"],
-                            warmup=shape["warmup"],
-                            capacity_mib=int(shape["capacity_mib"]),
-                            seed=seed,
-                            trace=True,
-                            archive=True,
-                            nodes=nodes,
-                            shards=shards,
-                            scheduler=scheduler,
+                    protocols = ["batched"]
+                    if include_unbatched and shards > 1:
+                        protocols.append("unbatched")
+                    for protocol in protocols:
+                        specs.append(
+                            BenchSpec(
+                                kind="replay",
+                                policy=policy,
+                                scale=shape["scale"],
+                                duration=shape["duration"],
+                                warmup=shape["warmup"],
+                                capacity_mib=int(shape["capacity_mib"]),
+                                seed=seed,
+                                trace=True,
+                                # Archive metrics ride on the batched
+                                # leg; the :unbatched twin times the
+                                # bare protocol comparison.
+                                archive=protocol == "batched",
+                                nodes=nodes,
+                                shards=shards,
+                                scheduler=scheduler,
+                                protocol=protocol,
+                                # Fine base grid: adaptive horizons make
+                                # it nearly free for the batched leg,
+                                # while the per-epoch comparison leg pays
+                                # the PR 5 barrier cost it's measuring.
+                                epoch=2.0,
+                            )
                         )
-                    )
     return specs
 
 
@@ -517,6 +559,13 @@ def build_replay_macro(
 _SHARD_SUFFIX = re.compile(r":s\d+")
 #: ``:nK`` cluster-size suffix (single-platform labels have none).
 _NODES_SUFFIX = re.compile(r":n\d+")
+#: ``:unbatched`` protocol suffix (the batched default has none).
+_UNBATCHED_SUFFIX = re.compile(r":unbatched")
+
+
+def _serial_twin_label(label: str) -> str:
+    """The serial-twin label a sharded leg's digest gates against."""
+    return _SHARD_SUFFIX.sub("", _UNBATCHED_SUFFIX.sub("", label))
 
 
 def verify_trace_identity(results: Sequence[Dict[str, object]]) -> List[str]:
@@ -560,9 +609,9 @@ def verify_trace_identity(results: Sequence[Dict[str, object]]) -> List[str]:
                 f"({metrics['trace_events']} events, "
                 f"{metrics['trace_sha256'][:12]} != {base['trace_sha256'][:12]})"
             )
-        if _SHARD_SUFFIX.search(label):
-            serial = digests.get(_SHARD_SUFFIX.sub("", label))
-            if serial is None:
+        if _SHARD_SUFFIX.search(label) or _UNBATCHED_SUFFIX.search(label):
+            serial = digests.get(_serial_twin_label(label))
+            if serial is None or serial is metrics:
                 continue
             if metrics["trace_sha256"] != serial["trace_sha256"]:
                 failures.append(
@@ -572,6 +621,50 @@ def verify_trace_identity(results: Sequence[Dict[str, object]]) -> List[str]:
                     f"{metrics['trace_sha256'][:12]} != "
                     f"{serial['trace_sha256'][:12]})"
                 )
+    return failures
+
+
+def verify_coordination(
+    results: Sequence[Dict[str, object]],
+    min_round_trip_ratio: float = 5.0,
+    min_pipe_byte_ratio: float = 10.0,
+) -> List[str]:
+    """Gate the batched protocol's coordination costs against its twin.
+
+    For every batched sharded replay leg whose ``:unbatched`` twin is
+    present (same workload, PR 5 one-message-per-epoch protocol), the
+    batched leg must record at least ``min_round_trip_ratio`` times fewer
+    coordinator round-trips and ``min_pipe_byte_ratio`` times fewer pipe
+    bytes.  Returns failure messages; legs without a twin (or without the
+    coordination metrics -- older baselines) are simply not checked.
+    """
+    metrics_by_label = {
+        r["label"]: r["metrics"]
+        for r in results
+        if r["spec"]["kind"] == "replay" and "round_trips" in r["metrics"]
+    }
+    failures = []
+    for label, batched in sorted(metrics_by_label.items()):
+        if _UNBATCHED_SUFFIX.search(label) or label.endswith(":base"):
+            continue
+        twin = metrics_by_label.get(label + ":unbatched")
+        if twin is None:
+            continue
+        if batched["round_trips"] * min_round_trip_ratio > twin["round_trips"]:
+            failures.append(
+                f"{label}: {batched['round_trips']} round-trips is not "
+                f"{min_round_trip_ratio:g}x fewer than the unbatched twin's "
+                f"{twin['round_trips']}"
+            )
+        if (
+            twin["pipe_bytes"] > 0
+            and batched["pipe_bytes"] * min_pipe_byte_ratio > twin["pipe_bytes"]
+        ):
+            failures.append(
+                f"{label}: {batched['pipe_bytes']} pipe bytes is not "
+                f"{min_pipe_byte_ratio:g}x fewer than the unbatched twin's "
+                f"{twin['pipe_bytes']}"
+            )
     return failures
 
 
@@ -605,7 +698,7 @@ def replay_speedups(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
                 speedup=round(base / fast, 2) if fast else None,
             )
         if _SHARD_SUFFIX.search(label):
-            serial_label = _SHARD_SUFFIX.sub("", label)
+            serial_label = _serial_twin_label(label)
             sharded = walls[label]
             if serial_label in walls:
                 serial = walls[serial_label]
@@ -674,6 +767,9 @@ def summarize(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
             sum(r["wall_seconds"] for r in results), 4
         ),
         "total_cpu_seconds": round(sum(r["cpu_seconds"] for r in results), 4),
+        #: Cores on the recording machine -- context for every wall
+        #: timing and for the sharded legs' speedups in particular.
+        "cpu_count": os.cpu_count(),
         "runs": list(results),
     }
     speedups = replay_speedups(results)

@@ -36,6 +36,7 @@ from repro.check.invariants import (
     check_shard_conservation,
     check_instance,
     check_mapping,
+    check_segment_manifest,
     check_physical,
     check_platform,
     check_runlist,
@@ -59,6 +60,7 @@ __all__ = [
     "check_platform",
     "check_runlist",
     "check_runtime",
+    "check_segment_manifest",
     "check_shard_conservation",
     "check_smaps",
     "check_space",

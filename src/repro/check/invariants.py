@@ -617,6 +617,63 @@ def check_trace_archive(root, against_sha256: Optional[str] = None) -> None:
         _violate("archive-verify", f"archive {root}", "; ".join(problems))
 
 
+def check_segment_manifest(
+    footers: Iterable[dict], composed_events: Optional[int] = None
+) -> None:
+    """Validate a worker-shipped segment manifest before trusting it.
+
+    Under the out-of-pipe trace protocol shard workers write archive
+    segments directly into the shared root and ship only per-segment
+    footers (name, event count, payload sha256, time range); the
+    coordinator finalizes the archive from these claims.  This sweep
+    checks the claims are even self-consistent:
+
+    * **segment-manifest** -- duplicate ``(bucket, node)`` cells (two
+      writers claimed the same segment: the partitioning broke),
+      non-positive event counts or negative payload sizes, a time range
+      outside the bucket the segment name addresses, an inverted time
+      range, or -- with ``composed_events`` given -- footers whose event
+      counts do not sum to what the composed archive actually streamed.
+    """
+    from repro.trace.archive import bucket_of, parse_segment_name
+
+    problems = []
+    seen = set()
+    total = 0
+    for footer in footers:
+        name = str(footer.get("name", "?"))
+        cell = (footer["bucket"], footer["node"])
+        if cell in seen:
+            problems.append(f"{name}: duplicate segment for (bucket, node) {cell}")
+        seen.add(cell)
+        if footer["events"] <= 0:
+            problems.append(f"{name}: claims {footer['events']} events")
+        if footer.get("payload_bytes", 0) < 0:
+            problems.append(f"{name}: negative payload_bytes")
+        total += footer["events"]
+        parsed = parse_segment_name(name)
+        if parsed is not None and parsed[:2] != cell:
+            problems.append(f"{name}: footer addresses {cell}")
+        t_min, t_max = footer.get("t_min"), footer.get("t_max")
+        if t_min is not None and t_max is not None:
+            if t_min > t_max:
+                problems.append(f"{name}: t_min {t_min} > t_max {t_max}")
+            width = float(footer["bucket_seconds"])
+            for bound in (t_min, t_max):
+                if bucket_of(bound, width) != footer["bucket"]:
+                    problems.append(
+                        f"{name}: t={bound} outside bucket {footer['bucket']} "
+                        f"(width {width})"
+                    )
+    if composed_events is not None and total != composed_events:
+        problems.append(
+            f"footers claim {total} events but the archive composed "
+            f"{composed_events}"
+        )
+    if problems:
+        _violate("segment-manifest", "trace archive", "; ".join(problems))
+
+
 def check_digest_composition(
     flat_events: int,
     flat_sha256: str,

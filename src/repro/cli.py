@@ -109,6 +109,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                 scheduler=args.scheduler,
                 shards=args.shards,
                 epoch_seconds=args.epoch,
+                protocol=args.protocol,
+                window_epochs=args.window_epochs,
                 scale_factor=args.scale_factor,
                 warmup_seconds=args.warmup,
                 duration_seconds=args.duration,
@@ -120,6 +122,14 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             )
             result = cluster_replay(factories[policy], config, generator)
             stats = result.stats
+            if args.shards > 1:
+                print(
+                    f"shard protocol {args.protocol}: {result.round_trips} "
+                    f"round trips, {fmt_bytes(result.pipe_bytes)} over pipes "
+                    f"({result.epochs} epochs), coordination overhead "
+                    f"{result.coordination_overhead:.3f}s",
+                    file=sys.stderr,
+                )
             if trace_path is not None:
                 print(
                     f"wrote {result.trace_events} events to {trace_path} "
@@ -143,7 +153,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                 platform=PlatformConfig(capacity_bytes=args.capacity_mib * MIB),
                 event_trace_path=trace_path,
                 archive_dir=archive_dir,
-                archive_bucket_seconds=args.bucket_seconds,
+                archive_bucket_seconds=(
+                    args.bucket_seconds
+                    if args.bucket_seconds is not None
+                    else 60.0
+                ),
             )
             result = replay(factories[policy], config, generator)
             stats = result.stats
@@ -273,6 +287,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         load_baseline,
         run_benchmarks,
         summarize,
+        verify_coordination,
         verify_trace_identity,
         write_results,
     )
@@ -306,6 +321,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 include_base=not args.fast_only,
                 nodes=args.nodes if shard_counts else 0,
                 shard_counts=shard_counts,
+                include_unbatched=args.unbatched_twin,
             )
         )
     results = run_benchmarks(specs, jobs=args.jobs, profile_dir=args.profile)
@@ -330,6 +346,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     for mismatch in mismatches:
         print(f"TRACE MISMATCH {mismatch}", file=sys.stderr)
     if mismatches:
+        return 1
+    overhead = verify_coordination(results)
+    for violation in overhead:
+        print(f"COORDINATION OVERHEAD {violation}", file=sys.stderr)
+    if overhead:
         return 1
     if args.check:
         baseline = load_baseline(Path(args.check))
@@ -423,6 +444,19 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bucket_seconds_arg(value: str):
+    """Parse ``--bucket-seconds``: a float, or ``adaptive`` for density-based
+    sizing (cluster replay only)."""
+    if value.strip().lower() == "adaptive":
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number of seconds or 'adaptive', got {value!r}"
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -472,9 +506,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--bucket-seconds",
-        type=float,
-        default=60.0,
-        help="simulated seconds per archive time bucket (--archive only)",
+        type=_bucket_seconds_arg,
+        default=None,
+        help="simulated seconds per archive time bucket, or 'adaptive' to "
+        "size buckets from the submission log's arrival density (cluster "
+        "replay defaults to adaptive; single-platform defaults to 60)",
     )
     p.add_argument(
         "--nodes",
@@ -503,7 +539,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--epoch",
         type=float,
         default=5.0,
-        help="simulated seconds per synchronization epoch (--shards only)",
+        help="simulated seconds per synchronization epoch (--shards only; "
+        "the batched protocol treats this as the base grid for adaptive "
+        "horizons)",
+    )
+    p.add_argument(
+        "--protocol",
+        choices=("batched", "unbatched"),
+        default="batched",
+        help="shard wire protocol: 'batched' grants multi-epoch windows "
+        "over framed pipes with out-of-pipe traces; 'unbatched' is the "
+        "per-epoch comparison protocol (--shards only)",
+    )
+    p.add_argument(
+        "--window-epochs",
+        type=int,
+        default=32,
+        help="max epochs granted per coordinator message under the "
+        "batched protocol",
     )
     p.set_defaults(func=_cmd_replay)
 
@@ -588,6 +641,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         help="cluster size for the sharded replay legs (with --shards)",
+    )
+    p.add_argument(
+        "--unbatched-twin",
+        action="store_true",
+        help="also run each sharded leg under the per-epoch 'unbatched' "
+        "protocol and gate the batched legs on >=5x fewer round trips "
+        "and >=10x fewer pipe bytes",
     )
     p.add_argument("--iterations", type=int, default=30)
     p.add_argument("--budget-mib", type=int, default=256)

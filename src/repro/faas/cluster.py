@@ -39,6 +39,18 @@ global order.  ``least-loaded-live`` is the exception -- sharded, it
 routes from epoch-boundary load digests rather than live arrival-time
 state, which is deterministic and shard-count-invariant but *not* the
 serial policy; the digest gate therefore runs on static schedulers.
+
+The session speaks the *batched* window protocol by default: epoch
+horizons are computed adaptively from the submission log's arrival
+density (:func:`repro.sim.shard.adaptive_horizons`), multiple epochs are
+granted per framed pipe message, function definitions are interned
+per shard (names travel per arrival, each definition's body ships
+once), and load digests are shipped only when a deferred scheduler
+actually consumes them -- reduced worker-side to fixed-size summaries
+(``used_bytes`` plus sorted crc32s of the warm function names).
+``protocol="unbatched"`` reproduces the PR 5 wire behaviour (fixed
+grid, one epoch per message, full definitions per arrival, loads every
+epoch) as the comparison leg for the coordination-cost benchmarks.
 """
 
 from __future__ import annotations
@@ -49,10 +61,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import procenv
 from repro.faas.instance import InstanceState
 from repro.faas.platform import FaasPlatform, PlatformConfig, Request, RequestOutcome
 from repro.sim import Event, EventTraceSink, REQUEST_DONE, SimKernel
-from repro.sim.shard import make_pool
+from repro.sim.shard import adaptive_horizons, epoch_horizons, make_pool
 from repro.workloads.model import FunctionDefinition
 
 SCHEDULERS = ("round-robin", "least-assigned", "warm-affinity", "least-loaded-live")
@@ -60,6 +73,21 @@ SCHEDULERS = ("round-robin", "least-assigned", "warm-affinity", "least-loaded-li
 #: Schedulers whose decisions read live simulation state, so routing must
 #: happen *inside* the timeline (at each request's arrival time).
 DEFERRED_SCHEDULERS = ("least-loaded-live",)
+
+#: Wire protocols a sharded session can speak (see the module docstring).
+SHARD_PROTOCOLS = ("batched", "unbatched")
+
+
+def warm_name_digest(name: str) -> int:
+    """The fixed-size stand-in for a warm function name in load digests.
+
+    ``zlib.crc32`` of the utf-8 name: stable across processes (unlike
+    builtin ``hash``), 4 bytes on the wire instead of an arbitrary
+    string.  Routing compares digests for membership only, so a crc
+    collision could at worst mark one extra node warm -- deterministic
+    and identical at every shard count either way.
+    """
+    return zlib.crc32(name.encode("utf-8"))
 
 
 @dataclass
@@ -148,14 +176,16 @@ class FrontEndRouter:
     ) -> int:
         """``least-loaded-live`` against epoch-boundary load digests.
 
-        ``loads`` maps node id to the last epoch report's digest
-        (``used_bytes`` and the ``warm`` function-name list).  The
-        decision depends only on the digests and the router's own
-        counters -- the same for every shard count -- but it observes
-        node state one epoch stale, so it is a deliberate approximation
-        of the serial policy, not a replica of it.
+        ``loads`` maps node id to the last epoch report's digest:
+        ``used_bytes`` plus ``warm``, the sorted ``zlib.crc32`` values of
+        the node's warm function names (:func:`warm_name_digest`) -- a
+        fixed-size summary reduced worker-side instead of a per-node
+        name dump.  The decision depends only on the digests and the
+        router's own counters -- the same for every shard count -- but
+        it observes node state one epoch stale, so it is a deliberate
+        approximation of the serial policy, not a replica of it.
         """
-        stages = {stage.name for stage in definition.stages}
+        stages = {warm_name_digest(stage.name) for stage in definition.stages}
         if loads:
             warm = [
                 index
@@ -290,6 +320,8 @@ class Cluster:
         shards: int = 1,
         epoch_seconds: float = 5.0,
         start_method: Optional[str] = None,
+        protocol: str = "batched",
+        window_epochs: int = 32,
     ) -> ClusterStats:
         """Drive the cluster to completion and aggregate.
 
@@ -326,6 +358,8 @@ class Cluster:
             shards=shards,
             epoch_seconds=epoch_seconds,
             start_method=start_method,
+            protocol=protocol,
+            window_epochs=window_epochs,
         )
         try:
             if self.config.scheduler in DEFERRED_SCHEDULERS:
@@ -397,6 +431,16 @@ class ClusterShardSpec:
     telemetry_max_samples: Optional[int] = 512
     #: Dump a cProfile of this worker here (None = no profiling).
     profile_path: Optional[str] = None
+    #: Include per-node load digests in every epoch report.  Only the
+    #: deferred schedulers (and the unbatched comparison protocol) pay
+    #: for them; static-scheduler sessions ship none at all.
+    need_loads: bool = False
+    #: Ship loads in the PR 5 wire shape -- the full sorted warm-name
+    #: string list plus ``frozen_bytes``/``instances`` per node -- instead
+    #: of the reduced crc32 digests.  Set only by the ``unbatched``
+    #: comparison protocol so its pipe-byte accounting reflects what the
+    #: per-epoch protocol actually cost.
+    legacy_loads: bool = False
 
 
 class ClusterShardHost:
@@ -426,6 +470,12 @@ class ClusterShardHost:
         self._sinks: Dict[int, EventTraceSink] = {}
         self._recorders: Dict[int, object] = {}
         self._archive = None
+        #: Interned definitions, registered once per shard via the
+        #: window preamble; arrivals then carry names only.
+        self._definitions: Dict[str, FunctionDefinition] = {}
+        #: Host wall-clock seconds this worker spent advancing its
+        #: kernel -- the worker-side half of ``coordination_overhead``.
+        self._busy_wall = 0.0
         if spec.telemetry_dir is not None:
             for node_id, platform in self.platforms.items():
                 self._recorders[node_id] = TelemetryRecorder(
@@ -442,11 +492,25 @@ class ClusterShardHost:
 
     # ----------------------------------------------------------- protocol
 
-    def begin_epoch(
-        self, payload: Sequence[Tuple[int, float, FunctionDefinition, int]]
-    ) -> None:
-        """Accept this epoch's routed arrivals: (node, time, definition, id)."""
-        for node_id, time, definition, request_id in payload:
+    def window_begin(self, preamble: Dict[str, FunctionDefinition]) -> None:
+        """Register this window's newly interned function definitions.
+
+        The coordinator ships each definition's body at most once per
+        shard (the window grant's preamble); every later arrival for it
+        carries only the name.
+        """
+        self._definitions.update(preamble)
+
+    def begin_epoch(self, payload: Sequence[Tuple[int, float, object, int]]) -> None:
+        """Accept one epoch's routed arrivals: ``(node, time, fn, id)``.
+
+        ``fn`` is an interned definition *name* under the batched
+        protocol, or a full :class:`FunctionDefinition` under the
+        unbatched comparison protocol -- both resolve to the same
+        submission.
+        """
+        for node_id, time, fn, request_id in payload:
+            definition = self._definitions[fn] if isinstance(fn, str) else fn
             self.platforms[node_id].submit(
                 [Request(arrival=time, definition=definition, id=request_id)]
             )
@@ -454,18 +518,21 @@ class ClusterShardHost:
     def advance(self, until: Optional[float]) -> None:
         if self._profiler is not None:
             self._profiler.enable()
+        started = procenv.wall_clock()
         try:
             self.kernel.run(until)
         finally:
+            self._busy_wall += procenv.wall_clock() - started
             if self._profiler is not None:
                 self._profiler.disable()
 
-    def epoch_report(self, horizon: Optional[float]) -> Dict[str, object]:
-        """Snapshot the shard at the barrier: loads, conservation, clock.
+    def epoch_end(self, horizon: Optional[float]) -> None:
+        """Per-epoch bounded-memory flush point and oracle cadence.
 
-        Also the shard's bounded-memory flush point (trace and telemetry
-        streams hit disk) and its oracle cadence: with ``REPRO_CHECK=1``
-        every node's invariant oracle sweeps its full platform here.
+        Runs after *every* epoch of a window (not just at the window
+        barrier), so batching changes neither the trace/telemetry flush
+        cadence nor -- with ``REPRO_CHECK=1`` -- how often each node's
+        invariant oracle sweeps its full platform.
         """
         for sink in self._sinks.values():
             sink.flush()
@@ -477,6 +544,13 @@ class ClusterShardHost:
                 from repro.check import check_archive_writer
 
                 check_archive_writer(self._archive)
+        for platform in self.platforms.values():
+            if platform.oracle is not None:
+                platform.oracle.check_now()
+
+    def epoch_report(self, horizon: Optional[float]) -> Dict[str, object]:
+        """Snapshot the shard at the window barrier: clock, conservation,
+        and -- only when the spec asks for them -- per-node load digests."""
         conservation = {
             "frames_used_bytes": 0,
             "swap_pages": 0,
@@ -486,30 +560,36 @@ class ClusterShardHost:
         }
         loads: Dict[int, dict] = {}
         for node_id, platform in self.platforms.items():
-            if platform.oracle is not None:
-                platform.oracle.check_now()
             physical = platform.physical
             conservation["frames_used_bytes"] += physical.used_bytes
             conservation["swap_pages"] += physical.swap.pages
             conservation["swap_outs"] += physical.swap.total_swap_outs
             conservation["swap_ins"] += physical.swap.total_swap_ins
             conservation["swap_discards"] += physical.swap.total_discards
-            loads[node_id] = {
-                "used_bytes": platform.used_bytes(),
-                "frozen_bytes": platform.frozen_bytes(),
-                "instances": len(platform.all_instances()),
-                "warm": sorted(
-                    {
-                        instance.spec.name
-                        for instance in platform.all_instances()
-                        if instance.state is InstanceState.FROZEN
-                        or (
-                            instance.state is InstanceState.IDLE
-                            and instance.invocation_count > 0
-                        )
+            if self.spec.need_loads:
+                warm_names = {
+                    instance.spec.name
+                    for instance in platform.all_instances()
+                    if instance.state is InstanceState.FROZEN
+                    or (
+                        instance.state is InstanceState.IDLE
+                        and instance.invocation_count > 0
+                    )
+                }
+                if self.spec.legacy_loads:
+                    loads[node_id] = {
+                        "used_bytes": platform.used_bytes(),
+                        "frozen_bytes": platform.frozen_bytes(),
+                        "instances": len(platform.all_instances()),
+                        "warm": sorted(warm_names),
                     }
-                ),
-            }
+                else:
+                    loads[node_id] = {
+                        "used_bytes": platform.used_bytes(),
+                        "warm": sorted(
+                            warm_name_digest(name) for name in warm_names
+                        ),
+                    }
         return {
             "shard": self.spec.shard,
             "clock": self.kernel.now,
@@ -593,16 +673,26 @@ class ClusterShardHost:
                 if recorder is not None
                 else None,
             }
+        archive_segments: List[Dict[str, object]] = []
+        archive_events = 0
         if self._archive is not None:
             # No manifest: this worker wrote only its own nodes' segments.
-            # The coordinator composes the shared root via finalize_archive.
-            self._archive.close(manifest=False)
+            # Ship their footers (the out-of-pipe trace manifest: name,
+            # payload sha256, event count per segment) so the coordinator
+            # can finalize the shared root without re-reading every
+            # segment it already trusts.
+            summary = self._archive.close(manifest=False)
+            archive_segments = list(summary["segments"])
+            archive_events = summary["events"]
             self._archive = None
         if self._profiler is not None:
             self._profiler.dump_stats(self.spec.profile_path)
         return {
             "shard": self.spec.shard,
             "events": self.kernel.events_processed,
+            "busy_wall_seconds": self._busy_wall,
+            "archive_segments": archive_segments,
+            "archive_events": archive_events,
             "profile_path": self.spec.profile_path,
             "nodes": nodes,
         }
@@ -621,6 +711,18 @@ class ShardedClusterSession:
     drives in-process hosts: that *serial twin* is the reference leg of
     the digest gate, reducing the serial/sharded comparison to exactly
     one variable -- how nodes were partitioned across kernels.
+
+    ``protocol="batched"`` (the default) grants up to ``window_epochs``
+    epochs per pipe message, computes adaptive horizons from the
+    submission log, interns definitions per shard, and ships load
+    digests only when routing consumes them.  Deferred schedulers force
+    an effective window of one epoch regardless of ``window_epochs``:
+    their routing feeds on previous-epoch load digests, so granting
+    epoch *k+1* before absorbing epoch *k*'s report would break
+    conservative-horizon safety.  ``protocol="unbatched"`` reproduces
+    the PR 5 wire behaviour (fixed grid, window of one, full definition
+    objects per arrival, loads every epoch) as the comparison leg the
+    coordination-cost benchmarks measure against.
     """
 
     def __init__(
@@ -630,6 +732,8 @@ class ShardedClusterSession:
         shards: int = 1,
         epoch_seconds: float = 5.0,
         processes: Optional[bool] = None,
+        protocol: str = "batched",
+        window_epochs: int = 32,
         trace_dir: Optional[str] = None,
         archive_dir: Optional[str] = None,
         archive_bucket_seconds: float = 60.0,
@@ -643,9 +747,28 @@ class ShardedClusterSession:
 
         if epoch_seconds <= 0:
             raise ValueError("epoch_seconds must be positive")
+        if protocol not in SHARD_PROTOCOLS:
+            raise ValueError(
+                f"unknown shard protocol {protocol!r}; pick from {SHARD_PROTOCOLS}"
+            )
+        if window_epochs < 1:
+            raise ValueError("window_epochs must be >= 1")
         factory = manager_factory or VanillaManager
         self.config = config
         self.epoch_seconds = float(epoch_seconds)
+        self.protocol = protocol
+        #: Epochs granted per pipe message.  Deferred schedulers and the
+        #: unbatched protocol run a window of one (see class docstring).
+        self.window_epochs = (
+            1
+            if protocol == "unbatched"
+            or config.scheduler in DEFERRED_SCHEDULERS
+            else window_epochs
+        )
+        need_loads = (
+            protocol == "unbatched" or config.scheduler in DEFERRED_SCHEDULERS
+        )
+        legacy_loads = protocol == "unbatched"
         partitions = partition_nodes(config.nodes, shards)
         self.shards = len(partitions)
         self.router = FrontEndRouter(config.nodes, config.scheduler)
@@ -676,20 +799,46 @@ class ShardedClusterSession:
                         if profile_dir is not None
                         else None
                     ),
+                    need_loads=need_loads,
+                    legacy_loads=legacy_loads,
                 )
             )
         if processes is None:
             processes = self.shards > 1
         self.pool = make_pool(
-            ClusterShardHost, specs, processes=processes, start_method=start_method
+            ClusterShardHost,
+            specs,
+            processes=processes,
+            start_method=start_method,
+            compress=protocol == "batched",
         )
         self._request_ids = 0
         self._loads: Optional[Dict[int, dict]] = None
+        #: Function names already interned on each shard: a definition's
+        #: body ships (via window preamble) only on its shard's first
+        #: arrival; every arrival after that carries the name alone.
+        self._shipped: List[set] = [set() for _ in range(self.shards)]
         #: Max shard clock after the last barrier (== the global last
         #: event time, identical for every shard count).
         self.clock = 0.0
         self.epochs = 0
         self.events = 0
+        #: Filled by :meth:`finish` (see there).
+        self.worker_busy_seconds = 0.0
+        self.archive_footers: List[Dict[str, object]] = []
+        self.archive_events = 0
+
+    # --------------------------------------------------------- accounting
+
+    @property
+    def round_trips(self) -> int:
+        """Coordinator barrier exchanges so far (windows + marks + finish)."""
+        return self.pool.round_trips
+
+    @property
+    def pipe_bytes(self) -> int:
+        """Exact framed bytes moved through the worker pipes (both ways)."""
+        return self.pool.pipe_bytes
 
     # ------------------------------------------------------------- routing
 
@@ -699,6 +848,33 @@ class ShardedClusterSession:
         return self.router.route_static(definition)
 
     # ------------------------------------------------------------- driving
+
+    def phase_horizons(
+        self, times: Sequence[float], start: float, end: float
+    ) -> List[Optional[float]]:
+        """The phase's epoch horizons, drain epoch included.
+
+        Batched protocol: density-adaptive
+        (:func:`repro.sim.shard.adaptive_horizons`).  Unbatched: the PR 5
+        fixed grid, extended by whole grid cells until every arrival time
+        is strictly below the last horizon (the adaptive path guarantees
+        this itself).  The trailing ``None`` is the drain-to-quiescence
+        epoch every phase ends with.  A pure function of the submission
+        log, so any shard count derives the identical epoch structure.
+        """
+        if self.protocol == "batched":
+            horizons: List[Optional[float]] = list(
+                adaptive_horizons(times, start, end, self.epoch_seconds)
+            )
+        else:
+            horizons = list(epoch_horizons(start, end, self.epoch_seconds))
+            last = max(times, default=start)
+            cells = round((horizons[-1] - start) / self.epoch_seconds)
+            while horizons[-1] <= last:
+                cells += 1
+                horizons.append(start + cells * self.epoch_seconds)
+        horizons.append(None)
+        return horizons
 
     def run_phase(
         self,
@@ -714,59 +890,116 @@ class ShardedClusterSession:
         items are ``(time, definition)`` -- routed here -- or, with
         ``routed=True``, pre-decided ``(time, definition, node,
         request_id)`` tuples from a :class:`Cluster` submission log.
-        Epoch *k* covers arrival times ``[start+(k-1)*e, start+k*e)``;
-        after the last horizon every shard drains to quiescence so
-        in-flight requests complete before the phase returns.
+        The phase's horizons come from :meth:`phase_horizons`; windows of
+        up to ``window_epochs`` of them are granted per pipe message,
+        each epoch's arrivals routed coordinator-side into per-shard
+        payloads.  The final (``None``) horizon drains every shard to
+        quiescence so in-flight requests complete before the phase
+        returns -- it rides in the last window, costing no extra barrier.
         """
         arrivals = list(arrivals)
         if end is None:
             end = arrivals[-1][0] if arrivals else start
-        index = 0
-        k = 0
-        while True:
-            k += 1
-            horizon = start + k * self.epoch_seconds
-            payloads: List[List[Tuple]] = [[] for _ in range(self.shards)]
-            while index < len(arrivals) and arrivals[index][0] < horizon:
-                item = arrivals[index]
-                index += 1
-                if routed:
-                    time, definition, node, request_id = item
-                else:
-                    time, definition = item
-                    node = self.route(definition)
-                    self._request_ids += 1
-                    request_id = self._request_ids
-                payloads[self._shard_of[node]].append(
-                    (node, time, definition, request_id)
-                )
-            self._absorb(self.pool.epoch(horizon, payloads), horizon)
-            if index >= len(arrivals) and horizon >= end:
-                break
-        self._absorb(
-            self.pool.epoch(None, [[] for _ in range(self.shards)]), None
+        horizons = self.phase_horizons(
+            [item[0] for item in arrivals], start, end
         )
+        batched = self.protocol == "batched"
+        index = 0
+        pos = 0
+        while pos < len(horizons):
+            window_horizons = horizons[pos : pos + self.window_epochs]
+            pos += len(window_horizons)
+            payloads: List[List[List[Tuple]]] = [
+                [[] for _ in window_horizons] for _ in range(self.shards)
+            ]
+            preambles: Optional[List] = (
+                [{} for _ in range(self.shards)] if batched else None
+            )
+            for j, horizon in enumerate(window_horizons):
+                if horizon is None:
+                    continue  # the drain epoch carries no arrivals
+                while index < len(arrivals) and arrivals[index][0] < horizon:
+                    item = arrivals[index]
+                    index += 1
+                    if routed:
+                        time, definition, node, request_id = item
+                    else:
+                        time, definition = item
+                        node = self.route(definition)
+                        self._request_ids += 1
+                        request_id = self._request_ids
+                    shard = self._shard_of[node]
+                    if batched:
+                        name = definition.name
+                        if name not in self._shipped[shard]:
+                            self._shipped[shard].add(name)
+                            preambles[shard][name] = definition
+                        payloads[shard][j].append((node, time, name, request_id))
+                    else:
+                        payloads[shard][j].append(
+                            (node, time, definition, request_id)
+                        )
+            if preambles is not None:
+                preambles = [preamble or None for preamble in preambles]
+            self._absorb(
+                self.pool.window(window_horizons, payloads, preambles),
+                window_horizons[-1],
+                epochs=len(window_horizons),
+            )
 
-    def _absorb(self, reports: List[Dict], horizon: Optional[float]) -> None:
+    def _absorb(
+        self, reports: List[Dict], horizon: Optional[float], epochs: int = 1
+    ) -> None:
         # Lazy import: repro.check reaches back into repro.faas.
         from repro.check import check_shard_conservation
 
         check_shard_conservation(reports, horizon)
-        self.epochs += 1
+        self.epochs += epochs
         self.clock = max(report["clock"] for report in reports)
         self.events = sum(report["events"] for report in reports)
         loads: Dict[int, dict] = {}
         for report in reports:
             loads.update(report["loads"])
+        # The unbatched leg ships loads in the PR 5 wire shape (full name
+        # strings); reduce to crc32 digests here so route_from_loads sees
+        # one shape regardless of protocol.
+        for load in loads.values():
+            if load["warm"] and isinstance(load["warm"][0], str):
+                load["warm"] = sorted(
+                    warm_name_digest(name) for name in load["warm"]
+                )
         self._loads = loads
 
     def mark(self, name: str) -> None:
         self.pool.mark(name)
 
     def finish(self) -> Dict[int, dict]:
-        """Collect per-node results from every shard, keyed by node id."""
+        """Collect per-node results from every shard, keyed by node id.
+
+        Also gathers the coordination-cost leftovers: the slowest
+        worker's busy wall (``worker_busy_seconds``, the subtrahend of
+        ``coordination_overhead``) and the shipped archive-segment
+        footers (``archive_footers``/``archive_events``), which
+        :func:`repro.trace.archive.finalize_archive` consumes as the
+        out-of-pipe trace manifest.
+        """
         results = self.pool.finish()
         self.events = sum(result["events"] for result in results)
+        self.worker_busy_seconds = max(
+            (result.get("busy_wall_seconds", 0.0) for result in results),
+            default=0.0,
+        )
+        self.archive_footers = sorted(
+            (
+                footer
+                for result in results
+                for footer in result.get("archive_segments", [])
+            ),
+            key=lambda footer: (footer["bucket"], footer["node"]),
+        )
+        self.archive_events = sum(
+            result.get("archive_events", 0) for result in results
+        )
         nodes: Dict[int, dict] = {}
         for result in results:
             nodes.update(result["nodes"])

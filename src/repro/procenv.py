@@ -21,6 +21,7 @@ the child before any simulation code runs.  Shard workers
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, Optional
 
 from repro import fastpath
@@ -60,3 +61,17 @@ def apply(env: Dict[str, str]) -> None:
 def initializer(env: Dict[str, str]) -> None:
     """``ProcessPoolExecutor(initializer=...)`` entry point."""
     apply(env)
+
+
+def wall_clock() -> float:
+    """Monotonic wall-clock seconds, for *process-level* instrumentation.
+
+    The sanctioned wall-clock read outside the bench harness: shard
+    workers time their busy intervals with it (the ``coordination_overhead``
+    metric is coordinator wall minus max worker busy wall), and the
+    coordinator times its own loop.  It measures the host machine, never
+    simulated state -- no simulation decision may depend on it, which is
+    why this module (not simulation code) owns it and why the
+    determinism lint exempts exactly this file.
+    """
+    return time.perf_counter()

@@ -10,25 +10,49 @@ own kernel, synchronized by a coordinator in *conservative time epochs*.
 Protocol
 --------
 The coordinator owns a :class:`ShardPool` of workers, each built from a
-picklable *spec* by a picklable *host factory*.  A host exposes four
+picklable *spec* by a picklable *host factory*.  A host exposes these
 methods (duck-typed; :class:`repro.faas.cluster.ClusterShardHost` is the
 canonical implementation)::
 
-    begin_epoch(payload)   # accept this epoch's inputs (routed arrivals)
-    advance(until)         # run the local kernel to the epoch horizon
-    epoch_report(horizon)  # -> picklable dict (loads, conservation, clock)
-    mark(name)             # phase transition (reset metrics, start trace)
-    finalize()             # -> picklable dict (stats, trace paths); shuts down
+    window_begin(preamble)  # optional: window-scoped setup (interned defs)
+    begin_epoch(payload)    # accept one epoch's inputs (routed arrivals)
+    advance(until)          # run the local kernel to the epoch horizon
+    epoch_end(horizon)      # optional: per-epoch bounded-memory flush
+    epoch_report(horizon)   # -> picklable dict (clock, conservation, loads)
+    mark(name)              # phase transition (reset metrics, start trace)
+    finalize()              # -> picklable dict (stats, manifests); shuts down
 
-One epoch is one ``epoch()`` call: the coordinator sends every worker
-its inputs and the shared horizon, workers advance independently, and
-the call returns only when every report is in -- a barrier.  Because all
-cross-shard interaction (request routing) flows coordinator -> worker at
-epoch boundaries, and routing decisions are derived deterministically
-from the arrival sequence plus *previous-epoch* load digests, no worker
-ever needs an event from a peer mid-epoch: the horizon is a conservative
-lower bound on cross-shard event times, the classic null-message-free
-special case of conservative parallel discrete-event simulation.
+One *window* is one :meth:`ShardPool.window` call: the coordinator
+grants every shard a batch of K epoch horizons (plus each epoch's
+inputs) in **one framed message** (:mod:`repro.sim.wire`), workers run
+the whole window locally -- ``begin_epoch``/``advance``/``epoch_end``
+per epoch -- and reply with **one aggregate report** taken at the
+window's final horizon.  The call returns when every report is in: a
+barrier, but one per window instead of one per epoch, which is what
+collapses the per-epoch pipe round-trip constant that made PR 5's
+process parallelism protocol-bound.
+
+Batching is safe because all cross-shard interaction (request routing)
+flows coordinator -> worker at epoch boundaries and the static
+schedulers' routing is a pure function of the arrival sequence: every
+epoch of a window can be routed before the window is granted.  Only
+routing that feeds on previous-epoch load digests (``least-loaded-live``)
+needs fresh reports each epoch; such sessions simply cap the window at
+one epoch, recovering the PR 5 cadence exactly where -- and only where
+-- conservative-horizon safety demands it.
+
+Epoch horizons
+--------------
+:func:`epoch_horizons` is the fixed conservative grid.
+:func:`adaptive_horizons` replaces it with horizons computed from
+submission-log arrival density (:func:`arrival_density`): dense cells
+are subdivided, runs of idle cells collapse into one long epoch -- so a
+bursty, heavy-tailed log ("Serverless in the Wild") no longer pays
+thousands of empty synchronization barriers during its idle stretches.
+Both are *index-computed* pure functions of ``(times, start, end,
+epoch_seconds)``: every caller -- coordinator or worker, any shard count
+-- derives bit-identical horizons, which keeps the merged timeline
+shard-count-invariant.
 
 Determinism
 -----------
@@ -40,9 +64,9 @@ one stream ordered by ``(t, node, seq)`` -- the same total order a
 shared serial kernel produces -- so the merged trace's SHA-256 is
 byte-identical to the serial run's for any shard count.
 
-:class:`InlineShardPool` runs the identical epoch protocol with in-process
-hosts (no forking); the serial twin of a sharded run is an inline pool
-with one shard holding every node.
+:class:`InlineShardPool` runs the identical window protocol with
+in-process hosts (no forking, no codec); the serial twin of a sharded
+run is an inline pool with one shard holding every node.
 """
 
 from __future__ import annotations
@@ -60,7 +84,10 @@ __all__ = [
     "ShardPool",
     "InlineShardPool",
     "make_pool",
+    "run_window",
     "epoch_horizons",
+    "adaptive_horizons",
+    "arrival_density",
     "merge_trace_lines",
     "merge_trace_files",
     "sha256_lines",
@@ -68,65 +95,158 @@ __all__ = [
 
 
 class ShardWorkerError(RuntimeError):
-    """A shard worker raised; carries the worker-side traceback."""
+    """A shard worker raised; carries the worker-side traceback.
 
-    def __init__(self, shard: int, worker_traceback: str) -> None:
-        super().__init__(
-            f"shard worker {shard} failed:\n{worker_traceback.rstrip()}"
-        )
+    Under the batched protocol a worker can die on any epoch of a
+    multi-epoch window grant; ``epoch_index`` (position within the
+    window) and ``horizon`` then pinpoint the failing epoch, so the
+    error surfaces the epoch that raised, not just the window.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        worker_traceback: str,
+        epoch_index: Optional[int] = None,
+        horizon: Optional[float] = None,
+    ) -> None:
+        where = f"shard worker {shard}"
+        if epoch_index is not None:
+            where += (
+                f" (window epoch {epoch_index}, horizon "
+                f"{'drain' if horizon is None else horizon})"
+            )
+        super().__init__(f"{where} failed:\n{worker_traceback.rstrip()}")
         self.shard = shard
         self.worker_traceback = worker_traceback
+        self.epoch_index = epoch_index
+        self.horizon = horizon
 
 
-def _worker_main(conn, host_factory, spec, env: Dict[str, str]) -> None:
-    """Worker process entry: build the host, then serve epoch commands.
+class _EpochFailure(Exception):
+    """Internal: wraps a host exception with its window epoch context."""
 
-    Every command is answered with exactly one reply tuple --
+    def __init__(self, epoch_index: int, horizon: Optional[float]) -> None:
+        super().__init__()
+        self.epoch_index = epoch_index
+        self.horizon = horizon
+
+
+def run_window(
+    host: Any,
+    horizons: Sequence[Optional[float]],
+    payloads: Sequence[Sequence[Any]],
+    preamble: Any = None,
+) -> Dict:
+    """Drive one host through a window of epochs; return the aggregate.
+
+    The shared engine of both pool flavors: process workers run it
+    worker-side, the inline pool runs it in the caller.  One
+    ``begin_epoch``/``advance`` (plus the optional ``epoch_end`` flush
+    hook) per epoch, then a single ``epoch_report`` at the window's
+    final horizon.  Host exceptions are re-raised wrapped in an
+    :class:`_EpochFailure` carrying the failing epoch's index and
+    horizon, so the coordinator can report the epoch, not the window.
+    """
+    if len(horizons) != len(payloads):
+        raise ValueError("one payload batch per window epoch required")
+    if not horizons:
+        raise ValueError("a window needs at least one epoch")
+    if preamble is not None:
+        window_begin = getattr(host, "window_begin", None)
+        if window_begin is not None:
+            window_begin(preamble)
+    epoch_end = getattr(host, "epoch_end", None)
+    for index, (horizon, payload) in enumerate(zip(horizons, payloads)):
+        try:
+            if payload:
+                host.begin_epoch(payload)
+            host.advance(horizon)
+            if epoch_end is not None:
+                epoch_end(horizon)
+        except BaseException as exc:
+            raise _EpochFailure(index, horizon) from exc
+    return host.epoch_report(horizons[-1])
+
+
+def _worker_main(
+    conn, host_factory, spec, env: Dict[str, str], compress: bool = False
+) -> None:
+    """Worker process entry: build the host, then serve window commands.
+
+    Every command is answered with exactly one framed reply --
     ``("report", dict)``, ``("ok", None)``, ``("result", dict)`` or
-    ``("error", traceback_str)`` -- so the coordinator can run a strict
-    send/recv lockstep per worker.
+    ``("error", info)`` -- so the coordinator can run a strict
+    send/recv lockstep per worker.  ``info`` is a dict carrying the
+    worker traceback plus, for a mid-window failure, the failing
+    epoch's index and horizon.
     """
     from repro import procenv  # local import: keep module picklable footprint small
+    from repro.sim import wire
+
+    def send_error(tb: str, epoch_index=None, horizon=None) -> None:
+        wire.send_frame(
+            conn,
+            (
+                "error",
+                {"traceback": tb, "epoch_index": epoch_index, "horizon": horizon},
+            ),
+        )
 
     try:
         procenv.apply(env)
         host = host_factory(spec)
     except BaseException:
-        conn.send(("error", traceback.format_exc()))
+        send_error(traceback.format_exc())
         conn.close()
         return
     try:
         while True:
             try:
-                message = conn.recv()
+                message, _ = wire.recv_frame(conn)
             except EOFError:
                 return
             command = message[0]
             try:
-                if command == "epoch":
-                    _, horizon, payload = message
-                    if payload:
-                        host.begin_epoch(payload)
-                    host.advance(horizon)
-                    conn.send(("report", host.epoch_report(horizon)))
+                if command == "window":
+                    _, horizons, payloads, preamble = message
+                    report = run_window(host, horizons, payloads, preamble)
+                    wire.send_frame(conn, ("report", report), compress=compress)
                 elif command == "mark":
                     host.mark(message[1])
-                    conn.send(("ok", None))
+                    wire.send_frame(conn, ("ok", None))
                 elif command == "finish":
-                    conn.send(("result", host.finalize()))
+                    wire.send_frame(
+                        conn, ("result", host.finalize()), compress=compress
+                    )
                     return
                 else:
-                    conn.send(("error", f"unknown shard command {command!r}"))
+                    send_error(f"unknown shard command {command!r}")
                     return
+            except _EpochFailure as failure:
+                send_error(
+                    traceback.format_exc(),
+                    epoch_index=failure.epoch_index,
+                    horizon=failure.horizon,
+                )
+                return
             except BaseException:
-                conn.send(("error", traceback.format_exc()))
+                send_error(traceback.format_exc())
                 return
     finally:
         conn.close()
 
 
 class ShardPool:
-    """Coordinator handle over one worker process per shard."""
+    """Coordinator handle over one worker process per shard.
+
+    Tracks protocol-cost counters as it goes: ``round_trips`` (barrier
+    exchanges -- one per window/mark/finish, however many shards),
+    ``pipe_bytes_sent`` and ``pipe_bytes_received`` (exact framed bytes,
+    both directions, summed over shards).  These are what the bench
+    suite's ``pipe_bytes`` metric and the CI pipe-bytes regression gate
+    measure.
+    """
 
     def __init__(
         self,
@@ -134,6 +254,7 @@ class ShardPool:
         specs: Sequence[Any],
         env: Optional[Dict[str, str]] = None,
         start_method: Optional[str] = None,
+        compress: bool = True,
     ) -> None:
         from repro import procenv
 
@@ -144,12 +265,19 @@ class ShardPool:
         context = multiprocessing.get_context(start_method)
         self._connections = []
         self._processes = []
+        #: Deflate large frames both ways (see ``wire.send_frame``).  Off
+        #: for the ``unbatched`` comparison leg, whose pipe-byte totals
+        #: must reflect the PR 5 protocol it models.
+        self.compress = compress
+        self.round_trips = 0
+        self.pipe_bytes_sent = 0
+        self.pipe_bytes_received = 0
         try:
             for spec in specs:
                 parent_conn, child_conn = context.Pipe()
                 process = context.Process(
                     target=_worker_main,
-                    args=(child_conn, host_factory, spec, env),
+                    args=(child_conn, host_factory, spec, env, compress),
                     daemon=True,
                 )
                 process.start()
@@ -163,9 +291,18 @@ class ShardPool:
     def __len__(self) -> int:
         return len(self._connections)
 
+    @property
+    def pipe_bytes(self) -> int:
+        """Total framed bytes moved through the pipes, both directions."""
+        return self.pipe_bytes_sent + self.pipe_bytes_received
+
     def _send(self, shard: int, message: Tuple) -> None:
+        from repro.sim import wire
+
         try:
-            self._connections[shard].send(message)
+            self.pipe_bytes_sent += wire.send_frame(
+                self._connections[shard], message, compress=self.compress
+            )
         except (BrokenPipeError, OSError):
             # The worker already died (e.g. its host factory raised and
             # it closed the pipe).  Its queued error report -- if it got
@@ -174,32 +311,64 @@ class ShardPool:
             pass
 
     def _receive(self, shard: int) -> Any:
+        from repro.sim import wire
+
         try:
-            kind, value = self._connections[shard].recv()
+            message, nbytes = wire.recv_frame(self._connections[shard])
         except EOFError as exc:
             raise ShardWorkerError(shard, "worker exited without replying") from exc
+        self.pipe_bytes_received += nbytes
+        kind, value = message
         if kind == "error":
-            raise ShardWorkerError(shard, value)
+            raise ShardWorkerError(
+                shard,
+                value["traceback"],
+                epoch_index=value.get("epoch_index"),
+                horizon=value.get("horizon"),
+            )
         return value
 
-    def epoch(self, horizon: Optional[float], payloads: Sequence[Any]) -> List[Dict]:
-        """Run one epoch on every shard; a barrier returning all reports.
+    def window(
+        self,
+        horizons: Sequence[Optional[float]],
+        payloads: Sequence[Sequence[Sequence[Any]]],
+        preambles: Optional[Sequence[Any]] = None,
+    ) -> List[Dict]:
+        """Run a window of epochs on every shard; one barrier, all reports.
 
-        ``payloads[k]`` is shard *k*'s input batch (may be empty/None);
-        ``horizon`` bounds every shard's local clock (``None`` = drain to
-        quiescence -- only safe once no further inputs will be sent for
-        times the drain could overrun).
+        ``horizons`` is the window's epoch horizon list (shared by every
+        shard; a ``None`` final horizon drains to quiescence -- only safe
+        once no further inputs will be sent for times the drain could
+        overrun).  ``payloads[k][j]`` is shard *k*'s input batch for
+        window epoch *j*; ``preambles[k]`` (optional) is delivered to
+        shard *k*'s ``window_begin`` before the first epoch -- the
+        definition-interning channel.
         """
         if len(payloads) != len(self._connections):
-            raise ValueError("one payload per shard required")
-        for shard, payload in enumerate(payloads):
-            self._send(shard, ("epoch", horizon, payload))
+            raise ValueError("one payload batch per shard required")
+        if preambles is not None and len(preambles) != len(self._connections):
+            raise ValueError("one preamble per shard required")
+        horizons = list(horizons)
+        for shard, shard_payloads in enumerate(payloads):
+            if len(shard_payloads) != len(horizons):
+                raise ValueError("one payload batch per window epoch required")
+            preamble = preambles[shard] if preambles is not None else None
+            self._send(
+                shard,
+                ("window", horizons, [list(p) for p in shard_payloads], preamble),
+            )
+        self.round_trips += 1
         return [self._receive(shard) for shard in range(len(self._connections))]
+
+    def epoch(self, horizon: Optional[float], payloads: Sequence[Any]) -> List[Dict]:
+        """Single-epoch compatibility shim: a window of one."""
+        return self.window([horizon], [[payload] for payload in payloads])
 
     def mark(self, name: str) -> None:
         """Broadcast a phase-transition mark; barrier."""
         for shard in range(len(self._connections)):
             self._send(shard, ("mark", name))
+        self.round_trips += 1
         for shard in range(len(self._connections)):
             self._receive(shard)
 
@@ -207,6 +376,7 @@ class ShardPool:
         """Collect final results and shut every worker down."""
         for shard in range(len(self._connections)):
             self._send(shard, ("finish",))
+        self.round_trips += 1
         results = [self._receive(shard) for shard in range(len(self._connections))]
         self.close()
         return results
@@ -228,31 +398,58 @@ class ShardPool:
 
 
 class InlineShardPool:
-    """The same epoch protocol, with hosts living in this process.
+    """The same window protocol, with hosts living in this process.
 
     Used for the serial twin (one shard, every node) and for debugging a
     sharded run without process boundaries.  Deliberately does *not*
     touch the environment: inline hosts share the caller's live flags.
+    No codec runs, so the cost counters stay zero -- which is exactly
+    the honest accounting (nothing crossed a pipe).
     """
 
     def __init__(self, host_factory: Callable[[Any], Any], specs: Sequence[Any]) -> None:
         if not specs:
             raise ValueError("need at least one shard spec")
         self._hosts = [host_factory(spec) for spec in specs]
+        self.round_trips = 0
+        self.pipe_bytes_sent = 0
+        self.pipe_bytes_received = 0
 
     def __len__(self) -> int:
         return len(self._hosts)
 
-    def epoch(self, horizon: Optional[float], payloads: Sequence[Any]) -> List[Dict]:
+    @property
+    def pipe_bytes(self) -> int:
+        return 0
+
+    def window(
+        self,
+        horizons: Sequence[Optional[float]],
+        payloads: Sequence[Sequence[Sequence[Any]]],
+        preambles: Optional[Sequence[Any]] = None,
+    ) -> List[Dict]:
         if len(payloads) != len(self._hosts):
-            raise ValueError("one payload per shard required")
+            raise ValueError("one payload batch per shard required")
+        if preambles is not None and len(preambles) != len(self._hosts):
+            raise ValueError("one preamble per shard required")
         reports = []
-        for host, payload in zip(self._hosts, payloads):
-            if payload:
-                host.begin_epoch(payload)
-            host.advance(horizon)
-            reports.append(host.epoch_report(horizon))
+        for shard, (host, shard_payloads) in enumerate(zip(self._hosts, payloads)):
+            preamble = preambles[shard] if preambles is not None else None
+            try:
+                reports.append(run_window(host, horizons, shard_payloads, preamble))
+            except _EpochFailure as failure:
+                raise ShardWorkerError(
+                    shard,
+                    traceback.format_exc(),
+                    epoch_index=failure.epoch_index,
+                    horizon=failure.horizon,
+                ) from failure.__cause__
+        self.round_trips += 1
         return reports
+
+    def epoch(self, horizon: Optional[float], payloads: Sequence[Any]) -> List[Dict]:
+        """Single-epoch compatibility shim: a window of one."""
+        return self.window([horizon], [[payload] for payload in payloads])
 
     def mark(self, name: str) -> None:
         for host in self._hosts:
@@ -270,10 +467,13 @@ def make_pool(
     specs: Sequence[Any],
     processes: bool,
     start_method: Optional[str] = None,
+    compress: bool = True,
 ):
     """Build a process pool, or the inline twin running the same protocol."""
     if processes:
-        return ShardPool(host_factory, specs, start_method=start_method)
+        return ShardPool(
+            host_factory, specs, start_method=start_method, compress=compress
+        )
     return InlineShardPool(host_factory, specs)
 
 
@@ -281,7 +481,7 @@ def make_pool(
 
 
 def epoch_horizons(start: float, end: float, epoch_seconds: float) -> List[float]:
-    """The conservative epoch grid covering ``(start, end]``.
+    """The fixed conservative epoch grid covering ``(start, end]``.
 
     Horizons land at ``start + k * epoch_seconds`` and the last one is
     the first grid point ``>= end``, so every input time is covered by
@@ -296,6 +496,98 @@ def epoch_horizons(start: float, end: float, epoch_seconds: float) -> List[float
     horizons = [start + (k + 1) * epoch_seconds for k in range(count)]
     if not horizons or horizons[-1] < end:
         horizons.append(start + (count + 1) * epoch_seconds)
+    return horizons
+
+
+def arrival_density(
+    times: Sequence[float], start: float, end: float, cell_seconds: float
+) -> List[int]:
+    """Arrival counts per fixed grid cell -- the shared density index.
+
+    Cell *k* covers ``[start + k*c, start + (k+1)*c)``; the cell count
+    matches :func:`epoch_horizons`'s grid for the same window.  A pure,
+    order-insensitive function of the full submission log, so the
+    coordinator and every worker -- at any shard count -- derive the
+    identical index (property-tested in
+    ``tests/sim/test_adaptive_horizons.py``).  Both the adaptive epoch
+    horizons and the archive's adaptive bucket sizing
+    (:func:`repro.trace.archive.adaptive_bucket_seconds`) feed on it.
+    """
+    if cell_seconds <= 0:
+        raise ValueError("cell_seconds must be positive")
+    cells = len(epoch_horizons(start, end, cell_seconds))
+    counts = [0] * cells
+    span = cells * cell_seconds
+    for t in times:
+        if start <= t < start + span:
+            counts[int((t - start) / cell_seconds)] += 1
+    return counts
+
+
+def adaptive_horizons(
+    times: Sequence[float],
+    start: float,
+    end: float,
+    epoch_seconds: float,
+    dense_events: int = 64,
+    max_merge: int = 16,
+    max_split: int = 4,
+) -> List[float]:
+    """Density-adaptive conservative horizons covering ``(start, end]``.
+
+    Replaces the fixed grid with horizons shaped by the submission log's
+    arrival density (:func:`arrival_density` over the base grid):
+
+    * a run of **empty** cells collapses into one long epoch (bounded by
+      ``max_merge`` cells), so idle tails stop paying per-cell barriers;
+    * a **dense** cell (``>= dense_events`` arrivals) is subdivided into
+      up to ``max_split`` equal sub-epochs, index-computed, keeping
+      ``least-loaded-live`` load digests fresh through bursts;
+    * every other cell keeps its grid horizon.
+
+    Guarantees: horizons are strictly increasing, the last horizon is
+    ``>= end`` **and** strictly greater than every arrival time (an
+    arrival exactly at the phase end still lands inside an epoch), and
+    the result is a pure function of the inputs -- bit-identical on the
+    coordinator and every worker at any shard count, because each
+    horizon is computed by grid *index*, never by accumulating floats.
+    """
+    if epoch_seconds <= 0:
+        raise ValueError("epoch_seconds must be positive")
+    if dense_events < 1 or max_merge < 1 or max_split < 1:
+        raise ValueError("dense_events, max_merge and max_split must be >= 1")
+    counts = arrival_density(times, start, end, epoch_seconds)
+    horizons: List[float] = []
+    k = 0
+    while k < len(counts):
+        if counts[k] == 0:
+            # Collapse this idle run (bounded) into one long epoch.
+            j = k
+            while (
+                j + 1 < len(counts)
+                and counts[j + 1] == 0
+                and (j + 1 - k) < max_merge
+            ):
+                j += 1
+            horizons.append(start + (j + 1) * epoch_seconds)
+            k = j + 1
+        elif counts[k] >= dense_events:
+            splits = min(max_split, counts[k] // dense_events + 1)
+            for i in range(1, splits + 1):
+                horizons.append(
+                    start + k * epoch_seconds + (i * epoch_seconds) / splits
+                )
+            k += 1
+        else:
+            horizons.append(start + (k + 1) * epoch_seconds)
+            k += 1
+    # Cover stragglers at or past the last horizon (an arrival time equal
+    # to the phase end would otherwise never satisfy ``t < horizon``).
+    last = max(times, default=start)
+    cells = len(counts)
+    while horizons[-1] <= last:
+        cells += 1
+        horizons.append(start + cells * epoch_seconds)
     return horizons
 
 

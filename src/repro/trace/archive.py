@@ -86,6 +86,7 @@ __all__ = [
     "gzip_member",
     "pack",
     "finalize_archive",
+    "adaptive_bucket_seconds",
 ]
 
 #: Schema tag stamped into every footer and manifest.
@@ -733,26 +734,80 @@ def pack(
     return summary["events"], summary["sha256"]
 
 
-def finalize_archive(root: str | Path) -> Tuple[int, str]:
+def finalize_archive(
+    root: str | Path,
+    footers: Optional[Sequence[Dict[str, object]]] = None,
+    event_trace_path: Optional[str | Path] = None,
+    verify: bool = True,
+) -> Tuple[int, str]:
     """Compose a multi-writer archive and stamp its manifest.
 
     Shard workers write disjoint node segments into a shared root and
     close their writers without a manifest; the coordinator calls this
-    once: it verifies every footer, streams the canonical composition,
-    writes the manifest, and returns ``(events, sha256)``.  Running it on
-    a writer-finalized archive is a no-op rewrite of identical bytes.
+    once: it streams the canonical composition, writes the manifest, and
+    returns ``(events, sha256)``.  Running it on a writer-finalized
+    archive is a no-op rewrite of identical bytes.
+
+    Without ``footers`` every segment is re-read and fully verified
+    before composing (two passes over the archive).  With ``footers`` --
+    the segment manifests the workers shipped over the pipe
+    (:class:`ArchiveWriter.close`'s ``segments``: name, event count,
+    payload sha256, time range per segment) -- the merge is
+    *manifest-driven*: one streaming pass composes the digest, each
+    footer is checked against its segment as it streams past (unless
+    ``verify=False``), and the composed event count must equal the
+    manifest's sum.  ``event_trace_path`` additionally writes the flat
+    canonical JSONL twin during that same pass, so a replay that wants
+    both forms still reads every segment exactly once.
     """
     root = Path(root)
-    reader = ArchiveReader(root)
-    footers = []
     suffix = ".jsonl.gz"
-    for info in reader.segments():
-        _, footer = reader.read_segment(info.name, verify=True)
-        footer["name"] = info.name
-        footer["compressed_bytes"] = (root / info.name).stat().st_size
-        footers.append(footer)
-        suffix = parse_segment_name(info.name)[2]
-    events, sha = reader.compose(verify=False)
+    if footers is None:
+        reader = ArchiveReader(root)
+        footers = []
+        for info in reader.segments():
+            _, footer = reader.read_segment(info.name, verify=True)
+            footer["name"] = info.name
+            footer["compressed_bytes"] = (root / info.name).stat().st_size
+            footers.append(footer)
+            suffix = parse_segment_name(info.name)[2]
+        stream_verify = False  # everything above was just verified
+    else:
+        footers = sorted(footers, key=lambda f: (f["bucket"], f["node"]))
+        for footer in footers:
+            parsed = parse_segment_name(str(footer.get("name", "")))
+            if parsed is not None:
+                suffix = parsed[2]
+        reader = ArchiveReader(
+            root,
+            bucket_seconds=(
+                float(footers[0]["bucket_seconds"]) if footers else None
+            ),
+        )
+        stream_verify = verify
+    digest = hashlib.sha256()
+    events = 0
+    handle = None
+    if event_trace_path is not None:
+        event_trace_path = Path(event_trace_path)
+        event_trace_path.parent.mkdir(parents=True, exist_ok=True)
+        handle = event_trace_path.open("w", encoding="utf-8")
+    try:
+        for line in reader.iter_window(verify=stream_verify):
+            digest.update(line.encode("utf-8") + b"\n")
+            events += 1
+            if handle is not None:
+                handle.write(line + "\n")
+    finally:
+        if handle is not None:
+            handle.close()
+    claimed = sum(f["events"] for f in footers)
+    if events != claimed:
+        raise ValueError(
+            f"archive composed {events} events but the segment manifest "
+            f"claims {claimed}"
+        )
+    sha = digest.hexdigest()
     write_manifest(
         root,
         bucket_seconds=reader.bucket_seconds,
@@ -762,3 +817,46 @@ def finalize_archive(root: str | Path) -> Tuple[int, str]:
         sha256=sha,
     )
     return events, sha
+
+
+def adaptive_bucket_seconds(
+    times: Sequence[float],
+    base_seconds: float = DEFAULT_BUCKET_SECONDS,
+    target_events: int = 256,
+    max_scale: int = 64,
+) -> float:
+    """A deterministic bucket width sized to the trace's arrival density.
+
+    Very sparse workloads -- the idle tails that dominate "Serverless in
+    the Wild" style logs -- would shred into thousands of near-empty
+    segments at the fixed default width, paying per-segment gzip and
+    footer overhead for a handful of events each.  This reuses the
+    sharding layer's arrival-density index
+    (:func:`repro.sim.shard.arrival_density` over the ``base_seconds``
+    grid) to widen buckets until the *occupied* cells average at least
+    ``target_events`` arrivals: the width is ``base_seconds`` times the
+    smallest power of two that reaches the target, capped at
+    ``max_scale``.  Dense traces keep the base width (windowed reads
+    stay sharp); only sparsity widens.  A pure, order-insensitive
+    function of the submission log, so -- like the adaptive epoch
+    horizons -- every shard count derives the identical bucket grid,
+    preserving archive byte-identity.
+    """
+    from repro.sim.shard import arrival_density
+
+    if base_seconds <= 0:
+        raise ValueError("base_seconds must be positive")
+    if target_events < 1 or max_scale < 1:
+        raise ValueError("target_events and max_scale must be >= 1")
+    times = list(times)
+    if not times:
+        return base_seconds
+    counts = arrival_density(times, 0.0, max(times), base_seconds)
+    occupied = [count for count in counts if count > 0]
+    if not occupied:
+        return base_seconds
+    mean = sum(occupied) / len(occupied)
+    scale = 1
+    while mean * scale < target_events and scale < max_scale:
+        scale *= 2
+    return base_seconds * scale

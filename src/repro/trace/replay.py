@@ -189,8 +189,16 @@ class ClusterReplayConfig:
     #: Worker processes to partition the nodes across (1 = the in-process
     #: serial twin, driven through the identical epoch protocol).
     shards: int = 1
-    #: Simulated seconds per conservative synchronization epoch.
+    #: Simulated seconds per conservative synchronization epoch (the base
+    #: grid cell of the adaptive horizons under the batched protocol).
     epoch_seconds: float = 5.0
+    #: Shard wire protocol: ``"batched"`` (multi-epoch window grants,
+    #: adaptive horizons, interned definitions, on-demand load digests)
+    #: or ``"unbatched"`` (the PR 5 one-message-per-epoch comparison leg).
+    protocol: str = "batched"
+    #: Max epochs granted per pipe message under the batched protocol
+    #: (deferred schedulers force an effective window of one).
+    window_epochs: int = 32
     scale_factor: float = 15.0
     warmup_seconds: float = 60.0
     warmup_scale_factor: float = 15.0
@@ -199,18 +207,23 @@ class ClusterReplayConfig:
     platform: PlatformConfig = field(default_factory=PlatformConfig)
     trace_seed: int = 42
     #: Collect the measurement window's canonical event trace (always on
-    #: when ``event_trace_path`` is set): per-node streams merged into
-    #: one ``(t, node, seq)``-ordered file whose SHA-256 the result
-    #: carries -- the cross-shard equivalence witness.
+    #: when ``event_trace_path`` is set), composed into one ``(t, node,
+    #: seq)``-ordered stream whose SHA-256 the result carries -- the
+    #: cross-shard equivalence witness.  Trace records never cross the
+    #: coordination pipes: workers write node-canonical archive segments
+    #: into a shared root (a temporary one if ``archive_dir`` is unset)
+    #: and ship only per-segment footers; the coordinator composes once.
     trace: bool = False
     event_trace_path: Optional[str | Path] = None
-    #: Roll the measurement trace into a segmented archive at this shared
-    #: directory: each shard worker writes its own nodes' segments and
-    #: the coordinator finalizes (docs/TRACE_ARCHIVE.md).  Independent of
-    #: the flat trace; with both on, the composed archive digest is
-    #: checked against the merged flat digest (a ``check`` invariant).
+    #: Keep the segmented archive at this shared directory: each shard
+    #: worker writes its own nodes' segments and the coordinator
+    #: finalizes from the shipped footers (docs/TRACE_ARCHIVE.md).
     archive_dir: Optional[str | Path] = None
-    archive_bucket_seconds: float = 60.0
+    #: Simulated seconds per archive time bucket.  ``None`` sizes the
+    #: buckets adaptively from the measurement window's arrival density
+    #: (:func:`repro.trace.archive.adaptive_bucket_seconds`): sparse
+    #: tails widen, dense traces keep the default width.
+    archive_bucket_seconds: Optional[float] = None
     #: Range-read this slice back from the archive after the run
     #: (requires ``archive_dir``).
     window: Optional[TraceWindow] = None
@@ -241,6 +254,16 @@ class ClusterReplayResult:
     window: Optional[WindowResult] = None
     epochs: int = 0
     events: int = 0
+    #: Coordination-cost accounting (see docs/BENCHMARKS.md):
+    #: barrier exchanges (windows + marks + finish), exact framed bytes
+    #: through the worker pipes, coordinator wall clock, the slowest
+    #: worker's kernel-busy wall, and their difference -- the wall time
+    #: spent coordinating rather than simulating.
+    round_trips: int = 0
+    pipe_bytes: int = 0
+    coordinator_wall_seconds: float = 0.0
+    worker_busy_seconds: float = 0.0
+    coordination_overhead: float = 0.0
 
 
 def cluster_replay(
@@ -257,8 +280,9 @@ def cluster_replay(
     them (for the static schedulers; ``least-loaded-live`` routes from
     epoch-boundary digests and is its own deterministic policy).
     """
+    from repro import procenv
     from repro.faas.cluster import ClusterConfig, ShardedClusterSession
-    from repro.sim.shard import merge_trace_files
+    from repro.trace.archive import adaptive_bucket_seconds
 
     config = config or ClusterReplayConfig()
     generator = generator or TraceGenerator(seed=config.trace_seed)
@@ -266,7 +290,29 @@ def cluster_replay(
     archiving = config.archive_dir is not None
     if config.window is not None and not archiving:
         raise ValueError("window requires archive_dir")
-    trace_dir = tempfile.mkdtemp(prefix="repro-shard-trace-") if tracing else None
+    # Both phases' arrivals are drawn up front (same generator call order
+    # as always) so the archive bucket width can be sized from the
+    # measurement window's density before any worker starts -- a pure
+    # function of the submission log, hence shard-count-invariant.
+    warm = generator.arrivals(config.warmup_seconds, config.warmup_scale_factor)
+    measured_offsets = generator.arrivals(
+        config.duration_seconds, config.scale_factor
+    )
+    bucket_seconds = (
+        config.archive_bucket_seconds
+        if config.archive_bucket_seconds is not None
+        else adaptive_bucket_seconds([t for t, _ in measured_offsets])
+    )
+    # Out-of-pipe traces: every traced run routes through a segmented
+    # archive root shared by all workers (a temporary root when only the
+    # flat trace was asked for); no trace record ever crosses the
+    # coordination pipes.
+    if archiving:
+        archive_root: Optional[Path] = Path(config.archive_dir)
+    elif tracing:
+        archive_root = Path(tempfile.mkdtemp(prefix="repro-shard-archive-"))
+    else:
+        archive_root = None
     cluster_config = ClusterConfig(
         nodes=config.nodes,
         scheduler=config.scheduler,
@@ -278,11 +324,10 @@ def cluster_replay(
         shards=config.shards,
         epoch_seconds=config.epoch_seconds,
         processes=config.processes,
-        trace_dir=trace_dir,
-        archive_dir=(
-            str(config.archive_dir) if config.archive_dir is not None else None
-        ),
-        archive_bucket_seconds=config.archive_bucket_seconds,
+        protocol=config.protocol,
+        window_epochs=config.window_epochs,
+        archive_dir=str(archive_root) if archive_root is not None else None,
+        archive_bucket_seconds=bucket_seconds,
         telemetry_dir=(
             str(config.telemetry_dir) if config.telemetry_dir is not None else None
         ),
@@ -292,19 +337,16 @@ def cluster_replay(
         ),
         start_method=config.start_method,
     )
+    coordinator_started = procenv.wall_clock()
     try:
-        warm = generator.arrivals(config.warmup_seconds, config.warmup_scale_factor)
         session.run_phase(warm, start=0.0, end=config.warmup_seconds)
         # Identical for every shard count: the max shard clock is the
         # global last-event time of the (deterministic) warmup drain.
         measure_start = max(session.clock, config.warmup_seconds)
         session.mark("reset-metrics")
-        if tracing or archiving:
+        if archive_root is not None:
             session.mark("start-trace")
-        measured = [
-            (measure_start + t, d)
-            for t, d in generator.arrivals(config.duration_seconds, config.scale_factor)
-        ]
+        measured = [(measure_start + t, d) for t, d in measured_offsets]
         session.run_phase(
             measured,
             start=measure_start,
@@ -313,38 +355,45 @@ def cluster_replay(
         nodes = session.finish()
         per_node_requests = list(session.router.assigned)
         epochs, events = session.epochs, session.events
+        round_trips = session.round_trips
+        pipe_bytes = session.pipe_bytes
+        worker_busy = session.worker_busy_seconds
+        footers = session.archive_footers
     finally:
         session.close()
-    try:
-        trace_path = None
-        trace_events = 0
-        trace_sha256 = None
-        if tracing:
-            paths = [nodes[node]["trace_path"] for node in sorted(nodes)]
-            trace_path = (
-                Path(config.event_trace_path)
-                if config.event_trace_path is not None
-                else None
-            )
-            trace_events, trace_sha256 = merge_trace_files(paths, trace_path)
-    finally:
-        if trace_dir is not None:
-            shutil.rmtree(trace_dir, ignore_errors=True)
+    coordinator_wall = procenv.wall_clock() - coordinator_started
+    trace_path = (
+        Path(config.event_trace_path)
+        if config.event_trace_path is not None
+        else None
+    )
+    trace_events = 0
+    trace_sha256 = None
     archive_events = 0
     archive_sha256 = None
     window = None
-    if archiving:
+    if archive_root is not None:
+        from repro.check import check_segment_manifest
         from repro.trace.archive import finalize_archive
 
-        archive_events, archive_sha256 = finalize_archive(config.archive_dir)
-        if tracing:
-            from repro.check import check_digest_composition
-
-            check_digest_composition(
-                trace_events, trace_sha256, archive_events, archive_sha256
+        try:
+            # Manifest-driven compose: the workers' shipped footers stand
+            # in for the per-segment verify pre-pass, and the flat JSONL
+            # twin (when asked for) is written during the same single
+            # streaming pass.
+            composed_events, composed_sha = finalize_archive(
+                archive_root, footers=footers, event_trace_path=trace_path
             )
-        if config.window is not None:
-            window = config.window.read(config.archive_dir)
+            check_segment_manifest(footers, composed_events)
+            if tracing:
+                trace_events, trace_sha256 = composed_events, composed_sha
+            if archiving:
+                archive_events, archive_sha256 = composed_events, composed_sha
+            if config.window is not None:
+                window = config.window.read(archive_root)
+        finally:
+            if not archiving:
+                shutil.rmtree(archive_root, ignore_errors=True)
 
     outcomes = [pair for node in sorted(nodes) for pair in nodes[node]["outcomes"]]
     latencies = sorted(latency for latency, _ in outcomes) or [0.0]
@@ -391,4 +440,9 @@ def cluster_replay(
         window=window,
         epochs=epochs,
         events=events,
+        round_trips=round_trips,
+        pipe_bytes=pipe_bytes,
+        coordinator_wall_seconds=coordinator_wall,
+        worker_busy_seconds=worker_busy,
+        coordination_overhead=max(0.0, coordinator_wall - worker_busy),
     )

@@ -9,6 +9,7 @@ import pytest
 from repro.analysis.bench import (
     REPLAY_SIZES,
     BenchSpec,
+    _serial_twin_label,
     build_grid,
     build_replay_macro,
     compare_micro,
@@ -19,6 +20,7 @@ from repro.analysis.bench import (
     run_benchmarks,
     run_vmm_microbench,
     summarize,
+    verify_coordination,
     verify_trace_identity,
     write_results,
 )
@@ -352,6 +354,110 @@ class TestClusterLegs:
         assert metrics["epochs"] > 0
         assert metrics["trace_events"] > 0
         assert len(metrics["trace_sha256"]) == 64
+
+
+def _coord_result(label, round_trips, pipe_bytes):
+    result = _replay_result(label, 1.0)
+    result["metrics"]["round_trips"] = round_trips
+    result["metrics"]["pipe_bytes"] = pipe_bytes
+    return result
+
+
+class TestProtocolLegs:
+    def test_unbatched_label_suffix(self):
+        spec = BenchSpec(
+            kind="replay",
+            policy="vanilla",
+            scale=8.0,
+            nodes=8,
+            shards=2,
+            protocol="unbatched",
+        )
+        assert spec.label == "replay:vanilla:x8:d20:n8:s2:unbatched"
+
+    def test_serial_twin_label_strips_shards_and_protocol(self):
+        assert (
+            _serial_twin_label("replay:vanilla:x8:d30:n8:s2:unbatched")
+            == "replay:vanilla:x8:d30:n8"
+        )
+        assert (
+            _serial_twin_label("replay:vanilla:x8:d30:n8:s2")
+            == "replay:vanilla:x8:d30:n8"
+        )
+
+    def test_build_replay_macro_adds_unbatched_twins(self):
+        specs = build_replay_macro(
+            sizes=("small",),
+            policies=("vanilla",),
+            nodes=8,
+            shard_counts=(2,),
+            include_unbatched=True,
+        )
+        cluster = [s for s in specs if s.nodes]
+        protocols = [(s.shards, s.protocol) for s in cluster]
+        # Serial twin stays batched-only; each sharded leg gets a twin.
+        assert protocols == [(1, "batched"), (2, "batched"), (2, "unbatched")]
+        unbatched = cluster[-1]
+        assert unbatched.label.endswith(":s2:unbatched")
+        # The twin times the bare protocol: no archive on it.
+        assert not unbatched.archive and cluster[1].archive
+
+    def test_verify_coordination_passes_on_big_ratios(self):
+        results = [
+            _coord_result("replay:vanilla:x8:d30:n8:s2", 5, 10_000),
+            _coord_result("replay:vanilla:x8:d30:n8:s2:unbatched", 40, 200_000),
+        ]
+        assert verify_coordination(results) == []
+
+    def test_verify_coordination_flags_weak_batching(self):
+        results = [
+            _coord_result("replay:vanilla:x8:d30:n8:s2", 20, 150_000),
+            _coord_result("replay:vanilla:x8:d30:n8:s2:unbatched", 40, 200_000),
+        ]
+        failures = verify_coordination(results)
+        assert len(failures) == 2
+        assert "round-trips" in failures[0]
+        assert "pipe bytes" in failures[1]
+
+    def test_verify_coordination_skips_unpaired_legs(self):
+        alone = [_coord_result("replay:vanilla:x8:d30:n8:s2", 5, 10_000)]
+        assert verify_coordination(alone) == []
+
+    def test_verify_coordination_skips_inline_zero_byte_twin(self):
+        # An inline (processes=False) twin records zero pipe bytes; only
+        # the round-trip gate applies then.
+        results = [
+            _coord_result("replay:vanilla:x8:d30:n8:s2", 5, 0),
+            _coord_result("replay:vanilla:x8:d30:n8:s2:unbatched", 40, 0),
+        ]
+        assert verify_coordination(results) == []
+
+    def test_summarize_records_cpu_count(self):
+        document = summarize([_replay_result("replay:vanilla:x8:d30", 1.0)])
+        import os
+
+        assert document["cpu_count"] == os.cpu_count()
+
+    def test_execute_spec_records_coordination_metrics(self):
+        out = execute_spec(
+            BenchSpec(
+                kind="replay",
+                policy="vanilla",
+                scale=4.0,
+                duration=10.0,
+                warmup=5.0,
+                capacity_mib=512,
+                nodes=2,
+                shards=2,
+                trace=True,
+            )
+        )
+        metrics = out["metrics"]
+        assert metrics["round_trips"] > 0
+        assert metrics["pipe_bytes"] > 0
+        assert metrics["pipe_bytes_per_epoch"] > 0
+        assert metrics["coordination_overhead"] >= 0.0
+        assert metrics["cpu_count"] == __import__("os").cpu_count()
 
 
 class TestWorkerEnvPropagation:

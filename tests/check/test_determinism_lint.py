@@ -31,9 +31,13 @@ SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
 WALL_CLOCK = {"time", "monotonic", "perf_counter", "time_ns", "monotonic_ns",
               "perf_counter_ns", "process_time"}
 
-#: Modules allowed to read the wall clock: benchmark harnesses report
-#: wall/CPU timings *about* the (still deterministic) simulation.
-WALL_CLOCK_EXEMPT = {"analysis/bench.py"}
+#: Modules allowed to read the wall clock: the benchmark harness reports
+#: wall/CPU timings *about* the (still deterministic) simulation, and
+#: ``procenv`` owns the sanctioned :func:`repro.procenv.wall_clock`
+#: helper that shard workers and the replay coordinator use for
+#: process-level busy/overhead accounting (no simulation decision may
+#: depend on it).
+WALL_CLOCK_EXEMPT = {"analysis/bench.py", "procenv.py"}
 
 #: The one module allowed to touch gzip directly: it owns the pinned
 #: deterministic writers everything else must use.

@@ -21,6 +21,7 @@ from repro.check import (
     check_mapping,
     check_physical,
     check_platform,
+    check_segment_manifest,
     check_shard_conservation,
     check_runlist,
     check_runtime,
@@ -486,3 +487,60 @@ class TestShardConservation:
 
     def test_drain_epoch_skips_clock_law(self):
         check_shard_conservation([shard_report(clock=99.0)], horizon=None)
+
+
+def _footer(bucket=0, node=0, events=10, t_min=1.0, t_max=9.0, **extra):
+    footer = {
+        "name": f"seg-b{bucket:08d}-n{node:03d}.jsonl.gz",
+        "bucket": bucket,
+        "node": node,
+        "events": events,
+        "payload_bytes": 100,
+        "bucket_seconds": 10.0,
+        "t_min": t_min,
+        "t_max": t_max,
+    }
+    footer.update(extra)
+    return footer
+
+
+class TestSegmentManifest:
+    def test_healthy_manifest_passes(self):
+        footers = [_footer(0, 0), _footer(0, 1), _footer(1, 0, t_min=10.0, t_max=19.5)]
+        check_segment_manifest(footers)
+        check_segment_manifest(footers, composed_events=30)
+
+    def test_duplicate_cell_detected(self):
+        with pytest.raises(Violation, match="duplicate segment"):
+            check_segment_manifest([_footer(0, 0), _footer(0, 0)])
+
+    def test_nonpositive_events_detected(self):
+        with pytest.raises(Violation, match="claims 0 events"):
+            check_segment_manifest([_footer(events=0, t_min=None, t_max=None)])
+
+    def test_negative_payload_detected(self):
+        with pytest.raises(Violation, match="negative payload_bytes"):
+            check_segment_manifest([_footer(payload_bytes=-1)])
+
+    def test_name_address_mismatch_detected(self):
+        bad = _footer(bucket=1, t_min=10.0, t_max=12.0)
+        bad["name"] = "seg-b00000002-n000.jsonl.gz"
+        with pytest.raises(Violation, match="footer addresses"):
+            check_segment_manifest([bad])
+
+    def test_inverted_time_range_detected(self):
+        with pytest.raises(Violation, match="t_min"):
+            check_segment_manifest([_footer(t_min=9.0, t_max=1.0)])
+
+    def test_time_outside_bucket_detected(self):
+        with pytest.raises(Violation, match="outside bucket"):
+            check_segment_manifest([_footer(bucket=0, t_max=10.0)])
+
+    def test_event_sum_mismatch_detected(self):
+        with pytest.raises(Violation, match="composed"):
+            check_segment_manifest([_footer(events=10)], composed_events=11)
+
+    def test_violation_kind(self):
+        with pytest.raises(Violation) as err:
+            check_segment_manifest([_footer(events=-1, t_min=None, t_max=None)])
+        assert err.value.invariant == "segment-manifest"

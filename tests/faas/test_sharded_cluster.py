@@ -36,17 +36,27 @@ def _config(nodes=8, scheduler="warm-affinity"):
 
 
 def _run_session(
-    shards, scheduler="warm-affinity", processes=False, tmp_path=None, archive=False
+    shards,
+    scheduler="warm-affinity",
+    processes=False,
+    tmp_path=None,
+    archive=False,
+    protocol="batched",
+    window_epochs=32,
+    epoch_seconds=5.0,
+    tag="",
 ):
     """Drive one traced session over the shared arrival batch."""
-    trace_dir = tmp_path / f"trace-s{shards}"
-    telemetry_dir = tmp_path / f"telemetry-s{shards}"
-    archive_dir = tmp_path / f"archive-s{shards}"
+    trace_dir = tmp_path / f"trace-s{shards}{tag}"
+    telemetry_dir = tmp_path / f"telemetry-s{shards}{tag}"
+    archive_dir = tmp_path / f"archive-s{shards}{tag}"
     session = ShardedClusterSession(
         _config(scheduler=scheduler),
         shards=shards,
-        epoch_seconds=5.0,
+        epoch_seconds=epoch_seconds,
         processes=processes,
+        protocol=protocol,
+        window_epochs=window_epochs,
         trace_dir=str(trace_dir),
         telemetry_dir=str(telemetry_dir),
         archive_dir=str(archive_dir) if archive else None,
@@ -57,6 +67,7 @@ def _run_session(
         session.run_phase(ARRIVALS, start=0.0, end=25.0)
         nodes = session.finish()
         epochs, clock = session.epochs, session.clock
+        round_trips, pipe_bytes = session.round_trips, session.pipe_bytes
     finally:
         session.close()
     events, digest = merge_trace_files(
@@ -76,6 +87,8 @@ def _run_session(
         "clock": clock,
         "completed": sum(len(info["outcomes"]) for info in nodes.values()),
         "archive_dir": archive_dir if archive else None,
+        "round_trips": round_trips,
+        "pipe_bytes": pipe_bytes,
     }
 
 
@@ -163,6 +176,58 @@ class TestArchiveIdentity:
             assert (forked["archive_dir"] / name).read_bytes() == (
                 inline["archive_dir"] / name
             ).read_bytes(), name
+
+
+class TestProtocolEquivalence:
+    """The batched window protocol is a wire optimization only: digests,
+    telemetry, and stats must match the per-epoch 'unbatched' protocol."""
+
+    def test_unbatched_twin_digest_identity(self, tmp_path):
+        batched = _run_session(2, tmp_path=tmp_path, protocol="batched")
+        unbatched = _run_session(
+            2, tmp_path=tmp_path, protocol="unbatched", tag="-ub"
+        )
+        assert batched["events"] == unbatched["events"] > 0
+        assert batched["digest"] == unbatched["digest"]
+        assert batched["telemetry"] == unbatched["telemetry"]
+
+    def test_window_epochs_do_not_change_the_digest(self, tmp_path):
+        runs = [
+            _run_session(2, tmp_path=tmp_path, window_epochs=w, tag=f"-w{w}")
+            for w in (1, 3, 32)
+        ]
+        digests = {run["digest"] for run in runs}
+        assert len(digests) == 1
+        assert runs[0]["events"] > 0
+
+    def test_batching_cuts_round_trips_and_pipe_bytes(self, tmp_path):
+        """Fine epochs amplify the per-epoch constant factor; one window
+        grant absorbs them all.  Pipe bytes need process workers (the
+        inline pool never serializes)."""
+        kwargs = dict(tmp_path=tmp_path, processes=True, epoch_seconds=1.0)
+        batched = _run_session(2, protocol="batched", tag="-pb", **kwargs)
+        unbatched = _run_session(2, protocol="unbatched", tag="-pu", **kwargs)
+        assert batched["digest"] == unbatched["digest"]
+        assert batched["round_trips"] * 5 <= unbatched["round_trips"]
+        assert batched["pipe_bytes"] * 5 <= unbatched["pipe_bytes"]
+        assert batched["pipe_bytes"] > 0
+
+    def test_deferred_scheduler_forces_single_epoch_windows(self, tmp_path):
+        """least-loaded-live routes on previous-epoch load digests, so
+        batching would replay stale loads; the session must degrade to
+        window=1 and still match the serial twin (covered digest-wise in
+        TestDigestIdentity)."""
+        session = ShardedClusterSession(
+            _config(scheduler="least-loaded-live"),
+            shards=2,
+            epoch_seconds=5.0,
+            window_epochs=32,
+            trace_dir=str(tmp_path / "t"),
+        )
+        try:
+            assert session.window_epochs == 1
+        finally:
+            session.close()
 
 
 class TestClusterRun:

@@ -1,0 +1,164 @@
+"""Property tests for the density-adaptive epoch horizons.
+
+The batched shard protocol depends on one invariant above all others:
+``adaptive_horizons`` is a *pure, index-computed* function of the full
+submission log, so the coordinator and every worker -- at any shard
+count -- derive bit-identical horizons without exchanging them.  These
+properties pin that down, plus the conservative-simulation guarantees
+(strictly increasing, every arrival strictly covered) that the epoch
+merge's determinism rests on.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.shard import adaptive_horizons, arrival_density, epoch_horizons
+
+# Arrival times in a bounded, float-friendly window.  allow_nan/inf off:
+# the submission log is generated, never adversarial.
+times_strategy = st.lists(
+    st.floats(
+        min_value=0.0,
+        max_value=600.0,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    min_size=0,
+    max_size=200,
+)
+
+epoch_strategy = st.floats(min_value=0.25, max_value=60.0, allow_nan=False)
+
+
+class TestArrivalDensity:
+    @given(times=times_strategy, cell=epoch_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_counts_are_order_insensitive_and_complete(self, times, cell):
+        start, end = 0.0, 600.0
+        counts = arrival_density(times, start, end, cell)
+        assert counts == arrival_density(sorted(times), start, end, cell)
+        assert counts == arrival_density(list(reversed(times)), start, end, cell)
+        in_window = [t for t in times if start <= t < start + len(counts) * cell]
+        assert sum(counts) == len(in_window)
+
+    @given(times=times_strategy, cell=epoch_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_grid_matches_epoch_horizons(self, times, cell):
+        counts = arrival_density(times, 0.0, 600.0, cell)
+        assert len(counts) == len(epoch_horizons(0.0, 600.0, cell))
+
+    def test_rejects_nonpositive_cell(self):
+        with pytest.raises(ValueError):
+            arrival_density([], 0.0, 1.0, 0.0)
+
+
+class TestAdaptiveHorizons:
+    @given(times=times_strategy, epoch=epoch_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_strictly_increasing_and_covering(self, times, epoch):
+        start, end = 0.0, 600.0
+        horizons = adaptive_horizons(times, start, end, epoch)
+        assert horizons, "at least one epoch"
+        assert all(b > a for a, b in zip(horizons, horizons[1:]))
+        assert horizons[0] > start
+        assert horizons[-1] >= end
+        # Every arrival lands strictly inside some epoch -- including an
+        # arrival exactly at the phase end (the tail guarantee).
+        if times:
+            assert horizons[-1] > max(times)
+
+    @given(times=times_strategy, epoch=epoch_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_pure_function_bit_identity(self, times, epoch):
+        """The shard-count-independence property.
+
+        Workers see the same submission log in a different container
+        (each shard re-derives horizons from the identical spec), so the
+        function must be bit-identical across calls and across input
+        orderings -- `==` on floats, not approx.
+        """
+        start, end = 0.0, 600.0
+        a = adaptive_horizons(times, start, end, epoch)
+        b = adaptive_horizons(list(times), start, end, epoch)
+        c = adaptive_horizons(sorted(times), start, end, epoch)
+        d = adaptive_horizons(list(reversed(times)), start, end, epoch)
+        assert a == b == c == d
+        # Bit-exact, not just ==: horizons cross process boundaries and
+        # are compared for window membership with equality.
+        assert [math.copysign(1, h) for h in a] == [
+            math.copysign(1, h) for h in c
+        ]
+
+    @given(times=times_strategy, epoch=epoch_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_horizons_subset_of_index_lattice(self, times, epoch):
+        """Every horizon is start + (k * epoch) / split for grid index k.
+
+        Index computation is what makes bit-identity hold on any host:
+        no accumulated float sums appear in the output.
+        """
+        start, end = 0.0, 600.0
+        horizons = adaptive_horizons(times, start, end, epoch, max_split=4)
+        for h in horizons:
+            # h = start + k*epoch + (i*epoch)/den for grid index k, split
+            # den in 1..4, sub-index i in 1..den (i == den covers the
+            # merged/plain cells, where h = start + (k+1)*epoch).
+            base = int((h - start) / epoch)
+            matched = False
+            for k in range(max(0, base - 1), base + 2):
+                # Plain / merged / tail horizons: start + k*epoch.
+                if h == start + k * epoch:
+                    matched = True
+                # Split horizons: start + k*epoch + (i*epoch)/den.
+                for den in (1, 2, 3, 4):
+                    for i in range(1, den + 1):
+                        if h == start + k * epoch + (i * epoch) / den:
+                            matched = True
+            assert matched, f"horizon {h!r} off the index lattice"
+
+    @given(epoch=epoch_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_empty_log_collapses_to_merged_idle_epochs(self, epoch):
+        start, end = 0.0, 600.0
+        horizons = adaptive_horizons([], start, end, epoch, max_merge=16)
+        grid = epoch_horizons(start, end, epoch)
+        assert len(horizons) <= len(grid)
+        assert len(horizons) >= math.ceil(len(grid) / 16)
+        assert horizons[-1] == grid[-1]
+
+    def test_dense_cell_subdivides_with_density(self):
+        # Splits scale with how far past the threshold the cell is:
+        # min(max_split, count // dense_events + 1).
+        mild = [1.0 + i * 0.01 for i in range(100)]  # 100 >= 64 -> 2 splits
+        horizons = adaptive_horizons(
+            mild, 0.0, 20.0, 5.0, dense_events=64, max_split=4
+        )
+        assert horizons[:2] == [2.5, 5.0]
+        hot = [1.0 + i * 0.001 for i in range(300)]  # 300//64+1 = 5 -> cap 4
+        horizons = adaptive_horizons(
+            hot, 0.0, 20.0, 5.0, dense_events=64, max_split=4
+        )
+        assert horizons[:4] == [1.25, 2.5, 3.75, 5.0]
+
+    def test_sparse_run_merges_up_to_max_merge(self):
+        horizons = adaptive_horizons(
+            [], 0.0, 100.0, 5.0, max_merge=4
+        )  # 20 empty cells, merged 4 at a time
+        assert horizons == [20.0, 40.0, 60.0, 80.0, 100.0]
+
+    def test_degenerate_window(self):
+        horizons = adaptive_horizons([], 0.0, 0.0, 5.0)
+        assert horizons == [5.0]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            adaptive_horizons([], 0.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            adaptive_horizons([], 0.0, 1.0, 1.0, dense_events=0)
+        with pytest.raises(ValueError):
+            adaptive_horizons([], 0.0, 1.0, 1.0, max_merge=0)
+        with pytest.raises(ValueError):
+            adaptive_horizons([], 0.0, 1.0, 1.0, max_split=0)

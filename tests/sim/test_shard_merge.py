@@ -22,6 +22,7 @@ from repro.sim.shard import (
     make_pool,
     merge_trace_files,
     merge_trace_lines,
+    run_window,
     sha256_lines,
 )
 
@@ -169,6 +170,51 @@ class EchoHost:
         return {"shard": self.shard, "items": list(self.items), "marks": self.marks}
 
 
+class WindowHost:
+    """Shard host exercising the optional window hooks.
+
+    Spec is ``(shard, fail_at)``: advancing to horizon ``fail_at``
+    raises, which is how the mid-window death tests plant a failure on a
+    specific epoch of a multi-epoch grant.
+    """
+
+    def __init__(self, spec):
+        self.shard, self.fail_at = spec
+        self.preambles = []
+        self.begins = []
+        self.flushes = []
+        self.clock = 0.0
+
+    def window_begin(self, preamble):
+        self.preambles.append(preamble)
+
+    def begin_epoch(self, payload):
+        self.begins.append(list(payload))
+
+    def advance(self, until):
+        if self.fail_at is not None and until == self.fail_at:
+            raise RuntimeError(f"window-host boom at {until}")
+        if until is not None:
+            self.clock = until
+
+    def epoch_end(self, horizon):
+        self.flushes.append(horizon)
+
+    def epoch_report(self, horizon):
+        return {
+            "shard": self.shard,
+            "clock": self.clock,
+            "preambles": list(self.preambles),
+            "flushes": list(self.flushes),
+        }
+
+    def mark(self, name):
+        pass
+
+    def finalize(self):
+        return {"shard": self.shard}
+
+
 @pytest.mark.parametrize("processes", [False, True])
 class TestPoolProtocol:
     def test_epoch_mark_finish_roundtrip(self, processes):
@@ -190,7 +236,7 @@ class TestPoolProtocol:
     def test_payload_count_must_match_shards(self, processes):
         pool = make_pool(EchoHost, [(0, False)], processes=processes)
         try:
-            with pytest.raises(ValueError, match="one payload per shard"):
+            with pytest.raises(ValueError, match="one payload batch per shard"):
                 pool.epoch(1.0, [[], []])
         finally:
             pool.close()
@@ -199,10 +245,70 @@ class TestPoolProtocol:
         with pytest.raises(ValueError, match="at least one shard spec"):
             make_pool(EchoHost, [], processes=processes)
 
+    def test_window_runs_all_epochs_in_one_barrier(self, processes):
+        pool = make_pool(EchoHost, [(0, False), (1, False)], processes=processes)
+        try:
+            before = pool.round_trips
+            reports = pool.window(
+                [5.0, 10.0, 15.0],
+                [[["a"], [], ["b"]], [["c"], ["d"], []]],
+            )
+            # One barrier exchange for the whole window, on both pools.
+            assert pool.round_trips == before + 1
+            assert [r["clock"] for r in reports] == [15.0, 15.0]
+            assert reports[0]["items"] == ["a", "b"]
+            assert reports[1]["items"] == ["c", "d"]
+        finally:
+            pool.close()
+
+    def test_window_payloads_must_match_epochs(self, processes):
+        pool = make_pool(EchoHost, [(0, False)], processes=processes)
+        try:
+            with pytest.raises(
+                (ValueError, ShardWorkerError), match="per window epoch"
+            ):
+                pool.window([1.0, 2.0], [[["a"]]])
+        finally:
+            pool.close()
+
+    def test_preamble_reaches_hosts_that_accept_it(self, processes):
+        pool = make_pool(WindowHost, [(0, None)], processes=processes)
+        try:
+            reports = pool.window(
+                [1.0, 2.0], [[[], []]], preambles=[{"fn": "body"}]
+            )
+            assert reports[0]["preambles"] == [{"fn": "body"}]
+            # epoch_end ran per epoch, not once per window.
+            assert reports[0]["flushes"] == [1.0, 2.0]
+        finally:
+            pool.close()
+
+    def test_preamble_is_harmless_without_window_begin(self, processes):
+        # EchoHost implements neither window_begin nor epoch_end: the
+        # hooks are optional, a preamble to such a host is ignored.
+        pool = make_pool(EchoHost, [(0, False)], processes=processes)
+        try:
+            reports = pool.window([1.0], [[["x"]]], preambles=[{"fn": 1}])
+            assert reports[0]["items"] == ["x"]
+        finally:
+            pool.close()
+
+
+class TestRunWindow:
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError, match="at least one epoch"):
+            run_window(EchoHost((0, False)), [], [])
+
+    def test_skips_begin_epoch_for_empty_payloads(self):
+        host = WindowHost((0, None))
+        run_window(host, [1.0, 2.0], [[], ["a"]])
+        assert host.begins == [["a"]]
+
 
 class TestWorkerErrors:
-    def test_worker_exception_carries_traceback(self):
-        pool = ShardPool(EchoHost, [(0, False), (1, True)])
+    @pytest.mark.parametrize("processes", [False, True])
+    def test_worker_exception_carries_traceback(self, processes):
+        pool = make_pool(EchoHost, [(0, False), (1, True)], processes=processes)
         try:
             with pytest.raises(ShardWorkerError) as caught:
                 pool.epoch(1.0, [[], []])
@@ -211,10 +317,86 @@ class TestWorkerErrors:
         finally:
             pool.close()
 
+    @pytest.mark.parametrize("processes", [False, True])
+    def test_mid_window_death_names_the_failing_epoch(self, processes):
+        """A worker dying on epoch 2 of a 4-epoch window grant must
+        surface *that epoch's* traceback and position, not the window."""
+        pool = make_pool(WindowHost, [(0, 30.0)], processes=processes)
+        try:
+            with pytest.raises(ShardWorkerError) as caught:
+                pool.window(
+                    [10.0, 20.0, 30.0, 40.0], [[["a"], ["b"], ["c"], ["d"]]]
+                )
+            error = caught.value
+            assert error.shard == 0
+            assert error.epoch_index == 2
+            assert error.horizon == 30.0
+            assert "window-host boom at 30.0" in error.worker_traceback
+            assert "window epoch 2" in str(error)
+            assert "horizon 30.0" in str(error)
+        finally:
+            pool.close()
+
+    def test_error_before_any_window_has_no_epoch_context(self):
+        pool = ShardPool(EchoHost, [(0, True)])
+        try:
+            with pytest.raises(ShardWorkerError) as caught:
+                pool.epoch(1.0, [[]])
+            # A one-epoch window still pinpoints epoch 0.
+            assert caught.value.epoch_index == 0
+        finally:
+            pool.close()
+
     def test_close_is_idempotent(self):
         pool = ShardPool(EchoHost, [(0, False)])
         pool.close()
         pool.close()
+
+
+class TestPipeAccounting:
+    def test_process_pool_counts_framed_bytes(self):
+        pool = ShardPool(EchoHost, [(0, False)])
+        try:
+            pool.window([1.0, 2.0], [[["a"], ["b"]]])
+            assert pool.pipe_bytes_sent > 0
+            assert pool.pipe_bytes_received > 0
+            assert pool.pipe_bytes == (
+                pool.pipe_bytes_sent + pool.pipe_bytes_received
+            )
+        finally:
+            pool.close()
+
+    def test_batching_ships_fewer_bytes_than_per_epoch_grants(self):
+        """The tentpole in miniature: the same 8 epochs cost less wire
+        when granted as one window than as 8 singletons."""
+        horizons = [float(k + 1) for k in range(8)]
+        payloads = [[f"item{k}"] for k in range(8)]
+
+        batched = ShardPool(EchoHost, [(0, False)])
+        try:
+            batched.window(horizons, [payloads])
+            batched_bytes = batched.pipe_bytes
+            batched_trips = batched.round_trips
+        finally:
+            batched.close()
+
+        unbatched = ShardPool(EchoHost, [(0, False)])
+        try:
+            for horizon, payload in zip(horizons, payloads):
+                unbatched.epoch(horizon, [payload])
+            unbatched_bytes = unbatched.pipe_bytes
+            unbatched_trips = unbatched.round_trips
+        finally:
+            unbatched.close()
+
+        assert batched_trips * 8 == unbatched_trips
+        assert batched_bytes < unbatched_bytes
+
+    def test_inline_pool_reports_zero_pipe_bytes(self):
+        pool = InlineShardPool(EchoHost, [(0, False)])
+        pool.window([1.0], [[["a"]]])
+        assert pool.pipe_bytes == 0
+        assert pool.round_trips == 1
 
 
 # --------------------------------------------------------------- rng split

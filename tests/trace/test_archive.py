@@ -429,3 +429,104 @@ class TestInvariants:
         check_trace_archive(tmp_path, against_sha256=sha)
         with pytest.raises(Violation, match="archive-verify"):
             check_trace_archive(tmp_path, against_sha256="0" * 64)
+
+
+# ----------------------------------------------- manifest-driven finalize
+
+
+def _sharded_writer_footers(root, stream, shards=2):
+    """Write a multi-writer archive and collect the shipped footers."""
+    writers = [ArchiveWriter(root, bucket_seconds=10.0) for _ in range(shards)]
+    for line in stream:
+        record = json.loads(line)
+        writers[record["node"] % shards].add(record["t"], record["node"], line)
+    footers = []
+    for writer in writers:
+        summary = writer.close(manifest=False)
+        footers.extend(summary["segments"])
+    return footers
+
+
+class TestManifestDrivenFinalize:
+    def test_footer_path_matches_legacy_path(self, tmp_path, stream):
+        legacy_root = tmp_path / "legacy"
+        _sharded_writer_footers(legacy_root, stream)
+        events_legacy, sha_legacy = finalize_archive(legacy_root)
+
+        footer_root = tmp_path / "footers"
+        footers = _sharded_writer_footers(footer_root, stream)
+        events, sha = finalize_archive(footer_root, footers=footers)
+
+        assert (events, sha) == (events_legacy, sha_legacy)
+        assert (footer_root / "MANIFEST.json").read_bytes() == (
+            legacy_root / "MANIFEST.json"
+        ).read_bytes()
+
+    def test_event_trace_path_writes_flat_twin(self, tmp_path, stream):
+        root = tmp_path / "arc"
+        footers = _sharded_writer_footers(root, stream)
+        flat = tmp_path / "flat.jsonl"
+        events, sha = finalize_archive(
+            root, footers=footers, event_trace_path=flat
+        )
+        lines = flat.read_text().splitlines()
+        assert len(lines) == events == len(stream)
+        assert lines == stream
+        _, flat_sha = sha256_lines(lines)
+        assert flat_sha == sha
+
+    def test_footer_event_miscount_rejected(self, tmp_path, stream):
+        root = tmp_path / "arc"
+        footers = _sharded_writer_footers(root, stream)
+        footers[0] = dict(footers[0], events=footers[0]["events"] + 1)
+        with pytest.raises(ValueError, match="segment manifest"):
+            finalize_archive(root, footers=footers)
+
+
+# ------------------------------------------------- adaptive bucket sizing
+
+
+class TestAdaptiveBucketSeconds:
+    def test_dense_trace_keeps_base_width(self):
+        from repro.trace.archive import adaptive_bucket_seconds
+
+        times = [i * 0.1 for i in range(10_000)]  # 600/cell at base 60
+        assert adaptive_bucket_seconds(times, base_seconds=60.0) == 60.0
+
+    def test_sparse_trace_widens_by_powers_of_two(self):
+        from repro.trace.archive import adaptive_bucket_seconds
+
+        times = [float(i * 60) for i in range(64)]  # one event per cell
+        width = adaptive_bucket_seconds(
+            times, base_seconds=60.0, target_events=256, max_scale=64
+        )
+        assert width == 60.0 * 64  # capped before reaching 256/cell
+        mid = adaptive_bucket_seconds(
+            times, base_seconds=60.0, target_events=4, max_scale=64
+        )
+        assert mid == 60.0 * 4
+
+    def test_empty_and_degenerate_inputs(self):
+        from repro.trace.archive import adaptive_bucket_seconds
+
+        assert adaptive_bucket_seconds([], base_seconds=60.0) == 60.0
+        assert adaptive_bucket_seconds([0.0], base_seconds=60.0) > 0
+
+    def test_pure_and_order_insensitive(self):
+        from repro.trace.archive import adaptive_bucket_seconds
+
+        times = [float(i * 37 % 500) for i in range(100)]
+        a = adaptive_bucket_seconds(times, base_seconds=5.0)
+        b = adaptive_bucket_seconds(sorted(times), base_seconds=5.0)
+        c = adaptive_bucket_seconds(list(reversed(times)), base_seconds=5.0)
+        assert a == b == c
+
+    def test_rejects_bad_parameters(self):
+        from repro.trace.archive import adaptive_bucket_seconds
+
+        with pytest.raises(ValueError):
+            adaptive_bucket_seconds([1.0], base_seconds=0.0)
+        with pytest.raises(ValueError):
+            adaptive_bucket_seconds([1.0], target_events=0)
+        with pytest.raises(ValueError):
+            adaptive_bucket_seconds([1.0], max_scale=0)
