@@ -104,6 +104,12 @@ class BenchSpec:
     #: archive metrics (compressed bytes, compression ratio, pack
     #: throughput, windowed-read latency).  Requires ``trace``.
     archive: bool = False
+    #: Checkpoint-fork sweep leg (cluster replays only): run the replay
+    #: from scratch capturing a ``measure-start`` checkpoint, then run a
+    #: forked twin that resumes from it -- skipping the warmup prefix --
+    #: and gate the forked leg's merged-trace digest against the
+    #: from-scratch run's (docs/CHECKPOINTS.md).
+    fork: bool = False
 
     @property
     def label(self) -> str:
@@ -117,6 +123,8 @@ class BenchSpec:
                 label += f":s{self.shards}"
             if self.nodes and self.protocol == "unbatched":
                 label += ":unbatched"
+            if self.fork:
+                label += ":fork"
             return label if self.fastpath else label + ":base"
         return f"micro:vmm:{self.size_mib}mib"
 
@@ -210,10 +218,13 @@ def _run_replay(spec: BenchSpec) -> Dict[str, object]:
     }
     if spec.archive and not spec.trace:
         raise ValueError("archive metrics require trace=True")
+    if spec.fork and not (spec.nodes and spec.trace):
+        raise ValueError("fork legs require a traced cluster replay")
     if spec.nodes:
         with tempfile.TemporaryDirectory(prefix="repro-bench-arc-") as scratch:
             archive_dir = str(Path(scratch) / "archive") if spec.archive else None
             flat_path = str(Path(scratch) / "flat.jsonl") if spec.archive else None
+            checkpoint_dir = str(Path(scratch) / "ckpt") if spec.fork else None
             config = ClusterReplayConfig(
                 nodes=spec.nodes,
                 scheduler=spec.scheduler,
@@ -228,10 +239,31 @@ def _run_replay(spec: BenchSpec) -> Dict[str, object]:
                 trace=spec.trace,
                 event_trace_path=flat_path,
                 archive_dir=archive_dir,
+                checkpoint_dir=checkpoint_dir,
             )
+            scratch_t0 = time.perf_counter()
             result = cluster_replay(
                 factories[spec.policy], config, TraceGenerator(seed=spec.seed)
             )
+            scratch_wall = time.perf_counter() - scratch_t0
+            fork_result = None
+            fork_wall = None
+            if spec.fork:
+                # The forked twin resumes at the warmup/measurement
+                # boundary: its wall time covers only the measured
+                # suffix, and its merged trace must still equal the
+                # from-scratch run's byte for byte.
+                from dataclasses import replace as dc_replace
+
+                forked = dc_replace(
+                    config,
+                    resume_from=str(Path(checkpoint_dir) / "measure-start.ckpt"),
+                )
+                fork_t0 = time.perf_counter()
+                fork_result = cluster_replay(
+                    factories[spec.policy], forked, TraceGenerator(seed=spec.seed)
+                )
+                fork_wall = time.perf_counter() - fork_t0
             stats = result.stats
             metrics = {
                 "cold_boot_rate": round(stats.cold_boot_rate, 9),
@@ -262,6 +294,17 @@ def _run_replay(spec: BenchSpec) -> Dict[str, object]:
             if spec.trace:
                 metrics["trace_events"] = result.trace_events
                 metrics["trace_sha256"] = result.trace_sha256
+            if fork_result is not None:
+                metrics["scratch_wall_seconds"] = round(scratch_wall, 4)
+                metrics["fork_wall_seconds"] = round(fork_wall, 4)
+                metrics["fork_warmup_skip_speedup"] = (
+                    round(scratch_wall / fork_wall, 2) if fork_wall else None
+                )
+                metrics["fork_measure_start"] = round(
+                    fork_result.measure_start, 6
+                )
+                metrics["fork_trace_events"] = fork_result.trace_events
+                metrics["fork_trace_sha256"] = fork_result.trace_sha256
             if spec.archive:
                 metrics.update(_archive_metrics(archive_dir, flat_path))
             return metrics
@@ -477,6 +520,7 @@ def build_replay_macro(
     shard_counts: Sequence[int] = (),
     scheduler: str = "warm-affinity",
     include_unbatched: bool = False,
+    include_forked: bool = False,
 ) -> List[BenchSpec]:
     """The macro replay suite: every (size, policy) as a fast/base leg pair.
 
@@ -493,6 +537,11 @@ def build_replay_macro(
     PR 5-protocol twin per sharded leg (label suffix ``:unbatched``):
     same workload, one pipe message per epoch -- the comparison leg
     :func:`verify_coordination` gates round-trips and pipe bytes against.
+    ``include_forked`` adds a checkpoint-fork sweep leg per cluster cell
+    (label suffix ``:fork``): the from-scratch run captures a
+    ``measure-start`` checkpoint, a forked twin resumes from it skipping
+    the warmup prefix, and :func:`verify_trace_identity` pins the two
+    merged-trace digests to each other.
     """
     specs = []
     for size in sizes:
@@ -552,6 +601,24 @@ def build_replay_macro(
                                 epoch=2.0,
                             )
                         )
+                    if include_forked:
+                        specs.append(
+                            BenchSpec(
+                                kind="replay",
+                                policy=policy,
+                                scale=shape["scale"],
+                                duration=shape["duration"],
+                                warmup=shape["warmup"],
+                                capacity_mib=int(shape["capacity_mib"]),
+                                seed=seed,
+                                trace=True,
+                                nodes=nodes,
+                                shards=shards,
+                                scheduler=scheduler,
+                                epoch=2.0,
+                                fork=True,
+                            )
+                        )
     return specs
 
 
@@ -598,6 +665,14 @@ def verify_trace_identity(results: Sequence[Dict[str, object]]) -> List[str]:
             failures.append(
                 f"{label}: composed archive digest diverged from the flat "
                 f"trace ({archive_sha[:12]} != "
+                f"{metrics['trace_sha256'][:12]})"
+            )
+        fork_sha = metrics.get("fork_trace_sha256")
+        if fork_sha is not None and fork_sha != metrics["trace_sha256"]:
+            failures.append(
+                f"{label}: forked leg's merged trace diverged from its "
+                f"from-scratch twin ({metrics.get('fork_trace_events')} vs "
+                f"{metrics['trace_events']} events, {str(fork_sha)[:12]} != "
                 f"{metrics['trace_sha256'][:12]})"
             )
         if label.endswith(":base"):

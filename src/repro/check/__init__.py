@@ -31,6 +31,7 @@ invariant).
 from repro.check.invariants import (
     Violation,
     check_archive_writer,
+    check_checkpoint,
     check_digest_composition,
     check_file,
     check_shard_conservation,
@@ -52,6 +53,7 @@ __all__ = [
     "OracleConfig",
     "Violation",
     "check_archive_writer",
+    "check_checkpoint",
     "check_digest_composition",
     "check_file",
     "check_instance",

@@ -414,25 +414,59 @@ class FuzzReport:
     failure: Optional[FuzzFailure] = None
     shrunk_ops: Optional[List[dict]] = None
     case_path: Optional[str] = None
+    #: Op index of the snapshot the shrinker restarted from (``None``
+    #: when shrinking replayed from scratch).
+    snapshot_index: Optional[int] = None
 
     @property
     def ok(self) -> bool:
         return self.failure is None
 
 
-def run_ops(ops: List[dict], check_every: int = 1) -> Tuple[Optional[FuzzFailure], InvariantOracle]:
+def run_ops(
+    ops: List[dict],
+    check_every: int = 1,
+    checkpoint_every: Optional[int] = None,
+    snapshot_log: Optional[List[Tuple[int, bytes]]] = None,
+    resume: Optional[bytes] = None,
+    start_index: int = 0,
+) -> Tuple[Optional[FuzzFailure], InvariantOracle]:
     """Execute one schedule under a fresh world + oracle.
 
     Returns ``(failure, oracle)``; ``failure`` is None when every op and
     every sweep (including the final one) passed.
+
+    ``checkpoint_every=N`` snapshots the whole world+oracle pair
+    (:func:`repro.sim.checkpoint.snapshot_world`) after every N executed
+    ops, appending ``(next_op_index, blob)`` to ``snapshot_log`` -- the
+    shrinker restarts candidates from the last snapshot before the
+    failure instead of replaying the whole prefix.  ``resume`` runs
+    ``ops`` against a restored snapshot blob instead of a fresh world;
+    ``start_index`` only offsets the reported failure index so it still
+    names a position in the *full* schedule.
     """
-    oracle = InvariantOracle(OracleConfig(cadence="end", every=check_every))
-    world = FuzzWorld(oracle)
-    index = -1
+    if resume is not None:
+        from repro.sim import checkpoint
+
+        world = checkpoint.restore_world(resume)
+        oracle = world.oracle
+    else:
+        oracle = InvariantOracle(OracleConfig(cadence="end", every=check_every))
+        world = FuzzWorld(oracle)
+    index = start_index - 1
     try:
-        for index, op in enumerate(ops):
+        for offset, op in enumerate(ops):
+            index = start_index + offset
             world.apply(op)
             oracle.maybe_check()
+            if (
+                checkpoint_every is not None
+                and snapshot_log is not None
+                and (offset + 1) % checkpoint_every == 0
+            ):
+                from repro.sim import checkpoint
+
+                snapshot_log.append((index + 1, checkpoint.snapshot_world(world)))
         index += 1
         oracle.finish()
     except Violation as violation:
@@ -448,6 +482,18 @@ def _fails_like(ops: List[dict], kind: str, check_every: int) -> bool:
     return failure is not None and failure.kind == kind
 
 
+def _fails_like_from(
+    blob: bytes, suffix: List[dict], kind: str, check_every: int
+) -> bool:
+    """Does ``suffix``, run from a restored snapshot, fail the same way?
+
+    Each candidate gets its own restore (the blob is immutable bytes),
+    so shrink probes never contaminate one another.
+    """
+    failure, _ = run_ops(suffix, check_every, resume=blob)
+    return failure is not None and failure.kind == kind
+
+
 def fuzz_seed(
     seed: int,
     n_ops: int,
@@ -455,10 +501,24 @@ def fuzz_seed(
     case_dir: Optional[str] = None,
     shrink: bool = True,
     max_shrink_runs: int = 600,
+    checkpoint_every: Optional[int] = None,
 ) -> FuzzReport:
-    """Fuzz one seed end to end: generate, run, shrink, write the case."""
+    """Fuzz one seed end to end: generate, run, shrink, write the case.
+
+    ``checkpoint_every=N`` snapshots the world every N ops during the
+    initial run; on a failure, only the suffix past the last snapshot is
+    shrunk (candidates restart from the restored snapshot), and the
+    stitched prefix+suffix case is re-verified *from scratch* before it
+    is trusted -- the written case file stays standalone-replayable.
+    """
     ops = generate_ops(seed, n_ops)
-    failure, oracle = run_ops(ops, check_every)
+    snapshots: List[Tuple[int, bytes]] = []
+    failure, oracle = run_ops(
+        ops,
+        check_every,
+        checkpoint_every=checkpoint_every,
+        snapshot_log=snapshots if checkpoint_every else None,
+    )
     report = FuzzReport(
         seed=seed,
         ops_requested=n_ops,
@@ -472,11 +532,33 @@ def fuzz_seed(
     prefix = ops[: failure.op_index + 1]
     shrunk = prefix
     if shrink:
-        shrunk = shrink_ops(
-            prefix,
-            lambda candidate: _fails_like(candidate, failure.kind, check_every),
-            max_runs=max_shrink_runs,
-        )
+        base: Optional[Tuple[int, bytes]] = None
+        for snap_index, blob in snapshots:
+            if snap_index <= failure.op_index:
+                base = (snap_index, blob)
+        shrunk = None
+        if base is not None and base[0] > 0:
+            # Shrink only the suffix past the snapshot: each candidate
+            # restores the blob instead of re-executing the prefix.
+            snap_index, blob = base
+            suffix = shrink_ops(
+                prefix[snap_index:],
+                lambda candidate: _fails_like_from(
+                    blob, candidate, failure.kind, check_every
+                ),
+                max_runs=max_shrink_runs,
+            )
+            stitched = prefix[:snap_index] + suffix
+            # The case file must reproduce without any snapshot.
+            if _fails_like(stitched, failure.kind, check_every):
+                shrunk = stitched
+                report.snapshot_index = snap_index
+        if shrunk is None:
+            shrunk = shrink_ops(
+                prefix,
+                lambda candidate: _fails_like(candidate, failure.kind, check_every),
+                max_runs=max_shrink_runs,
+            )
         # Re-run the shrunk schedule so the recorded detail matches it.
         final_failure, _ = run_ops(shrunk, check_every)
         if final_failure is not None:
@@ -540,10 +622,12 @@ def replay_case(path: Path) -> Tuple[Optional[FuzzFailure], dict]:
 # ----------------------------------------------------------------- fan-out
 
 
-def _fuzz_worker(args: Tuple[int, int, int, Optional[str]]) -> dict:
+def _fuzz_worker(args: Tuple[int, int, int, Optional[str], Optional[int]]) -> dict:
     """Top-level (picklable) worker for the process pool."""
-    seed, n_ops, check_every, case_dir = args
-    report = fuzz_seed(seed, n_ops, check_every, case_dir)
+    seed, n_ops, check_every, case_dir, checkpoint_every = args
+    report = fuzz_seed(
+        seed, n_ops, check_every, case_dir, checkpoint_every=checkpoint_every
+    )
     summary = {
         "seed": report.seed,
         "ops": report.ops_executed,
@@ -556,6 +640,7 @@ def _fuzz_worker(args: Tuple[int, int, int, Optional[str]]) -> dict:
         summary["op_index"] = report.failure.op_index
         summary["shrunk_len"] = len(report.shrunk_ops or [])
         summary["case_path"] = report.case_path
+        summary["snapshot_index"] = report.snapshot_index
     return summary
 
 
@@ -565,9 +650,12 @@ def run_fuzz(
     check_every: int = 1,
     jobs: int = 1,
     case_dir: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> List[dict]:
     """Fan seeds across a process pool (benchmarks/runner.py style)."""
-    work = [(seed, n_ops, check_every, case_dir) for seed in seeds]
+    work = [
+        (seed, n_ops, check_every, case_dir, checkpoint_every) for seed in seeds
+    ]
     if jobs <= 1 or len(work) <= 1:
         return [_fuzz_worker(item) for item in work]
     from concurrent.futures import ProcessPoolExecutor

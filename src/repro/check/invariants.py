@@ -578,6 +578,24 @@ def check_shard_conservation(
         )
 
 
+# ------------------------------------------------------------- checkpoints
+
+
+def check_checkpoint(path) -> dict:
+    """Verify a checkpoint file end to end; return its header.
+
+    Delegates to :func:`repro.sim.checkpoint.check_checkpoint` (lazy
+    import: the checkpoint module imports :class:`Violation` from here).
+    Raises :class:`~repro.sim.checkpoint.CheckpointError` -- a
+    :class:`Violation` -- named ``checkpoint-magic``,
+    ``checkpoint-schema``, ``checkpoint-truncated`` or
+    ``checkpoint-digest`` on the first problem found.
+    """
+    from repro.sim import checkpoint
+
+    return checkpoint.check_checkpoint(path)
+
+
 # ---------------------------------------------------------------- archive
 
 

@@ -110,6 +110,48 @@ class InvariantOracle:
         self.checks_run = 0
         self.last_violation: Optional[Violation] = None
 
+    # ----------------------------------------------------------- checkpoint
+
+    def __getstate__(self) -> dict:
+        """Pickle with the ``id()``-keyed registries made portable.
+
+        Object ids are process-local: restoring a checkpoint re-creates
+        every object at a new address, so the raw dicts would be keyed by
+        stale ids and every lookup (swap parity baselines, released-bytes
+        baselines) would silently miss.  Store the registries as
+        object-paired lists and re-key them on restore.
+        """
+        state = dict(self.__dict__)
+        state["_spaces"] = list(self._spaces.values())
+        state["_files"] = list(self._files.values())
+        physicals = list(self._physicals.values())
+        state["_physicals"] = physicals
+        state["_swap_in_baselines"] = [
+            (physical, self._swap_in_baselines[id(physical)])
+            for physical in physicals
+        ]
+        released = []
+        for platform in self._platforms:
+            manager = platform.manager
+            if id(manager) in self._released_baselines:
+                released.append((manager, self._released_baselines[id(manager)]))
+        state["_released_baselines"] = released
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._spaces = {id(record.space): record for record in state["_spaces"]}
+        self._files = {id(file): file for file in state["_files"]}
+        self._physicals = {id(physical): physical for physical in state["_physicals"]}
+        self._swap_in_baselines = {
+            id(physical): baseline
+            for physical, baseline in state["_swap_in_baselines"]
+        }
+        self._released_baselines = {
+            id(manager): baseline
+            for manager, baseline in state["_released_baselines"]
+        }
+
     # ---------------------------------------------------------- registration
 
     def register_space(
@@ -163,6 +205,25 @@ class InvariantOracle:
         self._subscribe_bus(platform.bus, platform.node_id)
         if self.config.cadence == "event":
             self._probe_kernel(platform.kernel)
+
+    def note_manager_swap(self, platform, old_manager) -> None:
+        """Carry reclaim accounting across a fork's manager swap.
+
+        Bytes the old manager released stay in the published-events sum,
+        so the replacement manager's baseline is shifted down by exactly
+        that amount -- the reclaim-published law keeps holding over the
+        whole run, not just the post-fork suffix.
+        """
+        carried = 0
+        if hasattr(old_manager, "total_released_bytes"):
+            carried = old_manager.total_released_bytes - self._released_baselines.pop(
+                id(old_manager), 0
+            )
+        manager = platform.manager
+        if hasattr(manager, "total_released_bytes"):
+            self._released_baselines[id(manager)] = (
+                manager.total_released_bytes - carried
+            )
 
     def attach_world(self, spaces=(), files=(), instances=(), physical=None) -> None:
         """Direct registration for the fuzzer (no platform, no bus)."""

@@ -93,6 +93,51 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         "eager": EagerGcManager,
         "desiccant": Desiccant,
     }
+    checkpointing = (
+        args.checkpoint_dir or args.checkpoint_every or args.resume or args.fork
+    )
+    if checkpointing and not args.nodes:
+        print("error: checkpoint options require --nodes", file=sys.stderr)
+        return 2
+    if checkpointing and args.policy == "all":
+        print(
+            "error: checkpoint options need a single --policy "
+            "(a checkpoint belongs to one session)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.set and not args.fork:
+        print("error: --set requires --fork", file=sys.stderr)
+        return 2
+    resume_from = args.resume or args.fork
+    fork = None
+    if args.fork:
+        fork = {}
+        for pair in args.set or []:
+            key, sep, value = pair.partition("=")
+            if not sep:
+                print(f"error: --set wants key=value, got {pair!r}", file=sys.stderr)
+                return 2
+            if key == "policy":
+                if value not in factories:
+                    print(
+                        f"error: unknown policy {value!r}; pick from "
+                        f"{sorted(factories)}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                fork["manager_factory"] = factories[value]
+            elif key == "scheduler":
+                fork["scheduler"] = value
+            elif key == "reseed":
+                fork["reseed"] = value
+            else:
+                print(
+                    f"error: --set key must be policy, scheduler, or reseed "
+                    f"(got {key!r})",
+                    file=sys.stderr,
+                )
+                return 2
     chosen = list(factories) if args.policy == "all" else [args.policy]
     generator = TraceGenerator(seed=args.seed)
     rows = []
@@ -119,9 +164,28 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                 event_trace_path=trace_path,
                 archive_dir=archive_dir,
                 archive_bucket_seconds=args.bucket_seconds,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                resume_from=resume_from,
+                fork=fork,
             )
             result = cluster_replay(factories[policy], config, generator)
             stats = result.stats
+            if result.checkpoints:
+                print(
+                    f"captured {len(result.checkpoints)} checkpoints in "
+                    f"{args.checkpoint_dir} (last: "
+                    f"{result.checkpoints[-1].name})",
+                    file=sys.stderr,
+                )
+            if result.resumed_phase is not None:
+                what = "forked" if fork else "resumed"
+                print(
+                    f"{what} from {resume_from} into the "
+                    f"{result.resumed_phase} phase (measure_start "
+                    f"{result.measure_start:.3f}s)",
+                    file=sys.stderr,
+                )
             if args.shards > 1:
                 print(
                     f"shard protocol {args.protocol}: {result.round_trips} "
@@ -175,7 +239,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                 )
         rows.append(
             [
-                policy,
+                stats.policy,
                 f"{stats.cold_boot_rate:.3f}",
                 f"{stats.throughput_rps:.1f}",
                 f"{stats.cpu_utilization:.0%}",
@@ -319,9 +383,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 ],
                 seed=args.seed,
                 include_base=not args.fast_only,
-                nodes=args.nodes if shard_counts else 0,
+                nodes=args.nodes if shard_counts or args.forked else 0,
                 shard_counts=shard_counts,
                 include_unbatched=args.unbatched_twin,
+                include_forked=args.forked,
             )
         )
     results = run_benchmarks(specs, jobs=args.jobs, profile_dir=args.profile)
@@ -412,6 +477,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         check_every=args.check_every,
         jobs=args.jobs,
         case_dir=args.case_dir,
+        checkpoint_every=args.checkpoint_every,
     )
     failures = [r for r in results if not r["ok"]]
     checks = sum(r["checks"] for r in results)
@@ -424,6 +490,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             f"  seed {result['seed']}: {result['kind']} at op "
             f"{result['op_index']} (shrunk to {result['shrunk_len']} ops)"
         )
+        if result.get("snapshot_index") is not None:
+            line += f" [suffix shrink from snapshot @{result['snapshot_index']}]"
         if result.get("case_path"):
             line += f" -> {result['case_path']}"
         print(line)
@@ -558,6 +626,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="max epochs granted per coordinator message under the "
         "batched protocol",
     )
+    p.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="capture checkpoints at epoch barriers into DIR "
+        "(docs/CHECKPOINTS.md; --nodes with a single --policy only)",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        help="align barriers (and captures) to every N epochs",
+    )
+    p.add_argument(
+        "--resume",
+        metavar="CKPT",
+        help="restore this checkpoint and run only the remaining suffix "
+        "(byte-identical to the uninterrupted run)",
+    )
+    p.add_argument(
+        "--fork",
+        metavar="CKPT",
+        help="fork a what-if leg from this checkpoint; combine with --set "
+        "to change parameters at the barrier",
+    )
+    p.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="fork divergence (repeatable): policy=<name>, "
+        "scheduler=<name>, or reseed=<label>",
+    )
     p.set_defaults(func=_cmd_replay)
 
     p = sub.add_parser(
@@ -649,6 +748,14 @@ def build_parser() -> argparse.ArgumentParser:
         "protocol and gate the batched legs on >=5x fewer round trips "
         "and >=10x fewer pipe bytes",
     )
+    p.add_argument(
+        "--forked",
+        action="store_true",
+        help="add a checkpoint-fork sweep leg per cluster replay cell: "
+        "capture a measure-start checkpoint, resume a forked twin that "
+        "skips the warmup prefix, and gate its merged-trace digest "
+        "against the from-scratch run's",
+    )
     p.add_argument("--iterations", type=int, default=30)
     p.add_argument("--budget-mib", type=int, default=256)
     p.add_argument("--seed", type=int, default=42)
@@ -691,6 +798,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="run a full oracle sweep every N ops (a final sweep always runs)",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        help="snapshot the fuzz world every N ops so shrinking restarts "
+        "from the last snapshot before the failure instead of replaying "
+        "the whole prefix (the written case stays standalone-replayable)",
     )
     p.add_argument("--jobs", type=int, default=1, help="worker processes")
     p.add_argument(

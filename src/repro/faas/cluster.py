@@ -56,6 +56,8 @@ epoch) as the comparison leg for the coordination-cost benchmarks.
 from __future__ import annotations
 
 import copy
+import hashlib
+import json
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -322,6 +324,10 @@ class Cluster:
         start_method: Optional[str] = None,
         protocol: str = "batched",
         window_epochs: int = 32,
+        checkpoint_dir: Optional[str | Path] = None,
+        checkpoint_every: Optional[int] = None,
+        resume_from: Optional[str | Path] = None,
+        fork: Optional[Dict[str, object]] = None,
     ) -> ClusterStats:
         """Drive the cluster to completion and aggregate.
 
@@ -334,10 +340,30 @@ class Cluster:
         conservative epochs of ``epoch_seconds`` of simulated time -- and
         the same statistics are aggregated from the workers' results
         (``self.outcomes`` stays empty; the local node objects never ran).
+
+        Checkpointing (session path; forces the session even with
+        ``shards=1``, running it on the in-process pool):
+
+        * ``checkpoint_dir`` -- capture ``barrier-<pos>.ckpt`` at every
+          window barrier (every ``checkpoint_every`` epochs when given).
+        * ``resume_from`` -- restore a captured barrier and run only the
+          remaining suffix; the submitted arrival log must be the one
+          the capture recorded (``checkpoint-arrivals``).
+        * ``fork`` -- with ``resume_from``: change
+          ``manager_factory``/``scheduler``/``reseed`` at the barrier
+          (see :meth:`ShardedClusterSession.restore`).
         """
         from repro.trace.stats import percentile  # avoids module cycle
 
-        if shards <= 1:
+        use_session = (
+            shards > 1
+            or checkpoint_dir is not None
+            or checkpoint_every is not None
+            or resume_from is not None
+        )
+        if fork and resume_from is None:
+            raise ValueError("fork requires resume_from")
+        if not use_session:
             self.kernel.run()
             outcomes = self.outcomes
             latencies = [o.latency for o in outcomes] or [0.0]
@@ -352,6 +378,8 @@ class Cluster:
                 per_node_requests=list(self._assigned),
             )
 
+        from repro.sim import checkpoint
+
         session = ShardedClusterSession(
             self.config,
             self._manager_factory,
@@ -361,15 +389,50 @@ class Cluster:
             protocol=protocol,
             window_epochs=window_epochs,
         )
-        try:
-            if self.config.scheduler in DEFERRED_SCHEDULERS:
-                session.run_phase(
-                    [(time, definition) for time, definition, _, _ in self._submitted]
+        deferred = self.config.scheduler in DEFERRED_SCHEDULERS
+        if deferred:
+            arrivals: Sequence[Tuple] = [
+                (time, definition) for time, definition, _, _ in self._submitted
+            ]
+        else:
+            arrivals = self._submitted
+        digest = checkpoint.arrivals_digest(arrivals)
+        on_barrier = None
+        if checkpoint_dir is not None:
+            directory = Path(checkpoint_dir)
+
+            def on_barrier(s: "ShardedClusterSession", index: int, pos: int) -> None:
+                s.capture(
+                    directory / f"barrier-{pos:06d}.ckpt",
+                    index,
+                    pos,
+                    meta={"arrivals_sha256": digest},
                 )
-                assigned = list(session.router.assigned)
-            else:
-                session.run_phase(self._submitted, routed=True)
-                assigned = list(self._assigned)
+
+        start_index = start_pos = 0
+        try:
+            if resume_from is not None:
+                cursor = session.restore(resume_from, fork=fork)
+                recorded = cursor["meta"].get("arrivals_sha256")
+                if recorded is not None and recorded != digest:
+                    raise checkpoint.CheckpointError(
+                        "checkpoint-arrivals",
+                        f"checkpoint {resume_from}",
+                        "the submitted arrival log is not the one the "
+                        "capture recorded",
+                    )
+                start_index, start_pos = cursor["index"], cursor["pos"]
+            session.run_phase(
+                arrivals,
+                routed=not deferred,
+                start_index=start_index,
+                start_pos=start_pos,
+                checkpoint_every=checkpoint_every,
+                on_barrier=on_barrier,
+            )
+            assigned = (
+                list(session.router.assigned) if deferred else list(self._assigned)
+            )
             nodes = session.finish()
         finally:
             session.close()
@@ -598,6 +661,65 @@ class ClusterShardHost:
             "conservation": conservation,
         }
 
+    # --------------------------------------------------------- checkpoints
+
+    def reopen_outputs(self) -> None:
+        """Re-attach streamed outputs after a checkpoint restore.
+
+        Trace and telemetry streams are truncated back to their barrier
+        offsets and reopened for append.  Archive segments the previous
+        life closed *after* the barrier are pruned: their ``(bucket,
+        node)`` cells are absent from the restored writer's bookkeeping,
+        so leaving the files behind would poison the shared root with
+        orphans no footer accounts for.
+        """
+        for sink in self._sinks.values():
+            sink.reopen_outputs()
+        for recorder in self._recorders.values():
+            recorder.reopen_outputs()
+        if self._archive is not None:
+            from repro.trace.archive import parse_segment_name
+
+            known = {footer["name"] for footer in self._archive._closed}
+            known.update(
+                segment.path.name for segment in self._archive._open.values()
+            )
+            nodes = set(self.spec.node_ids)
+            for path in sorted(self._archive.root.glob("seg-*")):
+                parsed = parse_segment_name(path.name)
+                if (
+                    parsed is not None
+                    and parsed[1] in nodes
+                    and path.name not in known
+                ):
+                    path.unlink()
+
+    def apply_fork(self, settings: Dict[str, object]) -> None:
+        """Apply a fork's changed policy/parameters at the restore barrier.
+
+        ``manager_factory`` swaps every node's memory manager
+        (:meth:`FaasPlatform.set_manager`); cache and instance state
+        carry over, so the fork explores "what if the policy had changed
+        *here*".  ``reseed`` re-derives every existing kernel RNG stream
+        via :meth:`~repro.sim.rng.RngStream.split` -- mutated in place,
+        so every component holding a stream reference lands on the new
+        sequence -- putting the forked leg on independent randomness
+        from the barrier on.  Without ``reseed`` an unchanged fork
+        replays the captured run bit for bit.
+        """
+        unknown = set(settings) - {"manager_factory", "reseed"}
+        if unknown:
+            raise ValueError(f"unknown fork settings {sorted(unknown)!r}")
+        factory = settings.get("manager_factory")
+        if factory is not None:
+            self.spec.manager_factory = factory
+            for platform in self.platforms.values():
+                platform.set_manager(factory())
+        label = settings.get("reseed")
+        if label:
+            for stream in self.kernel._rngs.values():
+                stream.setstate(stream.split(str(label)).getstate())
+
     def mark(self, name: str) -> None:
         if name == "reset-metrics":
             for platform in self.platforms.values():
@@ -696,6 +818,45 @@ class ClusterShardHost:
             "profile_path": self.spec.profile_path,
             "nodes": nodes,
         }
+
+
+def _session_fingerprint(
+    config: ClusterConfig,
+    manager_factory: Callable[[], object],
+    shards: int,
+    epoch_seconds: float,
+    protocol: str,
+    window_epochs: int,
+) -> str:
+    """Digest of every parameter that shapes a session's timeline.
+
+    Two sessions with equal fingerprints compute identical epoch
+    structures and routing decisions for the same arrival log, which is
+    the precondition for resuming one from the other's checkpoint.
+    Policy/manager objects enter by *name* (their repr embeds object
+    addresses, which differ every process).
+    """
+    node_config = dict(vars(config.node_config))
+    policy = node_config.get("eviction_policy")
+    if policy is not None:
+        node_config["eviction_policy"] = getattr(
+            policy, "name", type(policy).__name__
+        )
+    description = {
+        "nodes": config.nodes,
+        "scheduler": config.scheduler,
+        "node_config": node_config,
+        "manager": getattr(
+            manager_factory, "__qualname__", str(manager_factory)
+        ),
+        "shards": shards,
+        "epoch_seconds": epoch_seconds,
+        "protocol": protocol,
+        "window_epochs": window_epochs,
+    }
+    return hashlib.sha256(
+        json.dumps(description, sort_keys=True, default=str).encode("utf-8")
+    ).hexdigest()
 
 
 class ShardedClusterSession:
@@ -812,6 +973,13 @@ class ShardedClusterSession:
             start_method=start_method,
             compress=protocol == "batched",
         )
+        #: Stable digest of everything that shapes this session's
+        #: timeline; a checkpoint captured by a session with a different
+        #: fingerprint is refused at restore (``checkpoint-config``).
+        self._fingerprint = _session_fingerprint(
+            config, factory, self.shards, self.epoch_seconds,
+            protocol, self.window_epochs,
+        )
         self._request_ids = 0
         self._loads: Optional[Dict[int, dict]] = None
         #: Function names already interned on each shard: a definition's
@@ -882,6 +1050,10 @@ class ShardedClusterSession:
         start: float = 0.0,
         end: Optional[float] = None,
         routed: bool = False,
+        start_index: int = 0,
+        start_pos: int = 0,
+        checkpoint_every: Optional[int] = None,
+        on_barrier: Optional[Callable[["ShardedClusterSession", int, int], None]] = None,
     ) -> None:
         """Feed one arrival batch through conservative epochs, then drain.
 
@@ -896,7 +1068,20 @@ class ShardedClusterSession:
         payloads.  The final (``None``) horizon drains every shard to
         quiescence so in-flight requests complete before the phase
         returns -- it rides in the last window, costing no extra barrier.
+
+        Checkpointing: ``on_barrier(session, index, pos)`` fires after
+        every absorbed window, where ``(index, pos)`` are the arrival
+        and horizon cursors a resume must restart from.
+        ``checkpoint_every=N`` additionally caps windows so barriers
+        land exactly at multiples of ``N`` epochs (and ``on_barrier``
+        fires only there) -- the epoch structure itself never changes,
+        only where the window boundaries fall, so a checkpointed run and
+        an uninterrupted one execute the identical timeline.
+        ``start_index``/``start_pos`` resume the phase mid-way after
+        :meth:`restore`.
         """
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         arrivals = list(arrivals)
         if end is None:
             end = arrivals[-1][0] if arrivals else start
@@ -904,10 +1089,14 @@ class ShardedClusterSession:
             [item[0] for item in arrivals], start, end
         )
         batched = self.protocol == "batched"
-        index = 0
-        pos = 0
+        index = start_index
+        pos = start_pos
         while pos < len(horizons):
-            window_horizons = horizons[pos : pos + self.window_epochs]
+            limit = self.window_epochs
+            if checkpoint_every is not None:
+                boundary = (pos // checkpoint_every + 1) * checkpoint_every
+                limit = min(limit, boundary - pos)
+            window_horizons = horizons[pos : pos + limit]
             pos += len(window_horizons)
             payloads: List[List[List[Tuple]]] = [
                 [[] for _ in window_horizons] for _ in range(self.shards)
@@ -946,6 +1135,12 @@ class ShardedClusterSession:
                 window_horizons[-1],
                 epochs=len(window_horizons),
             )
+            if on_barrier is not None and (
+                checkpoint_every is None
+                or pos % checkpoint_every == 0
+                or pos == len(horizons)
+            ):
+                on_barrier(self, index, pos)
 
     def _absorb(
         self, reports: List[Dict], horizon: Optional[float], epochs: int = 1
@@ -972,6 +1167,106 @@ class ShardedClusterSession:
 
     def mark(self, name: str) -> None:
         self.pool.mark(name)
+
+    # --------------------------------------------------------- checkpoints
+
+    def capture(
+        self,
+        path: str | Path,
+        index: int,
+        pos: int,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Checkpoint the whole session at the current window barrier.
+
+        ``(index, pos)`` are the :meth:`run_phase` cursors at the
+        barrier (handed to ``on_barrier``); they ride in the payload so
+        a resume restarts the phase loop exactly where it stood.  The
+        payload holds the coordinator's full routing state plus one
+        opaque host blob per shard (:meth:`ShardPool.snapshot`); the
+        header meta carries the session fingerprint, the cursors, and
+        whatever the caller adds (phase name, arrival-log digest).
+        """
+        from repro.sim import checkpoint
+
+        state = {
+            "coordinator": {
+                "router": self.router,
+                "request_ids": self._request_ids,
+                "loads": self._loads,
+                "shipped": [sorted(names) for names in self._shipped],
+                "clock": self.clock,
+                "epochs": self.epochs,
+                "events": self.events,
+            },
+            "shards": self.pool.snapshot(),
+            "cursor": {"index": index, "pos": pos},
+        }
+        full_meta: Dict[str, object] = {
+            "session": self._fingerprint,
+            "index": index,
+            "pos": pos,
+            "clock": self.clock,
+            "epochs": self.epochs,
+        }
+        full_meta.update(meta or {})
+        return checkpoint.dump(path, state, meta=full_meta)
+
+    def restore(
+        self, path: str | Path, fork: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        """Rewind this (freshly built) session to a captured barrier.
+
+        The session must have been constructed with the same parameters
+        as the capturing one (enforced via the fingerprint --
+        ``checkpoint-config``).  Returns ``{"index", "pos", "meta"}``:
+        pass the cursors to :meth:`run_phase` as
+        ``start_index``/``start_pos``.
+
+        ``fork`` turns the restore into a what-if fork: ``scheduler``
+        (coordinator-side; must stay on the same side of the
+        static/deferred divide) plus ``manager_factory``/``reseed``
+        (worker-side, see :meth:`ClusterShardHost.apply_fork`).  An
+        empty/None fork replays the captured run bit for bit.
+        """
+        from repro.sim import checkpoint
+
+        header, state = checkpoint.load(path)
+        meta = header["meta"]
+        if meta.get("session") != self._fingerprint:
+            raise checkpoint.CheckpointError(
+                "checkpoint-config",
+                f"checkpoint {path}",
+                "captured by a session with different parameters "
+                "(config/shards/epoch/protocol fingerprint mismatch)",
+            )
+        fork = dict(fork or {})
+        scheduler = fork.pop("scheduler", None)
+        if scheduler is not None:
+            if scheduler not in SCHEDULERS:
+                raise ValueError(
+                    f"unknown scheduler {scheduler!r}; pick from {SCHEDULERS}"
+                )
+            if (scheduler in DEFERRED_SCHEDULERS) != (
+                self.config.scheduler in DEFERRED_SCHEDULERS
+            ):
+                raise ValueError(
+                    "a fork cannot cross the static/deferred scheduler "
+                    "boundary: the wire protocol differs"
+                )
+        coordinator = state["coordinator"]
+        self.router = coordinator["router"]
+        self._request_ids = coordinator["request_ids"]
+        self._loads = coordinator["loads"]
+        self._shipped = [set(names) for names in coordinator["shipped"]]
+        self.clock = coordinator["clock"]
+        self.epochs = coordinator["epochs"]
+        self.events = coordinator["events"]
+        self.pool.restore(state["shards"], fork=fork or None)
+        if scheduler is not None:
+            self.router.scheduler = scheduler
+        cursor = state["cursor"]
+        return {"index": cursor["index"], "pos": cursor["pos"], "meta": meta}
 
     def finish(self) -> Dict[int, dict]:
         """Collect per-node results from every shard, keyed by node id.

@@ -48,6 +48,23 @@ def _use_heap(policy, frozen) -> bool:
     return policy._fastpath and hasattr(frozen, "adds")
 
 
+class _PolicyArrivalHandler:
+    """Picklable bus handler forwarding arrivals to a policy.
+
+    A module-level class rather than a closure so the subscription can
+    ride in a checkpoint (repro.sim.checkpoint) with the rest of the
+    simulation graph.
+    """
+
+    __slots__ = ("policy",)
+
+    def __init__(self, policy: "EvictionPolicy") -> None:
+        self.policy = policy
+
+    def __call__(self, event) -> None:
+        self.policy.on_request(event.data["function"], event.time)
+
+
 def subscribe_policy(
     policy: "EvictionPolicy", bus: EventBus, node: Optional[int] = None
 ) -> Subscription:
@@ -57,11 +74,8 @@ def subscribe_policy(
     policy still serves victim queries synchronously -- only the
     *observation* path rides the bus.
     """
-
-    def _on_arrival(event) -> None:
-        policy.on_request(event.data["function"], event.time)
-
-    return bus.subscribe(_on_arrival, kinds=(REQUEST_ARRIVAL,), node=node)
+    handler = _PolicyArrivalHandler(policy)
+    return bus.subscribe(handler, kinds=(REQUEST_ARRIVAL,), node=node)
 
 
 @runtime_checkable

@@ -147,6 +147,27 @@ class VersionedList(list):
         self.adds = 0
         self.state_version = 0
 
+    def __reduce__(self):
+        # Explicit reduction: the default list-subclass protocol trips
+        # over the no-arg ``__init__`` + ``__slots__`` combination, and a
+        # checkpoint restore must bring the counters back exactly (stale
+        # counters would let cached policy indexes skip a resync).
+        return (
+            _rebuild_versioned_list,
+            (list(self), self.version, self.adds, self.state_version),
+        )
+
+
+def _rebuild_versioned_list(
+    items: list, version: int, adds: int, state_version: int
+) -> "VersionedList":
+    rebuilt = VersionedList()
+    rebuilt.extend(items)
+    rebuilt.version = version
+    rebuilt.adds = adds
+    rebuilt.state_version = state_version
+    return rebuilt
+
 
 @dataclass
 class _InFlight:
@@ -159,6 +180,24 @@ class _InFlight:
     #: (instance, handoff oid) from the previous stage, if any.
     handoff: Optional[Tuple[FunctionInstance, int]] = None
     current_instance: Optional[FunctionInstance] = None
+
+
+class _SpaceDirtier:
+    """Picklable address-space change listener.
+
+    Replaces the closure ``_space_dirtier`` used to return: closures
+    cannot ride in a checkpoint (repro.sim.checkpoint), while this pair
+    of references pickles with the rest of the platform graph.
+    """
+
+    __slots__ = ("platform", "instance")
+
+    def __init__(self, platform: "FaasPlatform", instance: FunctionInstance) -> None:
+        self.platform = platform
+        self.instance = instance
+
+    def __call__(self) -> None:
+        self.platform._mark_dirty(self.instance)
 
 
 class ManagerBridge:
@@ -366,11 +405,8 @@ class FaasPlatform:
         self._dirty[instance.id] = instance
         self.change_epoch += 1
 
-    def _space_dirtier(self, instance: FunctionInstance):
-        def _on_change() -> None:
-            self._mark_dirty(instance)
-
-        return _on_change
+    def _space_dirtier(self, instance: FunctionInstance) -> "_SpaceDirtier":
+        return _SpaceDirtier(self, instance)
 
     def _mark_dirty(self, instance: FunctionInstance) -> None:
         self._dirty[instance.id] = instance
@@ -810,6 +846,24 @@ class FaasPlatform:
         self.evictions = 0
         self.overcommits = 0
         self._last_event_time = 0.0
+
+    def set_manager(self, manager: "MemoryManager") -> None:
+        """Swap the memory manager in place (the fork-and-explore hook).
+
+        Detaches the old manager's bus bridge and installs the new
+        manager's, so from the next dispatched event on every hook call
+        reaches the replacement.  Instance and cache state carry over
+        untouched -- exactly what a what-if fork at a checkpoint barrier
+        wants.  With an oracle attached, the old manager's accumulated
+        reclaim accounting is carried so the reclaim-published law keeps
+        holding across the swap.
+        """
+        old = self.manager
+        self._manager_bridge.detach()
+        self.manager = manager
+        self._manager_bridge = ManagerBridge(self, manager)
+        if self.oracle is not None:
+            self.oracle.note_manager_swap(self, old)
 
     def cold_boot_rate(self) -> float:
         """Cold boots per completed request (across all stages)."""

@@ -13,6 +13,7 @@ sparklines for quick inspection in examples.
 from __future__ import annotations
 
 import csv
+import os
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -161,6 +162,48 @@ class TelemetryRecorder:
             self._stream_handle.flush()
         if self._archive is not None:
             self._archive.flush()
+
+    # ----------------------------------------------------------- checkpoint
+
+    def __getstate__(self) -> dict:
+        """Checkpoint state: drop the CSV handle, record its position.
+
+        Captured at epoch barriers after :meth:`flush`, so the on-disk
+        size is the logical stream position; :meth:`reopen_outputs`
+        truncates back to it and resumes appending.
+        """
+        state = dict(self.__dict__)
+        handle = state.pop("_stream_handle", None)
+        state.pop("_stream_writer", None)
+        offset = 0
+        if handle is not None:
+            handle.flush()
+            offset = os.fstat(handle.fileno()).st_size
+        state["_stream_offset"] = offset
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._stream_handle = None
+        self._stream_writer = None
+
+    def reopen_outputs(self) -> None:
+        """Re-attach the streamed CSV after a checkpoint restore."""
+        offset = self.__dict__.pop("_stream_offset", 0)
+        if self.stream_csv is None or self._stream_handle is not None:
+            return
+        path = Path(self.stream_csv)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        existing = path.stat().st_size if path.exists() else 0
+        if existing < offset:
+            raise ValueError(
+                f"telemetry CSV {path} holds {existing} bytes but the "
+                f"checkpoint recorded {offset}; cannot resume the stream"
+            )
+        with open(path, "ab") as grow:
+            grow.truncate(offset)
+        self._stream_handle = path.open("a", newline="")
+        self._stream_writer = csv.writer(self._stream_handle)
 
     def detach(self) -> None:
         """Stop sampling (and close the streamed CSV/archive, if any)."""

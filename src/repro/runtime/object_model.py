@@ -15,7 +15,6 @@ three flavours:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Set, Tuple
 
@@ -68,7 +67,10 @@ class ObjectGraph:
     """
 
     def __init__(self) -> None:
-        self._ids = itertools.count(1)
+        # Plain int, not itertools.count: the graph is part of the
+        # checkpointable runtime state (repro.sim.checkpoint) and
+        # pickling itertools iterators is deprecated since 3.12.
+        self._next_id = 1
         self.objects: Dict[int, HeapObject] = {}
         self.persistent_roots: Set[int] = set()
         self.weak_roots: Set[int] = set()
@@ -78,7 +80,8 @@ class ObjectGraph:
 
     def new_object(self, size: int, refs: Iterable[int] = ()) -> int:
         """Create an object and return its id (caller decides rooting)."""
-        oid = next(self._ids)
+        oid = self._next_id
+        self._next_id += 1
         ref_list = list(refs)
         for child in ref_list:
             self._require(child)
@@ -91,7 +94,8 @@ class ObjectGraph:
             raise ValueError(f"cohort count must be positive, got {count}")
         if unit <= 0:
             raise ValueError(f"cohort unit must be positive, got {unit}")
-        oid = next(self._ids)
+        oid = self._next_id
+        self._next_id += 1
         self.objects[oid] = CohortObject(oid, count * unit, [], 0, count, unit)
         return oid
 

@@ -37,7 +37,6 @@ and therefore every downstream trace byte -- is identical.
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -92,10 +91,18 @@ class LinearEventBus:
 
     def __init__(self) -> None:
         self._subscriptions: List[Subscription] = []
-        self._order = itertools.count()
-        self._seq = itertools.count()
+        # Plain ints, not itertools.count: both counters are part of the
+        # bus's checkpointable state (repro.sim.checkpoint) and must
+        # pickle with their positions intact.
+        self._order = 0
+        self._seq = 0
         self._pending: deque[Event] = deque()
         self._dispatching = False
+
+    def _next_order(self) -> int:
+        order = self._order
+        self._order += 1
+        return order
 
     def subscribe(
         self,
@@ -109,7 +116,7 @@ class LinearEventBus:
             handler,
             frozenset(kinds) if kinds is not None else None,
             node,
-            next(self._order),
+            self._next_order(),
         )
         self._subscriptions.append(subscription)
         return subscription
@@ -139,7 +146,8 @@ class LinearEventBus:
         completes (and return 0.0), keeping delivery in seq order for
         every subscriber.
         """
-        event.seq = next(self._seq)
+        event.seq = self._seq
+        self._seq += 1
         if self._dispatching:
             self._pending.append(event)
             return 0.0
@@ -167,7 +175,7 @@ class LinearEventBus:
         the byte-identity guarantee of docs/EVENT_TRACE.md depends on it.
         """
         if not self.has_subscribers(kind, node):
-            next(self._seq)
+            self._seq += 1
             return 0.0
         data = data_factory() if data_factory is not None else {}
         return self.publish(Event(kind, time, node, data))
@@ -222,7 +230,7 @@ class EventBus(LinearEventBus):
             handler,
             frozenset(kinds) if kinds is not None else None,
             node,
-            next(self._order),
+            self._next_order(),
         )
         self._subscriptions.append(subscription)
         for key in self._bucket_keys(subscription):
@@ -276,3 +284,16 @@ class EventBus(LinearEventBus):
                 if isinstance(result, (int, float)) and not isinstance(result, bool):
                     total += result
         return total
+
+    def __getstate__(self) -> dict:
+        # The merged dispatch cache is a pure index over the buckets;
+        # shipping it in a checkpoint would restore stale Subscription
+        # references.  Drop it and let the first post-restore publish
+        # rebuild it from the buckets.
+        state = dict(self.__dict__)
+        state["_dispatch_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._dispatch_cache = {}

@@ -1,0 +1,358 @@
+"""Deterministic epoch checkpoints: dump/restore full simulation state.
+
+A *checkpoint* captures everything a sharded replay needs to restart
+from an epoch barrier and produce byte-identical output: each shard
+host's complete object graph (kernel clock, event queue, RNG stream
+states, VMM mappings and physical frames, runtime heaps, platform and
+cgroup state, keep-alive policies, telemetry/trace stream positions)
+plus the coordinator's position (router counters, request-id cursor,
+load digests, interned-definition sets, phase cursors) and the handful
+of module-global id counters the object graph draws from.
+
+File format
+-----------
+One UTF-8 JSON header line followed by the raw pickle payload::
+
+    {"magic": "repro-checkpoint", "schema": 1, "meta": {...},
+     "env": {...}, "payload_sha256": "...", "payload_bytes": N}\n
+    <payload_bytes of pickle protocol 4>
+
+The header is self-verifying: :func:`check_checkpoint` confirms the
+magic, the schema version, that the payload is exactly
+``payload_bytes`` long, and that its SHA-256 matches -- raising
+:class:`CheckpointError` (a :class:`~repro.check.invariants.Violation`)
+with a stable invariant name on the first problem, so a corrupt or
+truncated checkpoint fails loudly *before* any pickle byte is executed.
+:func:`load` additionally refuses to restore into a process whose
+``REPRO_FASTPATH`` flag differs from the capturing process's
+(``checkpoint-env``): the fast path changes which bus/aggregate code
+runs, and state captured under one flavor is not meaningful under the
+other.
+
+Invariant names
+---------------
+``checkpoint-magic``      not a checkpoint file (or a mangled header)
+``checkpoint-schema``     schema version this build cannot restore
+``checkpoint-truncated``  payload shorter than the header promises
+``checkpoint-digest``     payload bytes do not hash to the header digest
+``checkpoint-env``        capture/restore environment flags disagree
+
+Module-global counters
+----------------------
+``Request``, ``FunctionInstance`` and ``Mapping`` draw ids from
+module-global ``itertools.count`` objects.  Those ids are *state*: the
+LRU tie-break and the trace id-normalization maps depend on them, so a
+restored world must continue the id sequence exactly where the captured
+one stood.  :func:`capture_counters` peeks each counter (consuming one
+value, then re-arming the global at that same value so the live run is
+undisturbed) and :func:`restore_counters` re-arms them in the restoring
+process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import itertools
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+from repro import fastpath
+from repro.check.invariants import Violation
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "SCHEMA_VERSION",
+    "PICKLE_PROTOCOL",
+    "CheckpointError",
+    "dump",
+    "read_header",
+    "check_checkpoint",
+    "load",
+    "capture_counters",
+    "restore_counters",
+    "snapshot_host",
+    "restore_host",
+    "snapshot_world",
+    "restore_world",
+    "environment_fingerprint",
+    "arrivals_digest",
+]
+
+CHECKPOINT_MAGIC = "repro-checkpoint"
+
+#: Bump on any change to the payload's logical layout.  A restore across
+#: schema versions is refused outright (``checkpoint-schema``): silently
+#: reinterpreting old state would break the byte-identity contract in
+#: ways no digest can catch.
+SCHEMA_VERSION = 1
+
+#: Pinned pickle protocol: part of the format, not a knob, so the same
+#: checkpoint bytes restore on every supported interpreter.
+PICKLE_PROTOCOL = 4
+
+
+class CheckpointError(Violation):
+    """A checkpoint that cannot be trusted, named by the broken law."""
+
+
+def _fail(invariant: str, subject: str, detail: str) -> None:
+    raise CheckpointError(invariant, subject, detail)
+
+
+# ------------------------------------------------------- global id counters
+
+#: ``(module, attribute)`` of every module-global ``itertools.count`` the
+#: simulation object graph draws ids from.  Keys are the stable names the
+#: payload stores them under.
+_COUNTER_SITES: Dict[str, Tuple[str, str]] = {
+    "faas.platform._request_ids": ("repro.faas.platform", "_request_ids"),
+    "faas.instance._instance_ids": ("repro.faas.instance", "_instance_ids"),
+    "mem.vmm._mapping_ids": ("repro.mem.vmm", "_mapping_ids"),
+}
+
+
+def capture_counters() -> Dict[str, int]:
+    """Snapshot every global id counter without disturbing the live run.
+
+    ``itertools.count`` cannot be read without consuming, so each
+    counter is peeked with ``next()`` and the module global immediately
+    re-armed at the peeked value -- the next live draw returns exactly
+    what it would have returned without the capture.
+    """
+    values: Dict[str, int] = {}
+    for name, (module_name, attribute) in _COUNTER_SITES.items():
+        module = importlib.import_module(module_name)
+        value = next(getattr(module, attribute))
+        setattr(module, attribute, itertools.count(value))
+        values[name] = value
+    return values
+
+
+def restore_counters(values: Dict[str, int]) -> None:
+    """Re-arm the global id counters at their captured positions."""
+    for name, value in values.items():
+        module_name, attribute = _COUNTER_SITES[name]
+        module = importlib.import_module(module_name)
+        setattr(module, attribute, itertools.count(value))
+
+
+# --------------------------------------------------------------- file format
+
+
+def environment_fingerprint() -> Dict[str, object]:
+    """The flags a checkpoint's state is only meaningful under."""
+    return {
+        "fastpath": fastpath.enabled(),
+        "check": os.environ.get("REPRO_CHECK", ""),
+    }
+
+
+def dump(
+    path: str | Path, state: Any, meta: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    """Write ``state`` as a checkpoint file; return the header written.
+
+    The write is atomic (temp file + rename), so a crashed capture never
+    leaves a half-written checkpoint that a later resume could trust.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = pickle.dumps(state, protocol=PICKLE_PROTOCOL)
+    header = {
+        "magic": CHECKPOINT_MAGIC,
+        "schema": SCHEMA_VERSION,
+        "meta": dict(meta or {}),
+        "env": environment_fingerprint(),
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+        "payload_bytes": len(payload),
+    }
+    staging = path.with_name(path.name + ".tmp")
+    with staging.open("wb") as handle:
+        handle.write(
+            json.dumps(header, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        )
+        handle.write(b"\n")
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    staging.replace(path)
+    return header
+
+
+def _read_raw(path: Path) -> Tuple[Dict[str, object], bytes]:
+    subject = f"checkpoint {path}"
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        _fail("checkpoint-magic", subject, f"unreadable: {exc}")
+    newline = raw.find(b"\n")
+    if newline < 0:
+        _fail("checkpoint-magic", subject, "no header line")
+    try:
+        header = json.loads(raw[:newline].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        _fail("checkpoint-magic", subject, f"header is not JSON: {exc}")
+    if not isinstance(header, dict) or header.get("magic") != CHECKPOINT_MAGIC:
+        _fail(
+            "checkpoint-magic",
+            subject,
+            f"magic {header.get('magic') if isinstance(header, dict) else header!r} "
+            f"!= {CHECKPOINT_MAGIC!r}",
+        )
+    return header, raw[newline + 1 :]
+
+
+def read_header(path: str | Path) -> Dict[str, object]:
+    """The header alone (magic verified; payload untouched)."""
+    header, _ = _read_raw(Path(path))
+    return header
+
+
+def check_checkpoint(path: str | Path) -> Dict[str, object]:
+    """Verify a checkpoint file end to end; return its header.
+
+    The invariant gate every restore passes through first: magic and
+    schema recognized, payload exactly as long as promised, payload
+    SHA-256 matching the header.  No pickle byte is executed.
+    """
+    path = Path(path)
+    subject = f"checkpoint {path}"
+    header, payload = _read_raw(path)
+    if header.get("schema") != SCHEMA_VERSION:
+        _fail(
+            "checkpoint-schema",
+            subject,
+            f"schema {header.get('schema')!r}; this build restores "
+            f"schema {SCHEMA_VERSION} only",
+        )
+    expected = header.get("payload_bytes")
+    if not isinstance(expected, int) or len(payload) < expected:
+        _fail(
+            "checkpoint-truncated",
+            subject,
+            f"payload holds {len(payload)} bytes, header promises {expected}",
+        )
+    payload = payload[:expected]
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.get("payload_sha256"):
+        _fail(
+            "checkpoint-digest",
+            subject,
+            f"payload sha256 {digest[:12]} != header "
+            f"{str(header.get('payload_sha256'))[:12]}",
+        )
+    return header
+
+
+def load(path: str | Path) -> Tuple[Dict[str, object], Any]:
+    """Verify, env-check, and unpickle a checkpoint.
+
+    Returns ``(header, state)``.  Restoring under a different
+    ``REPRO_FASTPATH`` flavor than the capture ran with is refused
+    (``checkpoint-env``): the flag selects different bus/aggregate code
+    paths, so the captured state would not mean the same thing.
+    """
+    path = Path(path)
+    header = check_checkpoint(path)
+    captured = header.get("env", {})
+    live = environment_fingerprint()
+    if captured.get("fastpath") != live["fastpath"]:
+        _fail(
+            "checkpoint-env",
+            f"checkpoint {path}",
+            f"captured with REPRO_FASTPATH={'on' if captured.get('fastpath') else 'off'}, "
+            f"restoring with {'on' if live['fastpath'] else 'off'}",
+        )
+    _, payload = _read_raw(path)
+    state = pickle.loads(payload[: header["payload_bytes"]])
+    return header, state
+
+
+# ------------------------------------------------------------- shard hosts
+
+
+def snapshot_host(host: Any) -> bytes:
+    """Pickle one shard host plus the global counters it draws from.
+
+    The worker-side half of the pool ``snapshot`` command: the blob is
+    opaque to the coordinator, which stores one per shard inside the
+    session checkpoint payload.
+    """
+    return pickle.dumps(
+        {"host": host, "counters": capture_counters()},
+        protocol=PICKLE_PROTOCOL,
+    )
+
+
+def restore_host(blob: bytes, fork: Optional[Dict[str, object]] = None) -> Any:
+    """Rebuild a shard host from its snapshot blob.
+
+    Re-arms the restoring process's global id counters, reopens the
+    host's streamed outputs (truncating them back to the barrier
+    position), and -- for a fork -- applies the changed
+    policy/parameters via the host's ``apply_fork`` hook before any
+    event runs.
+    """
+    state = pickle.loads(blob)
+    restore_counters(state["counters"])
+    host = state["host"]
+    reopen = getattr(host, "reopen_outputs", None)
+    if reopen is not None:
+        reopen()
+    if fork:
+        host.apply_fork(fork)
+    return host
+
+
+def snapshot_world(world: Any) -> bytes:
+    """Pickle an arbitrary in-memory world plus the global id counters.
+
+    The lighter sibling of :func:`snapshot_host` for object graphs with
+    no streamed outputs to reopen -- e.g. the fuzzer's world+oracle pair,
+    snapshotted mid-schedule so the shrinker can restart from the last
+    good snapshot instead of replaying the whole prefix.
+    """
+    return pickle.dumps(
+        {"world": world, "counters": capture_counters()},
+        protocol=PICKLE_PROTOCOL,
+    )
+
+
+def restore_world(blob: bytes) -> Any:
+    """Rebuild a :func:`snapshot_world` blob, re-arming the id counters."""
+    state = pickle.loads(blob)
+    restore_counters(state["counters"])
+    return state["world"]
+
+
+# -------------------------------------------------------------- arrival log
+
+
+def arrivals_digest(arrivals: Iterable[Sequence]) -> str:
+    """Order-sensitive digest of a submission log.
+
+    A resume regenerates the arrival sequence from the run's parameters
+    instead of storing it in the checkpoint; this digest (recorded in
+    the checkpoint meta) proves the regenerated log is the one the
+    captured run was actually fed.  Items are ``(time, definition[,
+    node, request_id])`` tuples; time, definition name, and routed node
+    enter the hash.  Request ids deliberately do not: they come from a
+    process-global counter (so back-to-back runs in one process draw
+    different ranges) and every consumer -- trace sinks, outcome
+    aggregation -- is invariant to their absolute values.
+    """
+    digest = hashlib.sha256()
+    for item in arrivals:
+        time = item[0]
+        definition = item[1]
+        name = getattr(definition, "name", str(definition))
+        node = item[2] if len(item) > 2 else None
+        digest.update(
+            json.dumps([round(float(time), 9), name, node]).encode("utf-8")
+        )
+        digest.update(b"\n")
+    return digest.hexdigest()

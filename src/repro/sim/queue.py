@@ -13,7 +13,6 @@ without the tombstone-dict bookkeeping of ``sched``-style queues.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, Optional
 
 
@@ -52,13 +51,17 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: list[ScheduledEvent] = []
-        self._seq = itertools.count()
+        # A plain int rather than itertools.count: the counter is part of
+        # the queue's checkpointable state (repro.sim.checkpoint) and must
+        # survive pickling with its position intact.
+        self._seq = 0
 
     def push(
         self, time: float, callback: Callable[[Any], None], payload: Any = None
     ) -> ScheduledEvent:
         """Schedule ``callback(payload)`` at ``time``; returns the handle."""
-        event = ScheduledEvent(time, next(self._seq), callback, payload)
+        event = ScheduledEvent(time, self._seq, callback, payload)
+        self._seq += 1
         heapq.heappush(self._heap, event)
         return event
 

@@ -50,5 +50,16 @@ class RngStream(random.Random):
         """
         return RngStream(self.master_seed, f"{self.name}/{label}")
 
+    def __reduce__(self):
+        """Pickle with identity *and* position intact.
+
+        ``random.Random.__reduce__`` reconstructs via ``cls()`` +
+        ``setstate`` -- which preserves the Mersenne position but
+        silently resets ``name``/``master_seed`` to their defaults,
+        breaking ``restart``/``split`` after a checkpoint restore.
+        Reconstruct through our own constructor instead.
+        """
+        return (RngStream, (self.master_seed, self.name), self.getstate())
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RngStream(master_seed={self.master_seed}, name={self.name!r})"

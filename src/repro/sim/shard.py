@@ -215,6 +215,20 @@ def _worker_main(
                 elif command == "mark":
                     host.mark(message[1])
                     wire.send_frame(conn, ("ok", None))
+                elif command == "snapshot":
+                    from repro.sim import checkpoint
+
+                    wire.send_frame(
+                        conn,
+                        ("report", checkpoint.snapshot_host(host)),
+                        compress=compress,
+                    )
+                elif command == "restore":
+                    from repro.sim import checkpoint
+
+                    _, blob, fork = message
+                    host = checkpoint.restore_host(blob, fork=fork)
+                    wire.send_frame(conn, ("ok", None))
                 elif command == "finish":
                     wire.send_frame(
                         conn, ("result", host.finalize()), compress=compress
@@ -372,6 +386,36 @@ class ShardPool:
         for shard in range(len(self._connections)):
             self._receive(shard)
 
+    def snapshot(self) -> List[bytes]:
+        """Collect one checkpoint blob per shard; barrier.
+
+        Each worker pickles its live host (plus the process-global id
+        counters) via :func:`repro.sim.checkpoint.snapshot_host` and
+        ships the opaque blob back; the coordinator stores the blobs
+        inside the session checkpoint.
+        """
+        for shard in range(len(self._connections)):
+            self._send(shard, ("snapshot",))
+        self.round_trips += 1
+        return [self._receive(shard) for shard in range(len(self._connections))]
+
+    def restore(
+        self, blobs: Sequence[bytes], fork: Optional[Dict] = None
+    ) -> None:
+        """Replace every worker's host with its checkpointed twin; barrier.
+
+        ``fork`` (optional) is broadcast with each blob and applied by
+        the worker via the host's ``apply_fork`` hook -- the
+        fork-and-explore entry point.
+        """
+        if len(blobs) != len(self._connections):
+            raise ValueError("one checkpoint blob per shard required")
+        for shard, blob in enumerate(blobs):
+            self._send(shard, ("restore", blob, fork))
+        self.round_trips += 1
+        for shard in range(len(self._connections)):
+            self._receive(shard)
+
     def finish(self) -> List[Dict]:
         """Collect final results and shut every worker down."""
         for shard in range(len(self._connections)):
@@ -454,6 +498,25 @@ class InlineShardPool:
     def mark(self, name: str) -> None:
         for host in self._hosts:
             host.mark(name)
+
+    def snapshot(self) -> List[bytes]:
+        # A *real* pickle round-trip even inline: the blob is what a
+        # process worker would ship, so inline-pool tests exercise the
+        # identical serialization path.
+        from repro.sim import checkpoint
+
+        self.round_trips += 1
+        return [checkpoint.snapshot_host(host) for host in self._hosts]
+
+    def restore(
+        self, blobs: Sequence[bytes], fork: Optional[Dict] = None
+    ) -> None:
+        from repro.sim import checkpoint
+
+        if len(blobs) != len(self._hosts):
+            raise ValueError("one checkpoint blob per shard required")
+        self._hosts = [checkpoint.restore_host(blob, fork=fork) for blob in blobs]
+        self.round_trips += 1
 
     def finish(self) -> List[Dict]:
         return [host.finalize() for host in self._hosts]

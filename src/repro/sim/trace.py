@@ -23,6 +23,7 @@ exactly this: per-node canonical traces merge into one stream ordered by
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
@@ -59,8 +60,10 @@ class EventTraceSink:
         if path is not None:
             path = Path(path)
             path.parent.mkdir(parents=True, exist_ok=True)
+            self._path: Optional[Path] = path
             self._file = path.open("w", encoding="utf-8")
         else:
+            self._path = None
             self._file = None
         # Segmented-archive backend (docs/TRACE_ARCHIVE.md).  ``archive``
         # is a shared, externally owned ArchiveWriter (e.g. one writer for
@@ -142,6 +145,46 @@ class EventTraceSink:
             self._file.flush()
         if self._archive is not None:
             self._archive.flush()
+
+    # ----------------------------------------------------------- checkpoint
+
+    def __getstate__(self) -> dict:
+        """Checkpoint state: drop the open stream, record its position.
+
+        Callers capture at epoch barriers, after :meth:`flush`, so the
+        on-disk byte count *is* the logical stream position.  Restore via
+        :meth:`reopen_outputs` truncates the file back to that position
+        and reopens it for append -- any bytes a post-checkpoint
+        continuation wrote are discarded, exactly as required.
+        """
+        state = dict(self.__dict__)
+        handle = state.pop("_file", None)
+        offset = 0
+        if handle is not None:
+            handle.flush()
+            offset = os.fstat(handle.fileno()).st_size
+        state["_file_offset"] = offset
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._file = None
+
+    def reopen_outputs(self) -> None:
+        """Re-attach the streaming file after a checkpoint restore."""
+        offset = self.__dict__.pop("_file_offset", 0)
+        if self._path is None or self._file is not None:
+            return
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        existing = self._path.stat().st_size if self._path.exists() else 0
+        if existing < offset:
+            raise ValueError(
+                f"stream file {self._path} holds {existing} bytes but the "
+                f"checkpoint recorded {offset}; cannot resume the stream"
+            )
+        with open(self._path, "ab") as grow:
+            grow.truncate(offset)
+        self._file = self._path.open("a", encoding="utf-8")
 
     def to_jsonl(self) -> str:
         """The whole trace as one newline-terminated string."""

@@ -164,11 +164,20 @@ def gzip_member(data: bytes) -> bytes:
 
 
 class _OpenSegment:
-    """One segment mid-write: raw file + gzip member + running footer."""
+    """One segment mid-write: raw file + gzip member + running footer.
+
+    The payload lines written so far are retained (bounded: one bucket's
+    worth per node) so a checkpoint (:mod:`repro.sim.checkpoint`) can
+    pickle the segment and a restore can *rewrite* it from scratch.
+    Because the writer never sync-flushes the compressor, the final
+    segment bytes are a pure function of the payload line sequence --
+    rewriting the retained lines through a fresh compressor therefore
+    reproduces exactly the bytes an uninterrupted run would emit.
+    """
 
     __slots__ = (
         "bucket", "node", "path", "raw", "zip",
-        "events", "t_min", "t_max", "sha", "payload_bytes",
+        "events", "t_min", "t_max", "sha", "payload_bytes", "lines",
     )
 
     def __init__(self, path: Path, bucket: int, node: int) -> None:
@@ -185,6 +194,7 @@ class _OpenSegment:
         self.t_max: Optional[float] = None
         self.sha = hashlib.sha256()
         self.payload_bytes = 0
+        self.lines: List[Tuple[float, str]] = []
 
     def write(self, t: float, line: str) -> None:
         data = line.encode("utf-8") + b"\n"
@@ -195,6 +205,26 @@ class _OpenSegment:
         if self.t_min is None:
             self.t_min = t
         self.t_max = t
+        self.lines.append((t, line))
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Open OS handles and the running hashlib object cannot pickle;
+        # the retained lines are sufficient to rebuild all three.
+        return {
+            "bucket": self.bucket,
+            "node": self.node,
+            "path": str(self.path),
+            "lines": self.lines,
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        rebuilt = _OpenSegment(
+            Path(state["path"]), state["bucket"], state["node"]
+        )
+        for t, line in state["lines"]:
+            rebuilt.write(t, line)
+        for slot in self.__slots__:
+            setattr(self, slot, getattr(rebuilt, slot))
 
     def close(self, bucket_seconds: float) -> Dict[str, object]:
         """Finish the payload member, append the footer member, return
@@ -261,7 +291,23 @@ class ArchiveWriter:
         #: composed archive digest iff the input was already canonical
         #: (single node, or ``(t, node, seq)``-merged).
         self._input_sha = hashlib.sha256()
+        #: False after a checkpoint restore: the running input digest
+        #: cannot be carried across pickling (hashlib objects do not
+        #: pickle), so a restored writer may only close with
+        #: ``manifest=False`` (the shard-worker path, whose coordinator
+        #: composes digests from footers instead).
+        self._input_sha_valid = True
         self._closed_flag = False
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        del state["_input_sha"]
+        state["_input_sha_valid"] = False
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._input_sha = hashlib.sha256()
 
     # ------------------------------------------------------------ writing
 
@@ -321,6 +367,12 @@ class ArchiveWriter:
         workers) close with ``manifest=False`` and are finalized once by
         :func:`finalize_archive`.
         """
+        if manifest and not self._input_sha_valid:
+            raise ValueError(
+                "input-order digest was invalidated by a checkpoint "
+                "restore; close with manifest=False and finalize via "
+                "finalize_archive()"
+            )
         if not self._closed_flag:
             for node in sorted(self._open):
                 self._closed.append(self._open[node].close(self.bucket_seconds))

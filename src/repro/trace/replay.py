@@ -236,6 +236,23 @@ class ClusterReplayConfig:
     start_method: Optional[str] = None
     #: Force worker processes on/off (default: processes iff shards > 1).
     processes: Optional[bool] = None
+    #: Capture checkpoints into this directory: ``warmup-<pos>.ckpt`` and
+    #: ``measured-<pos>.ckpt`` at window barriers, plus a
+    #: ``measure-start.ckpt`` at the warmup/measurement boundary (the one
+    #: a forked what-if leg resumes from to skip the warmup prefix
+    #: entirely).  See docs/CHECKPOINTS.md.
+    checkpoint_dir: Optional[str | Path] = None
+    #: Align barriers (and captures) to every N epochs.
+    checkpoint_every: Optional[int] = None
+    #: Restore this checkpoint and run only the remaining suffix.  The
+    #: run's parameters must match the capturing run's
+    #: (``checkpoint-config``) and the regenerated arrival log must hash
+    #: to what the capture recorded (``checkpoint-arrivals``).
+    resume_from: Optional[str | Path] = None
+    #: With ``resume_from``: what-if divergence to apply at the barrier
+    #: -- ``{"manager_factory": ..., "scheduler": ..., "reseed": ...}``
+    #: (see :meth:`repro.faas.cluster.ShardedClusterSession.restore`).
+    fork: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -264,6 +281,13 @@ class ClusterReplayResult:
     coordinator_wall_seconds: float = 0.0
     worker_busy_seconds: float = 0.0
     coordination_overhead: float = 0.0
+    #: Checkpoints this run captured, in capture order.
+    checkpoints: List[Path] = field(default_factory=list)
+    #: Phase the run resumed into (``"warmup"``/``"measured"``), or
+    #: ``None`` for a from-scratch run.
+    resumed_phase: Optional[str] = None
+    #: Simulated time the measurement window started at.
+    measure_start: float = 0.0
 
 
 def cluster_replay(
@@ -282,6 +306,7 @@ def cluster_replay(
     """
     from repro import procenv
     from repro.faas.cluster import ClusterConfig, ShardedClusterSession
+    from repro.sim import checkpoint
     from repro.trace.archive import adaptive_bucket_seconds
 
     config = config or ClusterReplayConfig()
@@ -290,6 +315,19 @@ def cluster_replay(
     archiving = config.archive_dir is not None
     if config.window is not None and not archiving:
         raise ValueError("window requires archive_dir")
+    if config.fork and config.resume_from is None:
+        raise ValueError("fork requires resume_from")
+    if config.checkpoint_every is not None and config.checkpoint_dir is None:
+        raise ValueError("checkpoint_every requires checkpoint_dir")
+    ckpt_dir = (
+        Path(config.checkpoint_dir) if config.checkpoint_dir is not None else None
+    )
+    # Read the header (no pickle executed) up front: a resumed traced run
+    # must rewrite the *capturing* run's archive root, whose path the
+    # capture recorded in its meta.
+    resume_meta: Optional[Dict[str, object]] = None
+    if config.resume_from is not None:
+        resume_meta = checkpoint.read_header(config.resume_from)["meta"]
     # Both phases' arrivals are drawn up front (same generator call order
     # as always) so the archive bucket width can be sized from the
     # measurement window's density before any worker starts -- a pure
@@ -307,10 +345,21 @@ def cluster_replay(
     # archive root shared by all workers (a temporary root when only the
     # flat trace was asked for); no trace record ever crosses the
     # coordination pipes.
+    ephemeral_archive = False
     if archiving:
         archive_root: Optional[Path] = Path(config.archive_dir)
     elif tracing:
-        archive_root = Path(tempfile.mkdtemp(prefix="repro-shard-archive-"))
+        if resume_meta is not None and resume_meta.get("archive_root"):
+            # Rewrite the capturing run's root: the restored hosts'
+            # open segments and shipped footers all point into it.
+            archive_root = Path(str(resume_meta["archive_root"]))
+        elif ckpt_dir is not None:
+            # Pin the root next to the checkpoints so a later resume
+            # still finds the segments closed before its barrier.
+            archive_root = ckpt_dir / "archive"
+        else:
+            archive_root = Path(tempfile.mkdtemp(prefix="repro-shard-archive-"))
+            ephemeral_archive = True
     else:
         archive_root = None
     cluster_config = ClusterConfig(
@@ -337,20 +386,106 @@ def cluster_replay(
         ),
         start_method=config.start_method,
     )
+    checkpoints: List[Path] = []
+
+    def make_barrier(phase_name: str, digest: str, extra: Dict[str, object]):
+        if ckpt_dir is None:
+            return None
+
+        def on_barrier(s: "ShardedClusterSession", index: int, pos: int) -> None:
+            path = ckpt_dir / f"{phase_name}-{pos:06d}.ckpt"
+            s.capture(
+                path,
+                index,
+                pos,
+                meta={
+                    "phase": phase_name,
+                    "arrivals_sha256": digest,
+                    "archive_root": (
+                        str(archive_root) if archive_root is not None else None
+                    ),
+                    **extra,
+                },
+            )
+            checkpoints.append(path)
+
+        return on_barrier
+
+    def verify_arrivals(digest: str) -> None:
+        recorded = resume_meta.get("arrivals_sha256")
+        if recorded is not None and recorded != digest:
+            raise checkpoint.CheckpointError(
+                "checkpoint-arrivals",
+                f"checkpoint {config.resume_from}",
+                "the regenerated arrival log is not the one the capture "
+                "recorded (trace_seed/scale/duration mismatch)",
+            )
+
+    resumed_phase: Optional[str] = None
     coordinator_started = procenv.wall_clock()
     try:
-        session.run_phase(warm, start=0.0, end=config.warmup_seconds)
-        # Identical for every shard count: the max shard clock is the
-        # global last-event time of the (deterministic) warmup drain.
-        measure_start = max(session.clock, config.warmup_seconds)
-        session.mark("reset-metrics")
-        if archive_root is not None:
-            session.mark("start-trace")
+        start_index = start_pos = 0
+        if config.resume_from is not None:
+            cursor = session.restore(config.resume_from, fork=config.fork)
+            resume_meta = cursor["meta"]
+            resumed_phase = str(resume_meta.get("phase", "measured"))
+            start_index, start_pos = cursor["index"], cursor["pos"]
+        if resumed_phase in (None, "warmup"):
+            warm_digest = checkpoint.arrivals_digest(warm)
+            if resumed_phase == "warmup":
+                verify_arrivals(warm_digest)
+            session.run_phase(
+                warm,
+                start=0.0,
+                end=config.warmup_seconds,
+                start_index=start_index,
+                start_pos=start_pos,
+                checkpoint_every=config.checkpoint_every,
+                on_barrier=make_barrier("warmup", warm_digest, {}),
+            )
+            # Identical for every shard count: the max shard clock is the
+            # global last-event time of the (deterministic) warmup drain.
+            measure_start = max(session.clock, config.warmup_seconds)
+            session.mark("reset-metrics")
+            if archive_root is not None:
+                session.mark("start-trace")
+            start_index = start_pos = 0
+            fresh_measurement = True
+        else:
+            measure_start = float(resume_meta["measure_start"])
+            fresh_measurement = False
         measured = [(measure_start + t, d) for t, d in measured_offsets]
+        measured_digest = checkpoint.arrivals_digest(measured)
+        measured_meta = {"measure_start": measure_start}
+        if not fresh_measurement:
+            verify_arrivals(measured_digest)
+        measured_barrier = make_barrier("measured", measured_digest, measured_meta)
+        if ckpt_dir is not None and fresh_measurement:
+            # The warmup/measurement boundary: the checkpoint a forked
+            # what-if leg resumes from to skip the warmup prefix.
+            path = ckpt_dir / "measure-start.ckpt"
+            session.capture(
+                path,
+                0,
+                0,
+                meta={
+                    "phase": "measured",
+                    "arrivals_sha256": measured_digest,
+                    "archive_root": (
+                        str(archive_root) if archive_root is not None else None
+                    ),
+                    **measured_meta,
+                },
+            )
+            checkpoints.append(path)
         session.run_phase(
             measured,
             start=measure_start,
             end=measure_start + config.duration_seconds,
+            start_index=start_index,
+            start_pos=start_pos,
+            checkpoint_every=config.checkpoint_every,
+            on_barrier=measured_barrier,
         )
         nodes = session.finish()
         per_node_requests = list(session.router.assigned)
@@ -392,7 +527,7 @@ def cluster_replay(
             if config.window is not None:
                 window = config.window.read(archive_root)
         finally:
-            if not archiving:
+            if ephemeral_archive:
                 shutil.rmtree(archive_root, ignore_errors=True)
 
     outcomes = [pair for node in sorted(nodes) for pair in nodes[node]["outcomes"]]
@@ -405,7 +540,10 @@ def cluster_replay(
             busy[category] = busy.get(category, 0.0) + seconds
     total_busy = sum(busy.values())
     cluster_cpus = config.platform.cpus * config.nodes
-    manager = manager_factory()
+    name_factory = manager_factory
+    if config.fork and config.fork.get("manager_factory") is not None:
+        name_factory = config.fork["manager_factory"]
+    manager = name_factory()
     stats = ReplayStats(
         policy=getattr(manager, "name", type(manager).__name__),
         scale_factor=config.scale_factor,
@@ -445,4 +583,7 @@ def cluster_replay(
         coordinator_wall_seconds=coordinator_wall,
         worker_busy_seconds=worker_busy,
         coordination_overhead=max(0.0, coordinator_wall - worker_busy),
+        checkpoints=checkpoints,
+        resumed_phase=resumed_phase,
+        measure_start=measure_start,
     )

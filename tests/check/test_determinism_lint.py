@@ -18,6 +18,11 @@ nondeterminism sources:
   between runs; archive code goes through the pinned helpers in
   ``repro.trace.archive`` (``mtime=0``, no filename, fixed level),
   which is the one file exempt from this rule.
+* ad-hoc ``pickle`` calls -- simulation state serialized outside
+  ``repro.sim.checkpoint`` would bypass the schema version, content
+  digest and environment fingerprint that make a restore trustworthy
+  (``sim/wire.py`` is the other sanctioned site: it frames the shard
+  IPC protocol, whose blobs never touch disk).
 """
 
 from __future__ import annotations
@@ -42,6 +47,12 @@ WALL_CLOCK_EXEMPT = {"analysis/bench.py", "procenv.py"}
 #: The one module allowed to touch gzip directly: it owns the pinned
 #: deterministic writers everything else must use.
 GZIP_EXEMPT = {"trace/archive.py"}
+
+#: Modules allowed to call pickle directly: ``sim/checkpoint.py`` wraps
+#: every durable dump in the versioned, digest-guarded checkpoint
+#: format, and ``sim/wire.py`` frames the in-memory shard IPC protocol.
+#: Everything else must go through them.
+PICKLE_EXEMPT = {"sim/checkpoint.py", "sim/wire.py"}
 
 
 def _iter_sources():
@@ -74,6 +85,13 @@ def _lint(rel: str, tree: ast.AST):
                         f"{where}: gzip.{attr} (header embeds wall-clock "
                         "mtime; use repro.trace.archive helpers)"
                     )
+            if base == "pickle" and attr in ("dump", "dumps", "load", "loads",
+                                             "Pickler", "Unpickler"):
+                if rel not in PICKLE_EXEMPT:
+                    yield (
+                        f"{where}: pickle.{attr} (unversioned, undigested "
+                        "state; use repro.sim.checkpoint)"
+                    )
         elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
             if node.func.id == "hash":
                 yield f"{where}: builtin hash() is per-process salted; use hash_stable"
@@ -102,20 +120,22 @@ def test_wall_clock_exemptions_still_exist():
 
 def test_lint_catches_planted_violations(tmp_path):
     planted = (
-        "import gzip, random, time\n"
+        "import gzip, pickle, random, time\n"
         "x = random.random()\n"
         "t = time.time()\n"
         "h = hash('key')\n"
         "z = gzip.open('out.gz', 'wt')\n"
+        "p = pickle.dumps(x)\n"
         "for item in {1, 2}:\n"
         "    pass\n"
     )
     hits = list(_lint("planted.py", ast.parse(planted)))
-    assert len(hits) == 5
+    assert len(hits) == 6
     assert any("random.random" in h for h in hits)
     assert any("time.time" in h for h in hits)
     assert any("hash()" in h for h in hits)
     assert any("gzip.open" in h for h in hits)
+    assert any("pickle.dumps" in h for h in hits)
     assert any("iterating a set" in h for h in hits)
 
 
@@ -123,3 +143,12 @@ def test_gzip_rule_exempts_the_archive_module():
     planted = "import gzip\nz = gzip.GzipFile(fileobj=None)\n"
     assert list(_lint("trace/archive.py", ast.parse(planted))) == []
     assert len(list(_lint("sim/trace.py", ast.parse(planted)))) == 1
+
+
+def test_pickle_rule_exempts_only_the_checkpoint_and_wire_modules():
+    planted = "import pickle\nblob = pickle.dumps({})\nback = pickle.loads(blob)\n"
+    assert list(_lint("sim/checkpoint.py", ast.parse(planted))) == []
+    assert list(_lint("sim/wire.py", ast.parse(planted))) == []
+    assert len(list(_lint("check/fuzz.py", ast.parse(planted)))) == 2
+    for rel in PICKLE_EXEMPT:
+        assert (SRC / rel).is_file(), f"stale exemption {rel}"

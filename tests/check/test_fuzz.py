@@ -112,6 +112,67 @@ class TestShrink:
         assert len(calls) <= 20
 
 
+class TestSnapshots:
+    """Mid-run world snapshots and the suffix-only shrink they enable."""
+
+    def test_clean_run_logs_snapshots_at_the_cadence(self):
+        ops = generate_ops(0, 300)
+        log = []
+        failure, _ = run_ops(ops, check_every=25, checkpoint_every=50,
+                             snapshot_log=log)
+        assert failure is None
+        assert [index for index, _ in log] == [
+            n for n in range(50, len(ops) + 1, 50)
+        ]
+        assert all(isinstance(blob, bytes) and blob for _, blob in log)
+
+    def test_resume_from_snapshot_finishes_clean(self):
+        ops = generate_ops(0, 300)
+        log = []
+        run_ops(ops, check_every=25, checkpoint_every=100, snapshot_log=log)
+        snap_index, blob = log[0]
+        failure, _ = run_ops(ops[snap_index:], check_every=25, resume=blob,
+                             start_index=snap_index)
+        assert failure is None
+
+    def test_resumed_failure_index_names_the_full_schedule_position(self):
+        clean = generate_ops(0, 120)
+        assert len(clean) >= 20
+        ops = clean + [{"op": "explode"}]
+        log = []
+        failure, _ = run_ops(ops, check_every=10, checkpoint_every=20,
+                             snapshot_log=log)
+        assert failure is not None
+        assert failure.kind == "crash:AttributeError"
+        assert failure.op_index == len(clean)
+        snap_index, blob = log[-1]
+        resumed, _ = run_ops(ops[snap_index:], check_every=10, resume=blob,
+                             start_index=snap_index)
+        # The reported index is absolute, not suffix-relative.
+        assert resumed.op_index == failure.op_index
+
+    def test_suffix_shrink_restarts_from_the_last_snapshot(self, monkeypatch,
+                                                           tmp_path):
+        import repro.check.fuzz as fuzz_mod
+        from repro.check.fuzz import fuzz_seed
+
+        clean = generate_ops(0, 120)
+        planted = clean + [{"op": "explode"}]
+        monkeypatch.setattr(fuzz_mod, "generate_ops",
+                            lambda seed, n_ops: planted)
+        report = fuzz_seed(0, len(planted), check_every=10,
+                           case_dir=str(tmp_path), checkpoint_every=20)
+        assert not report.ok
+        assert report.failure.kind == "crash:AttributeError"
+        # The shrinker restarted from the last snapshot before the
+        # failure rather than replaying the prefix for every candidate.
+        assert report.snapshot_index == (len(clean) // 20) * 20
+        # ...and the written case still reproduces standalone.
+        replayed, _ = replay_case(Path(report.case_path))
+        assert replayed is not None
+        assert replayed.kind == "crash:AttributeError"
+
+
 class TestCaseFiles:
     def test_round_trip(self, tmp_path):
         ops = generate_ops(2, 50)
@@ -178,6 +239,11 @@ class TestCli:
         out = capsys.readouterr().out
         assert "2 seeds x 150 ops" in out
         assert "0 failing" in out
+
+    def test_fuzz_accepts_checkpoint_cadence(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--ops", "150",
+                     "--check-every", "10", "--checkpoint-every", "50"]) == 0
+        assert "0 failing" in capsys.readouterr().out
 
     def test_replay_clean_case_exit_zero(self, tmp_path, capsys):
         ops = generate_ops(0, 80)
