@@ -1,0 +1,108 @@
+"""Gate the effect-cache hit rate of memoized bench legs.
+
+CI runs the small replay suite with ``--memo-twin`` and feeds the
+resulting JSON here.  The digest gate (memoized trace byte-identical to
+the plain twin) already lives in the runner itself -- this script checks
+the other half of the memoization contract: the cache must actually be
+hitting, otherwise the ``:memo`` leg silently degrades into a slower
+copy of the plain leg and the speedup numbers in BENCH_replay.json stop
+meaning anything.
+
+The floor is size-dependent: small's 30-second measurement window caps
+the hit rate near 40% (docs/MEMOIZATION.md), so CI gates at 0.25 --
+low enough to absorb scheduling jitter, high enough to catch a
+fingerprint regression, which drops the rate to ~0.
+
+Always writes a compact per-leg stats digest (``--stats-out``) so a
+failing run ships the counters with the job artifact.
+
+Usage::
+
+    python benchmarks/check_memo_stats.py memo-smoke.json \
+        --min-hit-rate 0.25 --stats-out memo-stats.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def collect_memo_runs(document: dict) -> list:
+    runs = []
+    for run in document.get("runs", []):
+        if ":memo" not in run.get("label", ""):
+            continue
+        metrics = run.get("metrics", {})
+        runs.append(
+            {
+                "label": run["label"],
+                "wall_seconds": run.get("wall_seconds"),
+                "memo_hits": metrics.get("memo_hits", 0),
+                "memo_misses": metrics.get("memo_misses", 0),
+                "memo_evictions": metrics.get("memo_evictions", 0),
+                "memo_entries": metrics.get("memo_entries", 0),
+                "memo_cached_bytes": metrics.get("memo_cached_bytes", 0),
+                "memo_hit_rate": metrics.get("memo_hit_rate", 0.0),
+            }
+        )
+    return runs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", help="bench results JSON (--json output)")
+    parser.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=0.25,
+        help="minimum acceptable memo_hit_rate per :memo leg",
+    )
+    parser.add_argument(
+        "--stats-out",
+        default=None,
+        help="write a compact per-leg memo stats JSON here",
+    )
+    args = parser.parse_args(argv)
+
+    document = json.loads(Path(args.results).read_text())
+    runs = collect_memo_runs(document)
+    if args.stats_out:
+        Path(args.stats_out).write_text(
+            json.dumps({"memo_runs": runs}, indent=2, sort_keys=True) + "\n"
+        )
+
+    if not runs:
+        print(
+            "no :memo legs found in the results "
+            "(missing --memo-twin, or wrong --memo-sizes?)",
+            file=sys.stderr,
+        )
+        return 1
+
+    failures = []
+    for run in runs:
+        lookups = run["memo_hits"] + run["memo_misses"]
+        print(
+            f"{run['label']}: hit_rate={run['memo_hit_rate']:.3f} "
+            f"({run['memo_hits']}/{lookups}), "
+            f"entries={run['memo_entries']}, "
+            f"evictions={run['memo_evictions']}, "
+            f"cached_bytes={run['memo_cached_bytes']}"
+        )
+        if lookups == 0:
+            failures.append(f"{run['label']}: cache saw no lookups")
+        elif run["memo_hit_rate"] < args.min_hit_rate:
+            failures.append(
+                f"{run['label']}: hit rate {run['memo_hit_rate']:.3f} "
+                f"below the {args.min_hit_rate:g} floor"
+            )
+    for failure in failures:
+        print(f"MEMO HIT RATE {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,7 +35,9 @@ import re
 import shutil
 import tempfile
 import time
+import tracemalloc
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass
 from functools import partial
 from pathlib import Path
@@ -43,6 +45,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro import fastpath, procenv
 from repro.mem.layout import MIB, PAGE_SIZE
+from repro.memo import toggle as memo_toggle
 
 #: Policies a replay spec accepts (characterize accepts POLICIES as well).
 REPLAY_POLICIES = ("vanilla", "eager", "desiccant")
@@ -110,6 +113,12 @@ class BenchSpec:
     #: and gate the forked leg's merged-trace digest against the
     #: from-scratch run's (docs/CHECKPOINTS.md).
     fork: bool = False
+    #: Run with the invocation effect cache (``REPRO_MEMO``) enabled and
+    #: report its hit/miss/eviction/bytes counters.  The digest gate pins
+    #: a memo leg's trace to its plain twin (same label without
+    #: ``:memo``) -- memoization changes speed, never bytes
+    #: (docs/MEMOIZATION.md).
+    memo: bool = False
 
     @property
     def label(self) -> str:
@@ -125,6 +134,8 @@ class BenchSpec:
                 label += ":unbatched"
             if self.fork:
                 label += ":fork"
+            if self.memo:
+                label += ":memo"
             return label if self.fastpath else label + ":base"
         return f"micro:vmm:{self.size_mib}mib"
 
@@ -198,6 +209,27 @@ def _archive_metrics(archive_dir: str, flat_path: str) -> Dict[str, object]:
         metrics["archive_window_events"] = result.events
         metrics["archive_window_segments_read"] = len(result.segments_read)
     return metrics
+
+
+def _memo_metrics(stats: Optional[Dict[str, int]]) -> Dict[str, object]:
+    """Flatten a replay's effect-cache counters into leg metrics.
+
+    ``stats`` is the measurement-window counter dict a memoized
+    :func:`~repro.trace.replay.replay` / ``cluster_replay`` attaches to
+    its result (summed over shards for cluster legs).  The hit rate is
+    derived here so the committed baseline carries it directly.
+    """
+    if stats is None:
+        return {}
+    lookups = stats["hits"] + stats["misses"]
+    return {
+        "memo_hits": stats["hits"],
+        "memo_misses": stats["misses"],
+        "memo_evictions": stats["evictions"],
+        "memo_entries": stats["entries"],
+        "memo_cached_bytes": stats["cached_bytes"],
+        "memo_hit_rate": round(stats["hits"] / lookups, 4) if lookups else 0.0,
+    }
 
 
 def _run_replay(spec: BenchSpec) -> Dict[str, object]:
@@ -294,6 +326,7 @@ def _run_replay(spec: BenchSpec) -> Dict[str, object]:
             if spec.trace:
                 metrics["trace_events"] = result.trace_events
                 metrics["trace_sha256"] = result.trace_sha256
+            metrics.update(_memo_metrics(result.memo_stats))
             if fork_result is not None:
                 metrics["scratch_wall_seconds"] = round(scratch_wall, 4)
                 metrics["fork_wall_seconds"] = round(fork_wall, 4)
@@ -341,6 +374,7 @@ def _run_replay(spec: BenchSpec) -> Dict[str, object]:
             metrics["trace_sha256"] = hashlib.sha256(
                 Path(trace_path).read_bytes()
             ).hexdigest()
+        metrics.update(_memo_metrics(result.memo_stats))
         if spec.archive:
             metrics.update(_archive_metrics(archive_dir, trace_path))
         return metrics
@@ -398,9 +432,13 @@ def execute_spec(
 ) -> Dict[str, object]:
     """Run one spec; returns its metrics plus wall/CPU timings.
 
-    The spec's ``fastpath`` flag is forced for the duration of the run
-    (overriding ``REPRO_FASTPATH``), so a spec names one leg unambiguously.
-    With ``profile_dir`` the run executes under ``cProfile`` and dumps
+    The spec's ``fastpath`` and ``memo`` flags are forced for the duration
+    of the run (overriding ``REPRO_FASTPATH``/``REPRO_MEMO``), so a spec
+    names one leg unambiguously.  Every leg also samples its own Python
+    allocation high-water mark (``peak_tracemalloc_bytes``): tracemalloc
+    runs for *all* legs, memoized or not, so the uniform tracing overhead
+    cancels out of every wall-time ratio the suite reports.  With
+    ``profile_dir`` the run executes under ``cProfile`` and dumps
     ``<label>.prof`` plus a cumulative-time top-30 listing next to it.
     Top-level (not a closure) so ``ProcessPoolExecutor`` can pickle it.
     """
@@ -408,8 +446,11 @@ def execute_spec(
     if profile_dir is not None:
         Path(profile_dir).mkdir(parents=True, exist_ok=True)
         profiler = cProfile.Profile()
+    tracemalloc.start()
     wall0, cpu0 = time.perf_counter(), time.process_time()
-    with fastpath.override(spec.fastpath):
+    with fastpath.override(spec.fastpath), (
+        memo_toggle.override(True) if spec.memo else nullcontext()
+    ):
         if profiler is not None:
             profiler.enable()
         try:
@@ -424,12 +465,19 @@ def execute_spec(
         finally:
             if profiler is not None:
                 profiler.disable()
+    wall = time.perf_counter() - wall0
+    cpu = time.process_time() - cpu0
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
     result = {
         "label": spec.label,
         "spec": asdict(spec),
         "metrics": metrics,
-        "wall_seconds": round(time.perf_counter() - wall0, 4),
-        "cpu_seconds": round(time.process_time() - cpu0, 4),
+        "wall_seconds": round(wall, 4),
+        "cpu_seconds": round(cpu, 4),
+        # Coordinator-process peak only: cluster shard workers allocate in
+        # their own processes, which this counter does not see.
+        "peak_tracemalloc_bytes": peak_bytes,
     }
     if profiler is not None:
         stem = Path(profile_dir) / spec.label.replace(":", "_")
@@ -439,6 +487,60 @@ def execute_spec(
             stats.sort_stats("cumulative").print_stats(30)
         result["profile"] = f"{stem}.prof"
     return result
+
+
+def write_profile_diffs(
+    profile_dir: str, results: Sequence[Dict[str, object]], top: int = 30
+) -> List[str]:
+    """Pair each memo leg's profile with its plain twin's and diff them.
+
+    For every profiled ``:memo`` replay leg whose plain twin was also
+    profiled in this run, writes ``<memo label>.diff.txt`` next to the
+    ``.prof`` dumps: the ``top`` functions ranked by absolute
+    cumulative-time delta (negative = the memoized leg spent less time
+    there -- the warm path the cache removed; positive = cost the memo
+    layer added, e.g. effect capture and fingerprinting).  Returns the
+    paths written.  Legs without a profiled twin are simply skipped.
+    """
+    profiled = {
+        r["label"]: r["profile"] for r in results if "profile" in r
+    }
+    written: List[str] = []
+    for label, prof in sorted(profiled.items()):
+        if not _MEMO_SUFFIX.search(label):
+            continue
+        twin = profiled.get(_MEMO_SUFFIX.sub("", label))
+        if twin is None:
+            continue
+        memo_stats = pstats.Stats(str(prof)).stats
+        plain_stats = pstats.Stats(str(twin)).stats
+        rows = []
+        for func in set(memo_stats) | set(plain_stats):
+            memo_cum = memo_stats.get(func, (0, 0, 0.0, 0.0, {}))[3]
+            plain_cum = plain_stats.get(func, (0, 0, 0.0, 0.0, {}))[3]
+            delta = memo_cum - plain_cum
+            if memo_cum or plain_cum:
+                rows.append((delta, memo_cum, plain_cum, func))
+        rows.sort(key=lambda row: (-abs(row[0]), row[3]))
+        path = Path(profile_dir) / (label.replace(":", "_") + ".diff.txt")
+        with open(path, "w") as sink:
+            sink.write(
+                f"profile-diff: {label} vs {_MEMO_SUFFIX.sub('', label)}\n"
+                f"top {top} functions by |cumulative-time delta| "
+                "(negative = memoized leg cheaper)\n\n"
+            )
+            sink.write(
+                f"{'delta_s':>10} {'memo_cum_s':>11} {'plain_cum_s':>12}  "
+                "function\n"
+            )
+            for delta, memo_cum, plain_cum, func in rows[:top]:
+                file, line, name = func
+                sink.write(
+                    f"{delta:>+10.4f} {memo_cum:>11.4f} {plain_cum:>12.4f}  "
+                    f"{name} ({file}:{line})\n"
+                )
+        written.append(str(path))
+    return written
 
 
 def run_benchmarks(
@@ -521,6 +623,9 @@ def build_replay_macro(
     scheduler: str = "warm-affinity",
     include_unbatched: bool = False,
     include_forked: bool = False,
+    include_memo: bool = False,
+    memo_policies: Sequence[str] = ("vanilla",),
+    memo_sizes: Optional[Sequence[str]] = None,
 ) -> List[BenchSpec]:
     """The macro replay suite: every (size, policy) as a fast/base leg pair.
 
@@ -542,6 +647,23 @@ def build_replay_macro(
     ``measure-start`` checkpoint, a forked twin resumes from it skipping
     the warmup prefix, and :func:`verify_trace_identity` pins the two
     merged-trace digests to each other.
+
+    ``include_memo`` adds an effect-cache twin (label suffix ``:memo``)
+    per ``memo_policies`` cell: same workload with ``REPRO_MEMO`` on,
+    digest-gated byte-identical against the plain fast leg, reporting
+    hit/miss/bytes counters and the warm-path speedup.  Memo twins trace
+    but skip archive metrics (like the ``:unbatched`` comparison legs,
+    they time the bare simulation), and default to the vanilla policy:
+    desiccant's per-invocation threshold adaptation perturbs the causal
+    fingerprint almost every call, so its hit rate is structurally near
+    zero (docs/MEMOIZATION.md).  ``memo_sizes`` restricts which sizes get
+    the twin (``None`` = all of ``sizes``): the committed baseline keeps
+    memo legs on medium/large, where the measurement window is long
+    enough for recurring trajectories to dominate -- small's 30-second
+    window structurally caps the hit rate around 40%.  With ``nodes``
+    set each memo policy also gets cluster memo twins -- the serial twin
+    plus one per shard count -- so the digest gate pins memoized merged
+    traces across process boundaries too.
     """
     specs = []
     for size in sizes:
@@ -570,6 +692,43 @@ def build_replay_macro(
                         archive=leg_fast,
                     )
                 )
+            if (
+                include_memo
+                and policy in memo_policies
+                and (memo_sizes is None or size in memo_sizes)
+            ):
+                specs.append(
+                    BenchSpec(
+                        kind="replay",
+                        policy=policy,
+                        scale=shape["scale"],
+                        duration=shape["duration"],
+                        warmup=shape["warmup"],
+                        capacity_mib=int(shape["capacity_mib"]),
+                        seed=seed,
+                        trace=True,
+                        memo=True,
+                    )
+                )
+                if nodes:
+                    for shards in (1, *shard_counts):
+                        specs.append(
+                            BenchSpec(
+                                kind="replay",
+                                policy=policy,
+                                scale=shape["scale"],
+                                duration=shape["duration"],
+                                warmup=shape["warmup"],
+                                capacity_mib=int(shape["capacity_mib"]),
+                                seed=seed,
+                                trace=True,
+                                nodes=nodes,
+                                shards=shards,
+                                scheduler=scheduler,
+                                epoch=2.0,
+                                memo=True,
+                            )
+                        )
             if nodes:
                 for shards in (1, *shard_counts):
                     protocols = ["batched"]
@@ -628,10 +787,16 @@ _SHARD_SUFFIX = re.compile(r":s\d+")
 _NODES_SUFFIX = re.compile(r":n\d+")
 #: ``:unbatched`` protocol suffix (the batched default has none).
 _UNBATCHED_SUFFIX = re.compile(r":unbatched")
+#: ``:memo`` effect-cache suffix (the plain twin has none).
+_MEMO_SUFFIX = re.compile(r":memo")
 
 
 def _serial_twin_label(label: str) -> str:
-    """The serial-twin label a sharded leg's digest gates against."""
+    """The serial-twin label a sharded leg's digest gates against.
+
+    Keeps a ``:memo`` suffix: a sharded memo leg's serial twin is the
+    *memoized* single-shard run (its plain pairing is handled separately).
+    """
     return _SHARD_SUFFIX.sub("", _UNBATCHED_SUFFIX.sub("", label))
 
 
@@ -644,6 +809,11 @@ def verify_trace_identity(results: Sequence[Dict[str, object]]) -> List[str]:
     * every sharded cluster leg (``:sK``) vs its serial twin (the same
       label without the shard suffix) -- the multi-process run must merge
       to the exact bytes of the single-process run;
+    * every memoized leg (``:memo``) vs its plain twin (the same label
+      without the memo suffix) -- applying recorded effect deltas must
+      reproduce the simulated run byte for byte (docs/MEMOIZATION.md);
+      sharded memo legs additionally gate against their *memoized*
+      serial twin through the shard pairing above;
     * within every archiving leg, the archive's composed per-segment
       digest vs the flat whole-run digest -- the composition rule
       (docs/TRACE_ARCHIVE.md) holding at benchmark scale.
@@ -684,6 +854,16 @@ def verify_trace_identity(results: Sequence[Dict[str, object]]) -> List[str]:
                 f"({metrics['trace_events']} events, "
                 f"{metrics['trace_sha256'][:12]} != {base['trace_sha256'][:12]})"
             )
+        if _MEMO_SUFFIX.search(label):
+            plain = digests.get(_MEMO_SUFFIX.sub("", label))
+            if plain is not None and metrics["trace_sha256"] != plain["trace_sha256"]:
+                failures.append(
+                    f"{label}: memoized trace diverged from the plain twin "
+                    f"({metrics['trace_events']} vs "
+                    f"{plain['trace_events']} events, "
+                    f"{metrics['trace_sha256'][:12]} != "
+                    f"{plain['trace_sha256'][:12]})"
+                )
         if _SHARD_SUFFIX.search(label) or _UNBATCHED_SUFFIX.search(label):
             serial = digests.get(_serial_twin_label(label))
             if serial is None or serial is metrics:
@@ -746,9 +926,11 @@ def verify_coordination(
 def replay_speedups(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
     """Wall-clock ratios for every paired replay label.
 
-    Three pairings, one entry per non-reference label that has a partner:
+    Four pairings, one entry per non-reference label that has a partner:
 
     * fast leg vs ``:base`` leg (the fast-path speedup);
+    * ``:memo`` leg vs its plain twin (the warm-path memoization speedup,
+      reported as ``memo_speedup``);
     * sharded cluster leg (``:sK``) vs its serial twin (the multi-process
       speedup -- bounded by the machine's core count);
     * sharded cluster leg vs the *single-platform* fast leg of the same
@@ -772,6 +954,15 @@ def replay_speedups(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
                 base_wall_seconds=base,
                 speedup=round(base / fast, 2) if fast else None,
             )
+        if _MEMO_SUFFIX.search(label):
+            plain_label = _MEMO_SUFFIX.sub("", label)
+            if plain_label in walls:
+                memo, plain = walls[label], walls[plain_label]
+                entry.update(
+                    plain_wall_seconds=plain,
+                    memo_wall_seconds=memo,
+                    memo_speedup=round(plain / memo, 2) if memo else None,
+                )
         if _SHARD_SUFFIX.search(label):
             serial_label = _serial_twin_label(label)
             sharded = walls[label]

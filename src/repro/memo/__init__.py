@@ -1,0 +1,31 @@
+"""Warm-path memoization: the content-addressed invocation effect cache.
+
+``REPRO_MEMO=1`` layers on top of ``REPRO_FASTPATH``: every invocation is
+fingerprinted by its full causal input (function identity, runtime/heap
+state digest, policy context, physical pressure, RNG position) and, on a
+repeat, the recorded effect delta is applied instead of re-simulating the
+object-level allocation and GC work.  Every memoized leg stays pinned
+byte-identical to its non-memo twin through the streaming SHA-256 trace
+digest gates.  See docs/MEMOIZATION.md.
+
+Submodules:
+
+* :mod:`repro.memo.toggle` -- the ``REPRO_MEMO`` flag (mirrors
+  :mod:`repro.fastpath`; construction-time snapshot, never flips mid-run);
+* :mod:`repro.memo.digest` -- the FNV-1a incremental fold and effect
+  opcodes shared by the VMM tap and the runtime layer;
+* :mod:`repro.memo.rng` -- a draw-counting ``random.Random`` so the jitter
+  stream position can join the fingerprint;
+* :mod:`repro.memo.cache` -- the bounded per-process LRU with
+  hit/miss/eviction/bytes counters;
+* :mod:`repro.memo.effects` -- fingerprinting, effect-delta capture, and
+  the record/replay entry point (:func:`repro.memo.effects.invoke`).
+
+This package is the one sanctioned home for module-level mutable caches;
+the determinism lint bans ad-hoc caching everywhere else under
+``src/repro``.
+"""
+
+from repro.memo import cache, digest, toggle
+
+__all__ = ["cache", "digest", "toggle"]

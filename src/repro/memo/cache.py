@@ -1,0 +1,156 @@
+"""The bounded per-process effect-cache LRU.
+
+One cache per process, shared by every platform and instance in it: the
+fingerprint already encodes everything instance-specific, so entries
+recorded by one instance replay on any other at the same causal state --
+that cross-instance reuse (a hot function's fresh containers re-walking
+the exact trajectory earlier containers walked) is where the hit rate
+comes from.  Shard workers each hold their own process-local cache and
+never coordinate, which is what makes memoization shard-count-invariant
+by construction.
+
+Admission defaults to first-touch (capture on the first miss): captures
+are pickled effect deltas cheap enough that paying one per distinct
+fingerprint beats losing the second sighting to a candidate round trip,
+and every repeat visit of a trajectory is a hit from the start.
+``admit_threshold=2`` switches to two-touch admission (first sighting
+only marks a candidate, the second records), which trades hit rate for
+skipping captures of one-shot keys.
+
+Counters follow drain semantics: :func:`drain_stats` returns what
+accumulated since the previous drain and zeroes only the counters (not
+the entries), so per-window and per-shard reports can be summed without
+double counting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+#: Default bounds; ``configure`` overrides them (``repro bench`` keeps the
+#: defaults so committed baselines are comparable).  The entry cap is
+#: sized to hold the full working set of an x40 Azure-derived leg with
+#: headroom -- entry-cap thrash turns evicted keys back into captures,
+#: which cost far more than the retained bytes.
+DEFAULT_MAX_ENTRIES = 32768
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+class EffectCache:
+    """LRU over effect entries with hit/miss/eviction/bytes counters."""
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        admit_threshold: int = 1,
+    ) -> None:
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.admit_threshold = admit_threshold
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+        self._candidates: Dict[Any, None] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.cached_bytes = 0
+
+    def get(self, key: Any) -> Optional[Any]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def admit(self, key: Any) -> bool:
+        """True when this miss should capture (see ``admit_threshold``)."""
+        if self.admit_threshold <= 1:
+            return True
+        if key in self._candidates:
+            return True
+        if len(self._candidates) >= self.max_entries * 4:
+            # Candidate set is bookkeeping, not payload; cap it so a run
+            # of never-repeating keys cannot grow it without bound.
+            self._candidates.clear()
+        self._candidates[key] = None
+        return False
+
+    def put(self, key: Any, entry: Any) -> None:
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self.cached_bytes -= previous.cost
+        self._entries[key] = entry
+        self.cached_bytes += entry.cost
+        while self._entries and (
+            len(self._entries) > self.max_entries
+            or self.cached_bytes > self.max_bytes
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self.cached_bytes -= evicted.cost
+            self.evictions += 1
+
+    # ------------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, int]:
+        """Live snapshot (the ``/stats``-ready probe shape)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "cached_bytes": self.cached_bytes,
+            "entries": len(self._entries),
+        }
+
+    def drain_stats(self) -> Dict[str, int]:
+        """Counters since the last drain; resets counters, keeps entries."""
+        stats = self.stats()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        return stats
+
+    def reset(self) -> None:
+        """Drop entries, candidates, and counters (fresh run)."""
+        self._entries.clear()
+        self._candidates.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.cached_bytes = 0
+
+
+#: The per-process cache (repro/memo is the lint-sanctioned home for
+#: module-level mutable caches).
+_CACHE = EffectCache()
+
+
+def shared() -> EffectCache:
+    return _CACHE
+
+
+def configure(
+    max_entries: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+    admit_threshold: Optional[int] = None,
+) -> None:
+    if max_entries is not None:
+        _CACHE.max_entries = max_entries
+    if max_bytes is not None:
+        _CACHE.max_bytes = max_bytes
+    if admit_threshold is not None:
+        _CACHE.admit_threshold = admit_threshold
+
+
+def stats() -> Dict[str, int]:
+    return _CACHE.stats()
+
+
+def drain_stats() -> Dict[str, int]:
+    return _CACHE.drain_stats()
+
+
+def reset() -> None:
+    _CACHE.reset()

@@ -1,0 +1,59 @@
+"""Incremental FNV-1a folding for the memo fingerprints.
+
+Both content digests that address the effect cache are maintained as
+64-bit FNV-1a folds over integer operation records:
+
+* ``VirtualAddressSpace._memo_sig`` folds every state-changing VMM
+  operation (the op code plus its raw arguments), so two spaces with
+  equal digests have executed the same mutation history from the same
+  construction -- and, by induction, hold identical page-table state;
+* ``ManagedRuntime._memo_sig`` starts from a construction token (class,
+  config repr, fastpath flavor) and folds the externally driven
+  mutations that are invisible to the space digest (``full_gc``,
+  ``free_persistent``, ``reclaim``) plus one ``OP_INVOKE`` marker per
+  completed invocation, so the *interleaving* of invocations and
+  external operations is part of the address.
+
+FNV-1a is not cryptographic; a 64-bit fold per component is plenty for a
+cache key that is ultimately backstopped by the streaming SHA-256 trace
+digest gates (a colliding key would surface as a digest mismatch, not a
+silent wrong answer).  ``zlib.crc32`` seeds the construction tokens --
+the builtin ``hash()`` is per-process salted and banned by the
+determinism lint.
+"""
+
+from __future__ import annotations
+
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x100000001B3
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+#: VMM tape opcodes (folded into the space digest and replayed on a hit).
+OP_MMAP = 1
+OP_MUNMAP = 2
+OP_MPROTECT = 3
+OP_TOUCH = 4
+OP_DISCARD = 5
+OP_SWAP_OUT = 6
+
+#: Runtime-level opcodes (folded into the runtime digest only).
+OP_FULL_GC = 7
+OP_FREE_PERSISTENT = 8
+OP_RECLAIM = 9
+OP_INVOKE = 10
+
+#: Tape-only opcodes (never folded into a digest): pre-resolved effect
+#: records the hit path applies directly instead of re-deriving them
+#: through the public VMM methods.  ``TAPE_SPLICE`` is one touch's
+#: residency splice on one anonymous mapping; ``TAPE_CLEAR`` is one
+#: discard's release on one anonymous mapping.  Operations involving
+#: shared-file state stay op-level on the tape and replay organically.
+TAPE_SPLICE = 100
+TAPE_CLEAR = 101
+
+
+def fold(sig: int, *values: int) -> int:
+    """Fold ``values`` into ``sig`` (64-bit FNV-1a, value-at-a-time)."""
+    for value in values:
+        sig = ((sig ^ (value & _MASK)) * FNV_PRIME) & _MASK
+    return sig

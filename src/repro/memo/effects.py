@@ -1,0 +1,429 @@
+"""Effect-delta capture and replay for memoized invocations.
+
+:func:`invoke` wraps ``model.invoke(runtime)`` (the object-level heap
+simulation that dominates warm-path wall time).  The fingerprint covers
+the invocation's full causal input; on a hit the recorded effect delta
+is applied instead of re-simulating:
+
+* the **VMM tape** applies as bulk effects: anonymous touches and
+  discards are recorded pre-resolved (``TAPE_SPLICE``/``TAPE_CLEAR``
+  carry the run-list window, the replacement pieces, and the counter
+  deltas), so a hit splices the recorded residency directly into the
+  live mapping and bumps the physical/fault/version counters by the
+  recorded amounts -- no per-segment re-derivation.  Operations that
+  touch shared state (file-backed faults, page-cache releases) or
+  reshape the mapping set (``mmap``/``munmap``/``mprotect``/swap-out)
+  stay op-level and re-execute organically through the public
+  ``VirtualAddressSpace`` methods, preserving sharer sets, the global
+  mapping-id counter, and listener cadence exactly;
+* runtime **value fields** (counters, meters, booleans) are assigned
+  from the captured post-invocation values;
+* runtime **structural state** (object graph, JIT cache, per-runtime
+  space bookkeeping) is captured as a pickle with live boundary objects
+  (runtime, space, config, mappings) swapped for persistent ids, and
+  restored *lazily*: the hit parks the entry on
+  ``runtime._memo_pending`` and the unpickle happens only when
+  something actually reads structural state (``_memo_materialize``
+  guards every such entry point).  Consecutive hits replace the pending
+  entry -- captures are absolute -- while per-invocation ``gc_events``
+  suffixes accumulate;
+* the model RNG fast-forwards to the recorded state and draw count;
+* the space digest is *assigned* the recorded post-invocation value:
+  the fingerprint match pins the pre-state byte-identically (digest
+  induction), so the recorded post-digest is the unique digest organic
+  execution would have reached.
+
+Platform-side event emission is untouched: trace lines, telemetry and
+aggregate counters are derived from the (byte-identically restored)
+post-invocation state through the normal code paths, which is what makes
+a memoized leg's merged SHA-256 equal its twin's by construction.
+"""
+
+from __future__ import annotations
+
+import copy
+import io
+import pickle
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.mem.layout import Protection
+from repro.mem.vmm import Mapping
+from repro.memo import cache as memo_cache
+from repro.memo import digest
+
+
+class MemoIntegrityError(RuntimeError):
+    """A recorded effect delta failed to re-apply consistently."""
+
+
+#: The runtime a memo restore is currently rebuilding state for.  Set
+#: (and cleared) by :func:`materialize` so the reduce hooks baked into a
+#: captured pickle can resolve boundary tokens back to live objects at
+#: load time.  Single-threaded by construction: shard workers are
+#: separate processes and a restore never nests.
+_restore_runtime: Optional[Any] = None
+
+
+def _load_ref(tag: str, start: int = 0) -> Any:
+    """Load-time resolver for boundary tokens inside a captured pickle."""
+    runtime = _restore_runtime
+    if runtime is None:
+        raise MemoIntegrityError("memo payload loaded outside materialize()")
+    if tag == "m":
+        live = runtime.space._mappings.get(start)
+        if live is None:
+            raise MemoIntegrityError(
+                f"{runtime.space.name}: no live mapping at "
+                f"{start:#x} for memo restore"
+            )
+        return live
+    if tag == "rt":
+        return runtime
+    if tag == "sp":
+        return runtime.space
+    if tag == "cf":
+        return runtime.config
+    raise MemoIntegrityError(f"unknown memo boundary tag {tag!r}")
+
+
+def _dispatch_table(runtime: Any) -> Dict[type, Any]:
+    """Per-capture reduce hooks swapping live boundary objects (the
+    runtime, its space/config, and every live ``Mapping``) for load-time
+    tokens, so aliasing survives and nothing live is serialized.
+
+    A class-keyed ``dispatch_table`` costs one C-level dict lookup per
+    pickled instance; a ``persistent_id`` hook would cost one Python
+    call per pickled *object* -- tens of millions over a bench leg.
+    """
+    space = runtime.space
+    config = runtime.config
+
+    def reduce_mapping(obj: Any) -> Tuple[Any, ...]:
+        return (_load_ref, ("m", obj.start))
+
+    def reduce_identity(tag: str, live: Any):
+        def reduce(obj: Any) -> Tuple[Any, ...]:
+            if obj is not live:
+                # A same-class sibling that is not the boundary object:
+                # serialize it normally.
+                return obj.__reduce_ex__(pickle.HIGHEST_PROTOCOL)
+            return (_load_ref, (tag,))
+
+        return reduce
+
+    return {
+        Mapping: reduce_mapping,
+        type(runtime): reduce_identity("rt", runtime),
+        type(space): reduce_identity("sp", space),
+        type(config): reduce_identity("cf", config),
+    }
+
+
+#: Runtime fields that stay live across a hit.  Identity and
+#: construction-time wiring (``name``/``config``/``space``), boot-time
+#: objects that invocations never reassign (libraries, the native
+#: mapping), the append-only ``gc_events`` log (restored as a suffix, so
+#: pre-hit history is preserved), the measurement caches (self-keyed on
+#: live version counters, so they self-invalidate), and the memo fields
+#: themselves.
+_EXCLUDED = frozenset(
+    {
+        "name",
+        "config",
+        "space",
+        "_shared_files",
+        "_lib_mappings",
+        "_mapped_specs",
+        "_native",
+        "gc_events",
+        "_uss_cache",
+        "_hrb_cache",
+        "_memo_sig",
+        "_memo_pending",
+    }
+)
+
+
+def _is_value(value: Any) -> bool:
+    if value is None or isinstance(value, (int, float, bool, str)):
+        return True
+    if isinstance(value, tuple):
+        return all(_is_value(item) for item in value)
+    return False
+
+
+class Entry:
+    """One recorded effect delta."""
+
+    __slots__ = (
+        "tape",
+        "result",
+        "scalars",
+        "payload",
+        "gc_suffix",
+        "rng_state",
+        "rng_draws",
+        "runtime_sig",
+        "space_sig",
+        "cost",
+    )
+
+
+def _pressure(physical: Any) -> int:
+    """The platform pressure input: irrelevant (-1) when memory is
+    unlimited, else the global used-byte count (an OOM inside an
+    invocation depends on it)."""
+    if physical.capacity_bytes is None:
+        return -1
+    return physical.used_bytes
+
+
+def _fingerprint(instance: Any) -> Tuple[Any, ...]:
+    runtime = instance.runtime
+    model = instance.model
+    space = runtime.space
+    return (
+        model._memo_ident,
+        instance.memo_context,
+        runtime._memo_sig,
+        space._memo_sig,
+        model._rng.draws,
+        runtime.invocations,
+        _pressure(space.physical),
+    )
+
+
+def invoke(instance: Any) -> Any:
+    """Run one invocation through the effect cache (the memo warm path).
+
+    Falls back to the plain model when the instance was constructed with
+    memo off (its digests are ``None``).
+    """
+    runtime = instance.runtime
+    model = instance.model
+    space = runtime.space
+    if runtime._memo_sig is None or space._memo_sig is None:
+        return model.invoke(runtime)
+    cache = memo_cache.shared()
+    key = _fingerprint(instance)
+    entry = cache.get(key)
+    if entry is not None:
+        _apply(runtime, model, entry)
+        return copy.copy(entry.result)
+    runtime._memo_materialize()
+    if not cache.admit(key):
+        # First sighting: simulate organically, skip the capture cost.
+        result = model.invoke(runtime)
+        runtime.memo_note(digest.OP_INVOKE)
+        return result
+    n_events = len(runtime.gc_events)
+    space._memo_tape = []
+    try:
+        result = model.invoke(runtime)
+    except BaseException:
+        space._memo_tape = None
+        raise
+    runtime.memo_note(digest.OP_INVOKE)
+    tape = space._memo_tape
+    space._memo_tape = None
+    if tape is not None:
+        # A file-backed mmap mid-invocation drops the tape (unrecordable);
+        # everything else is replayable.
+        cache.put(
+            key,
+            _capture(runtime, model, tape, result, runtime.gc_events[n_events:]),
+        )
+    return result
+
+
+# --------------------------------------------------------------- capture
+
+
+def _coalesce(tape: List[Tuple[int, ...]]) -> Tuple[Tuple[int, ...], ...]:
+    """Merge consecutive ``TAPE_SPLICE`` records on the same mapping.
+
+    A bump-allocating invocation touches its heap mapping in dozens of
+    adjacent or right-extending windows; each consecutive pair whose
+    windows are contiguous (``prev.first <= first <= prev.last``) and
+    right-extending (``last >= prev.last``) collapses into one splice:
+    the earlier pieces clipped to ``[prev.first, first)`` plus the later
+    pieces, with counter deltas summed.  ``RunList.splice`` re-merges
+    equal-valued neighbours, so the one-shot splice reproduces the exact
+    post-state of the recorded sequence.
+    """
+    out: List[Tuple[int, ...]] = []
+    for op in tape:
+        if (
+            op[0] == digest.TAPE_SPLICE
+            and out
+            and out[-1][0] == digest.TAPE_SPLICE
+            and out[-1][1] == op[1]
+        ):
+            prev = out[-1]
+            prev_first, prev_last = prev[2], prev[3]
+            first, last = op[2], op[3]
+            if prev_first <= first <= prev_last and last >= prev_last:
+                clipped = [run for run in prev[4] if run[0] < first]
+                if clipped and clipped[-1][1] > first:
+                    s, _, state = clipped[-1]
+                    clipped[-1] = (s, first, state)
+                out[-1] = (
+                    digest.TAPE_SPLICE,
+                    op[1],
+                    prev_first,
+                    last,
+                    tuple(clipped) + op[4],
+                    prev[5] + op[5],
+                    prev[6] + op[6],
+                    prev[7] + op[7],
+                    prev[8] + op[8],
+                    prev[9] + op[9],
+                )
+                continue
+        out.append(op)
+    return tuple(out)
+
+
+def _capture(
+    runtime: Any,
+    model: Any,
+    tape: List[Tuple[int, ...]],
+    result: Any,
+    gc_suffix: List[Any],
+) -> Entry:
+    space = runtime.space
+    scalars: Dict[str, Any] = {}
+    structural: Dict[str, Any] = {}
+    for name, value in runtime.__dict__.items():
+        if name in _EXCLUDED:
+            continue
+        if _is_value(value):
+            scalars[name] = value
+        else:
+            structural[name] = value
+    buffer = io.BytesIO()
+    pickler = pickle.Pickler(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    pickler.dispatch_table = _dispatch_table(runtime)
+    pickler.dump(structural)
+    entry = Entry()
+    entry.tape = _coalesce(tape)
+    entry.result = copy.copy(result)
+    entry.scalars = scalars
+    entry.payload = buffer.getvalue()
+    entry.gc_suffix = tuple(copy.copy(event) for event in gc_suffix)
+    entry.rng_state = model._rng.getstate()
+    entry.rng_draws = model._rng.draws
+    entry.runtime_sig = runtime._memo_sig
+    entry.space_sig = space._memo_sig
+    # Real payload bytes drive the byte-bounded LRU; tape/scalars/result
+    # overhead is estimated.
+    entry.cost = (
+        512 + len(entry.payload) + 64 * len(entry.tape) + 48 * len(scalars)
+    )
+    return entry
+
+
+# ----------------------------------------------------------------- apply
+
+
+def _apply(runtime: Any, model: Any, entry: Entry) -> None:
+    space = runtime.space
+    _replay_tape(space, entry.tape)
+    # The fingerprint pinned the pre-state digest; the recorded
+    # post-digest is therefore the unique value organic execution would
+    # reach.  Bulk tape records do not fold, so assign rather than check.
+    space._memo_sig = entry.space_sig
+    runtime.__dict__.update(entry.scalars)
+    runtime._memo_sig = entry.runtime_sig
+    rng = model._rng
+    rng.setstate(entry.rng_state)
+    rng.draws = entry.rng_draws
+    pending = runtime._memo_pending
+    if pending is None:
+        runtime._memo_pending = (entry, [entry.gc_suffix])
+    else:
+        # Structural captures are absolute: the newest entry wins.  The
+        # per-invocation gc_events suffixes are relative and accumulate.
+        suffixes = pending[1]
+        suffixes.append(entry.gc_suffix)
+        runtime._memo_pending = (entry, suffixes)
+
+
+def _replay_tape(space: Any, tape: Tuple[Tuple[int, ...], ...]) -> None:
+    phys = space.physical
+    mappings = space._mappings
+    faults = space.faults
+    for op in tape:
+        code = op[0]
+        if code == digest.TAPE_SPLICE:
+            _, start, first, last, pieces, anon_d, swap_d, minor, major, changed = op
+            mapping = mappings.get(start)
+            if mapping is None:
+                raise MemoIntegrityError(
+                    f"{space.name}: no live mapping at {start:#x} for memo splice"
+                )
+            mapping._runs.splice(first, last, pieces)
+            mapping.n_anon += anon_d
+            if anon_d:
+                phys.alloc_anon(anon_d)
+            if swap_d:
+                # Swap-ins only: touches never push pages out.
+                mapping.n_swapped += swap_d
+                phys.swap.swap_in(-swap_d)
+            faults.minor += minor
+            faults.major += major
+            space.version += changed
+        elif code == digest.TAPE_CLEAR:
+            _, start, first, last, anon_freed, swap_freed = op
+            mapping = mappings.get(start)
+            if mapping is None:
+                raise MemoIntegrityError(
+                    f"{space.name}: no live mapping at {start:#x} for memo clear"
+                )
+            mapping._runs.clear(first, last)
+            if anon_freed:
+                mapping.n_anon -= anon_freed
+                phys.free_anon(anon_freed)
+            if swap_freed:
+                mapping.n_swapped -= swap_freed
+                phys.swap.discard(swap_freed)
+            space.version += 1
+            space.release_epoch += 1
+        elif code == digest.OP_TOUCH:
+            space.touch(op[1], op[2], write=bool(op[3]))
+        elif code == digest.OP_DISCARD:
+            space.discard(op[1], op[2])
+        elif code == digest.OP_MMAP:
+            mapping = space.mmap(op[1], prot=Protection(op[2]), name=op[3])
+            if mapping.start != op[4]:
+                raise MemoIntegrityError(
+                    f"{space.name}: replayed mmap landed at "
+                    f"{mapping.start:#x}, recorded {op[4]:#x}"
+                )
+        elif code == digest.OP_MUNMAP:
+            space.munmap(op[1], op[2])
+        elif code == digest.OP_MPROTECT:
+            space.mprotect(op[1], op[2], Protection(op[3]))
+        elif code == digest.OP_SWAP_OUT:
+            space.swap_out_range(op[1], op[2])
+        else:
+            raise MemoIntegrityError(f"unknown memo tape op {code!r}")
+
+
+def materialize(runtime: Any, pending: Tuple[Entry, List[Tuple[Any, ...]]]) -> None:
+    """Restore the deferred structural state (called from the runtime's
+    ``_memo_materialize`` guard; ``runtime._memo_pending`` is already
+    cleared by the caller)."""
+    entry, suffixes = pending
+    global _restore_runtime
+    _restore_runtime = runtime
+    try:
+        restored = pickle.loads(entry.payload)
+    finally:
+        _restore_runtime = None
+    state = runtime.__dict__
+    for name, value in restored.items():
+        state[name] = value
+    events = runtime.gc_events
+    for suffix in suffixes:
+        events.extend(copy.copy(event) for event in suffix)

@@ -1,0 +1,41 @@
+"""A draw-counting ``random.Random`` for the memo fingerprint.
+
+The jitter stream position is part of an invocation's causal input: two
+invocations of the same function at the same heap state but different
+stream offsets draw different volumes and must never share a cache
+entry.  ``CountingRandom`` counts ``random()`` calls (the only primitive
+the function models use) so the position is an O(1) read instead of a
+state-tuple comparison.
+
+``__reduce__`` is overridden because ``random.Random``'s C-level default
+reduce rebuilds from ``getstate()`` alone and would silently drop the
+``draws`` attribute -- which matters when a checkpoint pickles a host
+whose models carry counting RNGs (docs/CHECKPOINTS.md).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Tuple
+
+
+class CountingRandom(random.Random):
+    """Seeded RNG that counts its ``random()`` draws."""
+
+    def __init__(self, seed: Any = None) -> None:
+        super().__init__(seed)
+        self.draws = 0
+
+    def random(self) -> float:
+        self.draws += 1
+        return super().random()
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (_rebuild_counting_random, (self.getstate(), self.draws))
+
+
+def _rebuild_counting_random(state: Tuple[Any, ...], draws: int) -> CountingRandom:
+    rng = CountingRandom()
+    rng.setstate(state)
+    rng.draws = draws
+    return rng

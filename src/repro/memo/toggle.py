@@ -1,0 +1,43 @@
+"""The ``REPRO_MEMO`` switch for the invocation effect cache.
+
+Mirrors :mod:`repro.fastpath` exactly, with the opposite default: the
+memo layer is opt-in (unset/""/"0" = off, "1" = on) because it only pays
+off on long repeat-heavy replays, and benchmarks want the non-memo twin
+to stay the measured baseline.  Components snapshot the flag when they
+are constructed -- a runtime built with memo off never starts folding
+digests mid-run, so toggling between legs in one process is safe as long
+as each leg builds fresh platforms (which the bench harness does).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+_enabled: Optional[bool] = None
+
+
+def enabled() -> bool:
+    """Whether the invocation effect cache is active (defaults to off)."""
+    global _enabled
+    if _enabled is None:
+        _enabled = os.environ.get("REPRO_MEMO", "0") not in ("", "0")
+    return _enabled
+
+
+def set_enabled(value: bool) -> None:
+    """Force the flag, overriding the environment."""
+    global _enabled
+    _enabled = bool(value)
+
+
+@contextmanager
+def override(value: bool) -> Iterator[None]:
+    """Temporarily force the flag (tests and paired benchmark runs)."""
+    previous = enabled()
+    set_enabled(value)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

@@ -25,6 +25,8 @@ import time
 from typing import Dict, Optional
 
 from repro import fastpath
+from repro.memo import cache as memo_cache
+from repro.memo import toggle as memo_toggle
 
 #: Flags forwarded verbatim from the parent environment when set.
 _PASSTHROUGH = ("REPRO_CHECK", "REPRO_CHECK_CADENCE", "REPRO_CHECK_EVERY")
@@ -37,7 +39,10 @@ def snapshot(extra: Optional[Dict[str, str]] = None) -> Dict[str, str]:
     (the live flag), so a parent that called ``set_enabled`` ships what
     it is actually running, not a stale environment value.
     """
-    env: Dict[str, str] = {"REPRO_FASTPATH": "1" if fastpath.enabled() else "0"}
+    env: Dict[str, str] = {
+        "REPRO_FASTPATH": "1" if fastpath.enabled() else "0",
+        "REPRO_MEMO": "1" if memo_toggle.enabled() else "0",
+    }
     for key in _PASSTHROUGH:
         value = os.environ.get(key)
         if value is not None:
@@ -56,6 +61,10 @@ def apply(env: Dict[str, str]) -> None:
     for key, value in env.items():
         os.environ[key] = value
     fastpath.set_enabled(env.get("REPRO_FASTPATH", "1") not in ("", "0"))
+    memo_toggle.set_enabled(env.get("REPRO_MEMO", "0") not in ("", "0"))
+    # A worker adopting flags starts a fresh leg; stale entries from a
+    # previous configuration must never satisfy its lookups.
+    memo_cache.reset()
 
 
 def initializer(env: Dict[str, str]) -> None:

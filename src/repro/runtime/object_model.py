@@ -203,3 +203,42 @@ class ObjectGraph:
     def _require(self, oid: int) -> None:
         if oid not in self.objects:
             raise KeyError(f"unknown object id {oid}")
+
+    # ------------------------------------------------------------ pickling
+
+    def __getstate__(self) -> Tuple[object, ...]:
+        """Compact pickle state: one small tuple per node instead of a
+        class-tagged ``__dict__`` each.  Graph serialization sits on two
+        hot paths -- memo effect capture (``repro.memo.effects``) and
+        epoch checkpoints (``repro.sim.checkpoint``) -- and the flat form
+        dumps several times faster at roughly half the bytes."""
+        nodes: List[Tuple[object, ...]] = []
+        append = nodes.append
+        for obj in self.objects.values():
+            if type(obj) is CohortObject:
+                append((obj.oid, obj.size, obj.refs, obj.age, obj.count, obj.unit))
+            else:
+                append((obj.oid, obj.size, obj.refs, obj.age))
+        return (
+            self._next_id,
+            nodes,
+            self.persistent_roots,
+            self.weak_roots,
+            self._frames,
+        )
+
+    def __setstate__(self, state: Tuple[object, ...]) -> None:
+        next_id, nodes, persistent, weak, frames = state
+        self._next_id = next_id
+        objects: Dict[int, HeapObject] = {}
+        for row in nodes:
+            if len(row) == 6:
+                oid, size, refs, age, count, unit = row
+                objects[oid] = CohortObject(oid, size, refs, age, count, unit)
+            else:
+                oid, size, refs, age = row
+                objects[oid] = HeapObject(oid, size, refs, age)
+        self.objects = objects
+        self.persistent_roots = persistent
+        self.weak_roots = weak
+        self._frames = frames

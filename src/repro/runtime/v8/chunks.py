@@ -50,6 +50,15 @@ class Chunk:
         self.top += size
         return offset
 
+    def __getstate__(self) -> Tuple[object, ...]:
+        """Compact pickle state (a flat tuple, no keyed ``__dict__``):
+        chunks dominate the V8 portion of memo effect payloads and epoch
+        checkpoints, and the flat form dumps faster at fewer bytes."""
+        return (self.mapping, self.top, self.objects, self.payload)
+
+    def __setstate__(self, state: Tuple[object, ...]) -> None:
+        self.mapping, self.top, self.objects, self.payload = state
+
     def live_page_mask(self, sizes: Dict[int, int]) -> List[bool]:
         """Which payload pages hold live data (index 0 == page after metadata).
 

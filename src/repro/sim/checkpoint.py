@@ -62,6 +62,7 @@ from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
 from repro import fastpath
 from repro.check.invariants import Violation
+from repro.memo import toggle as memo_toggle
 
 __all__ = [
     "CHECKPOINT_MAGIC",
@@ -144,10 +145,19 @@ def restore_counters(values: Dict[str, int]) -> None:
 
 
 def environment_fingerprint() -> Dict[str, object]:
-    """The flags a checkpoint's state is only meaningful under."""
+    """The flags a checkpoint's state is only meaningful under.
+
+    ``memo`` is recorded for observability but never gated on:
+    memoization only changes how fast state is computed, never what it
+    is, so a checkpoint captured under either flavor restores under
+    either (the effect cache itself is process-local and is dropped, not
+    serialized -- a restored run starts cold and re-simulates misses
+    organically, byte-identically).
+    """
     return {
         "fastpath": fastpath.enabled(),
         "check": os.environ.get("REPRO_CHECK", ""),
+        "memo": memo_toggle.enabled(),
     }
 
 
@@ -281,7 +291,14 @@ def snapshot_host(host: Any) -> bytes:
     The worker-side half of the pool ``snapshot`` command: the blob is
     opaque to the coordinator, which stores one per shard inside the
     session checkpoint payload.
+
+    A host carrying deferred memo restores materializes them first (its
+    ``memo_flush`` hook): parked effect-cache entries resolve against
+    live process state and must not leak into the payload.
     """
+    flush = getattr(host, "memo_flush", None)
+    if flush is not None:
+        flush()
     return pickle.dumps(
         {"host": host, "counters": capture_counters()},
         protocol=PICKLE_PROTOCOL,

@@ -22,7 +22,17 @@ nondeterminism sources:
   ``repro.sim.checkpoint`` would bypass the schema version, content
   digest and environment fingerprint that make a restore trustworthy
   (``sim/wire.py`` is the other sanctioned site: it frames the shard
-  IPC protocol, whose blobs never touch disk).
+  IPC protocol, whose blobs never touch disk, and ``memo/effects.py``
+  pickles in-memory effect deltas that are re-derived, never restored
+  across processes).
+* hidden memoization state -- ``functools.lru_cache``/``functools.cache``
+  on an instance method keeps the bound instances alive *and* makes a
+  computation's cost depend on call history invisible to the effect
+  cache's fingerprints; module-level mutable cache containers carry
+  state across legs that a replayed run cannot see.  All cross-call
+  caching lives in ``repro/memo/`` (content-addressed, drained and
+  reset at leg boundaries) or in self-invalidating per-object caches
+  keyed on version counters.
 """
 
 from __future__ import annotations
@@ -50,9 +60,24 @@ GZIP_EXEMPT = {"trace/archive.py"}
 
 #: Modules allowed to call pickle directly: ``sim/checkpoint.py`` wraps
 #: every durable dump in the versioned, digest-guarded checkpoint
-#: format, and ``sim/wire.py`` frames the in-memory shard IPC protocol.
-#: Everything else must go through them.
-PICKLE_EXEMPT = {"sim/checkpoint.py", "sim/wire.py"}
+#: format, ``sim/wire.py`` frames the in-memory shard IPC protocol, and
+#: ``memo/effects.py`` captures in-memory effect deltas (process-local,
+#: digest-gated, never durable).  Everything else must go through them.
+PICKLE_EXEMPT = {"sim/checkpoint.py", "sim/wire.py", "memo/effects.py"}
+
+#: The directory whose modules own cross-call caching (bounded,
+#: content-addressed, reset at leg boundaries).  Module-level mutable
+#: cache containers anywhere else are hidden replay state.
+CACHE_HOME = "memo/"
+
+#: Decorator names that memoize on the function object itself.
+_MEMO_DECORATORS = {"lru_cache", "cache"}
+
+#: Value shapes that make a module-level ``*cache*`` binding a mutable
+#: container: displays/comprehensions, or constructor calls.
+_MUTABLE_CONSTRUCTORS = {
+    "dict", "list", "set", "OrderedDict", "defaultdict", "deque", "Counter",
+}
 
 
 def _iter_sources():
@@ -61,7 +86,74 @@ def _iter_sources():
         yield rel, ast.parse(path.read_text(), filename=rel)
 
 
+def _is_memo_decorator(node: ast.expr) -> bool:
+    """``@lru_cache``/``@cache``, bare or called, plain or dotted."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr in _MEMO_DECORATORS
+    return isinstance(node, ast.Name) and node.id in _MEMO_DECORATORS
+
+
+def _is_mutable_container(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                         ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _lint_caches(rel: str, tree: ast.Module):
+    """The memoization rules (skipped inside the sanctioned cache home)."""
+    if rel.startswith(CACHE_HOME):
+        return
+    for klass in ast.walk(tree):
+        if not isinstance(klass, ast.ClassDef):
+            continue
+        for member in klass.body:
+            if not isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = member.args.posonlyargs + member.args.args
+            if not args or args[0].arg != "self":
+                continue
+            for decorator in member.decorator_list:
+                if _is_memo_decorator(decorator):
+                    yield (
+                        f"{rel}:{member.lineno}: lru_cache on instance method "
+                        f"{klass.name}.{member.name} (keeps instances alive; "
+                        "hidden call-history state -- use repro/memo/ or a "
+                        "version-keyed per-object cache)"
+                    )
+    for statement in tree.body:
+        targets = []
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+            value = statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets = [statement.target]
+            value = statement.value
+        else:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and "cache" in target.id.lower()
+                and _is_mutable_container(value)
+            ):
+                yield (
+                    f"{rel}:{statement.lineno}: module-level mutable cache "
+                    f"{target.id} (hidden replay state; cross-call caching "
+                    "belongs in repro/memo/)"
+                )
+
+
 def _lint(rel: str, tree: ast.AST):
+    yield from _lint_caches(rel, tree)
     for node in ast.walk(tree):
         where = f"{rel}:{getattr(node, 'lineno', '?')}"
         if isinstance(node, ast.ImportFrom):
@@ -120,23 +212,61 @@ def test_wall_clock_exemptions_still_exist():
 
 def test_lint_catches_planted_violations(tmp_path):
     planted = (
-        "import gzip, pickle, random, time\n"
+        "import functools, gzip, pickle, random, time\n"
         "x = random.random()\n"
         "t = time.time()\n"
         "h = hash('key')\n"
         "z = gzip.open('out.gz', 'wt')\n"
         "p = pickle.dumps(x)\n"
+        "_RESULT_CACHE = {}\n"
+        "class Widget:\n"
+        "    @functools.lru_cache(maxsize=None)\n"
+        "    def footprint(self):\n"
+        "        pass\n"
         "for item in {1, 2}:\n"
         "    pass\n"
     )
     hits = list(_lint("planted.py", ast.parse(planted)))
-    assert len(hits) == 6
+    assert len(hits) == 8
     assert any("random.random" in h for h in hits)
     assert any("time.time" in h for h in hits)
     assert any("hash()" in h for h in hits)
     assert any("gzip.open" in h for h in hits)
     assert any("pickle.dumps" in h for h in hits)
     assert any("iterating a set" in h for h in hits)
+    assert any("lru_cache on instance method Widget.footprint" in h for h in hits)
+    assert any("module-level mutable cache _RESULT_CACHE" in h for h in hits)
+
+
+def test_cache_rules_exempt_the_memo_home():
+    planted = (
+        "import functools\n"
+        "_CACHE: dict = {}\n"
+        "class EffectCache:\n"
+        "    @functools.cache\n"
+        "    def shape(self):\n"
+        "        pass\n"
+    )
+    assert list(_lint("memo/cache.py", ast.parse(planted))) == []
+    assert len(list(_lint("faas/platform.py", ast.parse(planted)))) == 2
+
+
+def test_cache_rules_spare_legitimate_shapes():
+    # Free functions may lru_cache (no instance captured); non-cache
+    # module containers and immutable cache bindings are fine.
+    planted = (
+        "import functools\n"
+        "@functools.lru_cache(maxsize=64)\n"
+        "def parse(text):\n"
+        "    pass\n"
+        "REGISTRY = {}\n"
+        "_CACHE_LIMIT = 64\n"
+        "class Table:\n"
+        "    @property\n"
+        "    def rows(self):\n"
+        "        pass\n"
+    )
+    assert list(_lint("analysis/report.py", ast.parse(planted))) == []
 
 
 def test_gzip_rule_exempts_the_archive_module():
@@ -145,10 +275,11 @@ def test_gzip_rule_exempts_the_archive_module():
     assert len(list(_lint("sim/trace.py", ast.parse(planted)))) == 1
 
 
-def test_pickle_rule_exempts_only_the_checkpoint_and_wire_modules():
+def test_pickle_rule_exempts_only_the_sanctioned_modules():
     planted = "import pickle\nblob = pickle.dumps({})\nback = pickle.loads(blob)\n"
     assert list(_lint("sim/checkpoint.py", ast.parse(planted))) == []
     assert list(_lint("sim/wire.py", ast.parse(planted))) == []
+    assert list(_lint("memo/effects.py", ast.parse(planted))) == []
     assert len(list(_lint("check/fuzz.py", ast.parse(planted)))) == 2
     for rel in PICKLE_EXEMPT:
         assert (SRC / rel).is_file(), f"stale exemption {rel}"

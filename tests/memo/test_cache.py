@@ -1,0 +1,88 @@
+"""Unit tests for the bounded effect-cache LRU (repro.memo.cache)."""
+
+from __future__ import annotations
+
+from repro.memo.cache import EffectCache
+
+
+class _Entry:
+    def __init__(self, cost: int) -> None:
+        self.cost = cost
+
+
+class TestEffectCache:
+    def test_hit_miss_counters(self):
+        cache = EffectCache()
+        assert cache.get("k") is None
+        entry = _Entry(cost=10)
+        cache.put("k", entry)
+        assert cache.get("k") is entry
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["entries"] == 1 and stats["cached_bytes"] == 10
+
+    def test_entry_cap_evicts_least_recent(self):
+        cache = EffectCache(max_entries=2)
+        cache.put("a", _Entry(1))
+        cache.put("b", _Entry(1))
+        assert cache.get("a") is not None  # refresh a; b is now oldest
+        cache.put("c", _Entry(1))
+        assert cache.get("b") is None
+        assert cache.get("a") is not None and cache.get("c") is not None
+        assert cache.evictions == 1
+
+    def test_byte_cap_evicts_until_under_budget(self):
+        cache = EffectCache(max_bytes=100)
+        cache.put("a", _Entry(60))
+        cache.put("b", _Entry(60))  # 120 > 100: a must go
+        stats = cache.stats()
+        assert stats["evictions"] == 1 and stats["cached_bytes"] == 60
+        assert cache.get("a") is None and cache.get("b") is not None
+
+    def test_replacing_an_entry_adjusts_bytes(self):
+        cache = EffectCache()
+        cache.put("k", _Entry(40))
+        cache.put("k", _Entry(10))
+        assert cache.cached_bytes == 10 and len(cache._entries) == 1
+
+    def test_drain_resets_counters_but_keeps_entries(self):
+        cache = EffectCache()
+        cache.put("k", _Entry(5))
+        cache.get("k")
+        cache.get("absent")
+        first = cache.drain_stats()
+        assert first["hits"] == 1 and first["misses"] == 1
+        second = cache.drain_stats()
+        assert second["hits"] == 0 and second["misses"] == 0
+        # Entries survive the drain, so per-window reports sum cleanly.
+        assert second["entries"] == 1 and cache.get("k") is not None
+
+    def test_reset_drops_everything(self):
+        cache = EffectCache()
+        cache.put("k", _Entry(5))
+        cache.get("k")
+        cache.reset()
+        stats = cache.stats()
+        assert stats == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "cached_bytes": 0,
+            "entries": 0,
+        }
+
+    def test_first_touch_admission_default(self):
+        cache = EffectCache()
+        assert cache.admit("new-key") is True
+
+    def test_two_touch_admission(self):
+        cache = EffectCache(admit_threshold=2)
+        assert cache.admit("k") is False  # first sighting: candidate only
+        assert cache.admit("k") is True  # second sighting: record
+        assert cache.admit("other") is False
+
+    def test_two_touch_candidate_set_is_bounded(self):
+        cache = EffectCache(max_entries=2, admit_threshold=2)
+        for i in range(20):
+            cache.admit(f"one-shot-{i}")
+        assert len(cache._candidates) <= cache.max_entries * 4

@@ -1,0 +1,201 @@
+"""The memoization contract: speed may change, bytes never do.
+
+Three layers of evidence:
+
+* serial replays with the effect cache on and off produce byte-identical
+  event traces under both ``REPRO_FASTPATH`` flavors;
+* cluster replays stay byte-identical to the plain serial baseline at
+  every shard count, and the summed per-shard memo counters are
+  shard-count-invariant (per-process caches never coordinate, and the
+  node partition fixes which process sees which invocation);
+* a checkpoint captured mid-run with memoization on resumes to the same
+  merged digest whether the resumed process memoizes or not -- the cache
+  is flushed, never serialized, so restored runs start cold.
+
+Plus the fingerprint-sensitivity property: mutating any single causal
+input component forces a different fingerprint, which the cache can only
+miss on -- a memoized run can skip work, never replay the wrong effect.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import fastpath
+from repro.core import VanillaManager
+from repro.faas.platform import PlatformConfig
+from repro.mem.layout import MIB
+from repro.memo import toggle as memo_toggle
+from repro.memo.cache import EffectCache
+from repro.memo.effects import _fingerprint
+from repro.trace.generator import TraceGenerator
+from repro.trace.replay import (
+    ClusterReplayConfig,
+    ReplayConfig,
+    cluster_replay,
+    replay,
+)
+
+SCALE = 6.0
+WARMUP = 10.0
+DURATION = 20.0
+CAPACITY = 512 * MIB
+
+
+def _serial_trace(tmp_path: Path, memo: bool, flavor: bool, tag: str):
+    path = tmp_path / f"serial-{tag}.jsonl"
+    config = ReplayConfig(
+        scale_factor=SCALE,
+        warmup_seconds=WARMUP,
+        warmup_scale_factor=SCALE,
+        duration_seconds=DURATION,
+        platform=PlatformConfig(capacity_bytes=CAPACITY),
+        event_trace_path=str(path),
+    )
+    with fastpath.override(flavor), memo_toggle.override(memo):
+        result = replay(VanillaManager, config, TraceGenerator(seed=42))
+    return path.read_bytes(), result.memo_stats
+
+
+def _cluster_trace(tmp_path: Path, memo: bool, shards: int, tag: str, **kw):
+    path = tmp_path / f"cluster-{tag}.jsonl"
+    config = ClusterReplayConfig(
+        nodes=4,
+        shards=shards,
+        epoch_seconds=2.0,
+        scale_factor=SCALE,
+        warmup_seconds=WARMUP,
+        warmup_scale_factor=SCALE,
+        duration_seconds=DURATION,
+        platform=PlatformConfig(capacity_bytes=CAPACITY),
+        trace=True,
+        event_trace_path=str(path),
+        **kw,
+    )
+    with memo_toggle.override(memo):
+        result = cluster_replay(VanillaManager, config, TraceGenerator(seed=42))
+    return result
+
+
+class TestSerialIdentity:
+    @pytest.mark.parametrize("flavor", [True, False], ids=["fast", "base"])
+    def test_memo_on_matches_memo_off(self, tmp_path, flavor):
+        plain, no_stats = _serial_trace(tmp_path, False, flavor, f"off-{flavor}")
+        memoed, stats = _serial_trace(tmp_path, True, flavor, f"on-{flavor}")
+        assert no_stats is None
+        assert stats is not None and stats["hits"] + stats["misses"] > 0
+        assert plain  # a trace was actually written
+        assert hashlib.sha256(memoed).digest() == hashlib.sha256(plain).digest()
+
+    def test_memo_exercises_the_hit_path(self, tmp_path):
+        # The workload must actually revisit trajectories, otherwise the
+        # identity above only ever tests the miss/capture path.
+        _, stats = _serial_trace(tmp_path, True, True, "hits")
+        assert stats["hits"] > 0
+
+
+class TestClusterIdentity:
+    def test_byte_identical_across_shard_counts(self, tmp_path):
+        baseline = _cluster_trace(tmp_path, False, 1, "plain").trace_sha256
+        seen_stats = []
+        for shards in (1, 2, 4):
+            result = _cluster_trace(tmp_path, True, shards, f"memo-s{shards}")
+            assert result.trace_sha256 == baseline, f"shards={shards}"
+            assert result.memo_stats is not None
+            seen_stats.append(result.memo_stats)
+        # Shard-count invariance by construction: per-process caches never
+        # coordinate, so the summed counters cannot depend on the split.
+        assert seen_stats[0] == seen_stats[1] == seen_stats[2]
+        assert seen_stats[0]["hits"] > 0
+
+
+class TestCheckpointGate:
+    def test_resume_is_identical_under_both_memo_flavors(self, tmp_path):
+        baseline = _cluster_trace(tmp_path, False, 2, "plain").trace_sha256
+        ckpt_dir = tmp_path / "ckpts"
+        captured = _cluster_trace(
+            tmp_path,
+            True,
+            2,
+            "capture",
+            checkpoint_dir=str(ckpt_dir),
+            checkpoint_every=4,
+        )
+        assert captured.trace_sha256 == baseline
+        assert captured.checkpoints, "no checkpoint was captured"
+        last = str(captured.checkpoints[-1])
+        for memo in (True, False):
+            resumed = _cluster_trace(
+                tmp_path, memo, 2, f"resume-{memo}", resume_from=last
+            )
+            assert resumed.trace_sha256 == baseline, f"resume memo={memo}"
+
+
+# --------------------------------------------------------- fingerprint
+
+
+class _Box:
+    pass
+
+
+def _instance(ident, context, runtime_sig, space_sig, draws, invocations, used):
+    instance, runtime, space, physical = _Box(), _Box(), _Box(), _Box()
+    model, rng = _Box(), _Box()
+    physical.capacity_bytes = CAPACITY
+    physical.used_bytes = used
+    space.physical = physical
+    space._memo_sig = space_sig
+    runtime.space = space
+    runtime._memo_sig = runtime_sig
+    runtime.invocations = invocations
+    rng.draws = draws
+    model._rng = rng
+    model._memo_ident = ident
+    instance.runtime = runtime
+    instance.model = model
+    instance.memo_context = context
+    return instance
+
+
+_COMPONENTS = st.tuples(
+    st.text(min_size=1, max_size=8),  # model identity
+    st.integers(0, 2**32),  # instance memo context
+    st.integers(0, 2**64 - 1),  # runtime digest
+    st.integers(0, 2**64 - 1),  # space digest
+    st.integers(0, 2**20),  # rng draws
+    st.integers(0, 2**20),  # runtime invocations
+    st.integers(0, CAPACITY),  # platform used bytes (pressure)
+)
+
+
+class TestFingerprintSensitivity:
+    @given(base=_COMPONENTS, which=st.integers(0, 6), delta=st.integers(1, 997))
+    @settings(max_examples=200, deadline=None)
+    def test_any_causal_mutation_forces_a_miss(self, base, which, delta):
+        original = _fingerprint(_instance(*base))
+        mutated_components = list(base)
+        if which == 0:
+            mutated_components[0] = base[0] + "'"
+        else:
+            mutated_components[which] = base[which] + delta
+        mutated = _fingerprint(_instance(*mutated_components))
+        assert mutated != original
+
+        cache = EffectCache()
+        entry = _Box()
+        entry.cost = 1
+        cache.put(original, entry)
+        # The recorded effect replays only at the exact causal state; any
+        # mutated state misses -- never a wrong hit.
+        assert cache.get(mutated) is None
+        assert cache.get(original) is not None
+
+    @given(base=_COMPONENTS)
+    @settings(max_examples=50, deadline=None)
+    def test_identical_state_is_a_stable_key(self, base):
+        assert _fingerprint(_instance(*base)) == _fingerprint(_instance(*base))
