@@ -1,0 +1,283 @@
+"""Trace-line encoding microbenchmark: compiled encoders vs the generic.
+
+Drives the two line encoders from :mod:`repro.trace.encode` -- the
+compiled per-``(kind, key-set)`` fast path (kind-keyed dispatch, exactly
+as :class:`~repro.sim.trace.EventTraceSink` probes it) and the original
+generic ``json.dumps`` reference (docs/EVENT_TRACE.md) -- over the same
+synthesized event corpus.  Both legs pay identical harness costs (the
+event loop, the ``t`` rounding, a list append per line); the measured
+delta is the encoder machinery itself.  After timing, both legs' lines
+are hashed with the repo's stream convention and the digests must match
+exactly: the microbenchmark is also a differential gate.
+
+(Sink-level emission -- batched file/archive/digest hand-off on top of
+the encoders -- is covered by the ``:enc`` replay twins in
+``BENCH_replay.json``, which carry their own end-to-end speedup bar.)
+
+Pytest mode (collected with the other benches) asserts the compiled path
+beats the generic encoder by at least 3x -- the PR's acceptance bar --
+and that the digests agree.  Script mode drives CI's perf-smoke job::
+
+    python benchmarks/bench_trace_encode.py --json out.json
+    python benchmarks/bench_trace_encode.py --min-speedup 3.0
+
+``--min-speedup`` exits 1 when the compiled path falls below the bar (or
+the digests ever disagree, which always fails).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import hashlib
+import json
+import random
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+from repro.sim.events import Event
+from repro.trace.encode import ID_KEYS, EncoderTable, encode_line_generic
+
+#: Acceptance bar: compiled encoding beats the generic encoder by this.
+MIN_SPEEDUP = 3.0
+
+#: Function names cycled through payloads (same flavor the platform's
+#: workload definitions use).
+_FUNCTIONS = ("fft", "sort", "mapreduce", "pagerank", "kmeans", "video")
+
+
+def build_corpus(events: int = 50_000, seed: int = 7) -> List[Event]:
+    """A deterministic event stream shaped like a real replay's.
+
+    Kind mix, payload key-sets, and value types mirror what
+    ``faas/platform.py`` actually publishes (measured from a traced
+    vanilla replay): ``freeze`` / ``thaw`` / ``invocation-end`` carry
+    ~22% each, ``request-arrival`` / ``request-done`` ~17% each, cold
+    boots and evictions are rare; ids are ints, ``function`` a string,
+    timings floats.
+    """
+    rng = random.Random(seed)
+    corpus: List[Event] = []
+    t = 0.0
+    for i in range(events):
+        t += rng.random() * 0.01
+        function = _FUNCTIONS[i % len(_FUNCTIONS)]
+        instance = 7000 + i % 977
+        shape = i % 9
+        if shape < 2:
+            event = Event(
+                "freeze",
+                t,
+                i % 8,
+                {"instance_id": instance, "function": function},
+            )
+        elif shape < 4:
+            event = Event(
+                "thaw",
+                t,
+                i % 8,
+                {
+                    "instance_id": instance,
+                    "function": function,
+                    "thaw_seconds": rng.random() * 0.05,
+                },
+            )
+        elif shape < 6:
+            event = Event(
+                "invocation-end",
+                t,
+                i % 8,
+                {
+                    "request_id": 100_000 + i,
+                    "instance_id": instance,
+                    "function": function,
+                    "cpu_seconds": rng.random(),
+                },
+            )
+        elif shape == 6:
+            event = Event(
+                "request-arrival",
+                t,
+                i % 8,
+                {"request_id": 100_000 + i, "function": function},
+            )
+        elif shape == 7:
+            event = Event(
+                "request-done",
+                t,
+                i % 8,
+                {
+                    "request_id": 100_000 + i,
+                    "function": function,
+                    "latency": rng.random(),
+                    "cold_boots": i % 3,
+                },
+            )
+        else:
+            event = Event(
+                "cold-boot",
+                t,
+                i % 8,
+                {
+                    "instance_id": instance,
+                    "function": function,
+                    "boot_cpu_seconds": rng.random() * 2.0,
+                },
+            )
+        event.seq = i
+        corpus.append(event)
+    return corpus
+
+
+def _work_items(corpus: List[Event]) -> List[tuple]:
+    """Pre-resolved ``(seq, t, node, kind, data)`` encoder inputs.
+
+    Both encoder APIs take an already-rounded ``t`` (rounding is the
+    sink's job, done once per event before either encoder runs), so the
+    rounding -- and the ``Event`` attribute walk -- happen here, outside
+    the timed region, identically for both legs.
+    """
+    return [
+        (event.seq, round(event.time, 9), event.node, event.kind, event.data)
+        for event in corpus
+    ]
+
+
+def _time_leg(work: List[tuple], encoder: str) -> dict:
+    """One encoding pass over the work items; wall seconds + digest.
+
+    Each pass starts from fresh id maps (and, on the fast leg, a fresh
+    :class:`EncoderTable`), so the two legs normalize identically and
+    their digests must agree.  The digest -- SHA-256 over every line
+    newline-terminated, same convention as
+    :func:`repro.sim.shard.sha256_lines` -- is computed outside the
+    timed region: both legs are timed on line production alone.
+    """
+    id_maps = {key: {} for key in ID_KEYS}
+    lines: List[str] = []
+    append = lines.append
+    if encoder == "generic":
+
+        def normalize(key, value, _maps=id_maps):
+            mapping = _maps.get(key)
+            if mapping is None:
+                return value
+            return mapping.setdefault(value, len(mapping) + 1)
+
+        t0 = time.perf_counter()
+        for seq, t, node, kind, data in work:
+            append(encode_line_generic(seq, t, node, kind, data, normalize))
+        elapsed = time.perf_counter() - t0
+    else:
+        # Compile every kind's encoder up front (a handful of one-time
+        # exec calls); the timed region is the steady-state encode rate.
+        table = EncoderTable()
+        by_kind = table.by_kind
+        for _, _, _, kind, data in work:
+            if kind not in by_kind:
+                table.kind_encoder(kind, data)
+        t0 = time.perf_counter()
+        for seq, t, node, kind, data in work:
+            append(by_kind[kind](seq, t, node, data, id_maps))
+        elapsed = time.perf_counter() - t0
+    payload = ("\n".join(lines) + "\n").encode("utf-8") if lines else b""
+    return {"seconds": elapsed, "sha256": hashlib.sha256(payload).hexdigest()}
+
+
+def run_trace_encode_microbench(
+    events: int = 50_000, repeats: int = 3, seed: int = 7
+) -> dict:
+    """Best-of-``repeats`` emission timings for both encoder legs.
+
+    Every pass re-creates its sink (fresh id maps, fresh digest), so the
+    two legs normalize identically and their stream digests must agree.
+    """
+    work = _work_items(build_corpus(events, seed=seed))
+    best = {"fast": float("inf"), "generic": float("inf")}
+    digests = {}
+    was_enabled = gc.isenabled()
+    gc.disable()  # collector pauses are noise, not encoder cost
+    try:
+        for encoder in ("fast", "generic"):  # untimed warmup pass each
+            _time_leg(work, encoder)
+        for _ in range(repeats):
+            for encoder in ("fast", "generic"):
+                leg = _time_leg(work, encoder)
+                best[encoder] = min(best[encoder], leg["seconds"])
+                digests.setdefault(encoder, leg["sha256"])
+                if digests[encoder] != leg["sha256"]:
+                    raise AssertionError(
+                        f"{encoder} leg's digest changed between repeats"
+                    )
+    finally:
+        if was_enabled:
+            gc.enable()
+    return {
+        "events": events,
+        "repeats": repeats,
+        "fast_ms": round(best["fast"] * 1e3, 4),
+        "generic_ms": round(best["generic"] * 1e3, 4),
+        "fast_lines_per_sec": round(events / best["fast"]),
+        "generic_lines_per_sec": round(events / best["generic"]),
+        "speedup": round(best["generic"] / best["fast"], 2),
+        "fast_sha256": digests["fast"],
+        "generic_sha256": digests["generic"],
+        "digests_equal": digests["fast"] == digests["generic"],
+    }
+
+
+def test_trace_encode_speedup_and_digest():
+    """Compiled emission beats the generic encoder >= 3x, byte-identically."""
+    metrics = run_trace_encode_microbench(events=30_000, repeats=3)
+    print(
+        f"\nfast    {metrics['fast_ms']:.2f} ms "
+        f"({metrics['fast_lines_per_sec']} lines/s)\n"
+        f"generic {metrics['generic_ms']:.2f} ms "
+        f"({metrics['generic_lines_per_sec']} lines/s)\n"
+        f"speedup {metrics['speedup']:.2f}x, digests equal: "
+        f"{metrics['digests_equal']}"
+    )
+    assert metrics["digests_equal"], "encoder legs diverged"
+    assert metrics["speedup"] >= MIN_SPEEDUP
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--events", type=int, default=50_000)
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--json", metavar="PATH", help="write metrics JSON here")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit 1 unless the compiled path beats the generic encoder "
+        "by at least this factor",
+    )
+    args = parser.parse_args(argv)
+
+    metrics = run_trace_encode_microbench(
+        events=args.events, repeats=args.repeats, seed=args.seed
+    )
+    print(json.dumps(metrics, indent=2))
+    if args.json:
+        Path(args.json).write_text(json.dumps(metrics, indent=2) + "\n")
+    if not metrics["digests_equal"]:
+        print("DIVERGENCE encoder legs produced different digests", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and metrics["speedup"] < args.min_speedup:
+        print(
+            f"REGRESSION speedup {metrics['speedup']:.2f}x is below the "
+            f"{args.min_speedup:g}x bar",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_speedup is not None:
+        print("within bar", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -119,6 +119,18 @@ class BenchSpec:
     #: ``:memo``) -- memoization changes speed, never bytes
     #: (docs/MEMOIZATION.md).
     memo: bool = False
+    #: Trace-line encoder for the leg: ``"fast"`` (the compiled
+    #: per-kind encoders, the default everywhere) or ``"generic"`` --
+    #: the reference twin (label suffix ``:enc``) that re-runs the same
+    #: workload through the original ``json.dumps`` path with
+    #: line-at-a-time I/O.  The digest gate pins the pair byte-identical
+    #: (docs/EVENT_TRACE.md).
+    encoder: str = "fast"
+    #: Digest-only twin (label suffix ``:digest-only``): the sink
+    #: computes the stream SHA-256 without storing or writing lines --
+    #: pure emission + simulation speed, digest gate still armed against
+    #: the plain leg.  Single-platform traced replays only.
+    digest_only: bool = False
 
     @property
     def label(self) -> str:
@@ -136,6 +148,10 @@ class BenchSpec:
                 label += ":fork"
             if self.memo:
                 label += ":memo"
+            if self.encoder == "generic":
+                label += ":enc"
+            if self.digest_only:
+                label += ":digest-only"
             return label if self.fastpath else label + ":base"
         return f"micro:vmm:{self.size_mib}mib"
 
@@ -252,6 +268,33 @@ def _run_replay(spec: BenchSpec) -> Dict[str, object]:
         raise ValueError("archive metrics require trace=True")
     if spec.fork and not (spec.nodes and spec.trace):
         raise ValueError("fork legs require a traced cluster replay")
+    if spec.digest_only and (spec.trace or spec.archive or spec.nodes):
+        raise ValueError(
+            "digest-only legs compute the stream digest on a bare "
+            "single-platform replay; drop trace/archive/nodes"
+        )
+    if spec.digest_only:
+        config = ReplayConfig(
+            scale_factor=spec.scale,
+            warmup_seconds=spec.warmup,
+            warmup_scale_factor=spec.scale,
+            duration_seconds=spec.duration,
+            platform=PlatformConfig(capacity_bytes=spec.capacity_mib * MIB),
+            digest_only=True,
+        )
+        result = replay(factories[spec.policy], config, TraceGenerator(seed=spec.seed))
+        stats = result.stats
+        metrics = {
+            "cold_boot_rate": round(stats.cold_boot_rate, 9),
+            "throughput_rps": round(stats.throughput_rps, 9),
+            "cpu_utilization": round(stats.cpu_utilization, 9),
+            "p99_latency": round(stats.p99_latency, 9),
+            "evictions": stats.evictions,
+            "trace_events": result.trace_events,
+            "trace_sha256": result.trace_sha256,
+        }
+        metrics.update(_memo_metrics(result.memo_stats))
+        return metrics
     if spec.nodes:
         with tempfile.TemporaryDirectory(prefix="repro-bench-arc-") as scratch:
             archive_dir = str(Path(scratch) / "archive") if spec.archive else None
@@ -432,9 +475,13 @@ def execute_spec(
 ) -> Dict[str, object]:
     """Run one spec; returns its metrics plus wall/CPU timings.
 
-    The spec's ``fastpath`` and ``memo`` flags are forced for the duration
-    of the run (overriding ``REPRO_FASTPATH``/``REPRO_MEMO``), so a spec
-    names one leg unambiguously.  Every leg also samples its own Python
+    The spec's ``fastpath``, ``memo``, and ``encoder`` flags are forced
+    for the duration of the run (overriding
+    ``REPRO_FASTPATH``/``REPRO_MEMO``/``REPRO_TRACE_ENCODER``), so a spec
+    names one leg unambiguously.  Traced replay legs additionally report
+    ``trace_events_per_second`` -- emitted trace events over the leg's
+    wall time, the emission-throughput headline the encoder twins pair
+    on.  Every leg also samples its own Python
     allocation high-water mark (``peak_tracemalloc_bytes``): tracemalloc
     runs for *all* legs, memoized or not, so the uniform tracing overhead
     cancels out of every wall-time ratio the suite reports.  With
@@ -442,6 +489,10 @@ def execute_spec(
     ``<label>.prof`` plus a cumulative-time top-30 listing next to it.
     Top-level (not a closure) so ``ProcessPoolExecutor`` can pickle it.
     """
+    # Lazy: repro.trace imports replay -> repro.sim; bench keeps heavy
+    # simulation imports out of module import time (matching _run_replay).
+    from repro.trace import encode as trace_encode
+
     profiler = None
     if profile_dir is not None:
         Path(profile_dir).mkdir(parents=True, exist_ok=True)
@@ -450,7 +501,7 @@ def execute_spec(
     wall0, cpu0 = time.perf_counter(), time.process_time()
     with fastpath.override(spec.fastpath), (
         memo_toggle.override(True) if spec.memo else nullcontext()
-    ):
+    ), trace_encode.override(spec.encoder):
         if profiler is not None:
             profiler.enable()
         try:
@@ -469,6 +520,10 @@ def execute_spec(
     cpu = time.process_time() - cpu0
     _, peak_bytes = tracemalloc.get_traced_memory()
     tracemalloc.stop()
+    if spec.kind == "replay" and wall > 0 and metrics.get("trace_events"):
+        metrics["trace_events_per_second"] = round(
+            metrics["trace_events"] / wall
+        )
     result = {
         "label": spec.label,
         "spec": asdict(spec),
@@ -626,6 +681,8 @@ def build_replay_macro(
     include_memo: bool = False,
     memo_policies: Sequence[str] = ("vanilla",),
     memo_sizes: Optional[Sequence[str]] = None,
+    include_encoder_twin: bool = False,
+    include_digest_only: bool = False,
 ) -> List[BenchSpec]:
     """The macro replay suite: every (size, policy) as a fast/base leg pair.
 
@@ -664,6 +721,17 @@ def build_replay_macro(
     set each memo policy also gets cluster memo twins -- the serial twin
     plus one per shard count -- so the digest gate pins memoized merged
     traces across process boundaries too.
+
+    ``include_encoder_twin`` adds a generic-encoder reference leg (label
+    suffix ``:enc``) per single-platform (size, policy) cell: the same
+    traced workload through the original ``json.dumps`` line-at-a-time
+    path, digest-gated byte-identical against the compiled default and
+    paired as ``encoder_speedup``.  ``include_digest_only`` adds a
+    storeless digest-only leg (label suffix ``:digest-only``) per cell:
+    the sink computes the stream SHA-256 without storing or writing
+    lines, digest-gated against the plain twin's written trace and
+    paired as ``digest_only_speedup``.  Both twins skip archive metrics
+    -- like ``:base``, they time the bare workload (docs/EVENT_TRACE.md).
     """
     specs = []
     for size in sizes:
@@ -690,6 +758,33 @@ def build_replay_macro(
                         # Archive metrics ride on the fast leg only; the
                         # :base reference leg times the bare simulation.
                         archive=leg_fast,
+                    )
+                )
+            if include_encoder_twin:
+                specs.append(
+                    BenchSpec(
+                        kind="replay",
+                        policy=policy,
+                        scale=shape["scale"],
+                        duration=shape["duration"],
+                        warmup=shape["warmup"],
+                        capacity_mib=int(shape["capacity_mib"]),
+                        seed=seed,
+                        trace=True,
+                        encoder="generic",
+                    )
+                )
+            if include_digest_only:
+                specs.append(
+                    BenchSpec(
+                        kind="replay",
+                        policy=policy,
+                        scale=shape["scale"],
+                        duration=shape["duration"],
+                        warmup=shape["warmup"],
+                        capacity_mib=int(shape["capacity_mib"]),
+                        seed=seed,
+                        digest_only=True,
                     )
                 )
             if (
@@ -789,6 +884,10 @@ _NODES_SUFFIX = re.compile(r":n\d+")
 _UNBATCHED_SUFFIX = re.compile(r":unbatched")
 #: ``:memo`` effect-cache suffix (the plain twin has none).
 _MEMO_SUFFIX = re.compile(r":memo")
+#: ``:enc`` generic-encoder reference suffix (compiled default has none).
+_ENC_SUFFIX = re.compile(r":enc")
+#: ``:digest-only`` storeless-sink suffix (the plain twin has none).
+_DIGEST_ONLY_SUFFIX = re.compile(r":digest-only")
 
 
 def _serial_twin_label(label: str) -> str:
@@ -814,6 +913,13 @@ def verify_trace_identity(results: Sequence[Dict[str, object]]) -> List[str]:
       reproduce the simulated run byte for byte (docs/MEMOIZATION.md);
       sharded memo legs additionally gate against their *memoized*
       serial twin through the shard pairing above;
+    * every generic-encoder reference leg (``:enc``) vs its compiled
+      twin (the same label without the suffix) -- the per-kind compiled
+      encoders must emit the exact bytes of the original ``json.dumps``
+      path (docs/EVENT_TRACE.md);
+    * every digest-only leg (``:digest-only``) vs its plain twin -- the
+      storeless streaming digest must equal the SHA-256 of the twin's
+      written trace file;
     * within every archiving leg, the archive's composed per-segment
       digest vs the flat whole-run digest -- the composition rule
       (docs/TRACE_ARCHIVE.md) holding at benchmark scale.
@@ -860,6 +966,29 @@ def verify_trace_identity(results: Sequence[Dict[str, object]]) -> List[str]:
                 failures.append(
                     f"{label}: memoized trace diverged from the plain twin "
                     f"({metrics['trace_events']} vs "
+                    f"{plain['trace_events']} events, "
+                    f"{metrics['trace_sha256'][:12]} != "
+                    f"{plain['trace_sha256'][:12]})"
+                )
+        if _ENC_SUFFIX.search(label):
+            compiled = digests.get(_ENC_SUFFIX.sub("", label))
+            if (
+                compiled is not None
+                and metrics["trace_sha256"] != compiled["trace_sha256"]
+            ):
+                failures.append(
+                    f"{label}: compiled-encoder trace diverged from the "
+                    f"generic reference ({compiled['trace_events']} vs "
+                    f"{metrics['trace_events']} events, "
+                    f"{compiled['trace_sha256'][:12]} != "
+                    f"{metrics['trace_sha256'][:12]})"
+                )
+        if _DIGEST_ONLY_SUFFIX.search(label):
+            plain = digests.get(_DIGEST_ONLY_SUFFIX.sub("", label))
+            if plain is not None and metrics["trace_sha256"] != plain["trace_sha256"]:
+                failures.append(
+                    f"{label}: digest-only stream digest diverged from the "
+                    f"written twin ({metrics['trace_events']} vs "
                     f"{plain['trace_events']} events, "
                     f"{metrics['trace_sha256'][:12]} != "
                     f"{plain['trace_sha256'][:12]})"
@@ -926,11 +1055,15 @@ def verify_coordination(
 def replay_speedups(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
     """Wall-clock ratios for every paired replay label.
 
-    Four pairings, one entry per non-reference label that has a partner:
+    Six pairings, one entry per non-reference label that has a partner:
 
     * fast leg vs ``:base`` leg (the fast-path speedup);
     * ``:memo`` leg vs its plain twin (the warm-path memoization speedup,
       reported as ``memo_speedup``);
+    * plain leg vs its ``:enc`` generic-encoder reference twin (the
+      compiled-encoder speedup, reported as ``encoder_speedup``);
+    * plain leg vs its ``:digest-only`` twin (the storeless-sink gain,
+      reported as ``digest_only_speedup``);
     * sharded cluster leg (``:sK``) vs its serial twin (the multi-process
       speedup -- bounded by the machine's core count);
     * sharded cluster leg vs the *single-platform* fast leg of the same
@@ -944,7 +1077,10 @@ def replay_speedups(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
     }
     speedups = {}
     for label in sorted(walls):
-        if label.endswith(":base"):
+        if label.endswith(":base") or _ENC_SUFFIX.search(label):
+            continue
+        if _DIGEST_ONLY_SUFFIX.search(label):
+            # The digest-only leg's pairing lives on its plain twin.
             continue
         entry = {}
         if label + ":base" in walls:
@@ -953,6 +1089,22 @@ def replay_speedups(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
                 fast_wall_seconds=fast,
                 base_wall_seconds=base,
                 speedup=round(base / fast, 2) if fast else None,
+            )
+        if label + ":enc" in walls:
+            compiled, generic = walls[label], walls[label + ":enc"]
+            entry.update(
+                generic_encoder_wall_seconds=generic,
+                encoder_speedup=(
+                    round(generic / compiled, 2) if compiled else None
+                ),
+            )
+        if label + ":digest-only" in walls:
+            plain, storeless = walls[label], walls[label + ":digest-only"]
+            entry.update(
+                digest_only_wall_seconds=storeless,
+                digest_only_speedup=(
+                    round(plain / storeless, 2) if storeless else None
+                ),
             )
         if _MEMO_SUFFIX.search(label):
             plain_label = _MEMO_SUFFIX.sub("", label)
@@ -992,9 +1144,10 @@ def compare_replay(
     """Regression check for the macro suite: returns failure messages.
 
     Every *fast-leg* replay run present in both result lists gates on wall
-    time against ``factor`` times the committed baseline; base legs and
-    unmatched labels are informational.  Labels encode (policy, scale,
-    duration), so a matched label is the same workload.
+    time against ``factor`` times the committed baseline; base legs,
+    ``:enc`` generic-encoder reference legs, and unmatched labels are
+    informational.  Labels encode (policy, scale, duration), so a matched
+    label is the same workload.
     """
     base_walls = {
         r["label"]: r["wall_seconds"]
@@ -1006,6 +1159,8 @@ def compare_replay(
     for result in current:
         label = result["label"]
         if result["spec"]["kind"] != "replay" or label.endswith(":base"):
+            continue
+        if _ENC_SUFFIX.search(label):
             continue
         base = base_walls.get(label)
         if base is None:

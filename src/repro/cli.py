@@ -99,6 +99,13 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         # Equivalent to REPRO_MEMO=1; procenv.snapshot ships the live
         # flag to shard workers, so --memo covers sharded runs too.
         memo_toggle.set_enabled(True)
+    if args.digest_only and (args.event_trace or args.archive or args.nodes):
+        print(
+            "error: --digest-only neither stores nor writes the trace; "
+            "drop --event-trace/--archive/--nodes",
+            file=sys.stderr,
+        )
+        return 2
     checkpointing = (
         args.checkpoint_dir or args.checkpoint_every or args.resume or args.fork
     )
@@ -228,9 +235,16 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                     if args.bucket_seconds is not None
                     else 60.0
                 ),
+                digest_only=args.digest_only,
             )
             result = replay(factories[policy], config, generator)
             stats = result.stats
+            if args.digest_only:
+                print(
+                    f"digest-only [{policy}]: {result.trace_events} events, "
+                    f"stream sha256 {result.trace_sha256}",
+                    file=sys.stderr,
+                )
             if result.trace is not None and trace_path is not None:
                 print(
                     f"wrote {len(result.trace)} events to {trace_path}",
@@ -409,6 +423,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 memo_sizes=(
                     args.memo_sizes.split(",") if args.memo_sizes else None
                 ),
+                include_encoder_twin=args.encoder_twin,
+                include_digest_only=args.digest_only_twin,
             )
         )
     results = run_benchmarks(specs, jobs=args.jobs, profile_dir=args.profile)
@@ -605,6 +621,14 @@ def build_parser() -> argparse.ArgumentParser:
         "when both are on",
     )
     p.add_argument(
+        "--digest-only",
+        action="store_true",
+        help="compute the measurement window's trace-stream SHA-256 "
+        "without storing or writing lines (the fastest equivalence "
+        "witness; single platform only, incompatible with "
+        "--event-trace/--archive/--nodes)",
+    )
+    p.add_argument(
         "--bucket-seconds",
         type=_bucket_seconds_arg,
         default=None,
@@ -795,6 +819,21 @@ def build_parser() -> argparse.ArgumentParser:
         "vanilla replay cell, digest-gated byte-identical against the "
         "plain fast leg; with --profile each memo leg also gets a "
         "profile-diff top-30 listing against its twin",
+    )
+    p.add_argument(
+        "--encoder-twin",
+        action="store_true",
+        help="add a generic-encoder reference leg (':enc' label) per "
+        "single-platform replay cell: the original json.dumps "
+        "line-at-a-time path, digest-gated byte-identical against the "
+        "compiled default and paired as encoder_speedup",
+    )
+    p.add_argument(
+        "--digest-only-twin",
+        action="store_true",
+        help="add a storeless digest-only leg (':digest-only' label) per "
+        "single-platform replay cell, digest-gated against the plain "
+        "twin's written trace and paired as digest_only_speedup",
     )
     p.add_argument(
         "--memo-sizes",

@@ -18,6 +18,8 @@ Submodules:
   stream position can join the fingerprint;
 * :mod:`repro.memo.cache` -- the bounded per-process LRU with
   hit/miss/eviction/bytes counters;
+* :mod:`repro.memo.statcache` -- the ``(path, mtime, size)``-stamped file
+  parse cache (Azure CSV loads and friends re-parse only on change);
 * :mod:`repro.memo.effects` -- fingerprinting, effect-delta capture, and
   the record/replay entry point (:func:`repro.memo.effects.invoke`).
 
@@ -26,6 +28,6 @@ the determinism lint bans ad-hoc caching everywhere else under
 ``src/repro``.
 """
 
-from repro.memo import cache, digest, toggle
+from repro.memo import cache, digest, statcache, toggle
 
-__all__ = ["cache", "digest", "toggle"]
+__all__ = ["cache", "digest", "statcache", "toggle"]

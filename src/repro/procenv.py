@@ -39,9 +39,14 @@ def snapshot(extra: Optional[Dict[str, str]] = None) -> Dict[str, str]:
     (the live flag), so a parent that called ``set_enabled`` ships what
     it is actually running, not a stale environment value.
     """
+    # Lazy: importing repro.trace at module top would cycle through
+    # replay -> repro.sim; snapshot/apply run long after imports settle.
+    from repro.trace import encode as trace_encode
+
     env: Dict[str, str] = {
         "REPRO_FASTPATH": "1" if fastpath.enabled() else "0",
         "REPRO_MEMO": "1" if memo_toggle.enabled() else "0",
+        "REPRO_TRACE_ENCODER": trace_encode.mode(),
     }
     for key in _PASSTHROUGH:
         value = os.environ.get(key)
@@ -60,8 +65,11 @@ def apply(env: Dict[str, str]) -> None:
     """
     for key, value in env.items():
         os.environ[key] = value
+    from repro.trace import encode as trace_encode
+
     fastpath.set_enabled(env.get("REPRO_FASTPATH", "1") not in ("", "0"))
     memo_toggle.set_enabled(env.get("REPRO_MEMO", "0") not in ("", "0"))
+    trace_encode.set_mode(env.get("REPRO_TRACE_ENCODER", "fast") or "fast")
     # A worker adopting flags starts a fresh leg; stale entries from a
     # previous configuration must never satisfy its lookups.
     memo_cache.reset()

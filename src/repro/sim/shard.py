@@ -688,14 +688,27 @@ def _iter_file(path: Path) -> Iterator[str]:
                 yield line
 
 
+#: Lines per SHA-256 / write / archive hand-off in the merge hot loops.
+_DIGEST_CHUNK = 1024
+
+
 def sha256_lines(lines: Iterable[str]) -> Tuple[int, str]:
-    """Count and digest a line stream (newline-terminated, like the files)."""
+    """Count and digest a line stream (newline-terminated, like the files).
+
+    Hashes in :data:`_DIGEST_CHUNK`-line batches -- one ``update`` per
+    chunk instead of two per line -- producing the identical digest.
+    """
     digest = hashlib.sha256()
     count = 0
+    chunk: List[str] = []
     for line in lines:
-        digest.update(line.encode("utf-8"))
-        digest.update(b"\n")
+        chunk.append(line)
         count += 1
+        if len(chunk) >= _DIGEST_CHUNK:
+            digest.update(("\n".join(chunk) + "\n").encode("utf-8"))
+            chunk.clear()
+    if chunk:
+        digest.update(("\n".join(chunk) + "\n").encode("utf-8"))
     return count, digest.hexdigest()
 
 
@@ -741,15 +754,29 @@ def merge_trace_files(
         handle = out_path.open("w", encoding="utf-8")
     digest = hashlib.sha256()
     count = 0
+    # Chunked downstream hand-off: the merged stream reaches the digest,
+    # the flat file, and the archive (ArchiveWriter.add_many) in
+    # _DIGEST_CHUNK-line batches -- identical bytes, a fraction of the
+    # per-line call overhead.
+    chunk: List[Tuple[float, int, str]] = []
+
+    def drain() -> None:
+        payload = "\n".join(entry[2] for entry in chunk) + "\n"
+        if handle is not None:
+            handle.write(payload)
+        if writer is not None:
+            writer.add_many(chunk)
+        digest.update(payload.encode("utf-8"))
+        chunk.clear()
+
     try:
         for (t, node, _), line in merged:
-            if handle is not None:
-                handle.write(line + "\n")
-            if writer is not None:
-                writer.add(t, node, line)
-            digest.update(line.encode("utf-8"))
-            digest.update(b"\n")
+            chunk.append((t, node, line))
             count += 1
+            if len(chunk) >= _DIGEST_CHUNK:
+                drain()
+        if chunk:
+            drain()
     finally:
         if handle is not None:
             handle.close()

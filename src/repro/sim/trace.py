@@ -18,14 +18,28 @@ cluster) or alone in a shard worker, where the bus counter would differ.
 The sharded-replay digest gate (:mod:`repro.sim.shard`) is built on
 exactly this: per-node canonical traces merge into one stream ordered by
 ``(t, node, seq)`` whose bytes do not depend on the shard count.
+
+Line *encoding* lives in :mod:`repro.trace.encode`: the default is the
+compiled per-``(kind, key-set)`` fast path, with the original generic
+``json.dumps`` encoder kept as the differential reference twin
+(``REPRO_TRACE_ENCODER=generic``, or ``encoder="generic"`` here).  Both
+produce byte-identical lines; the fast path additionally *batches* its
+downstream I/O -- lines buffer in the sink and reach the file, the
+archive (:meth:`~repro.trace.archive.ArchiveWriter.add_many`), and the
+digest stream in chunks, drained at the existing epoch-barrier
+:meth:`flush` (and at :meth:`detach` / checkpoint capture), so
+checkpoint/restore semantics are untouched.  ``digest_only=True`` runs
+the sink as a pure SHA-256 stream -- no stored lines, no file, no
+archive -- for measuring emission speed with the digest gate still
+armed.
 """
 
 from __future__ import annotations
 
-import json
+import hashlib
 import os
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.bus import EventBus, Subscription
 from repro.sim.events import TRACE_KINDS, Event
@@ -34,6 +48,27 @@ from repro.sim.events import TRACE_KINDS, Event
 _ID_KEYS = ("request_id", "instance_id")
 
 _SCALARS = (str, int, float, bool, type(None))
+
+_encode_mod = None
+
+
+def _encode():
+    """The :mod:`repro.trace.encode` module, imported on first use.
+
+    Importing it at module top would cycle: ``repro.trace``'s package
+    init pulls in ``replay``, which imports ``repro.sim`` right back.
+    Sinks are constructed at run time, long after both packages settled.
+    """
+    global _encode_mod
+    if _encode_mod is None:
+        from repro.trace import encode
+
+        _encode_mod = encode
+    return _encode_mod
+
+#: Buffered lines per downstream hand-off on the fast path.  Epoch
+#: barriers drain regardless, so this only caps memory between barriers.
+_CHUNK_LINES = 1024
 
 
 class EventTraceSink:
@@ -50,13 +85,23 @@ class EventTraceSink:
         archive: Optional[object] = None,
         archive_dir: Optional[str | Path] = None,
         archive_bucket_seconds: float = 60.0,
+        encoder: Optional[str] = None,
+        digest_only: bool = False,
     ) -> None:
         self.lines: List[str] = []
         #: Records written (== ``len(self.lines)`` unless ``store=False``).
         self.count = 0
         self._normalize_seq = normalize_seq
-        self._store = store
         self._id_maps: Dict[str, Dict[object, int]] = {k: {} for k in _ID_KEYS}
+        if digest_only and (
+            path is not None or archive is not None or archive_dir is not None
+        ):
+            raise ValueError(
+                "digest_only sinks neither store nor write lines; drop "
+                "path/archive/archive_dir"
+            )
+        self._store = store and not digest_only
+        self._digest = hashlib.sha256() if digest_only else None
         if path is not None:
             path = Path(path)
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -80,8 +125,29 @@ class EventTraceSink:
                 archive_dir, bucket_seconds=archive_bucket_seconds
             )
             self._owns_archive = True
+        encode = _encode()
+        self._encoder_mode = encode.resolve(encoder)
+        self._table = (
+            encode.EncoderTable() if self._encoder_mode == "fast" else None
+        )
+        #: The reference encoder, bound once (a top-level function, so
+        #: checkpoint pickling carries it by reference).
+        self._encode_generic = encode.encode_line_generic
+        #: Alias of the table's hot ``kind -> encoder`` dict (one
+        #: attribute load per event instead of two).
+        self._by_kind = self._table.by_kind if self._table is not None else {}
+        #: Fast-path line buffer, drained in chunks: bare lines, or
+        #: ``(t, node, line)`` tuples when an archive needs the keys.
+        self._pending: List[object] = []
+        self._pending_plain = self._archive is None
+        self._buffered = self._table is not None and (
+            self._file is not None
+            or self._archive is not None
+            or self._digest is not None
+        )
         self._subscription: Optional[Subscription] = bus.subscribe(
-            self._record, kinds=tuple(kinds) if kinds is not None else TRACE_KINDS,
+            self._record if self._table is None else self._record_fast,
+            kinds=tuple(kinds) if kinds is not None else TRACE_KINDS,
             node=node,
         )
         self._bus = bus
@@ -92,33 +158,94 @@ class EventTraceSink:
         mapping = self._id_maps.get(key)
         if mapping is None:
             return value
-        if value not in mapping:
-            mapping[value] = len(mapping) + 1
-        return mapping[value]
+        return mapping.setdefault(value, len(mapping) + 1)
 
     def _record(self, event: Event) -> None:
-        record: Dict[str, object] = {
-            "seq": self.count if self._normalize_seq else event.seq,
-            "t": round(event.time, 9),
-            "node": event.node,
-            "kind": event.kind,
-        }
-        for key in sorted(event.data):
-            value = event.data[key]
-            if isinstance(value, _SCALARS):
-                if isinstance(value, float):
-                    value = round(value, 9)
-                record[key] = self._normalize(key, value)
-        line = json.dumps(record, sort_keys=False, separators=(",", ":"))
+        """The generic reference encoder leg (line-at-a-time I/O)."""
+        t = round(event.time, 9)
+        line = self._encode_generic(
+            self.count if self._normalize_seq else event.seq,
+            t,
+            event.node,
+            event.kind,
+            event.data,
+            self._normalize,
+        )
         self.count += 1
         if self._store:
             self.lines.append(line)
         if self._file is not None:
             self._file.write(line + "\n")
         if self._archive is not None:
-            self._archive.add(record["t"], record["node"], line)
+            self._archive.add(t, event.node, line)
+        if self._digest is not None:
+            self._digest.update(line.encode("utf-8") + b"\n")
+
+    def _record_fast(self, event: Event) -> None:
+        """The compiled encoder leg: kind-keyed dispatch, chunked I/O.
+
+        Dispatch is by ``kind`` alone -- no per-event shape tuple.  The
+        compiled encoder pins the key-set it was built from and routes
+        any other payload shape of the same kind through the full
+        ``(kind, key-tuple)`` table (see :meth:`_compile_kind`), so the
+        cheap probe never changes bytes.
+        """
+        data = event.data
+        encode_line = self._by_kind.get(event.kind)
+        if encode_line is None:
+            encode_line = self._table.kind_encoder(event.kind, data)
+        t = round(event.time, 9)
+        line = encode_line(
+            self.count if self._normalize_seq else event.seq,
+            t,
+            event.node,
+            data,
+            self._id_maps,
+        )
+        self.count += 1
+        if self._store:
+            self.lines.append(line)
+        if self._buffered:
+            pending = self._pending
+            pending.append(line if self._pending_plain else (t, event.node, line))
+            if len(pending) >= _CHUNK_LINES:
+                self._drain()
+
+    def _drain(self) -> None:
+        """Hand buffered lines downstream in one call per consumer."""
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        if self._pending_plain:
+            payload = "\n".join(pending) + "\n"
+            if self._file is not None:
+                self._file.write(payload)
+            if self._digest is not None:
+                self._digest.update(payload.encode("utf-8"))
+            return
+        if self._file is not None or self._digest is not None:
+            payload = "\n".join(entry[2] for entry in pending) + "\n"
+            if self._file is not None:
+                self._file.write(payload)
+            if self._digest is not None:
+                self._digest.update(payload.encode("utf-8"))
+        if self._archive is not None:
+            self._archive.add_many(pending)
 
     # --------------------------------------------------------------- export
+
+    @property
+    def sha256(self) -> Optional[str]:
+        """Stream digest so far (``digest_only`` sinks; else ``None``).
+
+        Same convention as :func:`repro.sim.shard.sha256_lines`: SHA-256
+        over every line newline-terminated.
+        """
+        if self._digest is None:
+            return None
+        self._drain()
+        return self._digest.hexdigest()
 
     def detach(self) -> None:
         """Stop recording (and close the streaming file, if any).
@@ -131,6 +258,7 @@ class EventTraceSink:
         if self._subscription is not None:
             self._bus.unsubscribe(self._subscription)
             self._subscription = None
+        self._drain()
         if self._file is not None:
             self._file.close()
             self._file = None
@@ -141,6 +269,7 @@ class EventTraceSink:
 
     def flush(self) -> None:
         """Push buffered streamed lines to disk (epoch-barrier hook)."""
+        self._drain()
         if self._file is not None:
             self._file.flush()
         if self._archive is not None:
@@ -152,12 +281,24 @@ class EventTraceSink:
         """Checkpoint state: drop the open stream, record its position.
 
         Callers capture at epoch barriers, after :meth:`flush`, so the
-        on-disk byte count *is* the logical stream position.  Restore via
-        :meth:`reopen_outputs` truncates the file back to that position
-        and reopens it for append -- any bytes a post-checkpoint
-        continuation wrote are discarded, exactly as required.
+        on-disk byte count *is* the logical stream position (the defensive
+        :meth:`_drain` below keeps that true even for a mid-epoch
+        capture).  Restore via :meth:`reopen_outputs` truncates the file
+        back to that position and reopens it for append -- any bytes a
+        post-checkpoint continuation wrote are discarded, exactly as
+        required.
         """
+        if self._digest is not None:
+            raise TypeError(
+                "digest_only sinks cannot be checkpointed: the running "
+                "SHA-256 stream state does not pickle"
+            )
+        self._drain()
         state = dict(self.__dict__)
+        # Compiled encoders are a pure function of the event shapes seen;
+        # the restore side rebuilds the table lazily from scratch.
+        state.pop("_table", None)
+        state.pop("_by_kind", None)
         handle = state.pop("_file", None)
         offset = 0
         if handle is not None:
@@ -169,6 +310,10 @@ class EventTraceSink:
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._file = None
+        self._table = (
+            _encode().EncoderTable() if self._encoder_mode == "fast" else None
+        )
+        self._by_kind = self._table.by_kind if self._table is not None else {}
 
     def reopen_outputs(self) -> None:
         """Re-attach the streaming file after a checkpoint restore."""
@@ -188,7 +333,9 @@ class EventTraceSink:
 
     def to_jsonl(self) -> str:
         """The whole trace as one newline-terminated string."""
-        return "".join(line + "\n" for line in self.lines)
+        if not self.lines:
+            return ""
+        return "\n".join(self.lines) + "\n"
 
     def write(self, path: str | Path) -> Path:
         """Write the collected trace to ``path``."""

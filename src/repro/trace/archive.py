@@ -207,6 +207,20 @@ class _OpenSegment:
         self.t_max = t
         self.lines.append((t, line))
 
+    def write_many(self, entries: Sequence[Tuple[float, str]]) -> None:
+        """Append ``(t, line)`` pairs: one compressor write, one hash
+        update, and one bookkeeping pass for the whole run.  Callers
+        guarantee nondecreasing times within one segment's bucket."""
+        data = "\n".join(line for _, line in entries).encode("utf-8") + b"\n"
+        self.zip.write(data)
+        self.sha.update(data)
+        self.payload_bytes += len(data)
+        self.events += len(entries)
+        if self.t_min is None:
+            self.t_min = entries[0][0]
+        self.t_max = entries[-1][0]
+        self.lines.extend(entries)
+
     def __getstate__(self) -> Dict[str, object]:
         # Open OS handles and the running hashlib object cannot pickle;
         # the retained lines are sufficient to rebuild all three.
@@ -311,11 +325,10 @@ class ArchiveWriter:
 
     # ------------------------------------------------------------ writing
 
-    def add(self, t: float, node: int, line: str) -> None:
-        """Append one record line for ``node`` at simulated time ``t``."""
-        if self._closed_flag:
-            raise ValueError("archive writer is closed")
-        bucket = bucket_of(t, self.bucket_seconds)
+    def _segment_for(self, t: float, node: int, bucket: int) -> _OpenSegment:
+        """The open segment ``(bucket, node)`` writes into, rolling the
+        node's previous segment (footer appended) when the stream crossed
+        a bucket boundary, and enforcing per-node monotonicity."""
         segment = self._open.get(node)
         if segment is not None and segment.bucket != bucket:
             if bucket < segment.bucket:
@@ -341,9 +354,61 @@ class ArchiveWriter:
             raise ValueError(
                 f"node {node} time went backwards: {t} after {segment.t_max}"
             )
+        return segment
+
+    def add(self, t: float, node: int, line: str) -> None:
+        """Append one record line for ``node`` at simulated time ``t``."""
+        if self._closed_flag:
+            raise ValueError("archive writer is closed")
+        segment = self._segment_for(t, node, bucket_of(t, self.bucket_seconds))
         segment.write(t, line)
         self._input_sha.update(line.encode("utf-8") + b"\n")
         self.events += 1
+
+    def add_many(self, items: Sequence[Tuple[float, int, str]]) -> None:
+        """Append a chunk of ``(t, node, line)`` records in one call.
+
+        The batched sibling of :meth:`add` for chunk-draining sinks
+        (:class:`repro.sim.trace.EventTraceSink`'s fast path): items are
+        grouped into maximal same-``(node, bucket)`` runs, each run hits
+        its segment with one compressor write and one SHA-256 update, and
+        the input-order digest advances once for the whole chunk.  The
+        bytes produced -- segment payloads, footers, and the input-order
+        digest -- are identical to ``len(items)`` individual :meth:`add`
+        calls; so are the monotonicity and closed-bucket errors (checked
+        per run *before* writing it).
+        """
+        if self._closed_flag:
+            raise ValueError("archive writer is closed")
+        if not items:
+            return
+        bucket_seconds = self.bucket_seconds
+        i, n = 0, len(items)
+        while i < n:
+            t, node, _ = items[i]
+            bucket = bucket_of(t, bucket_seconds)
+            j = i + 1
+            while j < n:
+                nt, nnode, _ = items[j]
+                if nnode != node or bucket_of(nt, bucket_seconds) != bucket:
+                    break
+                j += 1
+            segment = self._segment_for(t, node, bucket)
+            run = items[i:j]
+            previous = segment.t_max if segment.t_max is not None else t
+            for rt, _, _ in run:
+                if rt < previous:
+                    raise ValueError(
+                        f"node {node} time went backwards: {rt} after "
+                        f"{previous}"
+                    )
+                previous = rt
+            segment.write_many([(rt, line) for rt, _, line in run])
+            i = j
+        self._input_sha.update(
+            ("\n".join(line for _, _, line in items) + "\n").encode("utf-8")
+        )
+        self.events += n
 
     def flush(self) -> None:
         """Push finished compressed bytes to the OS (epoch-barrier hook).

@@ -91,6 +91,11 @@ class ReplayConfig:
     #: Range-read this slice back from the archive after the run
     #: (requires ``archive_dir``).
     window: Optional[TraceWindow] = None
+    #: Run the trace sink as a pure SHA-256 stream: no stored lines, no
+    #: file, no archive -- the digest gate stays armed while the run
+    #: measures emission speed alone.  Mutually exclusive with
+    #: ``event_trace_path`` / ``archive_dir``.
+    digest_only: bool = False
 
 
 @dataclass
@@ -101,6 +106,10 @@ class ReplayResult:
     platform: FaasPlatform
     #: The trace sink, when ``event_trace_path`` was configured.
     trace: Optional[EventTraceSink] = None
+    #: Measurement-window event count / stream digest, filled for traced
+    #: runs (``digest_only`` runs carry the digest here without a file).
+    trace_events: int = 0
+    trace_sha256: Optional[str] = None
     archive_path: Optional[Path] = None
     archive_events: int = 0
     archive_sha256: Optional[str] = None
@@ -139,6 +148,13 @@ def replay(
         memo_cache.drain_stats()
     if config.window is not None and config.archive_dir is None:
         raise ValueError("window requires archive_dir")
+    if config.digest_only and (
+        config.event_trace_path is not None or config.archive_dir is not None
+    ):
+        raise ValueError(
+            "digest_only replays neither store nor write the trace; drop "
+            "event_trace_path/archive_dir"
+        )
     writer = None
     if config.archive_dir is not None:
         from repro.trace.archive import ArchiveWriter
@@ -147,7 +163,9 @@ def replay(
             config.archive_dir, bucket_seconds=config.archive_bucket_seconds
         )
     sink = None
-    if config.event_trace_path is not None or writer is not None:
+    if config.digest_only:
+        sink = EventTraceSink(platform.bus, digest_only=True)
+    elif config.event_trace_path is not None or writer is not None:
         sink = EventTraceSink(
             platform.bus, path=config.event_trace_path, archive=writer
         )
@@ -184,6 +202,8 @@ def replay(
         stats=stats,
         platform=platform,
         trace=sink,
+        trace_events=sink.count if sink is not None else 0,
+        trace_sha256=sink.sha256 if sink is not None else None,
         archive_path=(
             Path(config.archive_dir) if config.archive_dir is not None else None
         ),

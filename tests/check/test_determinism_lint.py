@@ -65,6 +65,14 @@ GZIP_EXEMPT = {"trace/archive.py"}
 #: digest-gated, never durable).  Everything else must go through them.
 PICKLE_EXEMPT = {"sim/checkpoint.py", "sim/wire.py", "memo/effects.py"}
 
+#: Modules on the per-event emission path, where ``json.dumps`` is
+#: banned outright: line encoding must flow through
+#: ``repro.trace.encode`` so the compiled fast path and the generic
+#: reference twin stay the only two serializers whose bytes the digest
+#: gates compare.  An ad-hoc ``json.dumps`` here would bypass that
+#: differential pairing silently.
+JSON_EVENT_HOT_PATH = {"sim/trace.py", "sim/bus.py", "sim/shard.py"}
+
 #: The directory whose modules own cross-call caching (bounded,
 #: content-addressed, reset at leg boundaries).  Module-level mutable
 #: cache containers anywhere else are hidden replay state.
@@ -177,6 +185,13 @@ def _lint(rel: str, tree: ast.AST):
                         f"{where}: gzip.{attr} (header embeds wall-clock "
                         "mtime; use repro.trace.archive helpers)"
                     )
+            if base == "json" and attr in ("dump", "dumps"):
+                if rel in JSON_EVENT_HOT_PATH:
+                    yield (
+                        f"{where}: json.{attr} on the event hot path "
+                        "(line encoding belongs in repro.trace.encode, "
+                        "paired with its generic reference twin)"
+                    )
             if base == "pickle" and attr in ("dump", "dumps", "load", "loads",
                                              "Pickler", "Unpickler"):
                 if rel not in PICKLE_EXEMPT:
@@ -273,6 +288,19 @@ def test_gzip_rule_exempts_the_archive_module():
     planted = "import gzip\nz = gzip.GzipFile(fileobj=None)\n"
     assert list(_lint("trace/archive.py", ast.parse(planted))) == []
     assert len(list(_lint("sim/trace.py", ast.parse(planted)))) == 1
+
+
+def test_json_rule_bans_the_event_hot_path_only():
+    planted = "import json\nline = json.dumps({})\njson.dump({}, None)\n"
+    for rel in JSON_EVENT_HOT_PATH:
+        hits = list(_lint(rel, ast.parse(planted)))
+        assert len(hits) == 2, rel
+        assert all("repro.trace.encode" in h for h in hits)
+        assert (SRC / rel).is_file(), f"stale hot-path entry {rel}"
+    # The encoder module itself and ordinary reporting code are free to
+    # call json -- the ban is about event emission, not serialization.
+    assert list(_lint("trace/encode.py", ast.parse(planted))) == []
+    assert list(_lint("analysis/bench.py", ast.parse(planted))) == []
 
 
 def test_pickle_rule_exempts_only_the_sanctioned_modules():
